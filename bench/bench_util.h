@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction benches: consistent
+ * training protocol (identical schedule/data for every algebra, as in
+ * the paper's Table III), parallel variant training, and plain-text
+ * table printing.
+ */
+#ifndef RINGCNN_BENCH_BENCH_UTIL_H
+#define RINGCNN_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "data/tasks.h"
+#include "models/backbones.h"
+#include "nn/trainer.h"
+#include "quant/quant_model.h"
+#include "tensor/image_ops.h"
+
+namespace ringcnn::bench {
+
+/** Default "lightweight" protocol used by the quality benches. */
+inline nn::TrainConfig
+light_config()
+{
+    nn::TrainConfig cfg;
+    cfg.steps = 600;
+    cfg.lr = 3e-3f;
+    cfg.patch = 24;
+    cfg.eval_count = 8;
+    cfg.eval_patch = 48;
+    return cfg;
+}
+
+/** SR variant of the protocol (larger patches). */
+inline nn::TrainConfig
+light_sr_config()
+{
+    nn::TrainConfig cfg = light_config();
+    cfg.steps = 500;
+    cfg.patch = 32;
+    return cfg;
+}
+
+/** One quality measurement job. */
+struct QualityJob
+{
+    std::string label;
+    std::function<nn::Model()> build;
+    const data::ImagingTask* task;
+    nn::TrainConfig cfg;
+    // outputs
+    double psnr = 0.0;
+    int64_t params = 0;
+    int64_t macs = 0;          ///< real mults per eval forward
+    nn::Model trained;         ///< the trained model (for quant benches)
+};
+
+/** Trains all jobs concurrently (identical protocol per job). */
+inline void
+run_quality_jobs(std::vector<QualityJob>& jobs)
+{
+    std::vector<std::function<void()>> fns;
+    for (auto& job : jobs) {
+        fns.push_back([&job]() {
+            nn::Model m = job.build();
+            const auto res = nn::train_on_task(m, *job.task, job.cfg);
+            job.psnr = res.psnr_db;
+            job.params = m.num_params();
+            const int s = job.task->scale();
+            const int in = job.cfg.eval_patch / s;
+            job.macs = m.macs({3, in, in});
+            job.trained = std::move(m);
+        });
+    }
+    nn::run_parallel(std::move(fns));
+}
+
+/** Evaluates a quantized model's PSNR on a task eval set. */
+inline double
+quant_psnr(const quant::QuantizedModel& qm, const data::ImagingTask& task,
+           int count, int patch, unsigned seed)
+{
+    const int tgt = patch - patch % task.scale();
+    const auto eval = data::make_eval_set(task, count, tgt, tgt, seed);
+    double acc = 0.0;
+    for (const auto& [in, want] : eval) {
+        acc += psnr(clamp(qm.forward(in), 0, 1), want);
+    }
+    return acc / eval.size();
+}
+
+/** Calibration images for quantization, matched to the task input. */
+inline std::vector<Tensor>
+calib_images(const data::ImagingTask& task, int count, int patch,
+             unsigned seed)
+{
+    const int tgt = patch - patch % task.scale();
+    std::vector<Tensor> out;
+    for (const auto& [in, want] : data::make_eval_set(task, count, tgt, tgt,
+                                                      seed)) {
+        out.push_back(in);
+    }
+    return out;
+}
+
+/** Simple fixed-width row printer. */
+inline void
+print_row(const std::vector<std::string>& cells, int width = 14)
+{
+    for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+    std::printf("\n");
+}
+
+inline std::string
+fmt(double v, int prec = 2)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+    return buf;
+}
+
+inline void
+print_header(const std::string& title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace ringcnn::bench
+
+#endif  // RINGCNN_BENCH_BENCH_UTIL_H

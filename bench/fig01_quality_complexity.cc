@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Reproduces paper Fig. 1: computation efficiency versus image quality
+ * on SRResNet for x4 SR — unstructured weight pruning (2/4/8x),
+ * depth-wise convolution, channel/depth-reduced compact models, and
+ * RingCNN over (RI, fH) with n = 2/4/8.
+ */
+#include "baselines/pruning.h"
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace ringcnn;
+    using models::Algebra;
+    const data::SrTask sr(4);
+    const nn::TrainConfig cfg = bench::light_sr_config();
+    const int kC = 16, kB = 2;
+
+    struct Point
+    {
+        std::string label;
+        double psnr = 0.0;
+        double mults_rel = 1.0;  ///< vs the full real model
+    };
+    std::vector<Point> points;
+    std::mutex mu;
+    std::vector<std::function<void()>> fns;
+
+    const Shape eval_in{3, cfg.eval_patch / 4, cfg.eval_patch / 4};
+    const double base_macs = static_cast<double>(
+        models::build_srresnet(Algebra::real(), kC, kB).macs(eval_in));
+    auto add_point = [&](const std::string& label, double psnr,
+                         double macs) {
+        std::lock_guard<std::mutex> g(mu);
+        points.push_back({label, psnr, base_macs / macs});
+    };
+
+    // Full real model, channel- and depth-reduced compact variants.
+    struct Plain
+    {
+        std::string label;
+        int c, b;
+    };
+    for (const Plain& p : {Plain{"SRResNet (full)", kC, kB},
+                           Plain{"channel/2", kC / 2, kB},
+                           Plain{"channel/4", kC / 4, kB},
+                           Plain{"depth/2", kC, kB / 2}}) {
+        fns.push_back([&, p]() {
+            nn::Model m = models::build_srresnet(Algebra::real(), p.c, p.b);
+            const double macs = static_cast<double>(m.macs(eval_in));
+            const auto res = nn::train_on_task(m, sr, cfg);
+            add_point(p.label, res.psnr_db, macs);
+        });
+    }
+    // Depth-wise convolution variant.
+    fns.push_back([&]() {
+        nn::Model m = models::build_srresnet_dwc(kC, kB);
+        const double macs = static_cast<double>(m.macs(eval_in));
+        const auto res = nn::train_on_task(m, sr, cfg);
+        add_point("DWC", res.psnr_db, macs);
+    });
+    // Unstructured pruning at 2/4/8x (mults scale with density, but the
+    // hardware cannot exploit it regularly — the paper's point).
+    for (double comp : {2.0, 4.0, 8.0}) {
+        fns.push_back([&, comp]() {
+            nn::Model m = models::build_srresnet(Algebra::real(), kC, kB);
+            nn::TrainConfig pre = cfg;
+            pre.steps = cfg.steps / 2;
+            nn::TrainConfig fine = cfg;
+            const auto res = baselines::prune_and_finetune(
+                m, sr, pre, fine, 1.0 - 1.0 / comp);
+            add_point("prune " + bench::fmt(comp, 0) + "x", res.psnr_db,
+                      base_macs / comp);
+        });
+    }
+    // RingCNN (RI, fH), n = 2/4/8.
+    for (int n : {2, 4, 8}) {
+        fns.push_back([&, n]() {
+            nn::Model m = models::build_srresnet(
+                Algebra::with_fh("RI" + std::to_string(n)), kC, kB);
+            const double macs = static_cast<double>(m.macs(eval_in));
+            const auto res = nn::train_on_task(m, sr, cfg);
+            add_point("RingCNN n" + std::to_string(n), res.psnr_db, macs);
+        });
+    }
+    nn::run_parallel(std::move(fns));
+
+    bench::print_header("Fig. 1: computation efficiency vs image quality");
+    bench::print_row({"variant", "PSNR-dB", "efficiency-x"}, 20);
+    for (const auto& p : points) {
+        bench::print_row({p.label, bench::fmt(p.psnr, 2),
+                          bench::fmt(p.mults_rel, 2)},
+                         20);
+    }
+    std::printf(
+        "\npaper anchors: pruning degrades gracefully; DWC drops sharply "
+        "(below VDSR-class); channel reduction trades\nsmoothly; RingCNN "
+        "tracks or beats the pruning curve at matching efficiency with "
+        "fully regular compute.\n");
+    return 0;
+}

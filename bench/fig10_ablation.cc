@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduces paper Fig. 10: ablation between the proposed (RI, fH) and
+ * the HadaNet-alike RH ring. RH always pays the Hadamard structure in
+ * every linear op; (RI, fH) applies mixing only at non-linearities.
+ * We also train RH with the directional ReLU (the paper's "structure
+ * modification" step that lets RH imitate (RI, fH)).
+ */
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace ringcnn;
+    using models::Algebra;
+    const data::SrTask sr(4);
+
+    std::vector<bench::QualityJob> jobs;
+    for (const auto& [label, alg] :
+         std::vector<std::pair<std::string, Algebra>>{
+             {"RH4 + fcw (redundant structure)", Algebra::with_fcw("RH4")},
+             {"RH4 + fH (structure modification)",
+              Algebra{"RH4", Algebra::NonLin::kDirectionalH}},
+             {"(RI4, fH) proposed (compact)", Algebra::with_fh("RI4")}}) {
+        for (int b : {1, 2}) {
+            models::ErnetConfig mc;
+            mc.channels = 16;
+            mc.blocks = b;
+            bench::QualityJob j;
+            j.label = label + " B" + std::to_string(b);
+            j.build = [alg, mc]() { return models::build_sr4_ernet(alg, mc); };
+            j.task = &sr;
+            j.cfg = bench::light_sr_config();
+            jobs.push_back(std::move(j));
+        }
+    }
+    bench::run_quality_jobs(jobs);
+
+    bench::print_header("Fig. 10: (RI, fH) vs RH ablation (SR4ERNet)");
+    bench::print_row({"variant", "PSNR-dB", "params"}, 38);
+    for (const auto& j : jobs) {
+        bench::print_row({j.label, bench::fmt(j.psnr, 2),
+                          std::to_string(j.params)},
+                         38);
+    }
+    std::printf(
+        "\npaper anchor: the compact structure is the main reason "
+        "(RI, fH) outperforms RH — structure modification\nrecovers most "
+        "of the gap, training tweaks alone do not.\n");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reproduces paper Fig. 11: algebraically-sparse RingCNN over (RI, fH)
+ * versus unstructured magnitude pruning at 2x / 4x / 8x compression,
+ * on denoising and x4 SR. Pruned models get a pretrain + fine-tune
+ * schedule; ring models and the dense baseline train directly (the
+ * paper gives them matched extra epochs).
+ */
+#include "baselines/pruning.h"
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace ringcnn;
+    using models::Algebra;
+    const data::DenoiseTask dn(25.0f / 255.0f);
+    const data::SrTask sr(4);
+
+    struct Entry
+    {
+        std::string label;
+        double dn_psnr = 0.0, sr_psnr = 0.0;
+    };
+    std::vector<Entry> entries{{"real 1x"},     {"prune 2x"}, {"prune 4x"},
+                               {"prune 8x"},    {"(RI2,fH)"}, {"(RI4,fH)"},
+                               {"(RI8,fH)"}};
+    std::mutex mu;
+    std::vector<std::function<void()>> fns;
+    models::ErnetConfig mc;
+    mc.channels = 16;
+    mc.blocks = 2;
+
+    auto run_one = [&](size_t slot, bool is_sr, double prune_comp,
+                       const std::string& ring) {
+        fns.push_back([&, slot, is_sr, prune_comp, ring]() {
+            const data::ImagingTask& task =
+                is_sr ? static_cast<const data::ImagingTask&>(sr)
+                      : static_cast<const data::ImagingTask&>(dn);
+            nn::TrainConfig cfg =
+                is_sr ? bench::light_sr_config() : bench::light_config();
+            const Algebra alg =
+                ring.empty() ? Algebra::real() : Algebra::with_fh(ring);
+            nn::Model m = is_sr ? models::build_sr4_ernet(alg, mc)
+                                : models::build_dn_ernet_pu(alg, mc);
+            double psnr;
+            if (prune_comp > 1.0) {
+                // Pretrain + fine-tune (the paper's pruning pipeline).
+                nn::TrainConfig pre = cfg;
+                psnr = baselines::prune_and_finetune(
+                           m, task, pre, cfg, 1.0 - 1.0 / prune_comp)
+                           .psnr_db;
+            } else {
+                // Matched extra budget for dense/ring models ("100 more
+                // epochs for the original CNN and RingCNNs").
+                nn::TrainConfig longer = cfg;
+                longer.steps = cfg.steps * 3 / 2;
+                psnr = nn::train_on_task(m, task, longer).psnr_db;
+            }
+            std::lock_guard<std::mutex> g(mu);
+            (is_sr ? entries[slot].sr_psnr : entries[slot].dn_psnr) = psnr;
+        });
+    };
+    for (int t = 0; t < 2; ++t) {
+        const bool is_sr = t == 1;
+        run_one(0, is_sr, 1.0, "");
+        run_one(1, is_sr, 2.0, "");
+        run_one(2, is_sr, 4.0, "");
+        run_one(3, is_sr, 8.0, "");
+        run_one(4, is_sr, 1.0, "RI2");
+        run_one(5, is_sr, 1.0, "RI4");
+        run_one(6, is_sr, 1.0, "RI8");
+    }
+    nn::run_parallel(std::move(fns));
+
+    bench::print_header("Fig. 11: RingCNN vs unstructured weight pruning");
+    bench::print_row({"variant", "denoise-PSNR", "SR4-PSNR"}, 16);
+    for (const auto& e : entries) {
+        bench::print_row({e.label, bench::fmt(e.dn_psnr, 2),
+                          bench::fmt(e.sr_psnr, 2)},
+                         16);
+    }
+    std::printf(
+        "\npaper anchors: (RI, fH) beats pruning at matched 2/4/8x "
+        "compression, and the 2-tuple networks often beat\nthe original "
+        "1x real model (algebraic sparsity as a strong prior).\n");
+    return 0;
+}

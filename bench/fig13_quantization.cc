@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces paper Fig. 13: (top) PSNR degradation of 8-bit dynamic
+ * fixed-point quantization from the float models, and (bottom) PSNR
+ * difference between eRingCNN models and the real-valued eCNN models,
+ * over denoising and SR targets.
+ */
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace ringcnn;
+    using models::Algebra;
+    const data::DenoiseTask dn(25.0f / 255.0f);
+    const data::SrTask sr(4);
+
+    std::vector<bench::QualityJob> jobs;
+    for (const auto& [name, alg] :
+         std::vector<std::pair<std::string, Algebra>>{
+             {"eCNN", Algebra::real()},
+             {"eRingCNN-n2", Algebra::with_fh("RI2")},
+             {"eRingCNN-n4", Algebra::with_fh("RI4")}}) {
+        models::ErnetConfig mc;
+        mc.channels = 16;
+        mc.blocks = 2;
+        bench::QualityJob a;
+        a.label = "Dn " + name;
+        a.build = [alg, mc]() { return models::build_dn_ernet_pu(alg, mc); };
+        a.task = &dn;
+        a.cfg = bench::light_config();
+        jobs.push_back(std::move(a));
+        bench::QualityJob b;
+        b.label = "SR4 " + name;
+        b.build = [alg, mc]() { return models::build_sr4_ernet(alg, mc); };
+        b.task = &sr;
+        b.cfg = bench::light_sr_config();
+        jobs.push_back(std::move(b));
+    }
+    bench::run_quality_jobs(jobs);
+
+    bench::print_header("Fig. 13 (top): 8-bit quantization PSNR drop");
+    bench::print_row({"model", "float-dB", "8bit-dB", "drop-dB"}, 18);
+    std::vector<double> qpsnr(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        auto& j = jobs[i];
+        quant::QuantizedModel qm(
+            j.trained, bench::calib_images(*j.task, 3, j.cfg.eval_patch, 555));
+        qpsnr[i] = bench::quant_psnr(qm, *j.task, j.cfg.eval_count,
+                                     j.cfg.eval_patch, j.cfg.seed + 999);
+        bench::print_row({j.label, bench::fmt(j.psnr, 2),
+                          bench::fmt(qpsnr[i], 2),
+                          bench::fmt(j.psnr - qpsnr[i], 3)},
+                         18);
+    }
+
+    bench::print_header("Fig. 13 (bottom): quantized eRingCNN minus eCNN");
+    for (size_t i = 2; i < jobs.size(); ++i) {
+        const size_t base = i % 2;  // matching eCNN job
+        bench::print_row({jobs[i].label + " - eCNN",
+                          bench::fmt(qpsnr[i] - qpsnr[base], 3) + " dB"},
+                         30);
+    }
+    std::printf(
+        "\npaper anchors: quantization costs ~0.11-0.12 dB for both real "
+        "and ring tensors; quantized n2 is within\n+/-0.05 dB of eCNN "
+        "(paper: +0.01 dB avg) and n4 drops ~0.11 dB.\n");
+    return 0;
+}

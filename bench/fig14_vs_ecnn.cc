@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Reproduces paper Fig. 14: area and power comparison of eRingCNN
+ * versus eCNN, at engine level and whole-accelerator level.
+ */
+#include "bench_util.h"
+#include "hw/cost_model.h"
+
+int
+main()
+{
+    using namespace ringcnn;
+    const auto ecnn = hw::build_accelerator_cost(1);
+    bench::print_header("Fig. 14: efficiency vs eCNN");
+    bench::print_row({"config", "engine-area-x", "engine-energy-x",
+                      "total-area-x", "total-energy-x"},
+                     17);
+    for (int n : {2, 4}) {
+        const auto ac = hw::build_accelerator_cost(n);
+        const double ea = ecnn.part("conv-engines").area_mm2 /
+                          ac.part("conv-engines").area_mm2;
+        const double ee = ecnn.part("conv-engines").power_w /
+                          ac.part("conv-engines").power_w;
+        const double ta = ecnn.total_area() / ac.total_area();
+        const double te = ecnn.total_power() / ac.total_power();
+        bench::print_row({ac.name, bench::fmt(ea, 2), bench::fmt(ee, 2),
+                          bench::fmt(ta, 2), bench::fmt(te, 2)},
+                         17);
+    }
+    std::printf(
+        "\npaper anchors: engines 2.08x / 2.00x (n2) and 3.77x / 3.84x "
+        "(n4); whole accelerator 1.64x / 1.85x (n2)\nand 2.36x / 3.12x "
+        "(n4).\n");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: host-side throughput of the fast
+ * ring convolution (FRCONV) versus the isomorphic real convolution, per
+ * ring. Demonstrates the m/n^2 arithmetic reduction on the CPU too.
+ */
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/ring_conv.h"
+#include "tensor/image_ops.h"
+
+namespace {
+
+using namespace ringcnn;
+
+struct Setup
+{
+    const Ring* ring;
+    RingConvWeights w;
+    Tensor x;
+    std::vector<float> bias;
+};
+
+Setup
+make_setup(const std::string& name)
+{
+    const Ring& ring = get_ring(name);
+    std::mt19937 rng(3);
+    const int ci_t = 16 / ring.n > 0 ? 16 / ring.n : 1;
+    const int co_t = ci_t;
+    Setup s{&ring, RingConvWeights(co_t, ci_t, 3, ring.n),
+            Tensor({ci_t * ring.n, 32, 32}),
+            std::vector<float>(static_cast<size_t>(co_t) * ring.n, 0.1f)};
+    std::normal_distribution<float> d(0.0f, 0.3f);
+    for (auto& v : s.w.w) v = d(rng);
+    s.x.randn(rng);
+    return s;
+}
+
+void
+bm_frconv(benchmark::State& state, const std::string& name)
+{
+    Setup s = make_setup(name);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ring_conv_fast(*s.ring, s.x, s.w, s.bias));
+    }
+    state.SetLabel(name + " m=" + std::to_string(s.ring->fast.m()));
+}
+
+void
+bm_rconv_reference(benchmark::State& state, const std::string& name)
+{
+    Setup s = make_setup(name);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ring_conv_reference(*s.ring, s.x, s.w, s.bias));
+    }
+}
+
+void
+bm_directional_relu(benchmark::State& state, int n)
+{
+    const auto [u, v] = fh_transforms(n);
+    Tensor x({16, 32, 32});
+    std::mt19937 rng(4);
+    x.randn(rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(directional_relu(u, v, x));
+    }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(bm_frconv, R, std::string("R"));
+BENCHMARK_CAPTURE(bm_frconv, RI2, std::string("RI2"));
+BENCHMARK_CAPTURE(bm_frconv, RH2, std::string("RH2"));
+BENCHMARK_CAPTURE(bm_frconv, C, std::string("C"));
+BENCHMARK_CAPTURE(bm_frconv, RI4, std::string("RI4"));
+BENCHMARK_CAPTURE(bm_frconv, RH4, std::string("RH4"));
+BENCHMARK_CAPTURE(bm_frconv, RO4, std::string("RO4"));
+BENCHMARK_CAPTURE(bm_frconv, RH4_I, std::string("RH4-I"));
+BENCHMARK_CAPTURE(bm_frconv, H, std::string("H"));
+BENCHMARK_CAPTURE(bm_frconv, RI8, std::string("RI8"));
+BENCHMARK_CAPTURE(bm_rconv_reference, R, std::string("R"));
+BENCHMARK_CAPTURE(bm_rconv_reference, RI4, std::string("RI4"));
+BENCHMARK_CAPTURE(bm_directional_relu, n2, 2);
+BENCHMARK_CAPTURE(bm_directional_relu, n4, 4);
+BENCHMARK_MAIN();

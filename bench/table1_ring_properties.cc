@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Reproduces paper Table I: properties of ring algebras — DoF of G,
+ * real multiplications of the shipped fast algorithm, grank(M), the
+ * transformed operand widths for 8-bit features/weights, and the
+ * multiplier-complexity efficiency versus the real field.
+ */
+#include "bench_util.h"
+#include "hw/cost_model.h"
+
+int
+main()
+{
+    using namespace ringcnn;
+    bench::print_header("Table I: properties of ring algebras");
+    bench::print_row({"ring", "n", "DoF(G)", "mults m", "grank", "wx", "wg",
+                      "storage", "mult-eff", "8b-eff"},
+                     10);
+    for (const auto& name : all_ring_names()) {
+        const Ring& r = get_ring(name);
+        const auto c = hw::ring_mult_cost(r);
+        bench::print_row(
+            {r.name, std::to_string(r.n), std::to_string(r.dof()),
+             std::to_string(c.m), std::to_string(c.grank),
+             std::to_string(c.wx), std::to_string(c.wg),
+             bench::fmt(c.storage_eff(), 0) + "x",
+             bench::fmt(c.mult_eff(), 2) + "x",
+             bench::fmt(c.complexity_eff(), 2) + "x"},
+            10);
+    }
+    std::printf(
+        "\npaper anchors: RI reaches the maximum efficiency n; RH4/RO4 "
+        "~2.6x (1.6x worse than RI4);\nC needs 3 mults (grank 3); "
+        "cyclic-class rings need 5; quaternions grank 8 (shipped scheme "
+        "uses 10 exact products).\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces paper Table IV: PSNR of the models served by eRingCNN
+ * against classical and advanced baselines, for two throughput classes
+ * (HD30-class: larger model; UHD30-class: shallower model) on
+ * denoising and x4 SR.
+ */
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace ringcnn;
+    using models::Algebra;
+    const data::DenoiseTask dn(25.0f / 255.0f);
+    const data::SrTask sr(4);
+
+    std::vector<bench::QualityJob> jobs;
+    auto add = [&](const std::string& label,
+                   std::function<nn::Model()> build, bool is_sr) {
+        bench::QualityJob j;
+        j.label = label;
+        j.build = std::move(build);
+        j.task = is_sr ? static_cast<const data::ImagingTask*>(&sr)
+                       : static_cast<const data::ImagingTask*>(&dn);
+        j.cfg = is_sr ? bench::light_sr_config() : bench::light_config();
+        j.cfg.steps += 300;  // "polishment"-style longer schedule
+        jobs.push_back(std::move(j));
+    };
+
+    // Throughput classes: HD30-class (B=3) and UHD30-class (B=1).
+    for (const auto& [cls, blocks] :
+         std::vector<std::pair<std::string, int>>{{"HD30", 3}, {"UHD30", 1}}) {
+        for (const auto& [name, alg] :
+             std::vector<std::pair<std::string, Algebra>>{
+                 {"eCNN (real)", Algebra::real()},
+                 {"eRingCNN-n2", Algebra::with_fh("RI2")},
+                 {"eRingCNN-n4", Algebra::with_fh("RI4")}}) {
+            models::ErnetConfig mc;
+            mc.channels = 16;
+            mc.blocks = blocks;
+            add("Dn " + cls + " " + name,
+                [alg, mc]() { return models::build_dn_ernet_pu(alg, mc); },
+                false);
+            add("SR4 " + cls + " " + name,
+                [alg, mc]() { return models::build_sr4_ernet(alg, mc); },
+                true);
+        }
+    }
+    // Reference baselines.
+    add("Dn FFDNet-like", []() { return models::build_ffdnet(16, 4); },
+        false);
+    add("SR4 SRResNet-like",
+        []() {
+            return models::build_srresnet(Algebra::real(), 16, 3);
+        },
+        true);
+    add("SR4 VDSR-like", []() { return models::build_vdsr(12, 4); }, true);
+
+    bench::run_quality_jobs(jobs);
+
+    bench::print_header("Table IV: PSNR of models on eRingCNN vs baselines");
+    bench::print_row({"model", "PSNR-dB", "params"}, 26);
+    for (const auto& j : jobs) {
+        bench::print_row({j.label, bench::fmt(j.psnr, 2),
+                          std::to_string(j.params)},
+                         26);
+    }
+    std::printf(
+        "\npaper anchors: eRingCNN-n2 models match or beat FFDNet / "
+        "SRResNet (up to +0.15 dB at HD30); n4 stays\nsuperior except "
+        "shallow UHD30 denoising; VDSR-class trails clearly.\n");
+    return 0;
+}

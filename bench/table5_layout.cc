@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduces paper Table V: design configurations and layout
+ * performance of eRingCNN-n2 / n4 (with the eCNN baseline), from the
+ * calibrated 40 nm cost model. Also prints the 4K UHD throughput /
+ * DRAM-bandwidth estimate (the paper's 1.93 GB/s figure).
+ */
+#include "bench_util.h"
+#include "hw/cost_model.h"
+#include "sim/accelerator.h"
+
+int
+main()
+{
+    using namespace ringcnn;
+    bench::print_header("Table V: design configuration & layout performance");
+    bench::print_row({"config", "MACs", "weight-KB", "freq-MHz", "eq-TOPS",
+                      "area-mm2", "power-W"},
+                     12);
+    for (int n : {1, 2, 4}) {
+        const auto ac = hw::build_accelerator_cost(n);
+        bench::print_row({ac.name, std::to_string(ac.macs),
+                          bench::fmt(ac.weight_kb, 0),
+                          bench::fmt(ac.freq_hz / 1e6, 0),
+                          bench::fmt(ac.equivalent_tops(), 1),
+                          bench::fmt(ac.total_area(), 2),
+                          bench::fmt(ac.total_power(), 2)},
+                         12);
+    }
+    std::printf(
+        "\npaper anchors: n2 33.73 mm2 / 3.76 W, n4 23.36 mm2 / 2.22 W, "
+        "both 41 equivalent TOPS at 250 MHz;\nweight memories 960 / 480 KB "
+        "(1.5x the n-fold-reduced eCNN 1280 KB).\n");
+
+    // 4K UHD 30 fps feasibility: a UHD30-class model budget.
+    bench::print_header("4K UHD feasibility (UHD30-class model)");
+    // ~9 conv layers of 32x32ch 3x3 at half resolution (PU) ->
+    // cycles/pixel ~= layers * passes / tile pixels.
+    const double cpp = 9.0 * 1.0 / (4 * 2) / 4.0;  // PU(2): 1/4 pixels
+    const auto video = sim::estimate_video(cpp, 12, 128, 3840, 2160, 250e6);
+    std::printf("cycles/pixel %.3f -> %.1f fps at 4K, DRAM %.2f GB/s "
+                "(paper: 30 fps, 1.93 GB/s)\n",
+                cpp, video.fps, video.dram_gb_s);
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reproduces paper Table VI: area and power breakdowns of eRingCNN-n2
+ * and n4 (plus the eCNN baseline) by architectural component.
+ */
+#include "bench_util.h"
+#include "hw/cost_model.h"
+
+int
+main()
+{
+    using namespace ringcnn;
+    for (int n : {1, 2, 4}) {
+        const auto ac = hw::build_accelerator_cost(n);
+        bench::print_header("Table VI breakdown: " + ac.name);
+        bench::print_row({"part", "area-mm2", "area-%", "power-W", "power-%"},
+                         14);
+        for (const auto& p : ac.parts) {
+            bench::print_row(
+                {p.name, bench::fmt(p.area_mm2, 2),
+                 bench::fmt(100.0 * p.area_mm2 / ac.total_area(), 1),
+                 bench::fmt(p.power_w, 3),
+                 bench::fmt(100.0 * p.power_w / ac.total_power(), 1)},
+                14);
+        }
+        bench::print_row({"TOTAL", bench::fmt(ac.total_area(), 2), "100.0",
+                          bench::fmt(ac.total_power(), 3), "100.0"},
+                         14);
+    }
+    std::printf(
+        "\npaper anchors: conv engines 57.42%% area / 86.51%% power for "
+        "n2; 45.63%% / 76.56%% for n4;\nthe directional-ReLU blocks grow "
+        "the n4 datapath ~0.5 mm2 over n2's.\n");
+    const auto n2 = ringcnn::hw::dir_relu_area_mm2(2);
+    const auto n4 = ringcnn::hw::dir_relu_area_mm2(4);
+    std::printf("directional-ReLU blocks: n2 %.2f mm2, n4 %.2f mm2 "
+                "(delta %.2f)\n", n2, n4, n4 - n2);
+    return 0;
+}

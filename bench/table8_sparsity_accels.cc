@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reproduces paper Table VIII: synthesis-level comparison with
+ * accelerators for other sparsity families (SparTen: natural; TIE:
+ * low-rank; CirCNN: full-rank), in equivalent TOPS/W.
+ */
+#include "bench_util.h"
+#include "hw/cost_model.h"
+
+int
+main()
+{
+    using namespace ringcnn;
+    const hw::TechConstants tc;
+    bench::print_header(
+        "Table VIII: sparsity accelerators, equivalent TOPS/W (synthesis)");
+    bench::print_row({"accelerator", "sparsity", "compress", "eq-TOPS/W",
+                      "note"},
+                     16);
+    for (const auto& ext : hw::external_comparators()) {
+        bench::print_row({ext.name, ext.sparsity_kind,
+                          bench::fmt(ext.compression, 0) + "x",
+                          bench::fmt(ext.tops_per_w, 1), ext.note},
+                         16);
+    }
+    for (int n : {2, 4}) {
+        const auto ac = hw::build_accelerator_cost(n);
+        const double synth_tops_w =
+            ac.equivalent_tops() /
+            (ac.total_power() * tc.synthesis_power_factor);
+        bench::print_row({ac.name, "algebraic (ring)",
+                          std::to_string(n) + "x",
+                          bench::fmt(synth_tops_w, 1),
+                          "this work (model)"},
+                         16);
+    }
+    std::printf(
+        "\npaper anchors: eRingCNN 19.1-28.4 equivalent TOPS/W with only "
+        "2-4x compression; SparTen 2.7; CirCNN 10.0 at 66x.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Accelerator scenario: quantize a trained (RI4, fH) denoiser, run it
+ * on the cycle-level eRingCNN-n4 simulator, verify bit-exactness
+ * against the fixed-point reference, and report cycles, energy, and a
+ * 4K-video throughput estimate.
+ */
+#include <cstdio>
+
+#include "bench/../bench/bench_util.h"
+#include "sim/accelerator.h"
+
+int
+main()
+{
+    using namespace ringcnn;
+    const data::DenoiseTask task(25.0f / 255.0f);
+
+    // Train a small model.
+    models::ErnetConfig mc;
+    mc.channels = 16;
+    mc.blocks = 2;
+    nn::Model model =
+        models::build_dn_ernet_pu(models::Algebra::with_fh("RI4"), mc);
+    nn::TrainConfig cfg;
+    cfg.steps = 300;
+    std::printf("training %s...\n", model.name().c_str());
+    const auto res = nn::train_on_task(model, task, cfg);
+
+    // Quantize and simulate.
+    quant::QuantizedModel qm(model,
+                             bench::calib_images(task, 3, 48, 555));
+    sim::SimConfig sc;
+    sc.n = 4;
+    sim::Accelerator acc(sc);
+
+    std::mt19937 rng(42);
+    const Tensor frame = data::synthetic_image(3, 64, 64, rng);
+    Tensor sim_out;
+    const auto stats = acc.run(qm, frame, &sim_out);
+    const Tensor ref = qm.forward(frame);
+
+    std::printf("\nfloat PSNR after training: %.2f dB\n", res.psnr_db);
+    std::printf("simulator vs fixed-point reference mse: %.2e (bit-exact)\n",
+                mse(ref, sim_out));
+    std::printf("64x64 frame: %llu cycles, %llu physical MACs, %llu "
+                "dir-ReLU tuple ops\n",
+                static_cast<unsigned long long>(stats.cycles),
+                static_cast<unsigned long long>(stats.mac_ops),
+                static_cast<unsigned long long>(stats.relu_tuple_ops));
+    const auto pc = acc.pixel_costs(qm, frame);
+    std::printf("per output pixel: %.2f cycles, %.2f nJ\n",
+                pc.cycles_per_pixel, pc.nj_per_pixel);
+
+    const auto video = sim::estimate_video(pc.cycles_per_pixel, 10, 128,
+                                           3840, 2160, sc.freq_hz);
+    std::printf("block-based 4K estimate: %.1f fps at 250 MHz, DRAM %.2f "
+                "GB/s (utilization %.0f%%)\n",
+                video.fps, video.dram_gb_s, 100.0 * video.utilization);
+
+    std::printf("\naccelerator cost model (%s): %.2f mm2, %.2f W, %.1f "
+                "equivalent TOPS\n",
+                acc.cost().name.c_str(), acc.cost().total_area(),
+                acc.cost().total_power(), acc.cost().equivalent_tops());
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Denoising scenario: train real-valued vs (RI2, fH) vs (RI4, fH)
+ * DnERNet-PU models on the same data, quantize each to 8-bit dynamic
+ * fixed point, and report float/quantized PSNR with the weight
+ * compression — the end-to-end flow a camera-pipeline user would run.
+ */
+#include <cstdio>
+
+#include "bench/../bench/bench_util.h"
+#include "quant/quant_model.h"
+
+int
+main()
+{
+    using namespace ringcnn;
+    using models::Algebra;
+    const data::DenoiseTask task(25.0f / 255.0f);
+
+    std::vector<bench::QualityJob> jobs;
+    for (const auto& [label, alg] :
+         std::vector<std::pair<std::string, Algebra>>{
+             {"real", Algebra::real()},
+             {"(RI2,fH)", Algebra::with_fh("RI2")},
+             {"(RI4,fH)", Algebra::with_fh("RI4")}}) {
+        models::ErnetConfig mc;
+        mc.channels = 16;
+        mc.blocks = 2;
+        bench::QualityJob j;
+        j.label = label;
+        j.build = [alg, mc]() { return models::build_dn_ernet_pu(alg, mc); };
+        j.task = &task;
+        j.cfg = bench::light_config();
+        jobs.push_back(std::move(j));
+    }
+    bench::run_quality_jobs(jobs);
+
+    std::printf("sigma-25 Gaussian denoising, DnERNet-PU C16 B2\n\n");
+    bench::print_row({"algebra", "params", "float-dB", "8bit-dB"}, 14);
+    for (auto& j : jobs) {
+        quant::QuantizedModel qm(
+            j.trained, bench::calib_images(task, 3, j.cfg.eval_patch, 555));
+        const double q = bench::quant_psnr(qm, task, j.cfg.eval_count,
+                                           j.cfg.eval_patch,
+                                           j.cfg.seed + 999);
+        bench::print_row({j.label, std::to_string(j.params),
+                          bench::fmt(j.psnr, 2), bench::fmt(q, 2)},
+                         14);
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Quickstart: the RingCNN public API in five minutes.
+ *
+ *  1. Look up a ring algebra and multiply tuples (exact + fast paths).
+ *  2. Run a ring convolution (RCONV) and its fast form (FRCONV).
+ *  3. Build a (RI, fH) model, train it briefly on synthetic denoising,
+ *     and compare PSNR against the noisy input.
+ */
+#include <cstdio>
+#include <random>
+
+#include "core/ring_conv.h"
+#include "data/tasks.h"
+#include "models/backbones.h"
+#include "nn/trainer.h"
+#include "tensor/image_ops.h"
+
+int
+main()
+{
+    using namespace ringcnn;
+
+    // --- 1. Ring algebra --------------------------------------------------
+    const Ring& ring = get_ring("RH4");  // XOR-convolution 4-tuples
+    std::vector<double> g{1.0, 0.5, -0.25, 2.0};
+    std::vector<double> x{0.5, -1.0, 0.75, 0.125};
+    const auto z_exact = ring.multiply(g, x);
+    const auto z_fast = ring.multiply_fast(g, x);  // via Hadamard transforms
+    std::printf("RH4: g.x = (%.4f, %.4f, %.4f, %.4f); fast path matches to "
+                "%.1e\n",
+                z_exact[0], z_exact[1], z_exact[2], z_exact[3],
+                std::fabs(z_exact[0] - z_fast[0]));
+    std::printf("isomorphic matrix G =\n%s\n",
+                ring.isomorphic(g).to_string(8).c_str());
+
+    // --- 2. Ring convolution ----------------------------------------------
+    std::mt19937 rng(1);
+    RingConvWeights w(2, 2, 3, ring.n);  // 2 -> 2 tuple channels, 3x3
+    std::normal_distribution<float> dist(0.0f, 0.3f);
+    for (auto& v : w.w) v = dist(rng);
+    Tensor feat({2 * ring.n, 16, 16});
+    feat.randn(rng);
+    const Tensor ref = ring_conv_reference(ring, feat, w, {});
+    const Tensor fast = ring_conv_fast(ring, feat, w, {});
+    std::printf("FRCONV vs RCONV mse = %.2e (weights: %lld reals instead of "
+                "%lld)\n",
+                mse(ref, fast), static_cast<long long>(w.numel()),
+                static_cast<long long>(w.numel()) * ring.n);
+
+    // --- 3. A tiny (RI, fH) denoiser ----------------------------------------
+    const data::DenoiseTask task(25.0f / 255.0f);
+    models::ErnetConfig mc;
+    mc.channels = 16;
+    mc.blocks = 1;
+    nn::Model model =
+        models::build_dn_ernet_pu(models::Algebra::with_fh("RI4"), mc);
+    nn::TrainConfig cfg;
+    cfg.steps = 500;
+    std::printf("\ntraining %s (%lld params)...\n", model.name().c_str(),
+                static_cast<long long>(model.num_params()));
+    const auto res = nn::train_on_task(model, task, cfg);
+
+    const auto eval = data::make_eval_set(task, 4, 48, 48, 999);
+    double noisy = 0.0;
+    for (const auto& [in, tgt] : eval) noisy += psnr(clamp(in, 0, 1), tgt);
+    noisy /= eval.size();
+    std::printf("noisy input: %.2f dB -> denoised: %.2f dB\n", noisy,
+                res.psnr_db);
+    return 0;
+}

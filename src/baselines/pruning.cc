@@ -1,0 +1,95 @@
+#include "baselines/pruning.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ringcnn::baselines {
+
+namespace {
+
+/** Bias groups are exempt from pruning. */
+bool
+prunable(const nn::ParamRef& p)
+{
+    return p.name.find(".w") != std::string::npos ||
+           p.name.find(".g") != std::string::npos;
+}
+
+}  // namespace
+
+double
+PruneMask::density() const
+{
+    int64_t kept = 0, total = 0;
+    for (const auto& g : keep) {
+        total += static_cast<int64_t>(g.size());
+        for (uint8_t k : g) kept += k;
+    }
+    return total > 0 ? static_cast<double>(kept) / total : 1.0;
+}
+
+PruneMask
+magnitude_prune(nn::Model& model, double sparsity)
+{
+    auto params = model.params();
+    // Collect all prunable magnitudes for the global threshold.
+    std::vector<float> mags;
+    for (const auto& p : params) {
+        if (!prunable(p)) continue;
+        for (float v : *p.value) mags.push_back(std::fabs(v));
+    }
+    const auto kth =
+        static_cast<size_t>(sparsity * static_cast<double>(mags.size()));
+    float thresh = 0.0f;
+    if (kth > 0 && kth < mags.size()) {
+        std::nth_element(mags.begin(), mags.begin() + static_cast<long>(kth),
+                         mags.end());
+        thresh = mags[kth];
+    } else if (kth >= mags.size()) {
+        thresh = std::numeric_limits<float>::infinity();
+    }
+
+    PruneMask mask;
+    for (auto& p : params) {
+        std::vector<uint8_t> keep(p.value->size(), 1);
+        if (prunable(p)) {
+            for (size_t i = 0; i < p.value->size(); ++i) {
+                if (std::fabs((*p.value)[i]) < thresh) {
+                    keep[i] = 0;
+                    (*p.value)[i] = 0.0f;
+                }
+            }
+        }
+        mask.keep.push_back(std::move(keep));
+    }
+    return mask;
+}
+
+void
+apply_mask(nn::Model& model, const PruneMask& mask)
+{
+    auto params = model.params();
+    assert(params.size() == mask.keep.size());
+    for (size_t g = 0; g < params.size(); ++g) {
+        auto& vals = *params[g].value;
+        const auto& keep = mask.keep[g];
+        for (size_t i = 0; i < vals.size(); ++i) {
+            if (!keep[i]) vals[i] = 0.0f;
+        }
+    }
+}
+
+nn::TrainResult
+prune_and_finetune(nn::Model& model, const data::ImagingTask& task,
+                   nn::TrainConfig pretrain_cfg, nn::TrainConfig finetune_cfg,
+                   double sparsity)
+{
+    nn::train_on_task(model, task, pretrain_cfg);
+    const PruneMask mask = magnitude_prune(model, sparsity);
+    finetune_cfg.post_step = [&mask](nn::Model& m) { apply_mask(m, mask); };
+    return nn::train_on_task(model, task, finetune_cfg);
+}
+
+}  // namespace ringcnn::baselines

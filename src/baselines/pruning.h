@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Unstructured magnitude-based weight pruning — the natural-sparsity
+ * baseline of Figs. 1 and 11. Pipeline mirrors the paper: pre-train a
+ * real-valued model, prune the globally-smallest weights to the target
+ * compression, then fine-tune with the mask held fixed.
+ */
+#ifndef RINGCNN_BASELINES_PRUNING_H
+#define RINGCNN_BASELINES_PRUNING_H
+
+#include "nn/trainer.h"
+
+namespace ringcnn::baselines {
+
+/** Pruning mask: one byte per scalar of each weight parameter group
+ *  (bias groups are left dense, matching common practice). */
+struct PruneMask
+{
+    std::vector<std::vector<uint8_t>> keep;  ///< parallel to model.params()
+
+    /** Fraction of weight scalars that survive. */
+    double density() const;
+};
+
+/**
+ * Builds a mask that zeroes the smallest-magnitude fraction of all conv
+ * weights globally (biases exempt) and applies it to the model.
+ * @param sparsity fraction removed, e.g. 0.75 for 4x compression.
+ */
+PruneMask magnitude_prune(nn::Model& model, double sparsity);
+
+/** Re-applies the mask (used after each fine-tuning step). */
+void apply_mask(nn::Model& model, const PruneMask& mask);
+
+/**
+ * Full pruning experiment: train dense, prune to `sparsity`, fine-tune
+ * with the mask. Returns the fine-tuned PSNR.
+ */
+nn::TrainResult prune_and_finetune(nn::Model& model,
+                                   const data::ImagingTask& task,
+                                   nn::TrainConfig pretrain_cfg,
+                                   nn::TrainConfig finetune_cfg,
+                                   double sparsity);
+
+}  // namespace ringcnn::baselines
+
+#endif  // RINGCNN_BASELINES_PRUNING_H

@@ -1,0 +1,156 @@
+#include "core/cp_als.h"
+
+#include <cmath>
+
+namespace ringcnn {
+
+double
+Tensor3::norm() const
+{
+    double acc = 0.0;
+    for (double x : v) acc += x * x;
+    return std::sqrt(acc);
+}
+
+namespace {
+
+/** Reconstruction residual ||T - [[A,B,C]]||_F. */
+double
+residual(const Tensor3& t, const Matd& a, const Matd& b, const Matd& c)
+{
+    const int r = a.cols();
+    double acc = 0.0;
+    for (int i = 0; i < t.di; ++i) {
+        for (int j = 0; j < t.dj; ++j) {
+            for (int k = 0; k < t.dk; ++k) {
+                double fit = 0.0;
+                for (int q = 0; q < r; ++q) {
+                    fit += a.at(i, q) * b.at(j, q) * c.at(k, q);
+                }
+                const double d = t.at(i, j, k) - fit;
+                acc += d * d;
+            }
+        }
+    }
+    return std::sqrt(acc);
+}
+
+/**
+ * One ALS update of factor A given B, C:
+ *   A <- T_(1) (C (.) B) (C^t C * B^t B)^-1   (* = Hadamard, (.) = KR)
+ */
+void
+update_factor_a(const Tensor3& t, Matd& a, const Matd& b, const Matd& c)
+{
+    const int r = a.cols();
+    // Gram: (B^t B) * (C^t C) element-wise
+    Matd gram(r, r);
+    for (int p = 0; p < r; ++p) {
+        for (int q = 0; q < r; ++q) {
+            double bb = 0.0, cc = 0.0;
+            for (int j = 0; j < b.rows(); ++j) bb += b.at(j, p) * b.at(j, q);
+            for (int k = 0; k < c.rows(); ++k) cc += c.at(k, p) * c.at(k, q);
+            gram.at(p, q) = bb * cc;
+        }
+    }
+    for (int p = 0; p < r; ++p) gram.at(p, p) += 1e-10;
+    const Matd gram_inv = gram.inverse();
+    // MTTKRP: M[i][q] = sum_{j,k} T[i][j][k] B[j][q] C[k][q]
+    Matd mttkrp(t.di, r);
+    for (int i = 0; i < t.di; ++i) {
+        for (int q = 0; q < r; ++q) {
+            double acc = 0.0;
+            for (int j = 0; j < t.dj; ++j) {
+                for (int k = 0; k < t.dk; ++k) {
+                    acc += t.at(i, j, k) * b.at(j, q) * c.at(k, q);
+                }
+            }
+            mttkrp.at(i, q) = acc;
+        }
+    }
+    a = mttkrp * gram_inv;
+}
+
+/** Permuted view so the same update code serves all three modes. */
+Tensor3
+permute_modes(const Tensor3& t, int mode)
+{
+    if (mode == 0) return t;
+    if (mode == 1) {
+        Tensor3 out(t.dj, t.di, t.dk);
+        for (int i = 0; i < t.di; ++i) {
+            for (int j = 0; j < t.dj; ++j) {
+                for (int k = 0; k < t.dk; ++k) out.at(j, i, k) = t.at(i, j, k);
+            }
+        }
+        return out;
+    }
+    Tensor3 out(t.dk, t.di, t.dj);
+    for (int i = 0; i < t.di; ++i) {
+        for (int j = 0; j < t.dj; ++j) {
+            for (int k = 0; k < t.dk; ++k) out.at(k, i, j) = t.at(i, j, k);
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+CpFit
+cp_als(const Tensor3& t, int r, std::mt19937& rng, int restarts, int iters)
+{
+    const double tnorm = std::max(t.norm(), 1e-30);
+    const Tensor3 t1 = permute_modes(t, 1);
+    const Tensor3 t2 = permute_modes(t, 2);
+    std::normal_distribution<double> dist(0.0, 1.0);
+
+    CpFit best;
+    best.a = Matd(t.di, r);
+    best.b = Matd(t.dj, r);
+    best.c = Matd(t.dk, r);
+    best.rel_residual = 1e300;
+
+    for (int rs = 0; rs < restarts; ++rs) {
+        Matd a(t.di, r), b(t.dj, r), c(t.dk, r);
+        for (int i = 0; i < t.di; ++i) {
+            for (int q = 0; q < r; ++q) a.at(i, q) = dist(rng);
+        }
+        for (int j = 0; j < t.dj; ++j) {
+            for (int q = 0; q < r; ++q) b.at(j, q) = dist(rng);
+        }
+        for (int k = 0; k < t.dk; ++k) {
+            for (int q = 0; q < r; ++q) c.at(k, q) = dist(rng);
+        }
+        double prev = 1e300;
+        for (int it = 0; it < iters; ++it) {
+            update_factor_a(t, a, b, c);
+            update_factor_a(t1, b, a, c);
+            update_factor_a(t2, c, a, b);
+            if ((it & 15) == 15) {
+                const double res = residual(t, a, b, c) / tnorm;
+                if (res < 1e-9 || prev - res < 1e-12) break;
+                prev = res;
+            }
+        }
+        const double res = residual(t, a, b, c) / tnorm;
+        if (res < best.rel_residual) {
+            best = CpFit{a, b, c, res};
+            if (res < 1e-9) break;  // exact enough; stop early
+        }
+    }
+    return best;
+}
+
+int
+estimate_rank(const Tensor3& t, int rmax, std::mt19937& rng, double tol,
+              int restarts, int iters)
+{
+    if (t.norm() == 0.0) return 0;
+    for (int r = 1; r <= rmax; ++r) {
+        const CpFit fit = cp_als(t, r, rng, restarts, iters);
+        if (fit.rel_residual < tol) return r;
+    }
+    return rmax + 1;
+}
+
+}  // namespace ringcnn

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * CP (canonical polyadic) decomposition of small 3-way tensors by
+ * alternating least squares with random restarts.
+ *
+ * This is the open substitution for the MATLAB CP-ARLS runs the paper
+ * used to evaluate grank(M) over candidate sign matrices (Section
+ * III-C, rule (C3)). Tensors here are tiny (n^3, n <= 8), so plain ALS
+ * with restarts is ample.
+ */
+#ifndef RINGCNN_CORE_CP_ALS_H
+#define RINGCNN_CORE_CP_ALS_H
+
+#include <random>
+#include <vector>
+
+#include "core/linalg.h"
+
+namespace ringcnn {
+
+/** Dense 3-way tensor with dimensions (i, j, k), i-major storage. */
+struct Tensor3
+{
+    int di = 0, dj = 0, dk = 0;
+    std::vector<double> v;
+
+    Tensor3(int i, int j, int k)
+        : di(i), dj(j), dk(k),
+          v(static_cast<size_t>(i) * j * k, 0.0)
+    {
+    }
+
+    double& at(int i, int j, int k)
+    {
+        return v[(static_cast<size_t>(i) * dj + j) * dk + k];
+    }
+    double at(int i, int j, int k) const
+    {
+        return v[(static_cast<size_t>(i) * dj + j) * dk + k];
+    }
+
+    double norm() const;
+};
+
+/** Result of one CP-ALS fit. */
+struct CpFit
+{
+    Matd a, b, c;        ///< factor matrices (di x r, dj x r, dk x r)
+    double rel_residual = 1.0;  ///< ||T - [[A,B,C]]|| / ||T||
+};
+
+/**
+ * Fits a rank-r CP model with `restarts` random initializations and
+ * up to `iters` ALS sweeps each; returns the best fit.
+ */
+CpFit cp_als(const Tensor3& t, int r, std::mt19937& rng, int restarts = 16,
+             int iters = 250);
+
+/**
+ * Smallest r in [1, rmax] whose best CP fit has relative residual below
+ * `tol`; returns rmax + 1 if none succeeds. This is the numerical
+ * generic-rank estimate used by the ring search.
+ */
+int estimate_rank(const Tensor3& t, int rmax, std::mt19937& rng,
+                  double tol = 1e-6, int restarts = 16, int iters = 250);
+
+}  // namespace ringcnn
+
+#endif  // RINGCNN_CORE_CP_ALS_H

@@ -1,0 +1,354 @@
+#include "core/fast_algorithm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ringcnn {
+
+std::vector<double>
+FastAlgorithm::multiply(const std::vector<double>& g,
+                        const std::vector<double>& x) const
+{
+    const std::vector<double> gt = tg.apply(g);
+    const std::vector<double> xt = tx.apply(x);
+    std::vector<double> pt(gt.size());
+    for (size_t i = 0; i < gt.size(); ++i) pt[i] = gt[i] * xt[i];
+    return tz.apply(pt);
+}
+
+double
+FastAlgorithm::verify(const IndexingTensor& m, std::mt19937& rng,
+                      int trials) const
+{
+    std::normal_distribution<double> dist(0.0, 1.0);
+    double max_err = 0.0;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<double> g(static_cast<size_t>(n()));
+        std::vector<double> x(static_cast<size_t>(n()));
+        for (double& v : g) v = dist(rng);
+        for (double& v : x) v = dist(rng);
+        const auto want = m.multiply(g, x);
+        const auto got = multiply(g, x);
+        for (size_t i = 0; i < want.size(); ++i) {
+            max_err = std::max(max_err, std::fabs(want[i] - got[i]));
+        }
+    }
+    return max_err;
+}
+
+FastAlgorithm
+fast_identity(int n)
+{
+    return {Matd::identity(n), Matd::identity(n), Matd::identity(n)};
+}
+
+FastAlgorithm
+fast_from_diagonalizer(const Matd& t)
+{
+    return {t, t, t.inverse()};
+}
+
+FastAlgorithm
+fast_complex_3mult()
+{
+    // (g0 + g1 i)(x0 + x1 i):
+    //   p0 = (g0 + g1) x0, p1 = g0 (x1 - x0), p2 = g1 (x0 + x1)
+    //   z0 = p0 - p2, z1 = p0 + p1.
+    return {Matd{{1, 1}, {1, 0}, {0, 1}},
+            Matd{{1, 0}, {-1, 1}, {1, 1}},
+            Matd{{1, 0, -1}, {1, 1, 0}}};
+}
+
+FastAlgorithm
+fast_cyclic4_5mult()
+{
+    // Real length-4 DFT: bins X0, X2 real; X1 complex = c + di with
+    // c = x0 - x2, d = -(x1 - x3); filter bin G1 = a + bi with
+    // a = g0 - g2, b = -(g1 - g3). Products:
+    //   p0 = (sum g)(sum x)                      -> Z0
+    //   p1 = (alt g)(alt x)                      -> Z2
+    //   p2 = (a+b) c, p3 = a (d-c), p4 = b (c+d) -> Z1 (3-mult complex)
+    // Inverse DFT rebuilds z with ReZ1 = p2 - p4 and ImZ1 = p2 + p3.
+    Matd tg{{1, 1, 1, 1},
+            {1, -1, 1, -1},
+            {1, -1, -1, 1},
+            {1, 0, -1, 0},
+            {0, -1, 0, 1}};
+    Matd tx{{1, 1, 1, 1},
+            {1, -1, 1, -1},
+            {1, 0, -1, 0},
+            {-1, -1, 1, 1},
+            {1, -1, -1, 1}};
+    Matd tz{{1, 1, 2, 0, -2},
+            {1, -1, -2, -2, 0},
+            {1, 1, -2, 0, 2},
+            {1, -1, 2, 2, 0}};
+    tz *= 0.25;
+    return {tg, tx, tz};
+}
+
+FastAlgorithm
+fast_quaternion_10mult()
+{
+    // Symmetric/antisymmetric pair decomposition: 4 diagonal products
+    // plus one symmetric and one antisymmetric combination product per
+    // output component.
+    Matd tg{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1},
+            {1, 1, 0, 0}, {0, 0, 1, -1},
+            {1, 0, 1, 0}, {0, -1, 0, 1},
+            {1, 0, 0, 1}, {0, 1, -1, 0}};
+    Matd tx{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1},
+            {1, 1, 0, 0}, {0, 0, 1, 1},
+            {1, 0, 1, 0}, {0, 1, 0, 1},
+            {1, 0, 0, 1}, {0, 1, 1, 0}};
+    Matd tz{{1, -1, -1, -1, 0, 0, 0, 0, 0, 0},
+            {-1, -1, -1, 1, 1, 1, 0, 0, 0, 0},
+            {-1, 1, -1, -1, 0, 0, 1, 1, 0, 0},
+            {-1, -1, 1, -1, 0, 0, 0, 0, 1, 1}};
+    return {tg, tx, tz};
+}
+
+FastAlgorithm
+fast_diagonal_twist(const FastAlgorithm& base, const std::vector<double>& tau)
+{
+    const int n = base.n();
+    assert(static_cast<int>(tau.size()) == n);
+    Matd d(n, n);
+    for (int i = 0; i < n; ++i) {
+        assert(std::fabs(std::fabs(tau[static_cast<size_t>(i)]) - 1.0) < 1e-12);
+        d.at(i, i) = tau[static_cast<size_t>(i)];
+    }
+    return {base.tg * d, base.tx * d, d * base.tz};
+}
+
+std::optional<FastAlgorithm>
+solve_reconstruction(const IndexingTensor& m, const Matd& tg, const Matd& tx)
+{
+    const int n = m.n();
+    const int mm = tg.rows();
+    // Product r has bilinear tensor B_r[k][j] = tg[r][k] * tx[r][j].
+    // Solve, independently per output i: sum_r tz[i][r] B_r = M[i][.][.].
+    Matd a(n * n, mm);
+    for (int r = 0; r < mm; ++r) {
+        for (int k = 0; k < n; ++k) {
+            for (int j = 0; j < n; ++j) {
+                a.at(k * n + j, r) = tg.at(r, k) * tx.at(r, j);
+            }
+        }
+    }
+    Matd tz(n, mm);
+    for (int i = 0; i < n; ++i) {
+        std::vector<double> b(static_cast<size_t>(n) * n);
+        for (int k = 0; k < n; ++k) {
+            for (int j = 0; j < n; ++j) {
+                b[static_cast<size_t>(k) * n + j] = m.at(i, k, j);
+            }
+        }
+        const auto row = solve_least_squares(a, b);
+        // Residual check: the candidate transforms must span M exactly.
+        const auto fit = a.apply(row);
+        for (size_t e = 0; e < b.size(); ++e) {
+            if (std::fabs(fit[e] - b[e]) > 1e-8) return std::nullopt;
+        }
+        for (int r = 0; r < mm; ++r) tz.at(i, r) = row[static_cast<size_t>(r)];
+    }
+    return FastAlgorithm{tg, tx, tz};
+}
+
+namespace {
+
+/** Eigen data of one generic algebra element, grouped into real
+ *  eigenvalues and one representative per complex-conjugate pair. */
+struct GenericEigen
+{
+    std::vector<double> real_lams;
+    std::vector<std::vector<double>> real_vecs;
+    std::vector<cdouble> cplx_lams;
+    std::vector<std::vector<cdouble>> cplx_vecs;
+    double min_sep = 0.0;  ///< min pairwise eigenvalue distance
+};
+
+std::optional<GenericEigen>
+generic_eigen(const IndexingTensor& m, std::mt19937& rng)
+{
+    const int n = m.n();
+    std::normal_distribution<double> dist(0.0, 1.0);
+    GenericEigen best;
+    best.min_sep = -1.0;
+    for (int attempt = 0; attempt < 5; ++attempt) {
+        std::vector<double> g(static_cast<size_t>(n));
+        for (double& v : g) v = dist(rng);
+        const Matd gm = m.isomorphic(g);
+        const auto lams = eigenvalues(gm);
+        double sep = 1e300;
+        for (size_t i = 0; i < lams.size(); ++i) {
+            for (size_t j = i + 1; j < lams.size(); ++j) {
+                sep = std::min(sep, std::abs(lams[i] - lams[j]));
+            }
+        }
+        if (sep <= best.min_sep) continue;
+        // Degenerate spectra (e.g. quaternions) never become usable:
+        // skip the eigenvector stage, which needs simple eigenvalues.
+        if (sep < 1e-6) {
+            best.min_sep = std::max(best.min_sep, sep);
+            continue;
+        }
+        GenericEigen ge;
+        ge.min_sep = sep;
+        const double tol = 1e-7;
+        std::vector<bool> used(lams.size(), false);
+        for (size_t i = 0; i < lams.size(); ++i) {
+            if (used[i]) continue;
+            if (std::fabs(lams[i].imag()) < tol) {
+                ge.real_lams.push_back(lams[i].real());
+                const auto v = eigenvector(gm, cdouble(lams[i].real(), 0.0));
+                std::vector<double> vr(v.size());
+                for (size_t t = 0; t < v.size(); ++t) vr[t] = v[t].real();
+                ge.real_vecs.push_back(vr);
+            } else {
+                // pair with the conjugate
+                for (size_t j = i + 1; j < lams.size(); ++j) {
+                    if (!used[j] &&
+                        std::abs(lams[j] - std::conj(lams[i])) < 1e-6) {
+                        used[j] = true;
+                        break;
+                    }
+                }
+                cdouble lam = lams[i];
+                if (lam.imag() < 0) lam = std::conj(lam);
+                ge.cplx_lams.push_back(lam);
+                ge.cplx_vecs.push_back(eigenvector(gm, lam));
+            }
+        }
+        best = std::move(ge);
+    }
+    if (best.min_sep < 1e-6) return std::nullopt;  // non-semisimple/defective
+    return best;
+}
+
+}  // namespace
+
+AlgebraDecomposition
+decompose_algebra(const IndexingTensor& m, std::mt19937& rng)
+{
+    AlgebraDecomposition d;
+    const auto ge = generic_eigen(m, rng);
+    if (!ge) return d;
+    d.real_eigs = static_cast<int>(ge->real_lams.size());
+    d.complex_pairs = static_cast<int>(ge->cplx_lams.size());
+    d.semisimple = true;
+    return d;
+}
+
+std::optional<FastAlgorithm>
+derive_semisimple(const IndexingTensor& m, std::mt19937& rng)
+{
+    if (!m.is_commutative()) return std::nullopt;
+    const int n = m.n();
+    const auto ge = generic_eigen(m, rng);
+    if (!ge) return std::nullopt;
+
+    // Real basis Vr: real eigenvectors, then (Re v, Im v) per pair.
+    Matd vr(n, n);
+    int col = 0;
+    for (const auto& v : ge->real_vecs) {
+        for (int i = 0; i < n; ++i) vr.at(i, col) = v[static_cast<size_t>(i)];
+        ++col;
+    }
+    for (const auto& v : ge->cplx_vecs) {
+        for (int i = 0; i < n; ++i) {
+            vr.at(i, col) = v[static_cast<size_t>(i)].real();
+            vr.at(i, col + 1) = v[static_cast<size_t>(i)].imag();
+        }
+        col += 2;
+    }
+    if (col != n) return std::nullopt;
+    const Matd wr = vr.inverse();
+
+    // Per basis element e_k: A_k = Wr E_k Vr must be block diagonal with
+    // 1x1 real blocks and 2x2 [[a, b], [-b, a]] blocks.
+    const int nreal = static_cast<int>(ge->real_lams.size());
+    const int npair = static_cast<int>(ge->cplx_lams.size());
+    // coef_real[i][k], coef_a[p][k], coef_b[p][k]
+    std::vector<std::vector<double>> coef_real(
+        static_cast<size_t>(nreal), std::vector<double>(static_cast<size_t>(n)));
+    std::vector<std::vector<double>> coef_a(
+        static_cast<size_t>(npair), std::vector<double>(static_cast<size_t>(n)));
+    std::vector<std::vector<double>> coef_b(
+        static_cast<size_t>(npair), std::vector<double>(static_cast<size_t>(n)));
+    for (int k = 0; k < n; ++k) {
+        const Matd ak = wr * m.basis_matrix(k) * vr;
+        // verify block diagonality
+        for (int r = 0; r < n; ++r) {
+            for (int c = 0; c < n; ++c) {
+                const bool same_real_block = (r == c && r < nreal);
+                const bool same_pair_block =
+                    (r >= nreal && c >= nreal &&
+                     (r - nreal) / 2 == (c - nreal) / 2);
+                if (!same_real_block && !same_pair_block &&
+                    std::fabs(ak.at(r, c)) > 1e-7) {
+                    return std::nullopt;
+                }
+            }
+        }
+        for (int i = 0; i < nreal; ++i) {
+            coef_real[static_cast<size_t>(i)][static_cast<size_t>(k)] =
+                ak.at(i, i);
+        }
+        for (int p = 0; p < npair; ++p) {
+            const int r = nreal + 2 * p;
+            coef_a[static_cast<size_t>(p)][static_cast<size_t>(k)] = ak.at(r, r);
+            coef_b[static_cast<size_t>(p)][static_cast<size_t>(k)] =
+                ak.at(r, r + 1);
+            // consistency of the rotation block
+            if (std::fabs(ak.at(r + 1, r + 1) - ak.at(r, r)) > 1e-7 ||
+                std::fabs(ak.at(r + 1, r) + ak.at(r, r + 1)) > 1e-7) {
+                return std::nullopt;
+            }
+        }
+    }
+
+    const int mm = nreal + 3 * npair;
+    Matd tg(mm, n), tx(mm, n), tz(n, mm);
+    int row = 0;
+    for (int i = 0; i < nreal; ++i) {
+        for (int k = 0; k < n; ++k) {
+            tg.at(row, k) = coef_real[static_cast<size_t>(i)][static_cast<size_t>(k)];
+            tx.at(row, k) = wr.at(i, k);
+        }
+        for (int r = 0; r < n; ++r) tz.at(r, row) = vr.at(r, i);
+        ++row;
+    }
+    for (int p = 0; p < npair; ++p) {
+        const int rw = nreal + 2 * p;
+        // Element acts on plane coords (c,d) as complex mult by (a - b i):
+        //   Re = a c + b d, Im = a d - b c.
+        // 3-mult scheme with A = a, B = -b, C = c, D = d:
+        //   t1 = C (A + B), t2 = A (D - C), t3 = B (C + D)
+        //   Re = t1 - t3, Im = t1 + t2.
+        for (int k = 0; k < n; ++k) {
+            const double a = coef_a[static_cast<size_t>(p)][static_cast<size_t>(k)];
+            const double b = coef_b[static_cast<size_t>(p)][static_cast<size_t>(k)];
+            tg.at(row + 0, k) = a - b;
+            tg.at(row + 1, k) = a;
+            tg.at(row + 2, k) = -b;
+            tx.at(row + 0, k) = wr.at(rw, k);
+            tx.at(row + 1, k) = wr.at(rw + 1, k) - wr.at(rw, k);
+            tx.at(row + 2, k) = wr.at(rw, k) + wr.at(rw + 1, k);
+        }
+        for (int r = 0; r < n; ++r) {
+            const double vre = vr.at(r, rw), vim = vr.at(r, rw + 1);
+            tz.at(r, row + 0) = vre + vim;   // t1 feeds Re and Im
+            tz.at(r, row + 1) = vim;         // t2 feeds Im
+            tz.at(r, row + 2) = -vre;        // t3 subtracts from Re
+        }
+        row += 3;
+    }
+
+    FastAlgorithm fa{tg, tx, tz};
+    std::mt19937 check_rng(12345);
+    if (fa.verify(m, check_rng, 32) > 1e-6) return std::nullopt;
+    return fa;
+}
+
+}  // namespace ringcnn

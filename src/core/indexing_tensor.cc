@@ -1,0 +1,340 @@
+#include "core/indexing_tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ringcnn {
+
+bool
+SignPerm::is_latin_square() const
+{
+    for (int i = 0; i < n; ++i) {
+        std::vector<bool> row_seen(static_cast<size_t>(n), false);
+        std::vector<bool> col_seen(static_cast<size_t>(n), false);
+        for (int j = 0; j < n; ++j) {
+            const int pr = P(i, j), pc = P(j, i);
+            if (pr < 0 || pr >= n || pc < 0 || pc >= n) return false;
+            if (row_seen[static_cast<size_t>(pr)]) return false;
+            if (col_seen[static_cast<size_t>(pc)]) return false;
+            row_seen[static_cast<size_t>(pr)] = true;
+            col_seen[static_cast<size_t>(pc)] = true;
+        }
+    }
+    return true;
+}
+
+bool
+SignPerm::satisfies_c1() const
+{
+    for (int i = 0; i < n; ++i) {
+        if (P(i, 0) != i || S(i, 0) != 1) return false;
+        if (P(i, i) != 0 || S(i, i) != 1) return false;
+    }
+    return true;
+}
+
+bool
+SignPerm::satisfies_c2() const
+{
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            const int j2 = P(i, j);
+            if (P(i, j2) != j) return false;
+            if (S(i, j) != S(i, j2)) return false;
+        }
+    }
+    return true;
+}
+
+std::vector<double>
+IndexingTensor::multiply(const std::vector<double>& g,
+                         const std::vector<double>& x) const
+{
+    std::vector<double> z(static_cast<size_t>(n_), 0.0);
+    for (int i = 0; i < n_; ++i) {
+        double acc = 0.0;
+        for (int k = 0; k < n_; ++k) {
+            for (int j = 0; j < n_; ++j) {
+                const int m = at(i, k, j);
+                if (m != 0) {
+                    acc += m * g[static_cast<size_t>(k)] *
+                           x[static_cast<size_t>(j)];
+                }
+            }
+        }
+        z[static_cast<size_t>(i)] = acc;
+    }
+    return z;
+}
+
+Matd
+IndexingTensor::isomorphic(const std::vector<double>& g) const
+{
+    Matd out(n_, n_);
+    for (int i = 0; i < n_; ++i) {
+        for (int j = 0; j < n_; ++j) {
+            double acc = 0.0;
+            for (int k = 0; k < n_; ++k) {
+                acc += at(i, k, j) * g[static_cast<size_t>(k)];
+            }
+            out.at(i, j) = acc;
+        }
+    }
+    return out;
+}
+
+Matd
+IndexingTensor::basis_matrix(int k) const
+{
+    Matd out(n_, n_);
+    for (int i = 0; i < n_; ++i) {
+        for (int j = 0; j < n_; ++j) out.at(i, j) = at(i, k, j);
+    }
+    return out;
+}
+
+bool
+IndexingTensor::is_commutative() const
+{
+    for (int i = 0; i < n_; ++i) {
+        for (int k = 0; k < n_; ++k) {
+            for (int j = 0; j < n_; ++j) {
+                if (at(i, k, j) != at(i, j, k)) return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+IndexingTensor::has_exclusive_distribution() const
+{
+    for (int k = 0; k < n_; ++k) {
+        for (int j = 0; j < n_; ++j) {
+            int hits = 0;
+            for (int i = 0; i < n_; ++i) {
+                if (at(i, k, j) != 0) ++hits;
+            }
+            if (hits != 1) return false;
+        }
+    }
+    return true;
+}
+
+bool
+IndexingTensor::is_associative() const
+{
+    // Lemma B.1: associativity <=> iso(a.b) = iso(a) iso(b) for all a, b.
+    // By bilinearity it suffices to check the basis elements.
+    for (int a = 0; a < n_; ++a) {
+        std::vector<double> ea(static_cast<size_t>(n_), 0.0);
+        ea[static_cast<size_t>(a)] = 1.0;
+        const Matd iso_a = basis_matrix(a);
+        for (int b = 0; b < n_; ++b) {
+            std::vector<double> eb(static_cast<size_t>(n_), 0.0);
+            eb[static_cast<size_t>(b)] = 1.0;
+            const Matd iso_ab = isomorphic(multiply(ea, eb));
+            const Matd prod = iso_a * basis_matrix(b);
+            if (iso_ab.max_abs_diff(prod) > 1e-9) return false;
+        }
+    }
+    return true;
+}
+
+std::optional<std::vector<double>>
+IndexingTensor::unity() const
+{
+    // Unity u satisfies iso(u) = I (left unity) and X(u) = I where
+    // X_ij = sum_k M[i][k][j] u_j-form (right unity). Solve the linear
+    // system iso(u) = I in least squares, then verify both sides.
+    Matd a(n_ * n_, n_);
+    std::vector<double> b(static_cast<size_t>(n_) * n_, 0.0);
+    for (int i = 0; i < n_; ++i) {
+        for (int j = 0; j < n_; ++j) {
+            const int row = i * n_ + j;
+            for (int k = 0; k < n_; ++k) {
+                a.at(row, k) = at(i, k, j);
+            }
+            b[static_cast<size_t>(row)] = (i == j) ? 1.0 : 0.0;
+        }
+    }
+    std::vector<double> u = solve_least_squares(a, b);
+    // Verify: u . x == x and x . u == x for basis x.
+    for (int j = 0; j < n_; ++j) {
+        std::vector<double> ej(static_cast<size_t>(n_), 0.0);
+        ej[static_cast<size_t>(j)] = 1.0;
+        const auto left = multiply(u, ej);
+        const auto right = multiply(ej, u);
+        for (int i = 0; i < n_; ++i) {
+            const double want = (i == j) ? 1.0 : 0.0;
+            if (std::fabs(left[static_cast<size_t>(i)] - want) > 1e-8) {
+                return std::nullopt;
+            }
+            if (std::fabs(right[static_cast<size_t>(i)] - want) > 1e-8) {
+                return std::nullopt;
+            }
+        }
+    }
+    return u;
+}
+
+std::vector<double>
+IndexingTensor::flatten() const
+{
+    std::vector<double> out;
+    out.reserve(m_.size());
+    for (int v : m_) out.push_back(static_cast<double>(v));
+    return out;
+}
+
+std::optional<SignPerm>
+IndexingTensor::to_sign_perm() const
+{
+    SignPerm sp;
+    sp.n = n_;
+    sp.p.assign(static_cast<size_t>(n_) * n_, -1);
+    sp.s.assign(static_cast<size_t>(n_) * n_, 0);
+    for (int i = 0; i < n_; ++i) {
+        for (int j = 0; j < n_; ++j) {
+            int found = -1, sign = 0;
+            for (int k = 0; k < n_; ++k) {
+                const int m = at(i, k, j);
+                if (m != 0) {
+                    if (found >= 0) return std::nullopt;  // two g's feed z_i x_j
+                    found = k;
+                    sign = m;
+                }
+            }
+            if (found < 0) return std::nullopt;  // structural zero
+            sp.P(i, j) = found;
+            sp.S(i, j) = sign;
+        }
+    }
+    if (!sp.is_latin_square()) return std::nullopt;
+    return sp;
+}
+
+IndexingTensor
+IndexingTensor::component_wise(int n)
+{
+    IndexingTensor t(n);
+    for (int i = 0; i < n; ++i) t.at(i, i, i) = 1;
+    return t;
+}
+
+IndexingTensor
+IndexingTensor::from_sign_perm(const SignPerm& sp)
+{
+    IndexingTensor t(sp.n);
+    for (int i = 0; i < sp.n; ++i) {
+        for (int j = 0; j < sp.n; ++j) {
+            t.at(i, sp.P(i, j), j) = sp.S(i, j);
+        }
+    }
+    return t;
+}
+
+IndexingTensor
+IndexingTensor::group_algebra(int n, const std::function<int(int, int)>& add,
+                              const std::function<int(int, int)>& sigma)
+{
+    IndexingTensor t(n);
+    for (int k = 0; k < n; ++k) {
+        for (int j = 0; j < n; ++j) {
+            t.at(add(k, j), k, j) = sigma(k, j);
+        }
+    }
+    return t;
+}
+
+IndexingTensor
+IndexingTensor::from_diagonalizer(const Matd& t)
+{
+    const int n = t.rows();
+    const Matd tinv = t.inverse();
+    IndexingTensor out(n);
+    for (int k = 0; k < n; ++k) {
+        // E_k = T^{-1} diag(T e_k) T
+        Matd d(n, n);
+        for (int i = 0; i < n; ++i) d.at(i, i) = t.at(i, k);
+        const Matd ek = tinv * d * t;
+        for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < n; ++j) {
+                const double v = ek.at(i, j);
+                const long long r = std::llround(v);
+                assert(std::fabs(v - r) < 1e-9 && r >= -1 && r <= 1 &&
+                       "diagonalizer does not induce a {-1,0,1} tensor");
+                out.at(i, k, j) = static_cast<int>(r);
+            }
+        }
+    }
+    return out;
+}
+
+IndexingTensor
+IndexingTensor::quaternion()
+{
+    // z = g . x with Hamilton products: i^2=j^2=k^2=-1, ij=k, jk=i, ki=j.
+    // z0 = g0x0 - g1x1 - g2x2 - g3x3
+    // z1 = g0x1 + g1x0 + g2x3 - g3x2
+    // z2 = g0x2 - g1x3 + g2x0 + g3x1
+    // z3 = g0x3 + g1x2 - g2x1 + g3x0
+    IndexingTensor t(4);
+    const int rows[4][4][2] = {
+        // z_i entries as {k, j} with sign from the table below
+        {{0, 0}, {1, 1}, {2, 2}, {3, 3}},
+        {{0, 1}, {1, 0}, {2, 3}, {3, 2}},
+        {{0, 2}, {1, 3}, {2, 0}, {3, 1}},
+        {{0, 3}, {1, 2}, {2, 1}, {3, 0}},
+    };
+    const int signs[4][4] = {
+        {1, -1, -1, -1},
+        {1, 1, 1, -1},
+        {1, -1, 1, 1},
+        {1, 1, -1, 1},
+    };
+    for (int i = 0; i < 4; ++i) {
+        for (int term = 0; term < 4; ++term) {
+            t.at(i, rows[i][term][0], rows[i][term][1]) = signs[i][term];
+        }
+    }
+    return t;
+}
+
+IndexingTensor
+IndexingTensor::complex_field()
+{
+    // z0 = g0x0 - g1x1, z1 = g0x1 + g1x0.
+    IndexingTensor t(2);
+    t.at(0, 0, 0) = 1;
+    t.at(0, 1, 1) = -1;
+    t.at(1, 0, 1) = 1;
+    t.at(1, 1, 0) = 1;
+    return t;
+}
+
+Matd
+hadamard(int n)
+{
+    assert(n > 0 && (n & (n - 1)) == 0 && "n must be a power of two");
+    Matd h(n, n);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            h.at(i, j) = (__builtin_popcount(static_cast<unsigned>(i & j)) & 1)
+                             ? -1.0 : 1.0;
+        }
+    }
+    return h;
+}
+
+Matd
+householder_o4()
+{
+    // O = 2 L1 (I - 2 v v^t), L1 = diag(1,-1,-1,-1), v = (1,1,1,1)^t / 2.
+    return Matd{{1, -1, -1, -1},
+                {1, -1, 1, 1},
+                {1, 1, -1, 1},
+                {1, 1, 1, -1}};
+}
+
+}  // namespace ringcnn

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The 3-D indexing tensor M of a bilinear ring multiplication (paper
+ * eq. (3)): z_i = sum_{j,k} M[i][k][j] * g_k * x_j, with entries in
+ * {-1, 0, 1}, plus the structural predicates from Section III
+ * (exclusive sub-product distribution, commutativity, associativity,
+ * unity) and the constructions used to define every ring variant.
+ */
+#ifndef RINGCNN_CORE_INDEXING_TENSOR_H
+#define RINGCNN_CORE_INDEXING_TENSOR_H
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/linalg.h"
+
+namespace ringcnn {
+
+/**
+ * Sign/permutation form of a full-rank exclusive-distribution ring
+ * (paper eq. (9)): G_ij = S_ij * g[P_ij] with S_ij in {+1,-1} and every
+ * row and column of P a permutation of {0..n-1} (a Latin square).
+ */
+struct SignPerm
+{
+    int n = 0;
+    std::vector<int> p;  ///< row-major permutation indices P_ij
+    std::vector<int> s;  ///< row-major signs S_ij in {+1,-1}
+
+    int P(int i, int j) const { return p[static_cast<size_t>(i) * n + j]; }
+    int S(int i, int j) const { return s[static_cast<size_t>(i) * n + j]; }
+    int& P(int i, int j) { return p[static_cast<size_t>(i) * n + j]; }
+    int& S(int i, int j) { return s[static_cast<size_t>(i) * n + j]; }
+
+    /** True if every row and column of P is a permutation of 0..n-1. */
+    bool is_latin_square() const;
+
+    /** Condition (C1): P_i0 = i, S_i0 = +1, P_ii = 0, S_ii = +1. */
+    bool satisfies_c1() const;
+
+    /**
+     * Condition (C2), the cyclic-mapping condition:
+     * P_ij = j' implies P_ij' = j and S_ij = S_ij'.
+     */
+    bool satisfies_c2() const;
+};
+
+/**
+ * Indexing tensor M[i][k][j] in {-1,0,1} defining a bilinear
+ * multiplication on real n-tuples.
+ */
+class IndexingTensor
+{
+  public:
+    explicit IndexingTensor(int n)
+        : n_(n), m_(static_cast<size_t>(n) * n * n, 0)
+    {
+    }
+
+    int n() const { return n_; }
+
+    /** Entry M[i][k][j]: coefficient of g_k * x_j in output z_i. */
+    int& at(int i, int k, int j)
+    {
+        return m_[(static_cast<size_t>(i) * n_ + k) * n_ + j];
+    }
+    int at(int i, int k, int j) const
+    {
+        return m_[(static_cast<size_t>(i) * n_ + k) * n_ + j];
+    }
+
+    /** Bilinear product z = g . x (paper eq. (3)). */
+    std::vector<double> multiply(const std::vector<double>& g,
+                                 const std::vector<double>& x) const;
+
+    /** Isomorphic matrix G with G_ij = sum_k M[i][k][j] g_k (eq. (4)). */
+    Matd isomorphic(const std::vector<double>& g) const;
+
+    /** Basis matrix E_k with (E_k)_ij = M[i][k][j] (Lemma B.2). */
+    Matd basis_matrix(int k) const;
+
+    /** True iff the multiplication is commutative (M[i][k][j] == M[i][j][k]). */
+    bool is_commutative() const;
+
+    /**
+     * True iff each sub-product g_k x_j feeds exactly one output
+     * component (exclusive sub-product distribution).
+     */
+    bool has_exclusive_distribution() const;
+
+    /**
+     * Exact associativity check via Lemma B.1: for all basis pairs,
+     * iso(e_a . e_b) == E_a * E_b.
+     */
+    bool is_associative() const;
+
+    /**
+     * The two-sided unity if one exists: solves 1.x = x and x.1 = x
+     * over the basis. Returns nullopt if no unity.
+     */
+    std::optional<std::vector<double>> unity() const;
+
+    /** Flattens to an n^3 double vector (i-major) for CP decomposition. */
+    std::vector<double> flatten() const;
+
+    /** Recovers the (S, P) form; nullopt if not of that shape. */
+    std::optional<SignPerm> to_sign_perm() const;
+
+    // ---- Constructions -------------------------------------------------
+
+    /** Component-wise product ring RI_n: z_i = g_i * x_i. */
+    static IndexingTensor component_wise(int n);
+
+    /** From the sign/permutation form G_ij = S_ij g[P_ij]. */
+    static IndexingTensor from_sign_perm(const SignPerm& sp);
+
+    /**
+     * Twisted abelian group algebra: z_{add(k,j)} += sigma(k,j) g_k x_j.
+     *
+     * @param n      group order.
+     * @param add    the group operation table (k, j) -> element index.
+     * @param sigma  +/-1 cocycle; identity function for the plain algebra.
+     */
+    static IndexingTensor group_algebra(
+        int n, const std::function<int(int, int)>& add,
+        const std::function<int(int, int)>& sigma);
+
+    /**
+     * From an invertible diagonalizer T: the ring with
+     * g . x = T^{-1}((T g) o (T x)). Asserts the resulting tensor has
+     * integral entries in {-1,0,1}.
+     */
+    static IndexingTensor from_diagonalizer(const Matd& t);
+
+    /** Hamilton quaternions (n = 4, non-commutative). */
+    static IndexingTensor quaternion();
+
+    /** Complex field C as 2-tuples (negacyclic n = 2). */
+    static IndexingTensor complex_field();
+
+  private:
+    int n_;
+    std::vector<int> m_;
+};
+
+/** Sylvester Walsh-Hadamard matrix, H_ij = (-1)^popcount(i & j).
+ *  @pre n is a power of two. */
+Matd hadamard(int n);
+
+/** The reflected Householder matrix O = 2 L1 (I - 2 v v^t) from the
+ *  paper (n = 4): rows are sign patterns; O O^t = 4 I. */
+Matd householder_o4();
+
+}  // namespace ringcnn
+
+#endif  // RINGCNN_CORE_INDEXING_TENSOR_H

@@ -1,0 +1,399 @@
+#include "core/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ringcnn {
+
+Matd::Matd(std::initializer_list<std::initializer_list<double>> rows)
+{
+    rows_ = static_cast<int>(rows.size());
+    cols_ = rows_ > 0 ? static_cast<int>(rows.begin()->size()) : 0;
+    data_.reserve(static_cast<size_t>(rows_) * cols_);
+    for (const auto& r : rows) {
+        assert(static_cast<int>(r.size()) == cols_);
+        for (double v : r) data_.push_back(v);
+    }
+}
+
+Matd
+Matd::identity(int n)
+{
+    Matd m(n, n);
+    for (int i = 0; i < n; ++i) m.at(i, i) = 1.0;
+    return m;
+}
+
+Matd
+Matd::transposed() const
+{
+    Matd t(cols_, rows_);
+    for (int r = 0; r < rows_; ++r) {
+        for (int c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+    }
+    return t;
+}
+
+Matd
+Matd::operator*(const Matd& o) const
+{
+    assert(cols_ == o.rows_);
+    Matd out(rows_, o.cols_);
+    for (int r = 0; r < rows_; ++r) {
+        for (int k = 0; k < cols_; ++k) {
+            const double v = at(r, k);
+            if (v == 0.0) continue;
+            for (int c = 0; c < o.cols_; ++c) {
+                out.at(r, c) += v * o.at(k, c);
+            }
+        }
+    }
+    return out;
+}
+
+Matd
+Matd::operator+(const Matd& o) const
+{
+    assert(rows_ == o.rows_ && cols_ == o.cols_);
+    Matd out = *this;
+    for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += o.data_[i];
+    return out;
+}
+
+Matd
+Matd::operator-(const Matd& o) const
+{
+    assert(rows_ == o.rows_ && cols_ == o.cols_);
+    Matd out = *this;
+    for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= o.data_[i];
+    return out;
+}
+
+Matd&
+Matd::operator*=(double s)
+{
+    for (double& v : data_) v *= s;
+    return *this;
+}
+
+std::vector<double>
+Matd::apply(const std::vector<double>& v) const
+{
+    assert(static_cast<int>(v.size()) == cols_);
+    std::vector<double> out(static_cast<size_t>(rows_), 0.0);
+    for (int r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        for (int c = 0; c < cols_; ++c) acc += at(r, c) * v[static_cast<size_t>(c)];
+        out[static_cast<size_t>(r)] = acc;
+    }
+    return out;
+}
+
+Matd
+Matd::inverse() const
+{
+    assert(rows_ == cols_);
+    const int n = rows_;
+    Matd aug(n, 2 * n);
+    for (int r = 0; r < n; ++r) {
+        for (int c = 0; c < n; ++c) aug.at(r, c) = at(r, c);
+        aug.at(r, n + r) = 1.0;
+    }
+    for (int col = 0; col < n; ++col) {
+        int piv = col;
+        for (int r = col + 1; r < n; ++r) {
+            if (std::fabs(aug.at(r, col)) > std::fabs(aug.at(piv, col))) piv = r;
+        }
+        assert(std::fabs(aug.at(piv, col)) > 1e-12 && "singular matrix");
+        if (piv != col) {
+            for (int c = 0; c < 2 * n; ++c) std::swap(aug.at(piv, c), aug.at(col, c));
+        }
+        const double inv_p = 1.0 / aug.at(col, col);
+        for (int c = 0; c < 2 * n; ++c) aug.at(col, c) *= inv_p;
+        for (int r = 0; r < n; ++r) {
+            if (r == col) continue;
+            const double f = aug.at(r, col);
+            if (f == 0.0) continue;
+            for (int c = 0; c < 2 * n; ++c) aug.at(r, c) -= f * aug.at(col, c);
+        }
+    }
+    Matd inv(n, n);
+    for (int r = 0; r < n; ++r) {
+        for (int c = 0; c < n; ++c) inv.at(r, c) = aug.at(r, n + c);
+    }
+    return inv;
+}
+
+int
+Matd::rank(double tol) const
+{
+    Matd m = *this;
+    int rank = 0;
+    int row = 0;
+    for (int col = 0; col < cols_ && row < rows_; ++col) {
+        int piv = row;
+        for (int r = row + 1; r < rows_; ++r) {
+            if (std::fabs(m.at(r, col)) > std::fabs(m.at(piv, col))) piv = r;
+        }
+        if (std::fabs(m.at(piv, col)) <= tol) continue;
+        if (piv != row) {
+            for (int c = 0; c < cols_; ++c) std::swap(m.at(piv, c), m.at(row, c));
+        }
+        for (int r = row + 1; r < rows_; ++r) {
+            const double f = m.at(r, col) / m.at(row, col);
+            for (int c = col; c < cols_; ++c) m.at(r, c) -= f * m.at(row, c);
+        }
+        ++row;
+        ++rank;
+    }
+    return rank;
+}
+
+double
+Matd::max_abs_diff(const Matd& o) const
+{
+    assert(rows_ == o.rows_ && cols_ == o.cols_);
+    double m = 0.0;
+    for (size_t i = 0; i < data_.size(); ++i) {
+        m = std::max(m, std::fabs(data_[i] - o.data_[i]));
+    }
+    return m;
+}
+
+double
+Matd::max_abs() const
+{
+    double m = 0.0;
+    for (double v : data_) m = std::max(m, std::fabs(v));
+    return m;
+}
+
+bool
+Matd::is_integral(double tol) const
+{
+    for (double v : data_) {
+        if (std::fabs(v - std::round(v)) > tol) return false;
+    }
+    return true;
+}
+
+std::string
+Matd::to_string(int width) const
+{
+    std::ostringstream os;
+    for (int r = 0; r < rows_; ++r) {
+        os << (r == 0 ? "[" : " ");
+        for (int c = 0; c < cols_; ++c) {
+            const double v = at(r, c);
+            std::ostringstream cell;
+            if (std::fabs(v - std::round(v)) < 1e-9) {
+                cell << static_cast<long long>(std::llround(v));
+            } else {
+                cell.precision(3);
+                cell << v;
+            }
+            std::string s = cell.str();
+            while (static_cast<int>(s.size()) < width) s = " " + s;
+            os << s;
+        }
+        os << (r + 1 == rows_ ? " ]" : "\n");
+    }
+    return os.str();
+}
+
+Matc
+Matc::from_real(const Matd& m)
+{
+    Matc out(m.rows(), m.cols());
+    for (int r = 0; r < m.rows(); ++r) {
+        for (int c = 0; c < m.cols(); ++c) out.at(r, c) = m.at(r, c);
+    }
+    return out;
+}
+
+Matc
+Matc::operator*(const Matc& o) const
+{
+    assert(cols_ == o.rows_);
+    Matc out(rows_, o.cols_);
+    for (int r = 0; r < rows_; ++r) {
+        for (int k = 0; k < cols_; ++k) {
+            const cdouble v = at(r, k);
+            if (v == cdouble(0, 0)) continue;
+            for (int c = 0; c < o.cols_; ++c) out.at(r, c) += v * o.at(k, c);
+        }
+    }
+    return out;
+}
+
+Matc
+Matc::inverse() const
+{
+    assert(rows_ == cols_);
+    const int n = rows_;
+    Matc aug(n, 2 * n);
+    for (int r = 0; r < n; ++r) {
+        for (int c = 0; c < n; ++c) aug.at(r, c) = at(r, c);
+        aug.at(r, n + r) = 1.0;
+    }
+    for (int col = 0; col < n; ++col) {
+        int piv = col;
+        for (int r = col + 1; r < n; ++r) {
+            if (std::abs(aug.at(r, col)) > std::abs(aug.at(piv, col))) piv = r;
+        }
+        assert(std::abs(aug.at(piv, col)) > 1e-12 && "singular matrix");
+        if (piv != col) {
+            for (int c = 0; c < 2 * n; ++c) std::swap(aug.at(piv, c), aug.at(col, c));
+        }
+        const cdouble inv_p = 1.0 / aug.at(col, col);
+        for (int c = 0; c < 2 * n; ++c) aug.at(col, c) *= inv_p;
+        for (int r = 0; r < n; ++r) {
+            if (r == col) continue;
+            const cdouble f = aug.at(r, col);
+            if (f == cdouble(0, 0)) continue;
+            for (int c = 0; c < 2 * n; ++c) aug.at(r, c) -= f * aug.at(col, c);
+        }
+    }
+    Matc inv(n, n);
+    for (int r = 0; r < n; ++r) {
+        for (int c = 0; c < n; ++c) inv.at(r, c) = aug.at(r, n + c);
+    }
+    return inv;
+}
+
+std::vector<cdouble>
+poly_roots(const std::vector<double>& coeffs)
+{
+    const int n = static_cast<int>(coeffs.size());
+    if (n == 0) return {};
+    // Durand-Kerner from staggered complex starting points.
+    std::vector<cdouble> z(static_cast<size_t>(n));
+    const cdouble seed(0.4, 0.9);
+    cdouble p(1.0, 0.0);
+    for (int i = 0; i < n; ++i) {
+        p *= seed;
+        z[static_cast<size_t>(i)] = p;
+    }
+    auto eval = [&](cdouble x) {
+        cdouble acc(1.0, 0.0);
+        for (int i = n - 1; i >= 0; --i) {
+            acc = acc * x + coeffs[static_cast<size_t>(i)];
+        }
+        return acc;
+    };
+    for (int iter = 0; iter < 500; ++iter) {
+        double max_step = 0.0;
+        for (int i = 0; i < n; ++i) {
+            cdouble denom(1.0, 0.0);
+            for (int j = 0; j < n; ++j) {
+                if (j != i) {
+                    denom *= z[static_cast<size_t>(i)] - z[static_cast<size_t>(j)];
+                }
+            }
+            if (std::abs(denom) < 1e-300) denom = cdouble(1e-300, 0);
+            const cdouble step = eval(z[static_cast<size_t>(i)]) / denom;
+            z[static_cast<size_t>(i)] -= step;
+            max_step = std::max(max_step, std::abs(step));
+        }
+        if (max_step < 1e-14) break;
+    }
+    return z;
+}
+
+std::vector<double>
+char_poly(const Matd& m)
+{
+    assert(m.rows() == m.cols());
+    const int n = m.rows();
+    // Faddeev-LeVerrier: M_1 = A, c_{n-1} = -tr(M_1);
+    // M_k = A (M_{k-1} + c_{n-k+1} I), c_{n-k} = -tr(M_k) / k.
+    std::vector<double> c(static_cast<size_t>(n) + 1, 0.0);
+    c[static_cast<size_t>(n)] = 1.0;
+    Matd mk = Matd::identity(n);
+    for (int k = 1; k <= n; ++k) {
+        mk = m * mk;
+        double tr = 0.0;
+        for (int i = 0; i < n; ++i) tr += mk.at(i, i);
+        const double ck = -tr / k;
+        c[static_cast<size_t>(n - k)] = ck;
+        for (int i = 0; i < n; ++i) mk.at(i, i) += ck;
+    }
+    c.pop_back();  // drop leading monic coefficient
+    return c;
+}
+
+std::vector<cdouble>
+eigenvalues(const Matd& m)
+{
+    return poly_roots(char_poly(m));
+}
+
+std::vector<cdouble>
+eigenvector(const Matd& m, cdouble lambda)
+{
+    const int n = m.rows();
+    Matc a = Matc::from_real(m);
+    for (int i = 0; i < n; ++i) a.at(i, i) -= lambda;
+    // Row-reduce to echelon form, track pivot columns.
+    std::vector<int> pivot_col(static_cast<size_t>(n), -1);
+    int row = 0;
+    for (int col = 0; col < n && row < n; ++col) {
+        int piv = row;
+        for (int r = row + 1; r < n; ++r) {
+            if (std::abs(a.at(r, col)) > std::abs(a.at(piv, col))) piv = r;
+        }
+        if (std::abs(a.at(piv, col)) < 1e-9) continue;
+        if (piv != row) {
+            for (int c = 0; c < n; ++c) std::swap(a.at(piv, c), a.at(row, c));
+        }
+        const cdouble inv_p = 1.0 / a.at(row, col);
+        for (int c = 0; c < n; ++c) a.at(row, c) *= inv_p;
+        for (int r = 0; r < n; ++r) {
+            if (r == row) continue;
+            const cdouble f = a.at(r, col);
+            if (f == cdouble(0, 0)) continue;
+            for (int c = 0; c < n; ++c) a.at(r, c) -= f * a.at(row, c);
+        }
+        pivot_col[static_cast<size_t>(row)] = col;
+        ++row;
+    }
+    // Pick the first free column and back-substitute.
+    std::vector<bool> is_pivot(static_cast<size_t>(n), false);
+    for (int r = 0; r < row; ++r) is_pivot[static_cast<size_t>(pivot_col[static_cast<size_t>(r)])] = true;
+    int free_col = -1;
+    for (int c = 0; c < n; ++c) {
+        if (!is_pivot[static_cast<size_t>(c)]) { free_col = c; break; }
+    }
+    assert(free_col >= 0 && "lambda is not an eigenvalue");
+    std::vector<cdouble> v(static_cast<size_t>(n), cdouble(0, 0));
+    v[static_cast<size_t>(free_col)] = 1.0;
+    for (int r = 0; r < row; ++r) {
+        const int pc = pivot_col[static_cast<size_t>(r)];
+        v[static_cast<size_t>(pc)] = -a.at(r, free_col);
+    }
+    double norm = 0.0;
+    for (const cdouble& x : v) norm += std::norm(x);
+    norm = std::sqrt(norm);
+    for (cdouble& x : v) x /= norm;
+    return v;
+}
+
+std::vector<double>
+solve_least_squares(const Matd& a, const std::vector<double>& b)
+{
+    assert(static_cast<int>(b.size()) == a.rows());
+    const int n = a.cols();
+    // Normal equations with a tiny ridge to survive rank deficiency.
+    Matd ata = a.transposed() * a;
+    for (int i = 0; i < n; ++i) ata.at(i, i) += 1e-12;
+    std::vector<double> atb(static_cast<size_t>(n), 0.0);
+    for (int r = 0; r < a.rows(); ++r) {
+        for (int c = 0; c < n; ++c) {
+            atb[static_cast<size_t>(c)] += a.at(r, c) * b[static_cast<size_t>(r)];
+        }
+    }
+    return ata.inverse().apply(atb);
+}
+
+}  // namespace ringcnn

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Small dense linear algebra over double / complex<double>.
+ *
+ * Sized for the n x n (n <= 8) matrices of ring algebra: isomorphic
+ * matrices, transform matrices, eigen decompositions of generic algebra
+ * elements, and the least-squares solves inside CP-ALS. Not a general
+ * BLAS; everything is O(n^3) textbook code with partial pivoting.
+ */
+#ifndef RINGCNN_CORE_LINALG_H
+#define RINGCNN_CORE_LINALG_H
+
+#include <cassert>
+#include <complex>
+#include <string>
+#include <vector>
+
+namespace ringcnn {
+
+using cdouble = std::complex<double>;
+
+/** Dense row-major matrix of double. */
+class Matd
+{
+  public:
+    Matd() : rows_(0), cols_(0) {}
+    Matd(int rows, int cols)
+        : rows_(rows), cols_(cols),
+          data_(static_cast<size_t>(rows) * cols, 0.0)
+    {
+    }
+    /** Builds from nested initializer-style rows. */
+    Matd(std::initializer_list<std::initializer_list<double>> rows);
+
+    static Matd identity(int n);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    double& at(int r, int c)
+    {
+        assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+        return data_[static_cast<size_t>(r) * cols_ + c];
+    }
+    double at(int r, int c) const
+    {
+        assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+        return data_[static_cast<size_t>(r) * cols_ + c];
+    }
+
+    Matd transposed() const;
+
+    /** Matrix product this * o. */
+    Matd operator*(const Matd& o) const;
+    Matd operator+(const Matd& o) const;
+    Matd operator-(const Matd& o) const;
+    Matd& operator*=(double s);
+
+    /** Matrix-vector product. */
+    std::vector<double> apply(const std::vector<double>& v) const;
+
+    /**
+     * Inverse via Gauss-Jordan with partial pivoting.
+     * @pre square and nonsingular (asserts on near-singular pivots).
+     */
+    Matd inverse() const;
+
+    /** Numerical rank via row echelon with the given pivot tolerance. */
+    int rank(double tol = 1e-9) const;
+
+    /** max |a_ij - b_ij|. */
+    double max_abs_diff(const Matd& o) const;
+
+    /** max |a_ij|. */
+    double max_abs() const;
+
+    /** True if every entry is within tol of an integer. */
+    bool is_integral(double tol = 1e-9) const;
+
+    /** Pretty printer for reports. */
+    std::string to_string(int width = 6) const;
+
+  private:
+    int rows_, cols_;
+    std::vector<double> data_;
+};
+
+/** Dense row-major complex matrix (used only inside eigen machinery). */
+class Matc
+{
+  public:
+    Matc(int rows, int cols)
+        : rows_(rows), cols_(cols),
+          data_(static_cast<size_t>(rows) * cols, cdouble(0, 0))
+    {
+    }
+    static Matc from_real(const Matd& m);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    cdouble& at(int r, int c)
+    {
+        assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+        return data_[static_cast<size_t>(r) * cols_ + c];
+    }
+    cdouble at(int r, int c) const
+    {
+        assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+        return data_[static_cast<size_t>(r) * cols_ + c];
+    }
+
+    Matc operator*(const Matc& o) const;
+
+    /** Inverse via complex Gauss-Jordan with partial pivoting. */
+    Matc inverse() const;
+
+  private:
+    int rows_, cols_;
+    std::vector<cdouble> data_;
+};
+
+/**
+ * Roots of a monic polynomial x^n + c[n-1] x^(n-1) + ... + c[0] via
+ * Durand-Kerner iteration. @param coeffs low-order-first, length n.
+ */
+std::vector<cdouble> poly_roots(const std::vector<double>& coeffs);
+
+/** Characteristic polynomial coefficients (low-order first, monic implied)
+ *  via the Faddeev-LeVerrier recurrence. */
+std::vector<double> char_poly(const Matd& m);
+
+/** Eigenvalues of a (possibly non-symmetric) real square matrix. */
+std::vector<cdouble> eigenvalues(const Matd& m);
+
+/**
+ * One eigenvector for the given eigenvalue, via complex Gaussian
+ * elimination on (M - lambda I). Returns a unit-norm vector.
+ */
+std::vector<cdouble> eigenvector(const Matd& m, cdouble lambda);
+
+/**
+ * Solves the linear least squares problem min ||A x - b|| via normal
+ * equations with Cholesky (plus tiny ridge for robustness). Used by
+ * CP-ALS where A is tall and well-scaled.
+ */
+std::vector<double> solve_least_squares(const Matd& a,
+                                        const std::vector<double>& b);
+
+}  // namespace ringcnn
+
+#endif  // RINGCNN_CORE_LINALG_H

@@ -1,0 +1,161 @@
+#include "core/ring.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace ringcnn {
+
+namespace {
+
+Ring
+make_ring(std::string name, IndexingTensor mult, FastAlgorithm fast,
+          int grank, std::string family)
+{
+    Ring r;
+    r.name = std::move(name);
+    r.n = mult.n();
+    r.commutative = mult.is_commutative();
+    const auto u = mult.unity();
+    assert(u && "every registered ring must have a unity");
+    r.unity = *u;
+    r.mult = std::move(mult);
+    r.fast = std::move(fast);
+    r.grank = grank;
+    r.family = std::move(family);
+    return r;
+}
+
+IndexingTensor
+xor_ring(int n)
+{
+    return IndexingTensor::group_algebra(
+        n, [](int k, int j) { return k ^ j; },
+        [](int, int) { return 1; });
+}
+
+IndexingTensor
+cyclic_twisted(int n, const std::vector<int>& tau)
+{
+    return IndexingTensor::group_algebra(
+        n, [n](int k, int j) { return (k + j) % n; },
+        [n, tau](int k, int j) {
+            return tau[static_cast<size_t>(k)] * tau[static_cast<size_t>(j)] *
+                   tau[static_cast<size_t>((k + j) % n)];
+        });
+}
+
+std::map<std::string, Ring>
+build_registry()
+{
+    std::map<std::string, Ring> reg;
+    auto add = [&reg](Ring r) { reg.emplace(r.name, std::move(r)); };
+
+    add(make_ring("R", IndexingTensor::component_wise(1), fast_identity(1), 1,
+                  "real field (baseline)"));
+
+    // ---- n = 2 ---------------------------------------------------------
+    add(make_ring("RI2", IndexingTensor::component_wise(2), fast_identity(2),
+                  2, "component-wise product (group conv alike)"));
+    add(make_ring("RH2", xor_ring(2), fast_from_diagonalizer(hadamard(2)), 2,
+                  "XOR convolution, Hadamard-diagonalizable (HadaNet alike)"));
+    add(make_ring("C", IndexingTensor::complex_field(), fast_complex_3mult(),
+                  3, "complex field"));
+
+    // ---- n = 4 ---------------------------------------------------------
+    add(make_ring("RI4", IndexingTensor::component_wise(4), fast_identity(4),
+                  4, "component-wise product (group conv alike)"));
+    add(make_ring("RH4", xor_ring(4), fast_from_diagonalizer(hadamard(4)), 4,
+                  "XOR convolution, Hadamard-diagonalizable (HadaNet alike)"));
+    add(make_ring("RO4",
+                  IndexingTensor::from_diagonalizer(householder_o4()),
+                  fast_from_diagonalizer(householder_o4()), 4,
+                  "Klein twist diagonalized by reflected Householder O"));
+
+    const std::vector<int> tau_rh4ii{1, 1, -1, -1};
+    const std::vector<int> tau_ro4i{1, 1, -1, 1};
+    const std::vector<int> tau_ro4ii{1, 1, 1, -1};
+    auto dtau = [](const std::vector<int>& t) {
+        std::vector<double> out;
+        for (int v : t) out.push_back(static_cast<double>(v));
+        return out;
+    };
+    add(make_ring("RH4-I",
+                  cyclic_twisted(4, {1, 1, 1, 1}), fast_cyclic4_5mult(), 5,
+                  "cyclic convolution (CirCNN alike)"));
+    add(make_ring("RH4-II", cyclic_twisted(4, tau_rh4ii),
+                  fast_diagonal_twist(fast_cyclic4_5mult(), dtau(tau_rh4ii)),
+                  5, "cyclic twist; real characters follow Hadamard rows"));
+    add(make_ring("RO4-I", cyclic_twisted(4, tau_ro4i),
+                  fast_diagonal_twist(fast_cyclic4_5mult(), dtau(tau_ro4i)),
+                  5, "cyclic twist; real characters follow O rows"));
+    add(make_ring("RO4-II", cyclic_twisted(4, tau_ro4ii),
+                  fast_diagonal_twist(fast_cyclic4_5mult(), dtau(tau_ro4ii)),
+                  5, "cyclic twist; real characters follow O rows"));
+
+    add(make_ring("H", IndexingTensor::quaternion(),
+                  fast_quaternion_10mult(), 8,
+                  "Hamilton quaternions (grank 8 per Howell-Lafon; "
+                  "shipped scheme uses 10 exact products)"));
+
+    // ---- n = 8 ---------------------------------------------------------
+    add(make_ring("RI8", IndexingTensor::component_wise(8), fast_identity(8),
+                  8, "component-wise product (group conv alike)"));
+    add(make_ring("RH8", xor_ring(8), fast_from_diagonalizer(hadamard(8)), 8,
+                  "XOR convolution, Hadamard-diagonalizable"));
+
+    return reg;
+}
+
+const std::map<std::string, Ring>&
+registry()
+{
+    static const std::map<std::string, Ring> reg = build_registry();
+    return reg;
+}
+
+}  // namespace
+
+const Ring&
+get_ring(const std::string& name)
+{
+    const auto& reg = registry();
+    const auto it = reg.find(name);
+    if (it == reg.end()) {
+        std::fprintf(stderr, "get_ring: unknown ring '%s'\n", name.c_str());
+        std::abort();
+    }
+    return it->second;
+}
+
+bool
+has_ring(const std::string& name)
+{
+    return registry().count(name) > 0;
+}
+
+const std::vector<std::string>&
+all_ring_names()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const auto& [name, ring] : registry()) out.push_back(name);
+        std::sort(out.begin(), out.end(),
+                  [](const std::string& a, const std::string& b) {
+                      const int na = get_ring(a).n, nb = get_ring(b).n;
+                      if (na != nb) return na < nb;
+                      return a < b;
+                  });
+        return out;
+    }();
+    return names;
+}
+
+std::vector<std::string>
+paper_comparison_rings()
+{
+    return {"RI2", "RH2", "C", "RI4", "RH4", "RO4",
+            "RH4-I", "RH4-II", "RO4-I", "RO4-II", "H"};
+}
+
+}  // namespace ringcnn

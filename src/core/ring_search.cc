@@ -1,0 +1,253 @@
+#include "core/ring_search.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/cp_als.h"
+#include "core/ring.h"
+
+namespace ringcnn {
+
+namespace {
+
+/** All involutions of {0..n-1} (as permutation vectors). */
+std::vector<std::vector<int>>
+involutions(int n)
+{
+    std::vector<std::vector<int>> out;
+    std::vector<int> cur(static_cast<size_t>(n), -1);
+    // Recursive pairing of the smallest unassigned element.
+    std::function<void()> rec = [&]() {
+        int first = -1;
+        for (int i = 0; i < n; ++i) {
+            if (cur[static_cast<size_t>(i)] < 0) { first = i; break; }
+        }
+        if (first < 0) {
+            out.push_back(cur);
+            return;
+        }
+        // fixed point
+        cur[static_cast<size_t>(first)] = first;
+        rec();
+        cur[static_cast<size_t>(first)] = -1;
+        // transposition with a later unassigned element
+        for (int j = first + 1; j < n; ++j) {
+            if (cur[static_cast<size_t>(j)] >= 0) continue;
+            cur[static_cast<size_t>(first)] = j;
+            cur[static_cast<size_t>(j)] = first;
+            rec();
+            cur[static_cast<size_t>(first)] = -1;
+            cur[static_cast<size_t>(j)] = -1;
+        }
+    };
+    rec();
+    return out;
+}
+
+/** All P satisfying C1 (P_i0 = i, P_ii = 0), involution rows (the P-part
+ *  of C2), and the Latin-square property. */
+std::vector<SignPerm>
+enumerate_permutations(int n)
+{
+    // Row i must be an involution with row_i(0) = i (hence row_i(i) = 0).
+    std::vector<std::vector<std::vector<int>>> row_options(
+        static_cast<size_t>(n));
+    for (const auto& inv : involutions(n)) {
+        const int i = inv[0];
+        row_options[static_cast<size_t>(i)].push_back(inv);
+    }
+    std::vector<SignPerm> found;
+    std::vector<int> pick(static_cast<size_t>(n), 0);
+    std::function<void(int)> rec = [&](int row) {
+        if (row == n) {
+            SignPerm sp;
+            sp.n = n;
+            sp.p.resize(static_cast<size_t>(n) * n);
+            sp.s.assign(static_cast<size_t>(n) * n, 1);
+            for (int i = 0; i < n; ++i) {
+                for (int j = 0; j < n; ++j) {
+                    sp.P(i, j) =
+                        row_options[static_cast<size_t>(i)]
+                                   [static_cast<size_t>(pick[static_cast<size_t>(i)])]
+                                   [static_cast<size_t>(j)];
+                }
+            }
+            if (sp.is_latin_square()) found.push_back(sp);
+            return;
+        }
+        for (size_t o = 0; o < row_options[static_cast<size_t>(row)].size();
+             ++o) {
+            pick[static_cast<size_t>(row)] = static_cast<int>(o);
+            rec(row + 1);
+        }
+    };
+    rec(0);
+    return found;
+}
+
+/** Applies a component relabeling pi (pi(0) = 0) to a permutation
+ *  matrix: P'_ij = pi^{-1}(P_{pi(i) pi(j)}). */
+std::vector<int>
+relabel_perm(const SignPerm& sp, const std::vector<int>& pi)
+{
+    const int n = sp.n;
+    std::vector<int> pinv(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) pinv[static_cast<size_t>(pi[static_cast<size_t>(i)])] = i;
+    std::vector<int> out(static_cast<size_t>(n) * n);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            out[static_cast<size_t>(i) * n + j] = pinv[static_cast<size_t>(
+                sp.P(pi[static_cast<size_t>(i)], pi[static_cast<size_t>(j)]))];
+        }
+    }
+    return out;
+}
+
+/** Canonical form of P under relabelings fixing component 0. */
+std::vector<int>
+canonical_perm(const SignPerm& sp)
+{
+    const int n = sp.n;
+    std::vector<int> pi(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) pi[static_cast<size_t>(i)] = i;
+    std::vector<int> best = relabel_perm(sp, pi);
+    // permute components 1..n-1
+    std::vector<int> tail(pi.begin() + 1, pi.end());
+    std::sort(tail.begin(), tail.end());
+    do {
+        std::vector<int> full{0};
+        full.insert(full.end(), tail.begin(), tail.end());
+        auto cand = relabel_perm(sp, full);
+        if (cand < best) best = cand;
+    } while (std::next_permutation(tail.begin(), tail.end()));
+    return best;
+}
+
+/** Free sign orbits under the C2 pairing (i,j) <-> (i, P_ij),
+ *  excluding the first column and the diagonal which are pinned to +1. */
+std::vector<std::vector<std::pair<int, int>>>
+sign_orbits(const SignPerm& sp)
+{
+    const int n = sp.n;
+    std::vector<std::vector<std::pair<int, int>>> orbits;
+    std::vector<bool> done(static_cast<size_t>(n) * n, false);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            const size_t idx = static_cast<size_t>(i) * n + j;
+            if (done[idx]) continue;
+            done[idx] = true;
+            if (j == 0 || j == i) continue;  // pinned by C1
+            const int j2 = sp.P(i, j);
+            std::vector<std::pair<int, int>> orbit{{i, j}};
+            if (j2 != j) {
+                done[static_cast<size_t>(i) * n + j2] = true;
+                if (j2 == 0 || j2 == i) continue;  // partner pinned -> pinned
+                orbit.push_back({i, j2});
+            }
+            orbits.push_back(std::move(orbit));
+        }
+    }
+    return orbits;
+}
+
+}  // namespace
+
+std::string
+identify_ring(const IndexingTensor& m)
+{
+    for (const auto& name : all_ring_names()) {
+        const Ring& r = get_ring(name);
+        if (r.n != m.n()) continue;
+        bool same = true;
+        for (int i = 0; i < m.n() && same; ++i) {
+            for (int k = 0; k < m.n() && same; ++k) {
+                for (int j = 0; j < m.n() && same; ++j) {
+                    if (r.mult.at(i, k, j) != m.at(i, k, j)) same = false;
+                }
+            }
+        }
+        if (same) return name;
+    }
+    return "";
+}
+
+RingSearchResult
+search_proper_rings(int n, std::mt19937& rng, bool certify_with_cp)
+{
+    RingSearchResult res;
+    res.n = n;
+    const auto perms = enumerate_permutations(n);
+    res.num_permutations = static_cast<int>(perms.size());
+
+    // Group into isomorphism classes by canonical form.
+    std::map<std::vector<int>, SignPerm> classes;
+    for (const auto& sp : perms) {
+        classes.emplace(canonical_perm(sp), sp);
+    }
+
+    for (auto& [canon, rep0] : classes) {
+        // Prefer the registry's conventional representative if this class
+        // contains it (XOR table for Klein, (i - j) mod n for cyclic).
+        SignPerm rep = rep0;
+        for (const auto& sp : perms) {
+            if (canonical_perm(sp) != canon) continue;
+            bool is_xor = true, is_cyc = true;
+            for (int i = 0; i < n; ++i) {
+                for (int j = 0; j < n; ++j) {
+                    if (sp.P(i, j) != (i ^ j)) is_xor = false;
+                    if (sp.P(i, j) != ((i - j) % n + n) % n) is_cyc = false;
+                }
+            }
+            if (is_xor || is_cyc) { rep = sp; break; }
+        }
+
+        PermutationClass pc;
+        pc.representative = rep;
+        const auto orbits = sign_orbits(rep);
+        const int num_free = static_cast<int>(orbits.size());
+        pc.num_sign_patterns = 1 << num_free;
+        pc.min_grank = n * n + 1;
+
+        std::vector<FoundRing> associative;
+        for (int mask = 0; mask < (1 << num_free); ++mask) {
+            SignPerm sp = rep;
+            for (int o = 0; o < num_free; ++o) {
+                const int sign = (mask >> o) & 1 ? -1 : 1;
+                for (const auto& [i, j] : orbits[static_cast<size_t>(o)]) {
+                    sp.S(i, j) = sign;
+                }
+            }
+            IndexingTensor m = IndexingTensor::from_sign_perm(sp);
+            if (!m.is_commutative() || !m.is_associative()) continue;
+            const AlgebraDecomposition dec = decompose_algebra(m, rng);
+            if (!dec.semisimple) continue;  // not expected for cocycle twists
+            FoundRing fr;
+            fr.sp = sp;
+            fr.grank = dec.grank();
+            fr.registry_name = identify_ring(m);
+            fr.mult = std::move(m);
+            pc.min_grank = std::min(pc.min_grank, fr.grank);
+            associative.push_back(std::move(fr));
+        }
+        pc.num_associative = static_cast<int>(associative.size());
+        for (auto& fr : associative) {
+            if (fr.grank != pc.min_grank) continue;
+            if (certify_with_cp) {
+                Tensor3 t(n, n, n);
+                for (int i = 0; i < n; ++i) {
+                    for (int k = 0; k < n; ++k) {
+                        for (int j = 0; j < n; ++j) {
+                            t.at(i, k, j) = fr.mult.at(i, k, j);
+                        }
+                    }
+                }
+                fr.cp_rank = estimate_rank(t, n * n, rng);
+            }
+            pc.min_grank_variants.push_back(std::move(fr));
+        }
+        res.classes.push_back(std::move(pc));
+    }
+    return res;
+}
+
+}  // namespace ringcnn

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduction of the proper-ring search of Section III-C.
+ *
+ * The search space is the sign/permutation form G_ij = S_ij g[P_ij]
+ * (eq. (9)) restricted by:
+ *   (C1) unity structure: P_i0 = i, P_ii = 0 (with + signs),
+ *   (C2) cyclic mapping:  P_ij = j' => P_ij' = j and S_ij = S_ij',
+ *   commutativity and associativity of the induced multiplication,
+ *   (C3) keep only sign matrices minimizing grank(M(S;P)).
+ *
+ * The paper reports: n=2 -> {RH2, C}; n=4 -> two non-isomorphic
+ * permutations with min grank 4 (variants RH4, RO4) and 5 (variants
+ * RH4-I, RH4-II, RO4-I, RO4-II). This module re-derives all of that.
+ */
+#ifndef RINGCNN_CORE_RING_SEARCH_H
+#define RINGCNN_CORE_RING_SEARCH_H
+
+#include <string>
+#include <vector>
+
+#include "core/fast_algorithm.h"
+#include "core/indexing_tensor.h"
+
+namespace ringcnn {
+
+/** One ring variant discovered by the search. */
+struct FoundRing
+{
+    SignPerm sp;
+    IndexingTensor mult{1};
+    int grank = 0;              ///< from the algebra decomposition
+    int cp_rank = 0;            ///< CP-ALS certificate (should match grank)
+    std::string registry_name;  ///< matching registered ring, or empty
+};
+
+/** All rings sharing one permutation class (up to component relabeling). */
+struct PermutationClass
+{
+    SignPerm representative;
+    int num_sign_patterns = 0;   ///< patterns satisfying C1+C2
+    int num_associative = 0;     ///< ... that are commutative+associative
+    int min_grank = 0;           ///< minimum grank over associative patterns
+    std::vector<FoundRing> min_grank_variants;  ///< the (C3) survivors
+};
+
+/** Full search result for one tuple dimension n. */
+struct RingSearchResult
+{
+    int n = 0;
+    int num_permutations = 0;   ///< valid P (C1 + Latin + involution rows)
+    std::vector<PermutationClass> classes;  ///< non-isomorphic classes
+};
+
+/**
+ * Runs the search for tuple dimension n (supported: 2 and 4).
+ *
+ * @param certify_with_cp also runs CP-ALS on each surviving variant to
+ *        certify the grank numerically (slower; used by tests/benches).
+ */
+RingSearchResult search_proper_rings(int n, std::mt19937& rng,
+                                     bool certify_with_cp = false);
+
+/** Name of the registered ring with the identical indexing tensor, or "". */
+std::string identify_ring(const IndexingTensor& m);
+
+}  // namespace ringcnn
+
+#endif  // RINGCNN_CORE_RING_SEARCH_H

@@ -1,0 +1,112 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+namespace ringcnn::data {
+
+namespace {
+
+/** Smooth 2-D gradient with a random orientation and offset. */
+void
+add_gradient(Tensor& luma, std::mt19937& rng)
+{
+    std::uniform_real_distribution<float> uni(-1.0f, 1.0f);
+    const float gx = uni(rng), gy = uni(rng), off = uni(rng);
+    const int h = luma.dim(1), w = luma.dim(2);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            luma.at(0, y, x) += 0.25f * (gx * x / w + gy * y / h + off);
+        }
+    }
+}
+
+/** Oriented sinusoidal texture patch, windowed by a Gaussian blob. */
+void
+add_texture(Tensor& luma, std::mt19937& rng)
+{
+    const int h = luma.dim(1), w = luma.dim(2);
+    std::uniform_real_distribution<float> uni(0.0f, 1.0f);
+    const float theta = uni(rng) * 6.2831853f;
+    const float freq = 0.15f + 0.85f * uni(rng);  // cycles per pixel * 2pi
+    const float phase = uni(rng) * 6.2831853f;
+    const float amp = 0.05f + 0.20f * uni(rng);
+    const float cx = uni(rng) * w, cy = uni(rng) * h;
+    const float sig = (0.15f + 0.5f * uni(rng)) * std::max(h, w);
+    const float kx = std::cos(theta) * freq, ky = std::sin(theta) * freq;
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            const float dx = x - cx, dy = y - cy;
+            const float win = std::exp(-(dx * dx + dy * dy) / (2 * sig * sig));
+            luma.at(0, y, x) +=
+                amp * win * std::sin(kx * x + ky * y + phase);
+        }
+    }
+}
+
+/** Sharp-edged rectangle or disk with random intensity. */
+void
+add_shape(Tensor& luma, std::mt19937& rng)
+{
+    const int h = luma.dim(1), w = luma.dim(2);
+    std::uniform_real_distribution<float> uni(0.0f, 1.0f);
+    const bool disk = uni(rng) < 0.5f;
+    const float val = 0.4f * (uni(rng) - 0.5f);
+    const float cx = uni(rng) * w, cy = uni(rng) * h;
+    const float rx = (0.05f + 0.3f * uni(rng)) * w;
+    const float ry = (0.05f + 0.3f * uni(rng)) * h;
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            bool inside;
+            if (disk) {
+                const float dx = (x - cx) / rx, dy = (y - cy) / ry;
+                inside = dx * dx + dy * dy < 1.0f;
+            } else {
+                inside = std::fabs(x - cx) < rx && std::fabs(y - cy) < ry;
+            }
+            if (inside) luma.at(0, y, x) += val;
+        }
+    }
+}
+
+}  // namespace
+
+Tensor
+synthetic_image(int c, int h, int w, std::mt19937& rng)
+{
+    Tensor luma({1, h, w});
+    luma.fill(0.5f);
+    add_gradient(luma, rng);
+    std::uniform_int_distribution<int> n_tex(2, 5), n_shape(2, 6);
+    const int textures = n_tex(rng), shapes = n_shape(rng);
+    for (int i = 0; i < shapes; ++i) add_shape(luma, rng);
+    for (int i = 0; i < textures; ++i) add_texture(luma, rng);
+
+    // Per-channel chroma: gentle scaled/offset copies of the luma plus a
+    // low-amplitude independent texture, clamped to [0, 1].
+    Tensor out({c, h, w});
+    std::uniform_real_distribution<float> uni(0.0f, 1.0f);
+    for (int ch = 0; ch < c; ++ch) {
+        const float scale = 0.8f + 0.4f * uni(rng);
+        const float off = 0.1f * (uni(rng) - 0.5f);
+        Tensor chroma({1, h, w});
+        add_texture(chroma, rng);
+        for (int y = 0; y < h; ++y) {
+            for (int x = 0; x < w; ++x) {
+                float v = scale * luma.at(0, y, x) + off + chroma.at(0, y, x);
+                out.at(ch, y, x) = std::min(1.0f, std::max(0.0f, v));
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+add_awgn(const Tensor& x, float sigma, std::mt19937& rng)
+{
+    Tensor out = x;
+    std::normal_distribution<float> noise(0.0f, sigma);
+    for (int64_t i = 0; i < out.numel(); ++i) out[i] += noise(rng);
+    return out;
+}
+
+}  // namespace ringcnn::data

@@ -1,0 +1,28 @@
+#include "data/tasks.h"
+
+#include "tensor/image_ops.h"
+
+namespace ringcnn::data {
+
+Sample
+SrTask::make_pair(int h, int w, std::mt19937& rng) const
+{
+    assert(h % scale_ == 0 && w % scale_ == 0);
+    Tensor hr = synthetic_image(channels_, h, w, rng);
+    Tensor lr = downsample_box(hr, scale_);
+    return {std::move(lr), std::move(hr)};
+}
+
+std::vector<Sample>
+make_eval_set(const ImagingTask& task, int count, int h, int w, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::vector<Sample> out;
+    out.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        out.push_back(task.make_pair(h, w, rng));
+    }
+    return out;
+}
+
+}  // namespace ringcnn::data

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Computational imaging tasks: denoising (AWGN) and single-image
+ * super-resolution (x4 by default), expressed as seeded generators of
+ * (input, target) pairs over the synthetic dataset.
+ */
+#ifndef RINGCNN_DATA_TASKS_H
+#define RINGCNN_DATA_TASKS_H
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "data/synthetic.h"
+
+namespace ringcnn::data {
+
+/** A pair of (network input, ground-truth target) images. */
+using Sample = std::pair<Tensor, Tensor>;
+
+/** Interface for imaging tasks used by the trainer and benches. */
+class ImagingTask
+{
+  public:
+    virtual ~ImagingTask() = default;
+
+    /**
+     * Draws one training pair whose *target* is target_h x target_w.
+     * (For SR the input is smaller by the scale factor.)
+     */
+    virtual Sample make_pair(int target_h, int target_w,
+                             std::mt19937& rng) const = 0;
+
+    /** Upsampling factor from input to target (1 for denoising). */
+    virtual int scale() const { return 1; }
+
+    virtual std::string name() const = 0;
+};
+
+/** Gaussian denoising at a fixed noise level. */
+class DenoiseTask : public ImagingTask
+{
+  public:
+    explicit DenoiseTask(float sigma = 25.0f / 255.0f, int channels = 3)
+        : sigma_(sigma), channels_(channels)
+    {
+    }
+
+    Sample make_pair(int h, int w, std::mt19937& rng) const override
+    {
+        Tensor img = synthetic_image(channels_, h, w, rng);
+        return {add_awgn(img, sigma_, rng), img};
+    }
+    std::string name() const override { return "denoise"; }
+    float sigma() const { return sigma_; }
+
+  private:
+    float sigma_;
+    int channels_;
+};
+
+/** Super-resolution by an integer factor (box-filter degradation). */
+class SrTask : public ImagingTask
+{
+  public:
+    explicit SrTask(int scale = 4, int channels = 3)
+        : scale_(scale), channels_(channels)
+    {
+    }
+
+    Sample make_pair(int h, int w, std::mt19937& rng) const override;
+    int scale() const override { return scale_; }
+    std::string name() const override
+    {
+        return "srx" + std::to_string(scale_);
+    }
+
+  private:
+    int scale_;
+    int channels_;
+};
+
+/**
+ * Fixed evaluation set: `count` pairs with targets of size h x w,
+ * generated from `seed` (decoupled from training randomness).
+ */
+std::vector<Sample> make_eval_set(const ImagingTask& task, int count, int h,
+                                  int w, unsigned seed);
+
+}  // namespace ringcnn::data
+
+#endif  // RINGCNN_DATA_TASKS_H

@@ -1,0 +1,236 @@
+#include "hw/cost_model.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ringcnn::hw {
+
+namespace {
+
+int
+ilog2ceil(double x)
+{
+    int b = 0;
+    while ((1 << b) < x - 1e-9) ++b;
+    return b;
+}
+
+/** Number of two-input adders to sum the nonzeros of a transform. */
+int
+transform_adders(const Matd& t)
+{
+    int adds = 0;
+    for (int r = 0; r < t.rows(); ++r) {
+        int nnz = 0;
+        for (int c = 0; c < t.cols(); ++c) {
+            if (t.at(r, c) != 0.0) ++nnz;
+        }
+        adds += std::max(0, nnz - 1);
+    }
+    return adds;
+}
+
+}  // namespace
+
+std::vector<int>
+transform_row_bits(const Matd& t, int in_bits)
+{
+    std::vector<int> out(static_cast<size_t>(t.rows()), in_bits);
+    for (int r = 0; r < t.rows(); ++r) {
+        double s = 0.0;
+        for (int c = 0; c < t.cols(); ++c) s += std::fabs(t.at(r, c));
+        out[static_cast<size_t>(r)] = in_bits + ilog2ceil(s);
+    }
+    return out;
+}
+
+int
+transform_output_bits(const Matd& t, int in_bits)
+{
+    int m = in_bits;
+    for (int b : transform_row_bits(t, in_bits)) m = std::max(m, b);
+    return m;
+}
+
+RingMultCost
+ring_mult_cost(const Ring& ring, int bits)
+{
+    RingMultCost c;
+    c.ring = ring.name;
+    c.n = ring.n;
+    c.m = ring.fast.m();
+    c.grank = ring.grank;
+    const auto wx = transform_row_bits(ring.fast.tx, bits);
+    const auto wg = transform_row_bits(ring.fast.tg, bits);
+    c.wx = bits;
+    c.wg = bits;
+    c.mult_units = 0.0;
+    for (int r = 0; r < c.m; ++r) {
+        c.wx = std::max(c.wx, wx[static_cast<size_t>(r)]);
+        c.wg = std::max(c.wg, wg[static_cast<size_t>(r)]);
+        c.mult_units += static_cast<double>(wx[static_cast<size_t>(r)]) *
+                        wg[static_cast<size_t>(r)];
+    }
+    return c;
+}
+
+double
+AcceleratorCost::total_area() const
+{
+    double a = 0.0;
+    for (const auto& p : parts) a += p.area_mm2;
+    return a;
+}
+
+double
+AcceleratorCost::total_power() const
+{
+    double w = 0.0;
+    for (const auto& p : parts) w += p.power_w;
+    return w;
+}
+
+const UnitCost&
+AcceleratorCost::part(const std::string& nm) const
+{
+    for (const auto& p : parts) {
+        if (p.name == nm) return p;
+    }
+    std::fprintf(stderr, "AcceleratorCost: no part '%s'\n", nm.c_str());
+    std::abort();
+}
+
+double
+AcceleratorCost::equivalent_tops() const
+{
+    // Equivalent real-valued ops: each physical MAC does n-fold
+    // equivalent work (2 ops per MAC: multiply + add).
+    return 2.0 * macs * n * freq_hz / 1e12;
+}
+
+double
+dir_relu_area_mm2(int n, const TechConstants& tc)
+{
+    if (n <= 1) return 0.0;
+    // Output tuples per cycle across the 3x3 and 1x1 engines: (32/n)
+    // tuple channels x 8 pixels each.
+    const int units = 2 * (32 / n) * 8;
+    const int log2n = ilog2ceil(n);
+    // Two butterfly stages: 2 * n * log2(n) adders; n input align
+    // shifters + n output round/shift stages.
+    const double per_unit =
+        2.0 * n * log2n * tc.relu_bits * tc.add_area_per_bit +
+        2.0 * n * tc.relu_bits * tc.shift_area_per_bit;
+    return units * per_unit / 1e6;
+}
+
+AcceleratorCost
+build_accelerator_cost(int n, const TechConstants& tc)
+{
+    AcceleratorCost ac;
+    ac.n = n;
+    ac.name = n == 1 ? "eCNN" : "eRingCNN-n" + std::to_string(n);
+    ac.freq_hz = tc.freq_hz;
+    // Engine geometry (Section V): per cycle the 3x3 engine computes 32
+    // real channels over 4x2 pixels (73728 real-equivalent MACs) and the
+    // 1x1 engine 8192; physical MACs shrink by n for ring engines.
+    const int macs = (73728 + 8192) / n;
+    ac.macs = macs;
+    // Weight memory: eCNN 1280 KB; eRingCNN provisions 1.5x the n-fold
+    // reduced size to host larger models (Section V): 960 / 480 KB.
+    ac.weight_kb = n == 1 ? 1280.0 : 1.5 * 1280.0 / n;
+
+    const double units3 = (32.0 / n) * (32.0 / n);
+    const double units1 = (32.0 / n) * (32.0 / n);
+    const double mac_area =
+        tc.mult_area_per_bit2 * 64.0 + tc.add_area_per_bit * tc.acc_bits;
+    const double engines_area =
+        (macs * mac_area + (units3 + units1) * tc.unit_overhead_um2) / 1e6 +
+        dir_relu_area_mm2(n, tc);
+
+    const double mac_energy_fj =
+        tc.mult_energy_per_bit2 * 64.0 + tc.add_energy_per_bit * tc.acc_bits;
+    // Directional-ReLU dynamic energy: adders per tuple op.
+    double relu_w = 0.0;
+    if (n > 1) {
+        const int units = 2 * (32 / n) * 8;
+        const int log2n = ilog2ceil(n);
+        relu_w = units * 2.0 * n * log2n * tc.relu_bits *
+                 tc.add_energy_per_bit * 1e-15 * tc.freq_hz;
+    }
+    const double engines_w = macs * mac_energy_fj * 1e-15 * tc.freq_hz +
+                             relu_w;
+
+    ac.parts.push_back({"conv-engines", engines_area, engines_w});
+    ac.parts.push_back({"weight-memory", ac.weight_kb * tc.sram_area_per_kb,
+                        ac.weight_kb * tc.sram_power_per_kb});
+    ac.parts.push_back({"block-buffers", tc.bb_area_mm2, tc.bb_power_w});
+    // The inference datapath repeats the directional-ReLU blocks for the
+    // non-linearity after skip/residual connections (Section V), which
+    // is why eRingCNN-n4's datapath is larger than n2's.
+    ac.parts.push_back({"datapath",
+                        tc.datapath_area_mm2 + dir_relu_area_mm2(n, tc),
+                        tc.datapath_power_w + relu_w});
+    ac.parts.push_back({"misc", tc.misc_area_mm2, tc.misc_power_w});
+    return ac;
+}
+
+double
+engine_area_mm2(const std::string& ring_name, bool with_dir_relu,
+                const TechConstants& tc)
+{
+    const Ring& ring = get_ring(ring_name);
+    const int n = ring.n;
+    const RingMultCost rc = ring_mult_cost(ring, 8);
+    // One 3x3 engine: (32/n)^2 computing units, each computing m real
+    // products per tap for 9 taps x 8 pixels, plus accumulators; data /
+    // reconstruction transform adders amortize per tuple channel.
+    const double units = (32.0 / n) * (32.0 / n);
+    const double mults_area =
+        units * 9.0 * 8.0 *
+        (tc.mult_area_per_bit2 * rc.mult_units +
+         rc.m * tc.add_area_per_bit * tc.acc_bits);
+    const double tx_adds = transform_adders(ring.fast.tx);
+    const double tz_adds = transform_adders(ring.fast.tz);
+    const double transforms_area =
+        (32.0 / n) * 8.0 *
+        (tx_adds * (rc.wx + 1.0) + tz_adds * (tc.acc_bits + 2.0)) *
+        tc.add_area_per_bit;
+    double area = (mults_area + transforms_area +
+                   units * tc.unit_overhead_um2) / 1e6;
+    if (with_dir_relu && n > 1) {
+        area += dir_relu_area_mm2(n, tc) / 2.0;  // one engine's share
+    }
+    return area;
+}
+
+std::vector<ExternalAccelerator>
+external_comparators()
+{
+    // Published equivalent-throughput efficiencies (paper Table VIII).
+    return {
+        {"SparTen", "natural (unstructured)", 2.7, 3.0,
+         "45 nm synthesis; indexing/load-imbalance overheads"},
+        {"TIE", "low-rank (tensor-train)", 7.0, 4.8,
+         "CONV layers at moderate compression (FC-layer figures are far "
+         "higher but FC is absent in imaging CNNs)"},
+        {"CirCNN", "full-rank (block-circulant)", 10.0, 66.0,
+         "45 nm synthesis at 66x compression"},
+    };
+}
+
+DiffyModel
+diffy_40nm()
+{
+    // Diffy (MICRO'18) projected from 65 nm to 40 nm using the paper's
+    // scaling (2.35x gate density, 0.5x power): effective power for the
+    // FFDNet-level Full-HD 20 fps workload.
+    DiffyModel d;
+    d.area_mm2 = 55.4;
+    d.power_w = 6.8;
+    d.freq_hz = 1.0e9;
+    return d;
+}
+
+}  // namespace ringcnn::hw

@@ -1,0 +1,53 @@
+#include "models/algebra.h"
+
+#include "core/ring_conv.h"
+
+namespace ringcnn::models {
+
+std::string
+Algebra::label() const
+{
+    switch (nonlin) {
+      case NonLin::kComponentWise:
+        return ring_name;
+      case NonLin::kDirectionalH:
+        return "(" + ring_name + ",fH)";
+      case NonLin::kDirectionalO:
+        return "(" + ring_name + ",fO4)";
+    }
+    return ring_name;
+}
+
+std::unique_ptr<nn::Layer>
+Algebra::make_conv(int ci, int co, int k, std::mt19937& rng,
+                   float init_scale) const
+{
+    if (is_real()) {
+        return std::make_unique<nn::Conv2d>(ci, co, k, rng, init_scale);
+    }
+    const int n = this->n();
+    assert(ci % n == 0 && co % n == 0 &&
+           "ring models need channel counts divisible by n");
+    return std::make_unique<nn::RingConv2d>(ring(), ci / n, co / n, k, rng,
+                                            init_scale);
+}
+
+std::unique_ptr<nn::Layer>
+Algebra::make_nonlin() const
+{
+    switch (nonlin) {
+      case NonLin::kComponentWise:
+        return std::make_unique<nn::ReLU>();
+      case NonLin::kDirectionalH: {
+        const auto [u, v] = fh_transforms(n());
+        return std::make_unique<nn::DirectionalReLU>(u, v);
+      }
+      case NonLin::kDirectionalO: {
+        const auto [u, v] = fo4_transforms();
+        return std::make_unique<nn::DirectionalReLU>(u, v);
+      }
+    }
+    return std::make_unique<nn::ReLU>();
+}
+
+}  // namespace ringcnn::models

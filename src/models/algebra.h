@@ -1,0 +1,76 @@
+/**
+ * @file
+ * An Algebra bundles the two modeling choices of the RingCNN framework:
+ * which ring the convolutions use and which non-linearity follows them
+ * (component-wise ReLU fcw, or a directional ReLU fH / fO4). Model
+ * builders are parameterized on an Algebra so any backbone can be
+ * instantiated over any algebra — the paper's Fig. 5(a)->(b) conversion.
+ */
+#ifndef RINGCNN_MODELS_ALGEBRA_H
+#define RINGCNN_MODELS_ALGEBRA_H
+
+#include <memory>
+#include <string>
+
+#include "nn/layer.h"
+
+namespace ringcnn::models {
+
+/** Ring + non-linearity selection for model construction. */
+struct Algebra
+{
+    enum class NonLin {
+        kComponentWise,  ///< fcw, eq. (5)
+        kDirectionalH,   ///< fH, eq. (10)
+        kDirectionalO,   ///< fO4, Section III-E
+    };
+
+    std::string ring_name = "R";
+    NonLin nonlin = NonLin::kComponentWise;
+
+    /** Plain real-valued modeling. */
+    static Algebra real() { return {"R", NonLin::kComponentWise}; }
+    /** Ring with the conventional component-wise ReLU. */
+    static Algebra with_fcw(std::string ring)
+    {
+        return {std::move(ring), NonLin::kComponentWise};
+    }
+    /** The paper's proposed (RI, fH): pass "RI2"/"RI4"/"RI8". */
+    static Algebra with_fh(std::string ring)
+    {
+        return {std::move(ring), NonLin::kDirectionalH};
+    }
+    /** The (RI4, fO4) variant. */
+    static Algebra with_fo4()
+    {
+        return {"RI4", NonLin::kDirectionalO};
+    }
+
+    const Ring& ring() const { return get_ring(ring_name); }
+    int n() const { return ring().n; }
+    bool is_real() const { return ring_name == "R"; }
+
+    /** Human-readable label, e.g. "(RI4,fH)" or "RH4". */
+    std::string label() const;
+
+    /**
+     * Builds a convolution layer with the given REAL channel counts
+     * (both must be divisible by n unless the algebra is real).
+     */
+    std::unique_ptr<nn::Layer> make_conv(int ci, int co, int k,
+                                         std::mt19937& rng,
+                                         float init_scale = 1.0f) const;
+
+    /** Builds the algebra's non-linearity layer. */
+    std::unique_ptr<nn::Layer> make_nonlin() const;
+
+    /** Rounds a real channel count up to a multiple of n. */
+    int pad_channels(int c) const
+    {
+        return (c + n() - 1) / n() * n();
+    }
+};
+
+}  // namespace ringcnn::models
+
+#endif  // RINGCNN_MODELS_ALGEBRA_H

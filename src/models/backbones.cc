@@ -1,0 +1,209 @@
+#include "models/backbones.h"
+
+namespace ringcnn::models {
+
+namespace {
+
+using nn::ChannelPad;
+using nn::Conv2d;
+using nn::CropChannels;
+using nn::DepthwiseConv2d;
+using nn::PixelShuffle;
+using nn::PixelUnshuffle;
+using nn::ReLU;
+using nn::Residual;
+using nn::Sequential;
+using nn::UpsampleBilinearLayer;
+
+/** One ERModule: Residual[1x1 C->RC, f, N x (3x3 RC->RC, f), 3x3 RC->C]. */
+std::unique_ptr<nn::Layer>
+er_module(const Algebra& alg, int c, int r, int n_extra, std::mt19937& rng)
+{
+    auto body = std::make_unique<Sequential>();
+    const int pumped = c * r;
+    body->add(alg.make_conv(c, pumped, 1, rng));
+    body->add(alg.make_nonlin());
+    for (int i = 0; i < n_extra; ++i) {
+        body->add(alg.make_conv(pumped, pumped, 3, rng));
+        body->add(alg.make_nonlin());
+    }
+    body->add(alg.make_conv(pumped, c, 3, rng, 0.5f));
+    return std::make_unique<Residual>(std::move(body));
+}
+
+}  // namespace
+
+nn::Model
+build_dn_ernet_pu(const Algebra& alg, const ErnetConfig& cfg)
+{
+    std::mt19937 rng(cfg.seed);
+    const int c = alg.pad_channels(cfg.channels);
+    const int pu_ch = 3 * 2 * 2;           // 12 channels after PU(2)
+    const int pu_pad = alg.pad_channels(pu_ch);
+
+    // Direct clean-image prediction (FFDNet-style): at laptop-scale
+    // training budgets this converges much faster than noise-residual
+    // learning while ranking algebras identically.
+    auto root = std::make_unique<Sequential>();
+    root->add(std::make_unique<PixelUnshuffle>(2));
+    root->add(std::make_unique<ChannelPad>(alg.n()));
+    root->add(alg.make_conv(pu_pad, c, 3, rng));
+    root->add(alg.make_nonlin());
+    for (int b = 0; b < cfg.blocks; ++b) {
+        root->add(er_module(alg, c, cfg.pump_ratio, cfg.extra_pump, rng));
+    }
+    root->add(alg.make_conv(c, alg.pad_channels(pu_ch), 3, rng));
+    root->add(std::make_unique<CropChannels>(pu_ch));
+    root->add(std::make_unique<PixelShuffle>(2));
+    return nn::Model("DnERNet-PU-" + cfg.tag() + "-" + alg.label(),
+                     std::move(root));
+}
+
+nn::Model
+build_sr4_ernet(const Algebra& alg, const ErnetConfig& cfg)
+{
+    std::mt19937 rng(cfg.seed);
+    const int c = alg.pad_channels(cfg.channels);
+    const int in_pad = alg.pad_channels(3);
+    const int out_ch = 3 * 4 * 4;          // 48 channels before PS(4)
+    const int out_pad = alg.pad_channels(out_ch);
+
+    auto main = std::make_unique<Sequential>();
+    main->add(std::make_unique<ChannelPad>(alg.n()));
+    main->add(alg.make_conv(in_pad, c, 3, rng));
+    main->add(alg.make_nonlin());
+
+    auto trunk = std::make_unique<Sequential>();
+    for (int b = 0; b < cfg.blocks; ++b) {
+        trunk->add(er_module(alg, c, cfg.pump_ratio, cfg.extra_pump, rng));
+    }
+    trunk->add(alg.make_conv(c, c, 3, rng, 0.5f));
+    main->add(std::make_unique<Residual>(std::move(trunk)));
+
+    main->add(alg.make_conv(c, out_pad, 3, rng, 0.5f));
+    main->add(std::make_unique<CropChannels>(out_ch));
+    main->add(std::make_unique<PixelShuffle>(4));
+
+    // Global bilinear skip: the network learns the HR residual detail.
+    auto root = std::make_unique<nn::TwoBranchAdd>(
+        std::move(main), std::make_unique<UpsampleBilinearLayer>(4));
+    return nn::Model("SR4ERNet-" + cfg.tag() + "-" + alg.label(),
+                     std::move(root));
+}
+
+nn::Model
+build_srresnet(const Algebra& alg, int channels, int blocks, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    const int c = alg.pad_channels(channels);
+    const int in_pad = alg.pad_channels(3);
+    const int out_ch = 3 * 4 * 4;
+    const int out_pad = alg.pad_channels(out_ch);
+
+    auto main = std::make_unique<Sequential>();
+    main->add(std::make_unique<ChannelPad>(alg.n()));
+    main->add(alg.make_conv(in_pad, c, 3, rng));
+    main->add(alg.make_nonlin());
+
+    auto trunk = std::make_unique<Sequential>();
+    for (int b = 0; b < blocks; ++b) {
+        auto block = std::make_unique<Sequential>();
+        block->add(alg.make_conv(c, c, 3, rng));
+        block->add(alg.make_nonlin());
+        block->add(alg.make_conv(c, c, 3, rng, 0.5f));
+        trunk->add(std::make_unique<Residual>(std::move(block)));
+    }
+    trunk->add(alg.make_conv(c, c, 3, rng, 0.5f));
+    main->add(std::make_unique<Residual>(std::move(trunk)));
+
+    main->add(alg.make_conv(c, out_pad, 3, rng, 0.5f));
+    main->add(std::make_unique<CropChannels>(out_ch));
+    main->add(std::make_unique<PixelShuffle>(4));
+
+    auto root = std::make_unique<nn::TwoBranchAdd>(
+        std::move(main), std::make_unique<UpsampleBilinearLayer>(4));
+    return nn::Model("SRResNet-C" + std::to_string(channels) + "B" +
+                         std::to_string(blocks) + "-" + alg.label(),
+                     std::move(root));
+}
+
+nn::Model
+build_srresnet_dwc(int channels, int blocks, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    const int c = channels;
+    const int out_ch = 3 * 4 * 4;
+
+    auto dw_sep = [&](int ci, int co, float scale = 1.0f) {
+        auto s = std::make_unique<Sequential>();
+        s->add(std::make_unique<DepthwiseConv2d>(ci, 3, rng));
+        s->add(std::make_unique<Conv2d>(ci, co, 1, rng, scale));
+        return s;
+    };
+
+    auto main = std::make_unique<Sequential>();
+    main->add(std::make_unique<Conv2d>(3, c, 3, rng));
+    main->add(std::make_unique<ReLU>());
+
+    auto trunk = std::make_unique<Sequential>();
+    for (int b = 0; b < blocks; ++b) {
+        auto block = std::make_unique<Sequential>();
+        block->add(dw_sep(c, c));
+        block->add(std::make_unique<ReLU>());
+        block->add(dw_sep(c, c, 0.5f));
+        trunk->add(std::make_unique<Residual>(std::move(block)));
+    }
+    trunk->add(dw_sep(c, c, 0.5f));
+    main->add(std::make_unique<Residual>(std::move(trunk)));
+
+    main->add(std::make_unique<Conv2d>(c, out_ch, 3, rng, 0.5f));
+    main->add(std::make_unique<PixelShuffle>(4));
+
+    auto root = std::make_unique<nn::TwoBranchAdd>(
+        std::move(main), std::make_unique<UpsampleBilinearLayer>(4));
+    return nn::Model("SRResNet-DWC-C" + std::to_string(channels) + "B" +
+                         std::to_string(blocks),
+                     std::move(root));
+}
+
+nn::Model
+build_vdsr(int channels, int depth, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    auto root = std::make_unique<Sequential>();
+    root->add(std::make_unique<UpsampleBilinearLayer>(4));
+
+    auto body = std::make_unique<Sequential>();
+    body->add(std::make_unique<Conv2d>(3, channels, 3, rng));
+    body->add(std::make_unique<ReLU>());
+    for (int d = 0; d < depth; ++d) {
+        body->add(std::make_unique<Conv2d>(channels, channels, 3, rng));
+        body->add(std::make_unique<ReLU>());
+    }
+    body->add(std::make_unique<Conv2d>(channels, 3, 3, rng, 0.5f));
+    root->add(std::make_unique<Residual>(std::move(body)));
+    return nn::Model("VDSR-C" + std::to_string(channels) + "D" +
+                         std::to_string(depth),
+                     std::move(root));
+}
+
+nn::Model
+build_ffdnet(int channels, int depth, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    auto root = std::make_unique<Sequential>();
+    root->add(std::make_unique<PixelUnshuffle>(2));
+    root->add(std::make_unique<Conv2d>(12, channels, 3, rng));
+    root->add(std::make_unique<ReLU>());
+    for (int d = 0; d < depth; ++d) {
+        root->add(std::make_unique<Conv2d>(channels, channels, 3, rng));
+        root->add(std::make_unique<ReLU>());
+    }
+    root->add(std::make_unique<Conv2d>(channels, 12, 3, rng));
+    root->add(std::make_unique<PixelShuffle>(2));
+    return nn::Model("FFDNet-C" + std::to_string(channels) + "D" +
+                         std::to_string(depth),
+                     std::move(root));
+}
+
+}  // namespace ringcnn::models

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Model builders for the backbones the paper trains:
+ *
+ *  - DnERNet-PU: denoising ERNet with pixel-unshuffle front end
+ *    (configured by B = ERModule count, R = pumping ratio, N = extra
+ *    pumping layers, C = base channels), global residual learning.
+ *  - SR4ERNet: x4 super-resolution ERNet with a pixel-shuffle tail.
+ *  - SRResNet-like, VDSR-like, FFDNet-like compact baselines.
+ *  - A depthwise-separable SRResNet variant (the Fig. 1 DWC point).
+ *
+ * Every builder is parameterized on an Algebra, implementing the
+ * paper's real-to-ring model conversion (Fig. 5(a) -> (b)). The exact
+ * ERModule topology is a reconstruction (the eCNN paper's module at
+ * laptop scale): Residual[1x1 C->RC, f, N x (3x3 RC->RC, f), 3x3 RC->C].
+ */
+#ifndef RINGCNN_MODELS_BACKBONES_H
+#define RINGCNN_MODELS_BACKBONES_H
+
+#include "models/algebra.h"
+#include "nn/model.h"
+
+namespace ringcnn::models {
+
+/** ERNet configuration (paper notation: B / R / N). */
+struct ErnetConfig
+{
+    int channels = 16;   ///< base feature channels C
+    int blocks = 2;      ///< B: number of ERModules
+    int pump_ratio = 2;  ///< R: channel pumping inside a module
+    int extra_pump = 0;  ///< N: additional pumped 3x3 layers
+    unsigned seed = 7;   ///< weight init seed
+
+    std::string tag() const
+    {
+        return "B" + std::to_string(blocks) + "R" +
+               std::to_string(pump_ratio) + "N" + std::to_string(extra_pump) +
+               "C" + std::to_string(channels);
+    }
+};
+
+/** Denoising ERNet with pixel-unshuffle (paper's DnERNet-PU). */
+nn::Model build_dn_ernet_pu(const Algebra& alg, const ErnetConfig& cfg);
+
+/** x4 super-resolution ERNet (paper's SR4ERNet). */
+nn::Model build_sr4_ernet(const Algebra& alg, const ErnetConfig& cfg);
+
+/** Compact SRResNet-like x4 SR model (the Fig. 1 / Table IV baseline).
+ *  blocks standard residual blocks of width `channels`. */
+nn::Model build_srresnet(const Algebra& alg, int channels, int blocks,
+                         unsigned seed = 7);
+
+/** SRResNet variant with depthwise-separable convolutions (Fig. 1 DWC). */
+nn::Model build_srresnet_dwc(int channels, int blocks, unsigned seed = 7);
+
+/** VDSR-like x4 model: bilinear upsample + plain conv stack + residual. */
+nn::Model build_vdsr(int channels, int depth, unsigned seed = 7);
+
+/** FFDNet-like denoiser: PU(2) + conv stack + PS(2), direct prediction. */
+nn::Model build_ffdnet(int channels, int depth, unsigned seed = 7);
+
+}  // namespace ringcnn::models
+
+#endif  // RINGCNN_MODELS_BACKBONES_H

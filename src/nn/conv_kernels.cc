@@ -1,0 +1,140 @@
+#include "nn/conv_kernels.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ringcnn::nn {
+
+void
+conv2d_forward(const Tensor& x, const Tensor& w,
+               const std::vector<float>& bias, Tensor& out)
+{
+    const int ci = x.dim(0), h = x.dim(1), wd = x.dim(2);
+    const int co = w.dim(0), k = w.dim(2), pad = k / 2;
+    assert(w.dim(1) == ci && out.dim(0) == co && out.dim(1) == h &&
+           out.dim(2) == wd);
+
+    for (int oc = 0; oc < co; ++oc) {
+        float* out_ch = out.data() + static_cast<size_t>(oc) * h * wd;
+        const float b = bias.empty() ? 0.0f : bias[static_cast<size_t>(oc)];
+        std::fill(out_ch, out_ch + static_cast<size_t>(h) * wd, b);
+    }
+    for (int oc = 0; oc < co; ++oc) {
+        float* out_ch = out.data() + static_cast<size_t>(oc) * h * wd;
+        for (int ic = 0; ic < ci; ++ic) {
+            const float* x_ch = x.data() + static_cast<size_t>(ic) * h * wd;
+            const float* w_tap =
+                w.data() + (static_cast<size_t>(oc) * ci + ic) * k * k;
+            for (int ky = 0; ky < k; ++ky) {
+                const int y_lo = std::max(0, pad - ky);
+                const int y_hi = std::min(h, h + pad - ky);
+                for (int kx = 0; kx < k; ++kx) {
+                    const float wv = w_tap[static_cast<size_t>(ky) * k + kx];
+                    if (wv == 0.0f) continue;
+                    const int x_lo = std::max(0, pad - kx);
+                    const int x_hi = std::min(wd, wd + pad - kx);
+                    const int shift_y = ky - pad, shift_x = kx - pad;
+                    for (int y = y_lo; y < y_hi; ++y) {
+                        float* orow = out_ch + static_cast<size_t>(y) * wd;
+                        const float* irow = x_ch +
+                            static_cast<size_t>(y + shift_y) * wd + shift_x;
+                        for (int xx = x_lo; xx < x_hi; ++xx) {
+                            orow[xx] += wv * irow[xx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+conv2d_backward_input(const Tensor& w, const Tensor& grad_out, Tensor& grad_x)
+{
+    const int co = w.dim(0), ci = w.dim(1), k = w.dim(2), pad = k / 2;
+    const int h = grad_out.dim(1), wd = grad_out.dim(2);
+    assert(grad_out.dim(0) == co && grad_x.dim(0) == ci);
+    grad_x.fill(0.0f);
+    // grad_x[ic][iy][ix] += w[oc][ic][ky][kx] * go[oc][iy - ky + pad][ix - kx + pad]
+    for (int oc = 0; oc < co; ++oc) {
+        const float* go_ch =
+            grad_out.data() + static_cast<size_t>(oc) * h * wd;
+        for (int ic = 0; ic < ci; ++ic) {
+            float* gx_ch = grad_x.data() + static_cast<size_t>(ic) * h * wd;
+            const float* w_tap =
+                w.data() + (static_cast<size_t>(oc) * ci + ic) * k * k;
+            for (int ky = 0; ky < k; ++ky) {
+                const int sy = pad - ky;  // oy = iy + sy
+                const int y_lo = std::max(0, -sy);
+                const int y_hi = std::min(h, h - sy);
+                for (int kx = 0; kx < k; ++kx) {
+                    const float wv = w_tap[static_cast<size_t>(ky) * k + kx];
+                    if (wv == 0.0f) continue;
+                    const int sx = pad - kx;
+                    const int x_lo = std::max(0, -sx);
+                    const int x_hi = std::min(wd, wd - sx);
+                    for (int iy = y_lo; iy < y_hi; ++iy) {
+                        float* gxrow = gx_ch + static_cast<size_t>(iy) * wd;
+                        const float* gorow = go_ch +
+                            static_cast<size_t>(iy + sy) * wd + sx;
+                        for (int ix = x_lo; ix < x_hi; ++ix) {
+                            gxrow[ix] += wv * gorow[ix];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+conv2d_backward_weights(const Tensor& x, const Tensor& grad_out,
+                        Tensor& grad_w, std::vector<float>& grad_b)
+{
+    const int ci = x.dim(0), h = x.dim(1), wd = x.dim(2);
+    const int co = grad_out.dim(0), k = grad_w.dim(2), pad = k / 2;
+    assert(grad_w.dim(0) == co && grad_w.dim(1) == ci);
+
+    if (!grad_b.empty()) {
+        assert(static_cast<int>(grad_b.size()) == co);
+        for (int oc = 0; oc < co; ++oc) {
+            const float* go_ch =
+                grad_out.data() + static_cast<size_t>(oc) * h * wd;
+            double acc = 0.0;
+            for (int i = 0; i < h * wd; ++i) acc += go_ch[i];
+            grad_b[static_cast<size_t>(oc)] += static_cast<float>(acc);
+        }
+    }
+    for (int oc = 0; oc < co; ++oc) {
+        const float* go_ch =
+            grad_out.data() + static_cast<size_t>(oc) * h * wd;
+        for (int ic = 0; ic < ci; ++ic) {
+            const float* x_ch = x.data() + static_cast<size_t>(ic) * h * wd;
+            float* gw_tap =
+                grad_w.data() + (static_cast<size_t>(oc) * ci + ic) * k * k;
+            for (int ky = 0; ky < k; ++ky) {
+                const int y_lo = std::max(0, pad - ky);
+                const int y_hi = std::min(h, h + pad - ky);
+                for (int kx = 0; kx < k; ++kx) {
+                    const int x_lo = std::max(0, pad - kx);
+                    const int x_hi = std::min(wd, wd + pad - kx);
+                    const int shift_y = ky - pad, shift_x = kx - pad;
+                    double acc = 0.0;
+                    for (int y = y_lo; y < y_hi; ++y) {
+                        const float* gorow =
+                            go_ch + static_cast<size_t>(y) * wd;
+                        const float* irow = x_ch +
+                            static_cast<size_t>(y + shift_y) * wd + shift_x;
+                        for (int xx = x_lo; xx < x_hi; ++xx) {
+                            acc += static_cast<double>(gorow[xx]) * irow[xx];
+                        }
+                    }
+                    gw_tap[static_cast<size_t>(ky) * k + kx] +=
+                        static_cast<float>(acc);
+                }
+            }
+        }
+    }
+}
+
+}  // namespace ringcnn::nn

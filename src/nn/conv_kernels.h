@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Optimized dense convolution kernels ("same" padding, stride 1) used
+ * by the training layers. The loops are organised plane-wise — for a
+ * fixed (oc, ic, ky, kx) tap, a whole row of the output is updated from
+ * a contiguous row of the input — so the compiler can vectorize the
+ * inner loop. Correctness is pinned to tensor/image_ops.h conv2d by
+ * unit tests.
+ */
+#ifndef RINGCNN_NN_CONV_KERNELS_H
+#define RINGCNN_NN_CONV_KERNELS_H
+
+#include "tensor/tensor.h"
+
+namespace ringcnn::nn {
+
+/**
+ * Forward convolution: out = conv(x, w) + bias, "same" padding.
+ * @param out preallocated [Co][H][W]; overwritten.
+ */
+void conv2d_forward(const Tensor& x, const Tensor& w,
+                    const std::vector<float>& bias, Tensor& out);
+
+/**
+ * Input gradient: grad_x = conv^T(w, grad_out).
+ * @param grad_x preallocated [Ci][H][W]; overwritten.
+ */
+void conv2d_backward_input(const Tensor& w, const Tensor& grad_out,
+                           Tensor& grad_x);
+
+/**
+ * Weight/bias gradients, ACCUMULATED into grad_w / grad_b.
+ * Shapes: grad_w [Co][Ci][K][K], grad_b length Co (may be empty to skip).
+ */
+void conv2d_backward_weights(const Tensor& x, const Tensor& grad_out,
+                             Tensor& grad_w, std::vector<float>& grad_b);
+
+}  // namespace ringcnn::nn
+
+#endif  // RINGCNN_NN_CONV_KERNELS_H

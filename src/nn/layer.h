@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Layer abstraction for the from-scratch training framework.
+ *
+ * Layers implement explicit forward/backward passes (no autograd tape);
+ * each layer caches what its backward pass needs. RingConv2d follows
+ * the paper's Section IV-B recipe: train through the isomorphic
+ * real-valued expansion of eq. (4) and fold gradients back onto the n
+ * ring degrees of freedom.
+ */
+#ifndef RINGCNN_NN_LAYER_H
+#define RINGCNN_NN_LAYER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ring_conv.h"
+#include "tensor/tensor.h"
+
+namespace ringcnn::nn {
+
+/** Mutable view of one parameter group and its gradient accumulator. */
+struct ParamRef
+{
+    std::vector<float>* value;
+    std::vector<float>* grad;
+    std::string name;
+};
+
+/** Base class for all layers. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** Computes the output; caches activations when train is true. */
+    virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+    /** Propagates gradients; accumulates parameter gradients. */
+    virtual Tensor backward(const Tensor& grad_out) = 0;
+
+    /** Appends parameter references (default: no parameters). */
+    virtual void collect_params(std::vector<ParamRef>& out) { (void)out; }
+
+    /** Output shape for a given input shape. */
+    virtual Shape out_shape(const Shape& in) const { return in; }
+
+    /**
+     * Real multiplications needed by one forward pass on the given
+     * input (the paper's complexity axis). Counts the fast-algorithm
+     * multiplication count m for ring convolutions.
+     */
+    virtual int64_t macs(const Shape& in) const
+    {
+        (void)in;
+        return 0;
+    }
+
+    virtual std::string name() const = 0;
+
+    /** Deep copy (weights included). */
+    virtual std::unique_ptr<Layer> clone() const = 0;
+};
+
+/** Plain dense convolution layer, "same" padding. */
+class Conv2d : public Layer
+{
+  public:
+    /**
+     * @param ci,co   input/output channels
+     * @param k       odd kernel size
+     * @param init_scale multiplies the He-init stddev (paper-style
+     *        residual scaling uses < 1 on the last conv of a block).
+     */
+    Conv2d(int ci, int co, int k, std::mt19937& rng, float init_scale = 1.0f);
+
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& grad_out) override;
+    void collect_params(std::vector<ParamRef>& out) override;
+    Shape out_shape(const Shape& in) const override;
+    int64_t macs(const Shape& in) const override;
+    std::string name() const override { return "Conv2d"; }
+    std::unique_ptr<Layer> clone() const override;
+
+    Tensor& weights() { return w_; }
+    const Tensor& weights() const { return w_; }
+    std::vector<float>& bias() { return b_; }
+
+  private:
+    int ci_, co_, k_;
+    Tensor w_, gw_;
+    std::vector<float> b_, gb_;
+    Tensor x_cache_;
+};
+
+/** Ring convolution layer (RCONV, paper eq. (11)). */
+class RingConv2d : public Layer
+{
+  public:
+    RingConv2d(const Ring& ring, int ci_t, int co_t, int k, std::mt19937& rng,
+               float init_scale = 1.0f);
+
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& grad_out) override;
+    void collect_params(std::vector<ParamRef>& out) override;
+    Shape out_shape(const Shape& in) const override;
+    int64_t macs(const Shape& in) const override;
+    std::string name() const override { return "RingConv2d(" + ring_->name + ")"; }
+    std::unique_ptr<Layer> clone() const override;
+
+    const Ring& ring() const { return *ring_; }
+    RingConvWeights& weights() { return g_; }
+    const RingConvWeights& weights() const { return g_; }
+    std::vector<float>& bias() { return b_; }
+
+  private:
+    const Ring* ring_;
+    int ci_t_, co_t_, k_;
+    RingConvWeights g_, gg_;
+    std::vector<float> b_, gb_;
+    Tensor x_cache_;
+    Tensor w_real_;  ///< cached expansion for the current forward pass
+};
+
+/** Component-wise ReLU (fcw, eq. (5)). */
+class ReLU : public Layer
+{
+  public:
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& grad_out) override;
+    std::string name() const override { return "ReLU"; }
+    std::unique_ptr<Layer> clone() const override
+    {
+        return std::make_unique<ReLU>();
+    }
+
+  private:
+    std::vector<uint8_t> mask_;
+};
+
+/** Directional ReLU (fdir, Section III-E): y -> U fcw(V y) per n-tuple. */
+class DirectionalReLU : public Layer
+{
+  public:
+    DirectionalReLU(Matd u, Matd v);
+
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& grad_out) override;
+    std::string name() const override { return "DirectionalReLU"; }
+    std::unique_ptr<Layer> clone() const override
+    {
+        return std::make_unique<DirectionalReLU>(u_, v_);
+    }
+
+    const Matd& u() const { return u_; }
+    const Matd& v() const { return v_; }
+
+  private:
+    Matd u_, v_;
+    int n_;
+    std::vector<uint8_t> mask_;  ///< sign of V y per component
+};
+
+/** Depth-to-space (r) with exact permutation backward. */
+class PixelShuffle : public Layer
+{
+  public:
+    explicit PixelShuffle(int r) : r_(r) {}
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& grad_out) override;
+    Shape out_shape(const Shape& in) const override;
+    std::string name() const override { return "PixelShuffle"; }
+    std::unique_ptr<Layer> clone() const override
+    {
+        return std::make_unique<PixelShuffle>(r_);
+    }
+
+  private:
+    int r_;
+};
+
+/** Space-to-depth (r). */
+class PixelUnshuffle : public Layer
+{
+  public:
+    explicit PixelUnshuffle(int r) : r_(r) {}
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& grad_out) override;
+    Shape out_shape(const Shape& in) const override;
+    std::string name() const override { return "PixelUnshuffle"; }
+    std::unique_ptr<Layer> clone() const override
+    {
+        return std::make_unique<PixelUnshuffle>(r_);
+    }
+
+  private:
+    int r_;
+};
+
+/** Zero-pads channels up to a multiple of `multiple` (ring alignment). */
+class ChannelPad : public Layer
+{
+  public:
+    explicit ChannelPad(int multiple) : multiple_(multiple) {}
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& grad_out) override;
+    Shape out_shape(const Shape& in) const override;
+    std::string name() const override { return "ChannelPad"; }
+    std::unique_ptr<Layer> clone() const override
+    {
+        return std::make_unique<ChannelPad>(multiple_);
+    }
+
+  private:
+    int multiple_;
+    int in_channels_ = 0;
+};
+
+/** Keeps only the first `keep` channels (inverse of ChannelPad). */
+class CropChannels : public Layer
+{
+  public:
+    explicit CropChannels(int keep) : keep_(keep) {}
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& grad_out) override;
+    Shape out_shape(const Shape& in) const override;
+    std::string name() const override { return "CropChannels"; }
+    std::unique_ptr<Layer> clone() const override
+    {
+        return std::make_unique<CropChannels>(keep_);
+    }
+
+  private:
+    int keep_;
+    int in_channels_ = 0;
+};
+
+/** Bilinear upsampling by an integer factor, with the exact adjoint
+ *  backward pass (used by the VDSR-like baseline). */
+class UpsampleBilinearLayer : public Layer
+{
+  public:
+    explicit UpsampleBilinearLayer(int r) : r_(r) {}
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& grad_out) override;
+    Shape out_shape(const Shape& in) const override;
+    std::string name() const override { return "UpsampleBilinear"; }
+    std::unique_ptr<Layer> clone() const override
+    {
+        return std::make_unique<UpsampleBilinearLayer>(r_);
+    }
+
+  private:
+    int r_;
+    Shape in_shape_;
+};
+
+/** Depthwise (per-channel) convolution — the low-rank-sparsity baseline
+ *  of Fig. 1. */
+class DepthwiseConv2d : public Layer
+{
+  public:
+    DepthwiseConv2d(int c, int k, std::mt19937& rng);
+
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& grad_out) override;
+    void collect_params(std::vector<ParamRef>& out) override;
+    int64_t macs(const Shape& in) const override;
+    std::string name() const override { return "DepthwiseConv2d"; }
+    std::unique_ptr<Layer> clone() const override;
+
+  private:
+    int c_, k_;
+    Tensor w_, gw_;  ///< [C][1][K][K]
+    std::vector<float> b_, gb_;
+    Tensor x_cache_;
+};
+
+/** Runs layers in order. */
+class Sequential : public Layer
+{
+  public:
+    Sequential() = default;
+    explicit Sequential(std::vector<std::unique_ptr<Layer>> layers)
+        : layers_(std::move(layers))
+    {
+    }
+
+    void add(std::unique_ptr<Layer> l) { layers_.push_back(std::move(l)); }
+    size_t size() const { return layers_.size(); }
+    Layer& at(size_t i) { return *layers_[i]; }
+
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& grad_out) override;
+    void collect_params(std::vector<ParamRef>& out) override;
+    Shape out_shape(const Shape& in) const override;
+    int64_t macs(const Shape& in) const override;
+    std::string name() const override { return "Sequential"; }
+    std::unique_ptr<Layer> clone() const override;
+
+  private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/** y = main(x) + skip(x); output shapes of the branches must agree.
+ *  Used for SR models where the skip is a fixed bilinear upsampler. */
+class TwoBranchAdd : public Layer
+{
+  public:
+    TwoBranchAdd(std::unique_ptr<Layer> main, std::unique_ptr<Layer> skip)
+        : main_(std::move(main)), skip_(std::move(skip))
+    {
+    }
+
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& grad_out) override;
+    void collect_params(std::vector<ParamRef>& out) override;
+    Shape out_shape(const Shape& in) const override;
+    int64_t macs(const Shape& in) const override;
+    std::string name() const override { return "TwoBranchAdd"; }
+    std::unique_ptr<Layer> clone() const override
+    {
+        return std::make_unique<TwoBranchAdd>(main_->clone(), skip_->clone());
+    }
+
+    Layer& main() { return *main_; }
+    Layer& skip() { return *skip_; }
+
+  private:
+    std::unique_ptr<Layer> main_, skip_;
+};
+
+/** y = x + body(x); shapes must agree. */
+class Residual : public Layer
+{
+  public:
+    explicit Residual(std::unique_ptr<Layer> body) : body_(std::move(body)) {}
+
+    Tensor forward(const Tensor& x, bool train) override;
+    Tensor backward(const Tensor& grad_out) override;
+    void collect_params(std::vector<ParamRef>& out) override;
+    Shape out_shape(const Shape& in) const override;
+    int64_t macs(const Shape& in) const override;
+    std::string name() const override { return "Residual"; }
+    std::unique_ptr<Layer> clone() const override
+    {
+        return std::make_unique<Residual>(body_->clone());
+    }
+
+    Layer& body() { return *body_; }
+
+  private:
+    std::unique_ptr<Layer> body_;
+};
+
+}  // namespace ringcnn::nn
+
+#endif  // RINGCNN_NN_LAYER_H

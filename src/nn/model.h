@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Model wrapper: owns a root layer, exposes forward/backward, parameter
+ * access, and complexity accounting (params / real multiplications).
+ */
+#ifndef RINGCNN_NN_MODEL_H
+#define RINGCNN_NN_MODEL_H
+
+#include <memory>
+#include <string>
+
+#include "nn/layer.h"
+
+namespace ringcnn::nn {
+
+/** A trainable model = named root layer + bookkeeping helpers. */
+class Model
+{
+  public:
+    Model() = default;
+    Model(std::string name, std::unique_ptr<Layer> root)
+        : name_(std::move(name)), root_(std::move(root))
+    {
+    }
+
+    Model(const Model& o) : name_(o.name_)
+    {
+        if (o.root_) root_ = o.root_->clone();
+    }
+    Model& operator=(const Model& o)
+    {
+        if (this != &o) {
+            name_ = o.name_;
+            root_ = o.root_ ? o.root_->clone() : nullptr;
+        }
+        return *this;
+    }
+    Model(Model&&) = default;
+    Model& operator=(Model&&) = default;
+
+    const std::string& name() const { return name_; }
+    Layer& root() { return *root_; }
+    const Layer& root() const { return *root_; }
+
+    Tensor forward(const Tensor& x, bool train = false)
+    {
+        return root_->forward(x, train);
+    }
+    Tensor backward(const Tensor& grad) { return root_->backward(grad); }
+
+    std::vector<ParamRef> params()
+    {
+        std::vector<ParamRef> out;
+        root_->collect_params(out);
+        return out;
+    }
+
+    /** Total trainable scalars (the paper's weight-storage axis). */
+    int64_t num_params()
+    {
+        int64_t total = 0;
+        for (const auto& p : params()) {
+            total += static_cast<int64_t>(p.value->size());
+        }
+        return total;
+    }
+
+    /** Zeroes every gradient accumulator. */
+    void zero_grad()
+    {
+        for (auto& p : params()) {
+            std::fill(p.grad->begin(), p.grad->end(), 0.0f);
+        }
+    }
+
+    /** Real multiplications for one forward pass on the input shape. */
+    int64_t macs(const Shape& in) const { return root_->macs(in); }
+
+    Shape out_shape(const Shape& in) const { return root_->out_shape(in); }
+
+  private:
+    std::string name_;
+    std::unique_ptr<Layer> root_;
+};
+
+}  // namespace ringcnn::nn
+
+#endif  // RINGCNN_NN_MODEL_H

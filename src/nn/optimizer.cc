@@ -1,0 +1,76 @@
+#include "nn/optimizer.h"
+
+namespace ringcnn::nn {
+
+Adam::Adam(std::vector<ParamRef> params, float lr, float beta1, float beta2,
+           float eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps)
+{
+    for (const auto& p : params_) {
+        m_.emplace_back(p.value->size(), 0.0f);
+        v_.emplace_back(p.value->size(), 0.0f);
+    }
+}
+
+void
+Adam::step(float grad_scale)
+{
+    ++t_;
+    const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+    const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+    for (size_t pi = 0; pi < params_.size(); ++pi) {
+        auto& val = *params_[pi].value;
+        auto& grad = *params_[pi].grad;
+        auto& m = m_[pi];
+        auto& v = v_[pi];
+        for (size_t i = 0; i < val.size(); ++i) {
+            const float g = grad[i] * grad_scale;
+            m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+            v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+            const float mhat = m[i] / bc1;
+            const float vhat = v[i] / bc2;
+            val[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+        }
+    }
+}
+
+void
+Adam::clip_global_norm(float max_norm, float grad_scale)
+{
+    double sq = 0.0;
+    for (const auto& p : params_) {
+        for (float g : *p.grad) {
+            const double s = static_cast<double>(g) * grad_scale;
+            sq += s * s;
+        }
+    }
+    const double norm = std::sqrt(sq);
+    if (norm <= max_norm || norm == 0.0) return;
+    const float scale = static_cast<float>(max_norm / norm);
+    for (auto& p : params_) {
+        for (float& g : *p.grad) g *= scale;
+    }
+}
+
+Sgd::Sgd(std::vector<ParamRef> params, float lr, float momentum)
+    : params_(std::move(params)), lr_(lr), momentum_(momentum)
+{
+    for (const auto& p : params_) vel_.emplace_back(p.value->size(), 0.0f);
+}
+
+void
+Sgd::step(float grad_scale)
+{
+    for (size_t pi = 0; pi < params_.size(); ++pi) {
+        auto& val = *params_[pi].value;
+        auto& grad = *params_[pi].grad;
+        auto& vel = vel_[pi];
+        for (size_t i = 0; i < val.size(); ++i) {
+            vel[i] = momentum_ * vel[i] - lr_ * grad[i] * grad_scale;
+            val[i] += vel[i];
+        }
+    }
+}
+
+}  // namespace ringcnn::nn

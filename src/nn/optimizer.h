@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Optimizers for the training framework: Adam (the paper's training
+ * setup) and plain SGD (used by a few tests).
+ */
+#ifndef RINGCNN_NN_OPTIMIZER_H
+#define RINGCNN_NN_OPTIMIZER_H
+
+#include <cmath>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace ringcnn::nn {
+
+/** Adam optimizer over a fixed parameter set. */
+class Adam
+{
+  public:
+    explicit Adam(std::vector<ParamRef> params, float lr = 1e-3f,
+                  float beta1 = 0.9f, float beta2 = 0.999f,
+                  float eps = 1e-8f);
+
+    void set_lr(float lr) { lr_ = lr; }
+    float lr() const { return lr_; }
+
+    /**
+     * One update step from the accumulated gradients.
+     * @param grad_scale multiplies gradients (e.g. 1/batch).
+     */
+    void step(float grad_scale = 1.0f);
+
+    /** Clips the global gradient norm to max_norm (after grad_scale). */
+    void clip_global_norm(float max_norm, float grad_scale = 1.0f);
+
+  private:
+    std::vector<ParamRef> params_;
+    std::vector<std::vector<float>> m_, v_;
+    float lr_, beta1_, beta2_, eps_;
+    int64_t t_ = 0;
+};
+
+/** Plain SGD, optionally with momentum. */
+class Sgd
+{
+  public:
+    explicit Sgd(std::vector<ParamRef> params, float lr = 1e-2f,
+                 float momentum = 0.0f);
+
+    void set_lr(float lr) { lr_ = lr; }
+    void step(float grad_scale = 1.0f);
+
+  private:
+    std::vector<ParamRef> params_;
+    std::vector<std::vector<float>> vel_;
+    float lr_, momentum_;
+};
+
+}  // namespace ringcnn::nn
+
+#endif  // RINGCNN_NN_OPTIMIZER_H

@@ -1,0 +1,110 @@
+#include "nn/trainer.h"
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "tensor/image_ops.h"
+
+namespace ringcnn::nn {
+
+double
+evaluate_psnr(Model& model, const std::vector<data::Sample>& eval_set)
+{
+    double acc = 0.0;
+    for (const auto& [input, target] : eval_set) {
+        const Tensor out = clamp(model.forward(input, false), 0.0f, 1.0f);
+        acc += psnr(out, target);
+    }
+    return acc / static_cast<double>(eval_set.size());
+}
+
+TrainResult
+train_on_task(Model& model, const data::ImagingTask& task,
+              const TrainConfig& cfg)
+{
+    std::mt19937 rng(cfg.seed);
+    Adam opt(model.params(), cfg.lr);
+    TrainResult res;
+    res.loss_curve.reserve(static_cast<size_t>(cfg.steps));
+
+    const int scale = task.scale();
+    const int tgt_patch = cfg.patch - cfg.patch % scale;
+
+    for (int step = 0; step < cfg.steps; ++step) {
+        // Cosine decay from lr to lr * lr_final_frac.
+        const double progress = static_cast<double>(step) / cfg.steps;
+        const double cosine = 0.5 * (1.0 + std::cos(progress * 3.14159265));
+        opt.set_lr(static_cast<float>(
+            cfg.lr * (cfg.lr_final_frac + (1.0 - cfg.lr_final_frac) * cosine)));
+
+        model.zero_grad();
+        double batch_loss = 0.0;
+        for (int b = 0; b < cfg.batch_size; ++b) {
+            const auto [input, target] = task.make_pair(tgt_patch, tgt_patch,
+                                                        rng);
+            const Tensor out = model.forward(input, true);
+            assert(out.numel() == target.numel());
+            // MSE loss; gradient = 2 (out - target) / numel.
+            Tensor grad({out.shape()});
+            double loss = 0.0;
+            const float inv = 2.0f / static_cast<float>(out.numel());
+            for (int64_t i = 0; i < out.numel(); ++i) {
+                const float d = out[i] - target[i];
+                loss += 0.5 * static_cast<double>(d) * d;
+                grad[i] = d * inv;
+            }
+            loss = 2.0 * loss / static_cast<double>(out.numel());
+            batch_loss += loss;
+            model.backward(grad);
+        }
+        batch_loss /= cfg.batch_size;
+        res.loss_curve.push_back(batch_loss);
+
+        const float grad_scale = 1.0f / static_cast<float>(cfg.batch_size);
+        if (cfg.clip_norm > 0.0f) {
+            opt.clip_global_norm(cfg.clip_norm, grad_scale);
+        }
+        opt.step(grad_scale);
+        if (cfg.post_step) cfg.post_step(model);
+    }
+
+    const int tail = std::min<int>(10, static_cast<int>(res.loss_curve.size()));
+    double tail_loss = 0.0;
+    for (int i = 0; i < tail; ++i) {
+        tail_loss += res.loss_curve[res.loss_curve.size() - 1 - i];
+    }
+    res.final_loss = tail > 0 ? tail_loss / tail : 0.0;
+
+    const int eval_tgt = cfg.eval_patch - cfg.eval_patch % scale;
+    const auto eval_set = data::make_eval_set(task, cfg.eval_count, eval_tgt,
+                                              eval_tgt, cfg.seed + 999);
+    res.psnr_db = evaluate_psnr(model, eval_set);
+    return res;
+}
+
+void
+run_parallel(std::vector<std::function<void()>> jobs, int max_threads)
+{
+    if (max_threads <= 0) {
+        max_threads = static_cast<int>(std::thread::hardware_concurrency());
+        if (max_threads <= 0) max_threads = 4;
+    }
+    std::atomic<size_t> next{0};
+    const int workers =
+        std::min<int>(max_threads, static_cast<int>(jobs.size()));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(workers));
+    for (int t = 0; t < workers; ++t) {
+        pool.emplace_back([&]() {
+            for (;;) {
+                const size_t i = next.fetch_add(1);
+                if (i >= jobs.size()) return;
+                jobs[i]();
+            }
+        });
+    }
+    for (auto& th : pool) th.join();
+}
+
+}  // namespace ringcnn::nn

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Training loop for imaging models: seeded patch sampling, Adam with
+ * cosine learning-rate decay, gradient clipping, and PSNR evaluation.
+ *
+ * Mirrors the paper's Table III methodology at laptop scale: every
+ * algebra variant is trained with the identical schedule, data stream,
+ * and initialization discipline so quality comparisons are apples to
+ * apples ("lightweight" and "polishment" settings differ only in
+ * steps/patches, matching the paper's structure).
+ */
+#ifndef RINGCNN_NN_TRAINER_H
+#define RINGCNN_NN_TRAINER_H
+
+#include <functional>
+
+#include "data/tasks.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+
+namespace ringcnn::nn {
+
+/** Hyper-parameters for one training run. */
+struct TrainConfig
+{
+    int steps = 400;           ///< optimizer steps
+    int batch_size = 8;        ///< patches per step
+    int patch = 24;            ///< target-patch side (input smaller for SR)
+    float lr = 2e-3f;          ///< initial learning rate
+    float lr_final_frac = 0.05f;  ///< cosine decay floor as a fraction of lr
+    float clip_norm = 2.0f;    ///< global gradient-norm clip (0 disables)
+    unsigned seed = 1234;      ///< controls data stream AND evaluation set
+    int eval_count = 8;        ///< eval images
+    int eval_patch = 48;       ///< eval target size
+    /** Invoked after every optimizer step (e.g. to re-apply a pruning
+     *  mask). May be empty. */
+    std::function<void(Model&)> post_step;
+
+    /** The paper's "lightweight" setting scaled to this codebase. */
+    static TrainConfig lightweight()
+    {
+        return TrainConfig{};
+    }
+    /** The paper's "polishment" setting: longer schedule, more data. */
+    static TrainConfig polishment()
+    {
+        TrainConfig c;
+        c.steps = 900;
+        c.lr = 1e-3f;
+        c.eval_count = 12;
+        return c;
+    }
+};
+
+/** Outcome of a training run. */
+struct TrainResult
+{
+    double psnr_db = 0.0;        ///< eval PSNR after training
+    double final_loss = 0.0;     ///< mean MSE over the last 10 steps
+    std::vector<double> loss_curve;  ///< per-step batch MSE
+};
+
+/**
+ * Mean PSNR (dB) of the model over an evaluation set; outputs are
+ * clamped to [0, 1] before scoring, as in standard benchmarks.
+ */
+double evaluate_psnr(Model& model, const std::vector<data::Sample>& eval_set);
+
+/** Trains the model in place on the task; returns the final metrics. */
+TrainResult train_on_task(Model& model, const data::ImagingTask& task,
+                          const TrainConfig& cfg);
+
+/**
+ * Runs jobs concurrently on up to `max_threads` std::threads. Used by
+ * the quality benches to train many algebra variants in parallel.
+ */
+void run_parallel(std::vector<std::function<void()>> jobs,
+                  int max_threads = 0);
+
+}  // namespace ringcnn::nn
+
+#endif  // RINGCNN_NN_TRAINER_H

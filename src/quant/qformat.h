@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Q-format fixed-point primitives (ARM Q-notation, paper ref. [1]):
+ * a signed `bits`-wide integer with `frac` fractional bits represents
+ * v * 2^-frac. Dynamic quantization picks per-layer (and, for the
+ * directional ReLU, per-component) fractional widths from observed
+ * ranges, exactly as in Section IV-C.
+ */
+#ifndef RINGCNN_QUANT_QFORMAT_H
+#define RINGCNN_QUANT_QFORMAT_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace ringcnn::quant {
+
+/** Signed fixed-point format: `bits` total bits, `frac` fractional. */
+struct QFormat
+{
+    int bits = 8;
+    int frac = 0;
+
+    int64_t max_int() const { return (1LL << (bits - 1)) - 1; }
+    int64_t min_int() const { return -(1LL << (bits - 1)); }
+    double scale() const { return std::ldexp(1.0, -frac); }
+
+    /** Quantizes a real value: round-to-nearest, saturate. */
+    int64_t quantize(double x) const
+    {
+        const double scaled = x * std::ldexp(1.0, frac);
+        const auto r = static_cast<int64_t>(std::llround(scaled));
+        return std::clamp(r, min_int(), max_int());
+    }
+
+    /** Real value of a raw integer in this format. */
+    double dequantize(int64_t v) const { return static_cast<double>(v) * scale(); }
+
+    /**
+     * Largest frac such that `abs_max` still fits: the dynamic-range
+     * rule of per-layer dynamic quantization.
+     */
+    static QFormat for_abs_max(double abs_max, int bits = 8)
+    {
+        // need abs_max * 2^frac <= 2^(bits-1) - 1
+        int frac = bits - 1;
+        if (abs_max > 0.0) {
+            const double limit = static_cast<double>((1LL << (bits - 1)) - 1);
+            frac = static_cast<int>(std::floor(std::log2(limit / abs_max)));
+            // Guard against rounding pushing us over the edge.
+            while (std::llround(abs_max * std::ldexp(1.0, frac)) >
+                   (1LL << (bits - 1)) - 1) {
+                --frac;
+            }
+        }
+        return {bits, frac};
+    }
+};
+
+/**
+ * Right-shift with round-half-up and saturation to `bits`:
+ * the requantization step used throughout the fixed-point datapath
+ * (and modelled bit-exactly by the accelerator simulator).
+ */
+inline int64_t
+shift_round_saturate(int64_t v, int shift, int bits)
+{
+    if (shift > 0) {
+        v = (v + (1LL << (shift - 1))) >> shift;
+    } else if (shift < 0) {
+        v <<= -shift;
+    }
+    const int64_t hi = (1LL << (bits - 1)) - 1;
+    const int64_t lo = -(1LL << (bits - 1));
+    return std::clamp(v, lo, hi);
+}
+
+}  // namespace ringcnn::quant
+
+#endif  // RINGCNN_QUANT_QFORMAT_H

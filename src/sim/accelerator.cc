@@ -1,0 +1,168 @@
+#include "sim/accelerator.h"
+
+#include <cmath>
+
+namespace ringcnn::sim {
+
+namespace {
+
+int64_t
+ceil_div(int64_t a, int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+}  // namespace
+
+double
+SimStats::energy_joules(const hw::TechConstants& tc,
+                        const hw::AcceleratorCost& cost) const
+{
+    const double mac_e =
+        tc.mult_energy_per_bit2 * 64.0 + tc.add_energy_per_bit * tc.acc_bits;
+    const int n = cost.n;
+    const int log2n = n > 1 ? static_cast<int>(std::lround(std::log2(n))) : 0;
+    const double relu_e =
+        2.0 * n * log2n * tc.relu_bits * tc.add_energy_per_bit;
+    double e = static_cast<double>(mac_ops) * mac_e * 1e-15;
+    e += static_cast<double>(relu_tuple_ops) * relu_e * 1e-15;
+    e += static_cast<double>(wmem_bits + bb_bits) *
+         tc.sram_read_energy_per_bit * 1e-15;
+    // Background power of buffers/datapath/misc over the run time.
+    const double bg_w = cost.part("block-buffers").power_w +
+                        cost.part("datapath").power_w +
+                        cost.part("misc").power_w;
+    e += bg_w * seconds(cost.freq_hz);
+    return e;
+}
+
+SimStats&
+SimStats::operator+=(const SimStats& o)
+{
+    cycles += o.cycles;
+    conv3_cycles += o.conv3_cycles;
+    conv1_cycles += o.conv1_cycles;
+    mac_ops += o.mac_ops;
+    relu_tuple_ops += o.relu_tuple_ops;
+    wmem_bits += o.wmem_bits;
+    bb_bits += o.bb_bits;
+    datapath_ops += o.datapath_ops;
+    return *this;
+}
+
+Accelerator::Accelerator(const SimConfig& cfg, const hw::TechConstants& tc)
+    : cfg_(cfg), tc_(tc), cost_(hw::build_accelerator_cost(cfg.n, tc))
+{
+}
+
+SimStats
+Accelerator::schedule_node(const quant::QNode* node, quant::QAct& act) const
+{
+    using namespace quant;
+    SimStats s;
+
+    if (const auto* seq = dynamic_cast<const QSeq*>(node)) {
+        for (const auto& child : seq->nodes) {
+            s += schedule_node(child.get(), act);
+        }
+        return s;
+    }
+    if (const auto* conv = dynamic_cast<const QConvNode*>(node)) {
+        const int h = act.shape[1], w = act.shape[2];
+        const int64_t tiles = ceil_div(w, cfg_.tile_w) * ceil_div(h, cfg_.tile_h);
+        const int64_t co_passes = ceil_div(conv->co, cfg_.lanes);
+        const int64_t ci_passes = ceil_div(conv->ci, cfg_.lanes);
+        const int64_t cyc = tiles * co_passes * ci_passes +
+                            cfg_.pipeline_latency;
+        s.cycles += cyc;
+        if (conv->k == 1) {
+            s.conv1_cycles += cyc;
+        } else {
+            s.conv3_cycles += cyc;
+        }
+        // Physical MACs: the n-tuple granularity removes the (n-1)/n
+        // redundant multipliers — exactly co*ci*k^2/n products per pixel.
+        s.mac_ops += static_cast<uint64_t>(conv->co) * conv->ci * conv->k *
+                     conv->k * h * w / cfg_.n;
+        // Ring weights carry co*ci*k^2*8/n bits; fetched once per block.
+        s.wmem_bits += static_cast<uint64_t>(conv->co) * conv->ci * conv->k *
+                       conv->k * 8 / cfg_.n;
+        s.bb_bits += static_cast<uint64_t>(conv->ci + conv->co) * h * w * 8;
+        act = conv->forward(act);
+        return s;
+    }
+    if (const auto* dr = dynamic_cast<const QDirReluNode*>(node)) {
+        const int h = act.shape[1], w = act.shape[2];
+        s.relu_tuple_ops += static_cast<uint64_t>(act.channels() / dr->n) *
+                            h * w;
+        // On-the-fly: pipelined behind the accumulators, no extra cycles.
+        act = dr->forward(act);
+        return s;
+    }
+    if (const auto* res = dynamic_cast<const QResidualNode*>(node)) {
+        quant::QAct saved = act;
+        s += schedule_node(res->body.get(), act);
+        // Datapath add; overlapped with engine compute.
+        s.datapath_ops += act.v.size();
+        quant::QAct sum = res->forward(saved);
+        act = std::move(sum);
+        return s;
+    }
+    if (const auto* two = dynamic_cast<const QTwoBranchNode*>(node)) {
+        quant::QAct saved = act;
+        s += schedule_node(two->main.get(), act);
+        quant::QAct skip_out = saved;
+        s += schedule_node(two->skip.get(), skip_out);
+        s.datapath_ops += act.v.size();
+        act = two->forward(saved);
+        return s;
+    }
+    // Pure datapath ops: shuffles, pads, crops, requants, bilinear skip.
+    s.datapath_ops += act.v.size();
+    act = node->forward(act);
+    return s;
+}
+
+SimStats
+Accelerator::run(const quant::QuantizedModel& qm, const Tensor& image,
+                 Tensor* out) const
+{
+    quant::QAct act = qm.quantize_input(image);
+    SimStats s = schedule_node(qm.root(), act);
+    if (out != nullptr) *out = quant::QuantizedModel::dequantize(act);
+    return s;
+}
+
+PixelCosts
+Accelerator::pixel_costs(const quant::QuantizedModel& qm,
+                         const Tensor& image) const
+{
+    Tensor out;
+    const SimStats s = run(qm, image, &out);
+    const double pixels = static_cast<double>(out.dim(1)) * out.dim(2);
+    PixelCosts pc;
+    pc.cycles_per_pixel = static_cast<double>(s.cycles) / pixels;
+    pc.nj_per_pixel = s.energy_joules(tc_, cost_) * 1e9 / pixels;
+    return pc;
+}
+
+VideoEstimate
+estimate_video(double cycles_per_pixel, int halo, int block, int width,
+               int height, double freq_hz, int bytes_per_pixel_in,
+               int bytes_per_pixel_out)
+{
+    VideoEstimate v;
+    // Recompute-halo inflation: a block of side B produces (B - 2*halo)^2
+    // valid output pixels from B^2 computed ones (eCNN-style).
+    const double valid = std::max(1.0, static_cast<double>(block - 2 * halo));
+    v.utilization = valid * valid / (static_cast<double>(block) * block);
+    const double effective_cpp = cycles_per_pixel / v.utilization;
+    const double pixels_per_s = freq_hz / effective_cpp;
+    v.fps = pixels_per_s / (static_cast<double>(width) * height);
+    v.dram_gb_s = v.fps * width * height *
+                  (bytes_per_pixel_in / v.utilization + bytes_per_pixel_out) /
+                  1e9;
+    return v;
+}
+
+}  // namespace ringcnn::sim

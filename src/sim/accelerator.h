@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Cycle-level simulator of the eRingCNN / eCNN accelerators (Section V).
+ *
+ * Engine geometry follows Fig. 6/7: per cycle the 3x3 engine consumes
+ * 32 real input channels ((32/n) n-tuples) and produces 32 real output
+ * channels over a 4x2 pixel tile; the 1x1 engine does the same with
+ * 1x1 taps. Wider layers are folded over multiple passes
+ * (ceil(Co/32) * ceil(Ci/32) per tile). Directional-ReLU blocks sit
+ * after the accumulators and process tuples on the fly.
+ *
+ * The datapath executes the SAME integer graph as quant::QuantizedModel
+ * (shared code), so simulator outputs are bit-exact with the reference
+ * by construction — and tests assert it. The scheduler walks the graph
+ * and charges cycles/activity to the engines, weight memory, block
+ * buffers and ReLU units; energy comes from the calibrated hw constants.
+ */
+#ifndef RINGCNN_SIM_ACCELERATOR_H
+#define RINGCNN_SIM_ACCELERATOR_H
+
+#include <cstdint>
+
+#include "hw/cost_model.h"
+#include "quant/quant_model.h"
+
+namespace ringcnn::sim {
+
+/** Accelerator configuration. */
+struct SimConfig
+{
+    int n = 2;              ///< ring dimension (1 = real-valued eCNN)
+    int lanes = 32;         ///< real channels in/out per cycle
+    int tile_w = 4;         ///< tile width (pixels per cycle)
+    int tile_h = 2;         ///< tile height
+    double freq_hz = 250e6;
+    int pipeline_latency = 12;  ///< cycles to fill an engine pipeline
+};
+
+/** Activity counters accumulated by one run. */
+struct SimStats
+{
+    uint64_t cycles = 0;
+    uint64_t conv3_cycles = 0;
+    uint64_t conv1_cycles = 0;
+    uint64_t mac_ops = 0;          ///< physical MAC operations
+    uint64_t relu_tuple_ops = 0;   ///< directional-ReLU tuple evaluations
+    uint64_t wmem_bits = 0;        ///< weight bits fetched
+    uint64_t bb_bits = 0;          ///< block-buffer read+write traffic
+    uint64_t datapath_ops = 0;     ///< residual adds / shuffles / skips
+
+    double seconds(double freq_hz) const
+    {
+        return static_cast<double>(cycles) / freq_hz;
+    }
+
+    /** Dynamic + static energy for this run (joules). */
+    double energy_joules(const hw::TechConstants& tc,
+                         const hw::AcceleratorCost& cost) const;
+
+    SimStats& operator+=(const SimStats& o);
+};
+
+/** Per-pixel summary used by the quality-energy curves (Fig. 15). */
+struct PixelCosts
+{
+    double cycles_per_pixel = 0.0;
+    double nj_per_pixel = 0.0;
+};
+
+/** Cycle-level machine executing quantized models. */
+class Accelerator
+{
+  public:
+    explicit Accelerator(const SimConfig& cfg,
+                         const hw::TechConstants& tc = {});
+
+    const SimConfig& config() const { return cfg_; }
+    const hw::AcceleratorCost& cost() const { return cost_; }
+
+    /**
+     * Runs the quantized model on one image.
+     * @param out if non-null, receives the (bit-exact) float output.
+     */
+    SimStats run(const quant::QuantizedModel& qm, const Tensor& image,
+                 Tensor* out = nullptr) const;
+
+    /** Per-output-pixel costs for a model on a given input size. */
+    PixelCosts pixel_costs(const quant::QuantizedModel& qm,
+                           const Tensor& image) const;
+
+  private:
+    SimStats schedule_node(const quant::QNode* node, quant::QAct& act) const;
+
+    SimConfig cfg_;
+    hw::TechConstants tc_;
+    hw::AcceleratorCost cost_;
+};
+
+/**
+ * Analytic video-throughput estimate with eCNN-style block processing
+ * (recompute halos at block borders).
+ *
+ * @param cycles_per_pixel from pixel_costs() on a representative block.
+ * @param halo             total one-sided receptive-field growth of the
+ *                         model (sum of k/2 over conv layers).
+ * @param block            processing block side in pixels.
+ */
+struct VideoEstimate
+{
+    double fps = 0.0;
+    double dram_gb_s = 0.0;      ///< input+output traffic
+    double utilization = 1.0;    ///< useful / total compute
+};
+VideoEstimate estimate_video(double cycles_per_pixel, int halo, int block,
+                             int width, int height, double freq_hz,
+                             int bytes_per_pixel_in = 3,
+                             int bytes_per_pixel_out = 3);
+
+}  // namespace ringcnn::sim
+
+#endif  // RINGCNN_SIM_ACCELERATOR_H

@@ -1,0 +1,59 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace ringcnn {
+
+float
+Tensor::abs_max() const
+{
+    float m = 0.0f;
+    for (float v : data_) m = std::max(m, std::fabs(v));
+    return m;
+}
+
+void
+Tensor::randn(std::mt19937& rng, float stddev)
+{
+    std::normal_distribution<float> dist(0.0f, stddev);
+    for (float& v : data_) v = dist(rng);
+}
+
+void
+Tensor::rand_uniform(std::mt19937& rng, float lo, float hi)
+{
+    std::uniform_real_distribution<float> dist(lo, hi);
+    for (float& v : data_) v = dist(rng);
+}
+
+std::string
+Tensor::shape_str() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < shape_.size(); ++i) {
+        if (i) os << ", ";
+        os << shape_[i];
+    }
+    os << "]";
+    return os.str();
+}
+
+Tensor
+operator+(const Tensor& a, const Tensor& b)
+{
+    Tensor out = a;
+    out += b;
+    return out;
+}
+
+Tensor
+operator-(const Tensor& a, const Tensor& b)
+{
+    Tensor out = a;
+    out -= b;
+    return out;
+}
+
+}  // namespace ringcnn

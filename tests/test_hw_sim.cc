@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Tests for the hardware cost model and the cycle-level simulator:
+ * Table I bitwidth/complexity numbers, calibrated accelerator rollups
+ * reproducing the paper's headline ratios, bit-exactness of the
+ * simulator against the quantized reference, and cycle-count formulas.
+ */
+#include <gtest/gtest.h>
+
+#include "baselines/pruning.h"
+#include "data/tasks.h"
+#include "hw/cost_model.h"
+#include "models/backbones.h"
+#include "sim/accelerator.h"
+#include "tensor/image_ops.h"
+
+namespace ringcnn {
+namespace {
+
+TEST(BitwidthAnalysis, TransformGrowth)
+{
+    // Hadamard-4 rows sum 4 absolute units: 8-bit -> 10-bit.
+    EXPECT_EQ(hw::transform_output_bits(hadamard(4), 8), 10);
+    EXPECT_EQ(hw::transform_output_bits(hadamard(2), 8), 9);
+    EXPECT_EQ(hw::transform_output_bits(Matd::identity(4), 8), 8);
+}
+
+TEST(RingMultCost, TableIValues)
+{
+    // RI reaches the maximum efficiency n; RH4/RO4 land at ~2.56 ("2.6x"
+    // in the paper, "1.6x worse than RI4"); the proposed ring vs the
+    // CirCNN-alike RH4-I is ~1.8x and vs HadaNet-alike RH4 ~1.5x.
+    const auto ri4 = hw::ring_mult_cost(get_ring("RI4"));
+    EXPECT_DOUBLE_EQ(ri4.complexity_eff(), 4.0);
+    EXPECT_DOUBLE_EQ(hw::ring_mult_cost(get_ring("RI2")).complexity_eff(),
+                     2.0);
+
+    const auto rh4 = hw::ring_mult_cost(get_ring("RH4"));
+    EXPECT_EQ(rh4.wx, 10);
+    EXPECT_EQ(rh4.wg, 10);
+    EXPECT_NEAR(rh4.complexity_eff(), 2.56, 0.01);
+
+    const auto ro4 = hw::ring_mult_cost(get_ring("RO4"));
+    EXPECT_NEAR(ro4.complexity_eff(), 2.56, 0.01);
+
+    const auto rh4i = hw::ring_mult_cost(get_ring("RH4-I"));
+    EXPECT_EQ(rh4i.m, 5);
+    EXPECT_NEAR(ri4.complexity_eff() / rh4i.complexity_eff(), 1.8, 0.1);
+    EXPECT_NEAR(ri4.complexity_eff() / rh4.complexity_eff(), 1.56, 0.05);
+
+    const auto c = hw::ring_mult_cost(get_ring("C"));
+    EXPECT_EQ(c.m, 3);
+    EXPECT_NEAR(c.mult_units, 216.0, 1e-9);  // 3 products of 9x8 / 8x9
+}
+
+TEST(AcceleratorCost, CalibrationReproducesPaperTotals)
+{
+    const auto ecnn = hw::build_accelerator_cost(1);
+    const auto n2 = hw::build_accelerator_cost(2);
+    const auto n4 = hw::build_accelerator_cost(4);
+
+    // Paper Table V: 33.73 / 23.36 mm^2 and 3.76 / 2.22 W; eCNN ~55 mm^2
+    // / ~7 W. The model must land within 8% of every published total.
+    EXPECT_NEAR(ecnn.total_area(), 55.2, 0.08 * 55.2);
+    EXPECT_NEAR(ecnn.total_power(), 6.94, 0.08 * 6.94);
+    EXPECT_NEAR(n2.total_area(), 33.73, 0.08 * 33.73);
+    EXPECT_NEAR(n2.total_power(), 3.76, 0.08 * 3.76);
+    EXPECT_NEAR(n4.total_area(), 23.36, 0.08 * 23.36);
+    EXPECT_NEAR(n4.total_power(), 2.22, 0.10 * 2.22);
+}
+
+TEST(AcceleratorCost, EngineEfficiencyRatios)
+{
+    // Fig. 14: engine-level 2.08x/2.00x (n2) and 3.77x/3.84x (n4).
+    const auto ecnn = hw::build_accelerator_cost(1);
+    const auto n2 = hw::build_accelerator_cost(2);
+    const auto n4 = hw::build_accelerator_cost(4);
+    const double a2 = ecnn.part("conv-engines").area_mm2 /
+                      n2.part("conv-engines").area_mm2;
+    const double e2 = ecnn.part("conv-engines").power_w /
+                      n2.part("conv-engines").power_w;
+    const double a4 = ecnn.part("conv-engines").area_mm2 /
+                      n4.part("conv-engines").area_mm2;
+    const double e4 = ecnn.part("conv-engines").power_w /
+                      n4.part("conv-engines").power_w;
+    EXPECT_NEAR(a2, 2.08, 0.15);
+    EXPECT_NEAR(e2, 2.00, 0.10);
+    EXPECT_NEAR(a4, 3.77, 0.35);
+    EXPECT_NEAR(e4, 3.84, 0.25);
+}
+
+TEST(AcceleratorCost, EquivalentTops)
+{
+    // Both eRingCNN configs deliver ~41 equivalent TOPS at 250 MHz.
+    EXPECT_NEAR(hw::build_accelerator_cost(2).equivalent_tops(), 41.0, 1.0);
+    EXPECT_NEAR(hw::build_accelerator_cost(4).equivalent_tops(), 41.0, 1.0);
+}
+
+TEST(AcceleratorCost, WeightMemorySizes)
+{
+    EXPECT_DOUBLE_EQ(hw::build_accelerator_cost(1).weight_kb, 1280.0);
+    EXPECT_DOUBLE_EQ(hw::build_accelerator_cost(2).weight_kb, 960.0);
+    EXPECT_DOUBLE_EQ(hw::build_accelerator_cost(4).weight_kb, 480.0);
+}
+
+TEST(EngineArea, OrderingFollowsComplexity)
+{
+    // Fig. 12: engine areas should order as RI < RH < cyclic < real.
+    const double ri4 = hw::engine_area_mm2("RI4", true);
+    const double rh4 = hw::engine_area_mm2("RH4", false);
+    const double rh4i = hw::engine_area_mm2("RH4-I", false);
+    const double real = hw::engine_area_mm2("R", false);
+    EXPECT_LT(ri4, rh4);
+    EXPECT_LT(rh4, rh4i);
+    EXPECT_LT(rh4i, real);
+    // Area efficiency vs real near n for the proposed ring.
+    EXPECT_GT(real / ri4, 3.0);
+}
+
+class SimulatorTest : public ::testing::Test
+{
+  protected:
+    static std::vector<Tensor> calib()
+    {
+        std::mt19937 rng(91);
+        std::vector<Tensor> out;
+        for (int i = 0; i < 2; ++i) {
+            out.push_back(data::synthetic_image(3, 16, 16, rng));
+        }
+        return out;
+    }
+};
+
+TEST_F(SimulatorTest, BitExactVsQuantizedReference)
+{
+    models::ErnetConfig mc;
+    mc.channels = 8;
+    mc.blocks = 1;
+    for (int n : {2, 4}) {
+        nn::Model m = models::build_dn_ernet_pu(
+            models::Algebra::with_fh("RI" + std::to_string(n)), mc);
+        quant::QuantizedModel qm(m, calib());
+        sim::SimConfig sc;
+        sc.n = n;
+        sim::Accelerator acc(sc);
+        std::mt19937 rng(92);
+        const Tensor x = data::synthetic_image(3, 16, 16, rng);
+        Tensor sim_out;
+        acc.run(qm, x, &sim_out);
+        const Tensor ref = qm.forward(x);
+        EXPECT_LT(mse(ref, sim_out), 1e-12) << "n=" << n;
+    }
+}
+
+TEST_F(SimulatorTest, CycleCountMatchesEngineGeometry)
+{
+    // One 16->16 channel 3x3 ring conv layer on a 16x16 map with 4x2
+    // tiles: ceil(16/4)*ceil(16/2) = 32 tiles, 1 pass each way.
+    models::ErnetConfig mc;
+    mc.channels = 16;
+    mc.blocks = 1;
+    nn::Model m =
+        models::build_dn_ernet_pu(models::Algebra::with_fh("RI4"), mc);
+    quant::QuantizedModel qm(m, calib());
+    sim::SimConfig sc;
+    sc.n = 4;
+    sim::Accelerator acc(sc);
+    std::mt19937 rng(93);
+    const Tensor x = data::synthetic_image(3, 16, 16, rng);
+    const auto stats = acc.run(qm, x);
+    // DnERNet-PU(C=16,B=1): convs at 8x8 resolution after PU(2):
+    // head 16->16, module(1x1 16->32, 3x3 32->16), tail 16->16.
+    // Tiles at 8x8: ceil(8/4)*ceil(8/2) = 8.
+    // head: 8 cycles; 1x1: 8; 3x3 (ci=32): 8*1*1? ci=32 -> ci_passes=1
+    // (lanes=32), co=16 -> 1 pass; tail: 8. Plus 4 pipeline fills.
+    const uint64_t expect = (8 + 8 + 8 + 8) + 4 * sc.pipeline_latency;
+    EXPECT_EQ(stats.cycles, expect);
+    EXPECT_GT(stats.mac_ops, 0u);
+    EXPECT_GT(stats.relu_tuple_ops, 0u);
+}
+
+TEST_F(SimulatorTest, RingReducesMacsAndWeights)
+{
+    models::ErnetConfig mc;
+    mc.channels = 16;
+    mc.blocks = 1;
+    std::mt19937 rng(94);
+    const Tensor x = data::synthetic_image(3, 16, 16, rng);
+
+    nn::Model mr = models::build_dn_ernet_pu(models::Algebra::real(), mc);
+    quant::QuantizedModel qr(mr, calib());
+    sim::SimConfig sc1;
+    sc1.n = 1;
+    const auto s1 = sim::Accelerator(sc1).run(qr, x);
+
+    nn::Model m4 =
+        models::build_dn_ernet_pu(models::Algebra::with_fh("RI4"), mc);
+    quant::QuantizedModel q4(m4, calib());
+    sim::SimConfig sc4;
+    sc4.n = 4;
+    const auto s4 = sim::Accelerator(sc4).run(q4, x);
+
+    EXPECT_NEAR(static_cast<double>(s1.mac_ops) / s4.mac_ops, 4.0, 0.2);
+    EXPECT_NEAR(static_cast<double>(s1.wmem_bits) / s4.wmem_bits, 4.0, 0.2);
+    // Same schedule geometry -> same cycles.
+    EXPECT_EQ(s1.cycles, s4.cycles);
+}
+
+TEST_F(SimulatorTest, EnergyScalesDown)
+{
+    models::ErnetConfig mc;
+    mc.channels = 16;
+    mc.blocks = 2;
+    std::mt19937 rng(95);
+    const Tensor x = data::synthetic_image(3, 32, 32, rng);
+    double nj[3] = {0, 0, 0};
+    const int ns[3] = {1, 2, 4};
+    for (int i = 0; i < 3; ++i) {
+        const models::Algebra alg =
+            ns[i] == 1 ? models::Algebra::real()
+                       : models::Algebra::with_fh("RI" + std::to_string(ns[i]));
+        nn::Model m = models::build_dn_ernet_pu(alg, mc);
+        quant::QuantizedModel qm(m, calib());
+        sim::SimConfig sc;
+        sc.n = ns[i];
+        nj[i] = sim::Accelerator(sc).pixel_costs(qm, x).nj_per_pixel;
+    }
+    EXPECT_GT(nj[0], nj[1]);
+    EXPECT_GT(nj[1], nj[2]);
+}
+
+TEST(VideoEstimate, HaloRecomputeOverhead)
+{
+    const auto full = sim::estimate_video(10.0, 0, 128, 3840, 2160, 250e6);
+    const auto halo = sim::estimate_video(10.0, 8, 128, 3840, 2160, 250e6);
+    EXPECT_GT(full.fps, halo.fps);
+    EXPECT_NEAR(halo.utilization, (112.0 * 112.0) / (128.0 * 128.0), 1e-9);
+    EXPECT_GT(halo.dram_gb_s, 0.0);
+}
+
+TEST(Pruning, MaskDensityMatchesSparsity)
+{
+    nn::Model m = models::build_srresnet(models::Algebra::real(), 8, 1);
+    const auto mask = baselines::magnitude_prune(m, 0.75);
+    // Density over ALL params includes dense biases, so slightly > 0.25.
+    EXPECT_GT(mask.density(), 0.24);
+    EXPECT_LT(mask.density(), 0.35);
+    // Pruned weights are actually zero.
+    int64_t zeros = 0, total = 0;
+    for (const auto& p : m.params()) {
+        if (p.name.find(".w") == std::string::npos) continue;
+        for (float v : *p.value) {
+            total++;
+            if (v == 0.0f) zeros++;
+        }
+    }
+    EXPECT_GT(static_cast<double>(zeros) / total, 0.70);
+}
+
+TEST(Pruning, MaskSurvivesFinetuning)
+{
+    const data::DenoiseTask task;
+    models::ErnetConfig mc;
+    mc.channels = 8;
+    mc.blocks = 1;
+    nn::Model m = models::build_dn_ernet_pu(models::Algebra::real(), mc);
+    nn::TrainConfig pre;
+    pre.steps = 30;
+    nn::TrainConfig fine;
+    fine.steps = 30;
+    baselines::prune_and_finetune(m, task, pre, fine, 0.5);
+    int64_t zeros = 0, total = 0;
+    for (const auto& p : m.params()) {
+        if (p.name.find(".w") == std::string::npos) continue;
+        for (float v : *p.value) {
+            total++;
+            if (v == 0.0f) zeros++;
+        }
+    }
+    EXPECT_GT(static_cast<double>(zeros) / total, 0.45);
+}
+
+}  // namespace
+}  // namespace ringcnn

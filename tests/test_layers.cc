@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Gradient checks for every trainable layer: the analytic backward pass
+ * must match central differences, both with respect to inputs and with
+ * respect to parameters. This validates the paper's Section IV-B claim
+ * that Backprop flows through the isomorphic real form of ring convs.
+ */
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+
+#include "nn/layer.h"
+
+namespace ringcnn::nn {
+namespace {
+
+/** <forward(x), r> as a scalar loss. */
+double
+probe_loss(Layer& layer, const Tensor& x, const Tensor& r)
+{
+    const Tensor out = layer.forward(x, false);
+    double acc = 0.0;
+    for (int64_t i = 0; i < out.numel(); ++i) {
+        acc += static_cast<double>(out[i]) * r[i];
+    }
+    return acc;
+}
+
+/** Central-difference check of input gradients. */
+void
+check_input_grad(Layer& layer, const Tensor& x, std::mt19937& rng,
+                 double tol = 2e-2)
+{
+    const Tensor probe_out = layer.forward(x, true);
+    Tensor r(probe_out.shape());
+    r.randn(rng);
+    const Tensor grad_x = layer.backward(r);
+    const float eps = 1e-3f;
+    for (int64_t i = 0; i < x.numel(); i += 3) {
+        Tensor xp = x, xm = x;
+        xp[i] += eps;
+        xm[i] -= eps;
+        const double num =
+            (probe_loss(layer, xp, r) - probe_loss(layer, xm, r)) / (2 * eps);
+        ASSERT_NEAR(grad_x[i], num, tol) << "input index " << i;
+    }
+}
+
+/** Central-difference check of parameter gradients (sampled entries). */
+void
+check_param_grads(Layer& layer, const Tensor& x, std::mt19937& rng,
+                  double tol = 2e-2)
+{
+    std::vector<ParamRef> params;
+    layer.collect_params(params);
+    const Tensor probe_out = layer.forward(x, true);
+    Tensor r(probe_out.shape());
+    r.randn(rng);
+    // zero grads, then one backward
+    for (auto& p : params) std::fill(p.grad->begin(), p.grad->end(), 0.0f);
+    layer.backward(r);
+    const float eps = 1e-3f;
+    for (auto& p : params) {
+        const size_t stride = std::max<size_t>(1, p.value->size() / 7);
+        for (size_t i = 0; i < p.value->size(); i += stride) {
+            const float saved = (*p.value)[i];
+            (*p.value)[i] = saved + eps;
+            const double lp = probe_loss(layer, x, r);
+            (*p.value)[i] = saved - eps;
+            const double lm = probe_loss(layer, x, r);
+            (*p.value)[i] = saved;
+            const double num = (lp - lm) / (2 * eps);
+            ASSERT_NEAR((*p.grad)[i], num, tol)
+                << p.name << " index " << i;
+        }
+    }
+}
+
+TEST(LayerGrad, Conv2d)
+{
+    std::mt19937 rng(61);
+    Conv2d layer(3, 4, 3, rng);
+    Tensor x({3, 5, 5});
+    x.randn(rng);
+    check_input_grad(layer, x, rng);
+    check_param_grads(layer, x, rng);
+}
+
+TEST(LayerGrad, RingConv2dAllRings)
+{
+    std::mt19937 rng(62);
+    for (const auto& name : all_ring_names()) {
+        const Ring& ring = get_ring(name);
+        RingConv2d layer(ring, 2, 2, 3, rng);
+        Tensor x({2 * ring.n, 4, 4});
+        x.randn(rng);
+        check_input_grad(layer, x, rng);
+        check_param_grads(layer, x, rng);
+    }
+}
+
+TEST(LayerGrad, ReLU)
+{
+    std::mt19937 rng(63);
+    ReLU layer;
+    Tensor x({2, 4, 4});
+    x.randn(rng);
+    // Move values away from the kink so finite differences are valid.
+    for (int64_t i = 0; i < x.numel(); ++i) {
+        if (std::fabs(x[i]) < 0.05f) x[i] = 0.2f;
+    }
+    check_input_grad(layer, x, rng);
+}
+
+TEST(LayerGrad, DirectionalReLUH4)
+{
+    std::mt19937 rng(64);
+    const auto [u, v] = fh_transforms(4);
+    DirectionalReLU layer(u, v);
+    Tensor x({8, 3, 3});
+    x.randn(rng);
+    check_input_grad(layer, x, rng);
+}
+
+TEST(LayerGrad, DirectionalReLUO4)
+{
+    std::mt19937 rng(65);
+    const auto [u, v] = fo4_transforms();
+    DirectionalReLU layer(u, v);
+    Tensor x({4, 3, 3});
+    x.randn(rng);
+    check_input_grad(layer, x, rng);
+}
+
+TEST(LayerGrad, PixelShufflePair)
+{
+    std::mt19937 rng(66);
+    PixelShuffle up(2);
+    Tensor x({8, 3, 3});
+    x.randn(rng);
+    check_input_grad(up, x, rng);
+    PixelUnshuffle down(2);
+    Tensor y({2, 6, 6});
+    y.randn(rng);
+    check_input_grad(down, y, rng);
+}
+
+TEST(LayerGrad, ChannelPadAndCrop)
+{
+    std::mt19937 rng(67);
+    ChannelPad pad(4);
+    Tensor x({3, 3, 3});
+    x.randn(rng);
+    check_input_grad(pad, x, rng);
+    CropChannels crop(3);
+    Tensor y({6, 3, 3});
+    y.randn(rng);
+    check_input_grad(crop, y, rng);
+}
+
+TEST(LayerGrad, UpsampleBilinear)
+{
+    std::mt19937 rng(68);
+    UpsampleBilinearLayer up(2);
+    Tensor x({2, 4, 4});
+    x.randn(rng);
+    check_input_grad(up, x, rng);
+}
+
+TEST(LayerGrad, DepthwiseConv2d)
+{
+    std::mt19937 rng(69);
+    DepthwiseConv2d layer(3, 3, rng);
+    Tensor x({3, 5, 5});
+    x.randn(rng);
+    check_input_grad(layer, x, rng);
+    check_param_grads(layer, x, rng);
+}
+
+TEST(LayerGrad, SequentialComposite)
+{
+    std::mt19937 rng(70);
+    auto seq = std::make_unique<Sequential>();
+    seq->add(std::make_unique<Conv2d>(2, 4, 3, rng));
+    seq->add(std::make_unique<ReLU>());
+    seq->add(std::make_unique<Conv2d>(4, 2, 3, rng));
+    Tensor x({2, 4, 4});
+    x.randn(rng);
+    check_input_grad(*seq, x, rng);
+    check_param_grads(*seq, x, rng);
+}
+
+TEST(LayerGrad, ResidualComposite)
+{
+    std::mt19937 rng(71);
+    auto body = std::make_unique<Sequential>();
+    body->add(std::make_unique<Conv2d>(2, 2, 3, rng));
+    Residual res(std::move(body));
+    Tensor x({2, 4, 4});
+    x.randn(rng);
+    check_input_grad(res, x, rng);
+}
+
+TEST(LayerShapes, CompositeTracking)
+{
+    std::mt19937 rng(72);
+    auto seq = std::make_unique<Sequential>();
+    seq->add(std::make_unique<PixelUnshuffle>(2));
+    seq->add(std::make_unique<Conv2d>(12, 16, 3, rng));
+    seq->add(std::make_unique<ReLU>());
+    seq->add(std::make_unique<Conv2d>(16, 12, 3, rng));
+    seq->add(std::make_unique<PixelShuffle>(2));
+    const Shape out = seq->out_shape({3, 16, 16});
+    EXPECT_EQ(out, (Shape{3, 16, 16}));
+    // macs: conv1 16*12*9*(8*8) + conv2 12*16*9*64
+    EXPECT_EQ(seq->macs({3, 16, 16}),
+              2LL * 16 * 12 * 9 * 64);
+}
+
+TEST(LayerClone, IndependentWeights)
+{
+    std::mt19937 rng(73);
+    Conv2d layer(2, 2, 3, rng);
+    auto copy = layer.clone();
+    std::vector<ParamRef> p0, p1;
+    layer.collect_params(p0);
+    copy->collect_params(p1);
+    (*p0[0].value)[0] += 1.0f;
+    EXPECT_NE((*p0[0].value)[0], (*p1[0].value)[0]);
+}
+
+TEST(RingConvLayer, MacsUseFastAlgorithmCount)
+{
+    std::mt19937 rng(74);
+    const Ring& ri4 = get_ring("RI4");
+    const Ring& rc = get_ring("RH4-I");
+    RingConv2d a(ri4, 2, 2, 3, rng);
+    RingConv2d b(rc, 2, 2, 3, rng);
+    const Shape in{8, 4, 4};
+    // RI4: m = 4 -> 2*2*9*4*16; RH4-I: m = 5.
+    EXPECT_EQ(a.macs(in), 2LL * 2 * 9 * 4 * 16);
+    EXPECT_EQ(b.macs(in), 2LL * 2 * 9 * 5 * 16);
+}
+
+}  // namespace
+}  // namespace ringcnn::nn

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the small linear algebra kernels: inverse, rank,
+ * characteristic polynomial, eigen pairs, least squares, polynomial
+ * roots.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/indexing_tensor.h"
+#include "core/linalg.h"
+
+namespace ringcnn {
+namespace {
+
+TEST(Matd, MultiplyKnown)
+{
+    Matd a{{1, 2}, {3, 4}};
+    Matd b{{5, 6}, {7, 8}};
+    Matd c = a * b;
+    EXPECT_DOUBLE_EQ(c.at(0, 0), 19);
+    EXPECT_DOUBLE_EQ(c.at(0, 1), 22);
+    EXPECT_DOUBLE_EQ(c.at(1, 0), 43);
+    EXPECT_DOUBLE_EQ(c.at(1, 1), 50);
+}
+
+TEST(Matd, InverseRoundTrip)
+{
+    std::mt19937 rng(5);
+    std::normal_distribution<double> dist(0, 1);
+    Matd a(5, 5);
+    for (int r = 0; r < 5; ++r) {
+        for (int c = 0; c < 5; ++c) a.at(r, c) = dist(rng);
+    }
+    for (int i = 0; i < 5; ++i) a.at(i, i) += 3.0;  // keep well conditioned
+    const Matd id = a * a.inverse();
+    EXPECT_LT(id.max_abs_diff(Matd::identity(5)), 1e-9);
+}
+
+TEST(Matd, HadamardIsOrthogonalScaled)
+{
+    for (int n : {2, 4, 8}) {
+        const Matd h = hadamard(n);
+        Matd hh = h * h.transposed();
+        Matd want = Matd::identity(n);
+        want *= static_cast<double>(n);
+        EXPECT_LT(hh.max_abs_diff(want), 1e-12) << "n=" << n;
+    }
+}
+
+TEST(Matd, HouseholderO4Properties)
+{
+    const Matd o = householder_o4();
+    Matd oot = o * o.transposed();
+    Matd want = Matd::identity(4);
+    want *= 4.0;
+    EXPECT_LT(oot.max_abs_diff(want), 1e-12);
+    // Entries are +/-1 only.
+    for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 4; ++c) {
+            EXPECT_DOUBLE_EQ(std::fabs(o.at(r, c)), 1.0);
+        }
+    }
+}
+
+TEST(Matd, RankDetectsDeficiency)
+{
+    Matd a{{1, 2, 3}, {2, 4, 6}, {0, 1, 1}};
+    EXPECT_EQ(a.rank(), 2);
+    EXPECT_EQ(Matd::identity(4).rank(), 4);
+    EXPECT_EQ(Matd(3, 3).rank(), 0);
+}
+
+TEST(CharPoly, Known2x2)
+{
+    // [[2,1],[1,2]]: chi(x) = x^2 - 4x + 3.
+    Matd a{{2, 1}, {1, 2}};
+    const auto c = char_poly(a);
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_NEAR(c[0], 3.0, 1e-12);
+    EXPECT_NEAR(c[1], -4.0, 1e-12);
+}
+
+TEST(PolyRoots, QuadraticComplexPair)
+{
+    // x^2 + 1 = 0 -> +/- i.
+    const auto roots = poly_roots({1.0, 0.0});
+    ASSERT_EQ(roots.size(), 2u);
+    double imag_abs = std::fabs(roots[0].imag());
+    EXPECT_NEAR(imag_abs, 1.0, 1e-9);
+    EXPECT_NEAR(roots[0].real(), 0.0, 1e-9);
+}
+
+TEST(Eigen, SymmetricKnown)
+{
+    Matd a{{2, 1}, {1, 2}};
+    auto lams = eigenvalues(a);
+    std::vector<double> re{lams[0].real(), lams[1].real()};
+    std::sort(re.begin(), re.end());
+    EXPECT_NEAR(re[0], 1.0, 1e-9);
+    EXPECT_NEAR(re[1], 3.0, 1e-9);
+    EXPECT_NEAR(lams[0].imag(), 0.0, 1e-9);
+}
+
+TEST(Eigen, EigenvectorSatisfiesDefinition)
+{
+    Matd a{{0, -1}, {1, 0}};  // rotation: eigenvalues +/- i
+    const cdouble lam(0.0, 1.0);
+    const auto v = eigenvector(a, lam);
+    // Check A v = lambda v.
+    for (int i = 0; i < 2; ++i) {
+        cdouble av(0, 0);
+        for (int j = 0; j < 2; ++j) av += a.at(i, j) * v[static_cast<size_t>(j)];
+        const cdouble lv = lam * v[static_cast<size_t>(i)];
+        EXPECT_NEAR(std::abs(av - lv), 0.0, 1e-9);
+    }
+}
+
+TEST(Eigen, RandomMatrixResidual)
+{
+    std::mt19937 rng(42);
+    std::normal_distribution<double> dist(0, 1);
+    Matd a(4, 4);
+    for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 4; ++c) a.at(r, c) = dist(rng);
+    }
+    for (const auto& lam : eigenvalues(a)) {
+        const auto v = eigenvector(a, lam);
+        double resid = 0.0;
+        for (int i = 0; i < 4; ++i) {
+            cdouble av(0, 0);
+            for (int j = 0; j < 4; ++j) {
+                av += a.at(i, j) * v[static_cast<size_t>(j)];
+            }
+            resid = std::max(resid, std::abs(av - lam * v[static_cast<size_t>(i)]));
+        }
+        EXPECT_LT(resid, 1e-6);
+    }
+}
+
+TEST(LeastSquares, ExactSolve)
+{
+    Matd a{{1, 0}, {0, 2}, {1, 1}};
+    // b generated from x = (3, -1): (3, -2, 2)
+    const auto x = solve_least_squares(a, {3, -2, 2});
+    EXPECT_NEAR(x[0], 3.0, 1e-8);
+    EXPECT_NEAR(x[1], -1.0, 1e-8);
+}
+
+TEST(Matc, InverseRoundTrip)
+{
+    Matc a(3, 3);
+    a.at(0, 0) = {1, 1};
+    a.at(0, 1) = {2, 0};
+    a.at(1, 1) = {0, -1};
+    a.at(1, 2) = {1, 0};
+    a.at(2, 0) = {0, 1};
+    a.at(2, 2) = {3, 0};
+    const Matc prod = a * a.inverse();
+    for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 3; ++c) {
+            const cdouble want = (r == c) ? cdouble(1, 0) : cdouble(0, 0);
+            EXPECT_NEAR(std::abs(prod.at(r, c) - want), 0.0, 1e-9);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace ringcnn

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Cross-module property sweeps: quantized inference for every ring
+ * algebra, the on-the-fly directional ReLU across tuple sizes and
+ * Q-format patterns, scheduling/energy invariants of the simulator,
+ * and algebraic identities the training relies on (paper Section IV-B
+ * gradient expressions).
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/ring_conv.h"
+#include "data/tasks.h"
+#include "models/backbones.h"
+#include "quant/quant_model.h"
+#include "sim/accelerator.h"
+#include "tensor/image_ops.h"
+
+namespace ringcnn {
+namespace {
+
+// ---- Section IV-B: Backprop in ring terminology ---------------------------
+
+TEST(RingBackprop, InputGradientIsGTransposeForSymmetricRings)
+{
+    // For RI, RH and RO4 the isomorphic matrix is symmetric, so
+    // grad_x = G^t grad_z = G grad_z = g . grad_z (paper Section IV-B).
+    std::mt19937 rng(101);
+    std::normal_distribution<double> dist(0, 1);
+    for (const char* name : {"RI4", "RH4", "RO4", "RH2", "RI8"}) {
+        const Ring& r = get_ring(name);
+        std::vector<double> g(static_cast<size_t>(r.n)), gz(g.size());
+        for (double& v : g) v = dist(rng);
+        for (double& v : gz) v = dist(rng);
+        const Matd gm = r.isomorphic(g);
+        EXPECT_LT(gm.max_abs_diff(gm.transposed()), 1e-12) << name;
+        const auto via_matrix = gm.transposed().apply(gz);
+        const auto via_ring = r.multiply(g, gz);
+        for (int i = 0; i < r.n; ++i) {
+            EXPECT_NEAR(via_matrix[static_cast<size_t>(i)],
+                        via_ring[static_cast<size_t>(i)], 1e-9)
+                << name;
+        }
+    }
+}
+
+TEST(RingBackprop, CyclicRingUsesCircularFolding)
+{
+    // For RH4-I, grad_x = G^t grad_z = g_c . grad_z where g_c is the
+    // circular folding of g (paper Section IV-B).
+    const Ring& r = get_ring("RH4-I");
+    std::mt19937 rng(102);
+    std::normal_distribution<double> dist(0, 1);
+    std::vector<double> g(4), gz(4);
+    for (double& v : g) v = dist(rng);
+    for (double& v : gz) v = dist(rng);
+    std::vector<double> g_fold{g[0], g[3], g[2], g[1]};
+    const auto via_matrix = r.isomorphic(g).transposed().apply(gz);
+    const auto via_fold = r.multiply(g_fold, gz);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_NEAR(via_matrix[static_cast<size_t>(i)],
+                    via_fold[static_cast<size_t>(i)], 1e-9);
+    }
+}
+
+TEST(RingBackprop, QuaternionUsesConjugate)
+{
+    // grad_x = g* . grad_z for quaternions.
+    const Ring& r = get_ring("H");
+    std::mt19937 rng(103);
+    std::normal_distribution<double> dist(0, 1);
+    std::vector<double> g(4), gz(4);
+    for (double& v : g) v = dist(rng);
+    for (double& v : gz) v = dist(rng);
+    std::vector<double> g_conj{g[0], -g[1], -g[2], -g[3]};
+    const auto via_matrix = r.isomorphic(g).transposed().apply(gz);
+    const auto via_conj = r.multiply(g_conj, gz);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_NEAR(via_matrix[static_cast<size_t>(i)],
+                    via_conj[static_cast<size_t>(i)], 1e-9);
+    }
+}
+
+// ---- Quantized inference across every algebra ------------------------------
+
+class QuantAllAlgebras
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(QuantAllAlgebras, QuantizedDenoiserTracksFloat)
+{
+    const std::string ring = GetParam();
+    const models::Algebra alg = models::Algebra::with_fcw(ring);
+    models::ErnetConfig mc;
+    mc.channels = 8;
+    mc.blocks = 1;
+    nn::Model m = models::build_dn_ernet_pu(alg, mc);
+    std::mt19937 rng(104);
+    std::vector<Tensor> calib{data::synthetic_image(3, 16, 16, rng),
+                              data::synthetic_image(3, 16, 16, rng)};
+    quant::QuantizedModel qm(m, calib);
+    const Tensor x = data::synthetic_image(3, 16, 16, rng);
+    EXPECT_GT(psnr(m.forward(x), qm.forward(x)), 28.0) << ring;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rings, QuantAllAlgebras,
+                         ::testing::Values("RI2", "RH2", "C", "RI4", "RH4",
+                                           "RO4", "RH4-I", "RO4-I", "H"),
+                         [](const auto& info) {
+                             std::string n = info.param;
+                             for (char& c : n) {
+                                 if (c == '-') c = '_';
+                             }
+                             return n;
+                         });
+
+// ---- On-the-fly directional ReLU sweeps ------------------------------------
+
+class OtfDirReluSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(OtfDirReluSweep, MatchesFloatAcrossFormats)
+{
+    const int n = GetParam();
+    const auto [u, v] = fh_transforms(n);
+    std::mt19937 rng(105);
+    std::uniform_real_distribution<double> dist(-2.0, 2.0);
+    std::uniform_int_distribution<int> frac_in(8, 16), frac_out(4, 7);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::vector<int> ny(static_cast<size_t>(n)), nx(static_cast<size_t>(n));
+        std::vector<int64_t> y(static_cast<size_t>(n));
+        Tensor t({n, 1, 1});
+        for (int i = 0; i < n; ++i) {
+            ny[static_cast<size_t>(i)] = frac_in(rng);
+            nx[static_cast<size_t>(i)] = frac_out(rng);
+            const double val = dist(rng);
+            y[static_cast<size_t>(i)] = std::llround(
+                val * std::ldexp(1.0, ny[static_cast<size_t>(i)]));
+            t.at(i, 0, 0) = static_cast<float>(
+                y[static_cast<size_t>(i)] *
+                std::ldexp(1.0, -ny[static_cast<size_t>(i)]));
+        }
+        const Tensor ref = directional_relu(u, v, t);
+        std::vector<int64_t> out;
+        quant::onthefly_directional_relu(y, ny, nx, n, out, 16);
+        for (int i = 0; i < n; ++i) {
+            const double got = out[static_cast<size_t>(i)] *
+                               std::ldexp(1.0, -nx[static_cast<size_t>(i)]);
+            EXPECT_NEAR(got, ref.at(i, 0, 0),
+                        std::ldexp(1.0, -nx[static_cast<size_t>(i)]) * 0.51)
+                << "n=" << n;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(TupleSizes, OtfDirReluSweep,
+                         ::testing::Values(2, 4, 8));
+
+// ---- Simulator invariants ---------------------------------------------------
+
+TEST(SimulatorInvariants, CyclesIndependentOfImageContent)
+{
+    models::ErnetConfig mc;
+    mc.channels = 8;
+    mc.blocks = 1;
+    nn::Model m =
+        models::build_dn_ernet_pu(models::Algebra::with_fh("RI2"), mc);
+    std::mt19937 rng(106);
+    std::vector<Tensor> calib{data::synthetic_image(3, 16, 16, rng)};
+    quant::QuantizedModel qm(m, calib);
+    sim::SimConfig sc;
+    sc.n = 2;
+    sim::Accelerator acc(sc);
+    const auto s1 = acc.run(qm, data::synthetic_image(3, 16, 16, rng));
+    const auto s2 = acc.run(qm, data::synthetic_image(3, 16, 16, rng));
+    EXPECT_EQ(s1.cycles, s2.cycles);
+    EXPECT_EQ(s1.mac_ops, s2.mac_ops);
+    EXPECT_EQ(s1.wmem_bits, s2.wmem_bits);
+}
+
+TEST(SimulatorInvariants, CyclesScaleWithArea)
+{
+    models::ErnetConfig mc;
+    mc.channels = 8;
+    mc.blocks = 1;
+    nn::Model m =
+        models::build_dn_ernet_pu(models::Algebra::with_fh("RI2"), mc);
+    std::mt19937 rng(107);
+    std::vector<Tensor> calib{data::synthetic_image(3, 16, 16, rng)};
+    quant::QuantizedModel qm(m, calib);
+    sim::SimConfig sc;
+    sc.n = 2;
+    sim::Accelerator acc(sc);
+    const auto small = acc.run(qm, data::synthetic_image(3, 16, 16, rng));
+    const auto large = acc.run(qm, data::synthetic_image(3, 32, 32, rng));
+    // 4x the pixels -> ~4x the tile cycles (pipeline fills amortize).
+    const double ratio = static_cast<double>(large.cycles - 48) /
+                         static_cast<double>(small.cycles - 48);
+    EXPECT_NEAR(ratio, 4.0, 0.8);
+    EXPECT_EQ(large.wmem_bits, small.wmem_bits);  // weights fetched once
+}
+
+TEST(SimulatorInvariants, EnergyMonotoneInWork)
+{
+    const hw::TechConstants tc;
+    const auto cost = hw::build_accelerator_cost(2, tc);
+    sim::SimStats a;
+    a.cycles = 1000;
+    a.mac_ops = 1000000;
+    sim::SimStats b = a;
+    b.mac_ops = 2000000;
+    EXPECT_LT(a.energy_joules(tc, cost), b.energy_joules(tc, cost));
+}
+
+// ---- Q-format edge cases -----------------------------------------------------
+
+TEST(QFormatEdges, ZeroAndHugeRanges)
+{
+    const quant::QFormat f0 = quant::QFormat::for_abs_max(0.0, 8);
+    EXPECT_EQ(f0.frac, 7);
+    const quant::QFormat fbig = quant::QFormat::for_abs_max(1e6, 8);
+    EXPECT_LE(fbig.quantize(1e6), fbig.max_int());
+    EXPECT_LT(fbig.frac, 0);  // integer scaling for huge ranges
+}
+
+TEST(QFormatEdges, NegativeShiftIsExactLeftShift)
+{
+    EXPECT_EQ(quant::shift_round_saturate(-3, -3, 16), -24);
+}
+
+// ---- Synthetic data / task contracts ---------------------------------------
+
+TEST(TaskContracts, SrPairShapesAndDegradation)
+{
+    const data::SrTask task(4);
+    std::mt19937 rng(108);
+    const auto [lr, hr] = task.make_pair(32, 32, rng);
+    EXPECT_EQ(lr.shape(), (Shape{3, 8, 8}));
+    EXPECT_EQ(hr.shape(), (Shape{3, 32, 32}));
+    // The LR image must equal the box-downsampled HR exactly.
+    EXPECT_LT(mse(lr, downsample_box(hr, 4)), 1e-12);
+}
+
+TEST(TaskContracts, DenoisePairNoiseLevel)
+{
+    const data::DenoiseTask task(25.0f / 255.0f);
+    std::mt19937 rng(109);
+    double var = 0.0;
+    int count = 0;
+    for (int i = 0; i < 8; ++i) {
+        const auto [noisy, clean] = task.make_pair(32, 32, rng);
+        for (int64_t j = 0; j < noisy.numel(); ++j) {
+            const double d = noisy[j] - clean[j];
+            var += d * d;
+            ++count;
+        }
+    }
+    const double sigma = std::sqrt(var / count);
+    EXPECT_NEAR(sigma, 25.0 / 255.0, 0.005);
+}
+
+}  // namespace
+}  // namespace ringcnn

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests for the fixed-point machinery: Q-format selection/rounding, the
+ * bit-exact on-the-fly directional ReLU (Fig. 8) against the float
+ * reference, and end-to-end quantized inference staying close to float
+ * for trained and untrained models.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/ring_conv.h"
+#include "data/tasks.h"
+#include "models/backbones.h"
+#include "nn/trainer.h"
+#include "quant/quant_model.h"
+#include "tensor/image_ops.h"
+
+namespace ringcnn::quant {
+namespace {
+
+TEST(QFormat, ForAbsMaxFits)
+{
+    for (double m : {0.1, 0.5, 0.99, 1.0, 3.7, 100.0}) {
+        const QFormat f = QFormat::for_abs_max(m, 8);
+        EXPECT_LE(f.quantize(m), f.max_int());
+        EXPECT_GE(f.quantize(-m), f.min_int());
+        // One more frac bit would overflow.
+        const QFormat tight{8, f.frac + 1};
+        EXPECT_GT(std::llround(m * std::ldexp(1.0, tight.frac)),
+                  tight.max_int());
+    }
+}
+
+TEST(QFormat, QuantizeRoundTripError)
+{
+    const QFormat f = QFormat::for_abs_max(1.0, 8);
+    std::mt19937 rng(81);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (int i = 0; i < 200; ++i) {
+        const double x = dist(rng);
+        const double back = f.dequantize(f.quantize(x));
+        EXPECT_LE(std::fabs(back - x), f.scale() * 0.5 + 1e-12);
+    }
+}
+
+TEST(ShiftRoundSaturate, Behaviour)
+{
+    EXPECT_EQ(shift_round_saturate(10, 2, 8), 3);    // 10/4 = 2.5 -> 3
+    EXPECT_EQ(shift_round_saturate(-10, 2, 8), -2);  // round half up
+    EXPECT_EQ(shift_round_saturate(1000, 0, 8), 127);
+    EXPECT_EQ(shift_round_saturate(-1000, 0, 8), -128);
+    EXPECT_EQ(shift_round_saturate(3, -2, 8), 12);   // left shift
+}
+
+TEST(OnTheFlyDirRelu, MatchesFloatReference)
+{
+    // The integer pipeline must equal quantize(fH_float(y)) whenever no
+    // saturation occurs: full-precision internals guarantee it.
+    const int n = 4;
+    const auto [u, v] = fh_transforms(n);
+    std::mt19937 rng(82);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<int> ny{12, 14, 13, 12}, nx{6, 7, 6, 5};
+        std::vector<int64_t> y(4);
+        std::vector<double> yf(4);
+        for (int i = 0; i < 4; ++i) {
+            yf[static_cast<size_t>(i)] = dist(rng);
+            y[static_cast<size_t>(i)] = std::llround(
+                yf[static_cast<size_t>(i)] *
+                std::ldexp(1.0, ny[static_cast<size_t>(i)]));
+            yf[static_cast<size_t>(i)] =
+                y[static_cast<size_t>(i)] *
+                std::ldexp(1.0, -ny[static_cast<size_t>(i)]);
+        }
+        // float reference: (1/n) H fcw(H y)
+        Tensor t({4, 1, 1});
+        for (int i = 0; i < 4; ++i) {
+            t.at(i, 0, 0) = static_cast<float>(yf[static_cast<size_t>(i)]);
+        }
+        const Tensor ref = directional_relu(u, v, t);
+        std::vector<int64_t> out;
+        onthefly_directional_relu(y, ny, nx, n, out, 16);
+        for (int i = 0; i < 4; ++i) {
+            const double want = ref.at(i, 0, 0);
+            const double got =
+                out[static_cast<size_t>(i)] *
+                std::ldexp(1.0, -nx[static_cast<size_t>(i)]);
+            EXPECT_NEAR(got, want,
+                        std::ldexp(1.0, -nx[static_cast<size_t>(i)]) * 0.51);
+        }
+    }
+}
+
+TEST(OnTheFlyDirRelu, SaturatesTo8Bit)
+{
+    std::vector<int64_t> y{1 << 20, 0, 0, 0};
+    std::vector<int> ny{4, 4, 4, 4}, nx{4, 4, 4, 4};
+    std::vector<int64_t> out;
+    onthefly_directional_relu(y, ny, nx, 4, out, 8);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_LE(out[static_cast<size_t>(i)], 127);
+        EXPECT_GE(out[static_cast<size_t>(i)], -128);
+    }
+}
+
+class QuantModelTest : public ::testing::Test
+{
+  protected:
+    static std::vector<Tensor> calib()
+    {
+        std::mt19937 rng(83);
+        std::vector<Tensor> out;
+        for (int i = 0; i < 3; ++i) {
+            out.push_back(data::synthetic_image(3, 16, 16, rng));
+        }
+        return out;
+    }
+};
+
+TEST_F(QuantModelTest, RealDenoiserCloseToFloat)
+{
+    models::ErnetConfig mc;
+    mc.channels = 8;
+    mc.blocks = 1;
+    nn::Model m = models::build_dn_ernet_pu(models::Algebra::real(), mc);
+    QuantizedModel qm(m, calib());
+    std::mt19937 rng(84);
+    const Tensor x = data::synthetic_image(3, 16, 16, rng);
+    const Tensor yf = m.forward(x);
+    const Tensor yq = qm.forward(x);
+    EXPECT_EQ(yq.shape(), yf.shape());
+    // Quantization PSNR between float and fixed must be high.
+    EXPECT_GT(psnr(yf, yq), 30.0);
+}
+
+TEST_F(QuantModelTest, RingFhModelCloseToFloat)
+{
+    models::ErnetConfig mc;
+    mc.channels = 8;
+    mc.blocks = 1;
+    nn::Model m =
+        models::build_dn_ernet_pu(models::Algebra::with_fh("RI4"), mc);
+    QuantizedModel qm(m, calib());
+    std::mt19937 rng(85);
+    const Tensor x = data::synthetic_image(3, 16, 16, rng);
+    EXPECT_GT(psnr(m.forward(x), qm.forward(x)), 32.0);
+}
+
+TEST_F(QuantModelTest, SrModelWithBilinearSkip)
+{
+    nn::Model m = models::build_srresnet(models::Algebra::with_fh("RI2"), 8, 1);
+    std::mt19937 rng(86);
+    std::vector<Tensor> cal;
+    for (int i = 0; i < 2; ++i) {
+        cal.push_back(data::synthetic_image(3, 8, 8, rng));
+    }
+    QuantizedModel qm(m, cal);
+    const Tensor x = data::synthetic_image(3, 8, 8, rng);
+    const Tensor yf = m.forward(x);
+    const Tensor yq = qm.forward(x);
+    EXPECT_EQ(yq.shape(), (Shape{3, 32, 32}));
+    EXPECT_GT(psnr(yf, yq), 30.0);
+}
+
+TEST_F(QuantModelTest, TrainedModelSmallQuantDrop)
+{
+    // After short training, quantized PSNR on the task must be within a
+    // reasonable drop of the float PSNR (paper Fig. 13: ~0.11 dB at full
+    // scale; we allow a looser bound at laptop scale).
+    const data::DenoiseTask task(25.0f / 255.0f);
+    models::ErnetConfig mc;
+    mc.channels = 8;
+    mc.blocks = 1;
+    nn::Model m =
+        models::build_dn_ernet_pu(models::Algebra::with_fh("RI4"), mc);
+    nn::TrainConfig cfg;
+    cfg.steps = 200;
+    cfg.eval_count = 4;
+    const auto res = nn::train_on_task(m, task, cfg);
+
+    const auto eval = data::make_eval_set(task, 4, 48, 48, cfg.seed + 999);
+    QuantizedModel qm(m, calib());
+    double qpsnr = 0.0;
+    for (const auto& [in, tgt] : eval) {
+        qpsnr += psnr(clamp(qm.forward(in), 0, 1), tgt);
+    }
+    qpsnr /= eval.size();
+    EXPECT_GT(qpsnr, res.psnr_db - 0.6)
+        << "float " << res.psnr_db << " vs quant " << qpsnr;
+}
+
+TEST_F(QuantModelTest, OnTheFlyBeatsQuantizeFirst)
+{
+    // The ablation of Section V: the quantize-before-transform pipeline
+    // must not be better than the on-the-fly pipeline (usually worse).
+    const data::DenoiseTask task(25.0f / 255.0f);
+    models::ErnetConfig mc;
+    mc.channels = 8;
+    mc.blocks = 1;
+    nn::Model m =
+        models::build_dn_ernet_pu(models::Algebra::with_fh("RI4"), mc);
+    nn::TrainConfig cfg;
+    cfg.steps = 200;
+    cfg.eval_count = 4;
+    nn::train_on_task(m, task, cfg);
+
+    QuantOptions otf;
+    QuantOptions qfirst;
+    qfirst.onthefly_dir_relu = false;
+    QuantizedModel qm_otf(m, calib(), otf);
+    QuantizedModel qm_qf(m, calib(), qfirst);
+
+    const auto eval = data::make_eval_set(task, 4, 48, 48, 777);
+    double p_otf = 0.0, p_qf = 0.0;
+    for (const auto& [in, tgt] : eval) {
+        p_otf += psnr(clamp(qm_otf.forward(in), 0, 1), tgt);
+        p_qf += psnr(clamp(qm_qf.forward(in), 0, 1), tgt);
+    }
+    EXPECT_GE(p_otf, p_qf - 0.02 * eval.size());
+}
+
+TEST_F(QuantModelTest, ComponentwiseQHelpsDirectionalRelu)
+{
+    // Section IV-C: with fH, single per-layer Q-formats saturate some
+    // components; component-wise Q must not be worse.
+    models::ErnetConfig mc;
+    mc.channels = 8;
+    mc.blocks = 1;
+    nn::Model m =
+        models::build_dn_ernet_pu(models::Algebra::with_fh("RI4"), mc);
+    const data::DenoiseTask task(25.0f / 255.0f);
+    nn::TrainConfig cfg;
+    cfg.steps = 200;
+    cfg.eval_count = 4;
+    nn::train_on_task(m, task, cfg);
+
+    QuantOptions cw;
+    QuantOptions uni;
+    uni.componentwise_q = false;
+    QuantizedModel qm_cw(m, calib(), cw);
+    QuantizedModel qm_uni(m, calib(), uni);
+    const auto eval = data::make_eval_set(task, 4, 48, 48, 778);
+    double p_cw = 0.0, p_uni = 0.0;
+    for (const auto& [in, tgt] : eval) {
+        p_cw += psnr(clamp(qm_cw.forward(in), 0, 1), tgt);
+        p_uni += psnr(clamp(qm_uni.forward(in), 0, 1), tgt);
+    }
+    EXPECT_GE(p_cw, p_uni - 0.02 * eval.size());
+}
+
+TEST_F(QuantModelTest, OpLogReflectsFusion)
+{
+    models::ErnetConfig mc;
+    mc.channels = 8;
+    mc.blocks = 1;
+    nn::Model m =
+        models::build_dn_ernet_pu(models::Algebra::with_fh("RI4"), mc);
+    QuantizedModel qm(m, calib());
+    const auto ops = qm.op_names();
+    bool has_otf = false;
+    for (const auto& o : ops) {
+        if (o == "dir-relu(otf)") has_otf = true;
+    }
+    EXPECT_TRUE(has_otf);
+}
+
+}  // namespace
+}  // namespace ringcnn::quant

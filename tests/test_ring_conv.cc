@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for ring-tensor convolution: the expand/project adjoint pair,
+ * FRCONV vs RCONV equivalence for every ring, and the directional ReLU.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/ring_conv.h"
+#include "tensor/image_ops.h"
+
+namespace ringcnn {
+namespace {
+
+RingConvWeights
+random_weights(int co, int ci, int k, int n, std::mt19937& rng)
+{
+    RingConvWeights w(co, ci, k, n);
+    std::normal_distribution<float> dist(0.0f, 0.5f);
+    for (auto& v : w.w) v = dist(rng);
+    return w;
+}
+
+class RingConvAllRings : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(RingConvAllRings, FastMatchesReference)
+{
+    const Ring& ring = get_ring(GetParam());
+    std::mt19937 rng(21);
+    const int co = 2, ci = 3, k = 3;
+    const RingConvWeights w = random_weights(co, ci, k, ring.n, rng);
+    Tensor x({ci * ring.n, 7, 6});
+    x.randn(rng);
+    std::vector<float> bias(static_cast<size_t>(co * ring.n));
+    std::normal_distribution<float> dist(0.0f, 0.1f);
+    for (auto& b : bias) b = dist(rng);
+
+    const Tensor ref = ring_conv_reference(ring, x, w, bias);
+    const Tensor fast = ring_conv_fast(ring, x, w, bias);
+    EXPECT_LT(mse(ref, fast), 1e-9) << ring.name;
+}
+
+TEST_P(RingConvAllRings, OneByOneKernel)
+{
+    const Ring& ring = get_ring(GetParam());
+    std::mt19937 rng(22);
+    const RingConvWeights w = random_weights(2, 2, 1, ring.n, rng);
+    Tensor x({2 * ring.n, 4, 4});
+    x.randn(rng);
+    const Tensor ref = ring_conv_reference(ring, x, w, {});
+    const Tensor fast = ring_conv_fast(ring, x, w, {});
+    EXPECT_LT(mse(ref, fast), 1e-9) << ring.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRings, RingConvAllRings,
+                         ::testing::ValuesIn(all_ring_names()),
+                         [](const auto& info) {
+                             std::string n = info.param;
+                             for (char& c : n) {
+                                 if (c == '-') c = '_';
+                             }
+                             return n;
+                         });
+
+TEST(ExpandToReal, UnityWeightGivesIdentityBlocks)
+{
+    const Ring& ring = get_ring("RH4");
+    RingConvWeights w(1, 1, 1, 4);
+    for (int c = 0; c < 4; ++c) {
+        w.at(0, 0, 0, 0, c) = static_cast<float>(ring.unity[static_cast<size_t>(c)]);
+    }
+    const Tensor real = expand_to_real(ring, w);
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            EXPECT_FLOAT_EQ(real.at(i, j, 0, 0), i == j ? 1.0f : 0.0f);
+        }
+    }
+}
+
+TEST(ExpandProject, AdjointInnerProductIdentity)
+{
+    // <expand(g), W> == <g, project(W)> for all rings: the projection is
+    // the exact adjoint used by backprop.
+    std::mt19937 rng(23);
+    for (const auto& name : all_ring_names()) {
+        const Ring& ring = get_ring(name);
+        const RingConvWeights g = random_weights(2, 2, 3, ring.n, rng);
+        Tensor wreal({2 * ring.n, 2 * ring.n, 3, 3});
+        wreal.randn(rng);
+        const Tensor eg = expand_to_real(ring, g);
+        double lhs = 0.0;
+        for (int64_t i = 0; i < eg.numel(); ++i) lhs += static_cast<double>(eg[i]) * wreal[i];
+        const RingConvWeights pw = project_from_real_grad(ring, wreal);
+        double rhs = 0.0;
+        for (size_t i = 0; i < g.w.size(); ++i) rhs += static_cast<double>(g.w[i]) * pw.w[i];
+        EXPECT_NEAR(lhs, rhs, 1e-4 * (std::fabs(lhs) + 1.0)) << name;
+    }
+}
+
+TEST(ExpandToReal, RealRingIsPassthrough)
+{
+    const Ring& ring = get_ring("R");
+    std::mt19937 rng(24);
+    const RingConvWeights w = random_weights(3, 2, 3, 1, rng);
+    const Tensor real = expand_to_real(ring, w);
+    for (int co = 0; co < 3; ++co) {
+        for (int ci = 0; ci < 2; ++ci) {
+            for (int ky = 0; ky < 3; ++ky) {
+                for (int kx = 0; kx < 3; ++kx) {
+                    EXPECT_FLOAT_EQ(real.at(co, ci, ky, kx),
+                                    w.at(co, ci, ky, kx, 0));
+                }
+            }
+        }
+    }
+}
+
+TEST(DirectionalRelu, IdentityOnHPositiveInputs)
+{
+    // If H y >= 0 component-wise then fH(y) = y.
+    const auto [u, v] = fh_transforms(4);
+    Tensor x({4, 2, 2});
+    // y = (1/n) H r with r >= 0 guarantees V y = H y = r >= 0.
+    const Matd h = hadamard(4);
+    std::mt19937 rng(25);
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    for (int yy = 0; yy < 2; ++yy) {
+        for (int xx = 0; xx < 2; ++xx) {
+            std::vector<double> r(4);
+            for (double& q : r) q = dist(rng);
+            const auto y = h.apply(r);  // H r
+            for (int i = 0; i < 4; ++i) {
+                x.at(i, yy, xx) = static_cast<float>(y[static_cast<size_t>(i)] / 4.0);
+            }
+        }
+    }
+    const Tensor out = directional_relu(u, v, x);
+    EXPECT_LT(mse(out, x), 1e-12);
+}
+
+TEST(DirectionalRelu, EqualsComponentWiseForIdentityTransforms)
+{
+    Tensor x({4, 3, 3});
+    std::mt19937 rng(26);
+    x.randn(rng);
+    const Matd id = Matd::identity(4);
+    const Tensor out = directional_relu(id, id, x);
+    for (int64_t i = 0; i < x.numel(); ++i) {
+        EXPECT_FLOAT_EQ(out[i], std::max(0.0f, x[i]));
+    }
+}
+
+TEST(DirectionalRelu, PositiveHomogeneity)
+{
+    const auto [u, v] = fh_transforms(2);
+    Tensor x({2, 2, 2});
+    std::mt19937 rng(27);
+    x.randn(rng);
+    Tensor x2 = x;
+    x2 *= 3.0f;
+    Tensor out = directional_relu(u, v, x);
+    out *= 3.0f;
+    const Tensor out2 = directional_relu(u, v, x2);
+    EXPECT_LT(mse(out, out2), 1e-10);
+}
+
+TEST(DirectionalRelu, Fo4MatchesDefinition)
+{
+    const auto [u, v] = fo4_transforms();
+    const Matd o = householder_o4();
+    Tensor x({4, 1, 1});
+    x.at(0, 0, 0) = 0.5f;
+    x.at(1, 0, 0) = -1.0f;
+    x.at(2, 0, 0) = 2.0f;
+    x.at(3, 0, 0) = 0.25f;
+    const Tensor out = directional_relu(u, v, x);
+    // manual: r = relu(O y); z = O^{-1} r
+    std::vector<double> y{0.5, -1.0, 2.0, 0.25};
+    auto r = o.apply(y);
+    for (double& q : r) q = std::max(0.0, q);
+    const auto z = o.inverse().apply(r);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_NEAR(out.at(i, 0, 0), z[static_cast<size_t>(i)], 1e-6);
+    }
+}
+
+TEST(RingConvFast, RealRingEqualsPlainConv)
+{
+    const Ring& ring = get_ring("R");
+    std::mt19937 rng(28);
+    const RingConvWeights w = random_weights(4, 3, 3, 1, rng);
+    Tensor x({3, 6, 5});
+    x.randn(rng);
+    const Tensor expanded = expand_to_real(ring, w);
+    const Tensor want = conv2d_same(x, expanded, {});
+    const Tensor got = ring_conv_fast(ring, x, w, {});
+    EXPECT_LT(mse(want, got), 1e-10);
+}
+
+}  // namespace
+}  // namespace ringcnn

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the Section III-C proper-ring search. These encode the
+ * paper's structural findings:
+ *  - n=2: a single permutation class whose sign patterns give exactly
+ *    RH2 (grank 2) and C (grank 3).
+ *  - n=4: exactly two non-isomorphic permutation classes; the Klein
+ *    class bottoms out at grank 4 with exactly {RH4, RO4}; the cyclic
+ *    class bottoms out at grank 5 with exactly
+ *    {RH4-I, RH4-II, RO4-I, RO4-II}.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/ring.h"
+#include "core/ring_search.h"
+
+namespace ringcnn {
+namespace {
+
+TEST(RingSearch, N2SinglePermutationClass)
+{
+    std::mt19937 rng(41);
+    const RingSearchResult res = search_proper_rings(2, rng);
+    EXPECT_EQ(res.num_permutations, 1);
+    ASSERT_EQ(res.classes.size(), 1u);
+    const auto& pc = res.classes[0];
+    EXPECT_EQ(pc.num_sign_patterns, 2);  // S_01 free
+    EXPECT_EQ(pc.num_associative, 2);    // RH2 and C
+    EXPECT_EQ(pc.min_grank, 2);
+    ASSERT_EQ(pc.min_grank_variants.size(), 1u);
+    EXPECT_EQ(pc.min_grank_variants[0].registry_name, "RH2");
+}
+
+TEST(RingSearch, N2FindsComplexField)
+{
+    // The other associative sign pattern must be C with grank 3. Re-run
+    // and inspect via identify_ring on all associative variants.
+    std::mt19937 rng(42);
+    const RingSearchResult res = search_proper_rings(2, rng);
+    // The search keeps only min-grank variants; confirm C exists by
+    // building the alternative sign pattern directly.
+    SignPerm sp = res.classes[0].representative;
+    sp.S(0, 1) = -1;
+    const IndexingTensor m = IndexingTensor::from_sign_perm(sp);
+    EXPECT_EQ(identify_ring(m), "C");
+    EXPECT_TRUE(m.is_associative());
+    const AlgebraDecomposition dec = decompose_algebra(m, rng);
+    EXPECT_EQ(dec.grank(), 3);
+}
+
+TEST(RingSearch, N4ExactlyTwoPermutationClasses)
+{
+    std::mt19937 rng(43);
+    const RingSearchResult res = search_proper_rings(4, rng);
+    EXPECT_EQ(res.classes.size(), 2u);
+}
+
+TEST(RingSearch, N4KleinClassYieldsRh4AndRo4)
+{
+    std::mt19937 rng(44);
+    const RingSearchResult res = search_proper_rings(4, rng);
+    bool found = false;
+    for (const auto& pc : res.classes) {
+        if (pc.min_grank != 4) continue;
+        found = true;
+        std::set<std::string> names;
+        for (const auto& fr : pc.min_grank_variants) {
+            names.insert(fr.registry_name);
+        }
+        EXPECT_EQ(names, (std::set<std::string>{"RH4", "RO4"}));
+        EXPECT_EQ(pc.min_grank_variants.size(), 2u);
+    }
+    EXPECT_TRUE(found) << "no permutation class with min grank 4";
+}
+
+TEST(RingSearch, N4CyclicClassYieldsFourGrank5Variants)
+{
+    std::mt19937 rng(45);
+    const RingSearchResult res = search_proper_rings(4, rng);
+    bool found = false;
+    for (const auto& pc : res.classes) {
+        if (pc.min_grank != 5) continue;
+        found = true;
+        std::set<std::string> names;
+        for (const auto& fr : pc.min_grank_variants) {
+            names.insert(fr.registry_name);
+        }
+        EXPECT_EQ(names, (std::set<std::string>{"RH4-I", "RH4-II", "RO4-I",
+                                                "RO4-II"}));
+        EXPECT_EQ(pc.min_grank_variants.size(), 4u);
+    }
+    EXPECT_TRUE(found) << "no permutation class with min grank 5";
+}
+
+TEST(RingSearch, DiscoveredVariantsPassAxioms)
+{
+    std::mt19937 rng(46);
+    const RingSearchResult res = search_proper_rings(4, rng);
+    for (const auto& pc : res.classes) {
+        for (const auto& fr : pc.min_grank_variants) {
+            EXPECT_TRUE(fr.mult.is_commutative());
+            EXPECT_TRUE(fr.mult.is_associative());
+            EXPECT_TRUE(fr.mult.has_exclusive_distribution());
+            EXPECT_TRUE(fr.mult.unity().has_value());
+            EXPECT_TRUE(fr.sp.satisfies_c1());
+            EXPECT_TRUE(fr.sp.satisfies_c2());
+        }
+    }
+}
+
+TEST(RingSearch, CpCertificatesMatchGrank)
+{
+    // Slow path: CP-ALS certifies each surviving variant's grank.
+    std::mt19937 rng(47);
+    const RingSearchResult res = search_proper_rings(4, rng, true);
+    for (const auto& pc : res.classes) {
+        for (const auto& fr : pc.min_grank_variants) {
+            EXPECT_EQ(fr.cp_rank, fr.grank) << fr.registry_name;
+        }
+    }
+}
+
+TEST(IdentifyRing, RecognizesRegistryTensors)
+{
+    for (const char* name : {"RI4", "RH4", "RO4", "RH4-I", "C", "H"}) {
+        EXPECT_EQ(identify_ring(get_ring(name).mult), name);
+    }
+}
+
+TEST(IdentifyRing, UnknownTensorGivesEmpty)
+{
+    IndexingTensor m(3);
+    m.at(0, 0, 0) = 1;
+    EXPECT_EQ(identify_ring(m), "");
+}
+
+}  // namespace
+}  // namespace ringcnn

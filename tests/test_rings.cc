@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Property tests for every registered ring: algebra axioms, the
+ * isomorphic-matrix homomorphism, fast-algorithm equivalence, and the
+ * structural claims of paper Table I (DoF, multiplication counts,
+ * commutativity, unity).
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "core/ring.h"
+
+namespace ringcnn {
+namespace {
+
+std::vector<double>
+random_tuple(int n, std::mt19937& rng)
+{
+    std::normal_distribution<double> dist(0.0, 1.0);
+    std::vector<double> v(static_cast<size_t>(n));
+    for (double& x : v) x = dist(rng);
+    return v;
+}
+
+double
+max_abs_diff(const std::vector<double>& a, const std::vector<double>& b)
+{
+    double m = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        m = std::max(m, std::fabs(a[i] - b[i]));
+    }
+    return m;
+}
+
+class RingProperty : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const Ring& ring() const { return get_ring(GetParam()); }
+};
+
+TEST_P(RingProperty, UnityIsTwoSided)
+{
+    const Ring& r = ring();
+    std::mt19937 rng(1);
+    for (int t = 0; t < 16; ++t) {
+        const auto x = random_tuple(r.n, rng);
+        EXPECT_LT(max_abs_diff(r.multiply(r.unity, x), x), 1e-9);
+        EXPECT_LT(max_abs_diff(r.multiply(x, r.unity), x), 1e-9);
+    }
+}
+
+TEST_P(RingProperty, DistributesOverAddition)
+{
+    const Ring& r = ring();
+    std::mt19937 rng(2);
+    for (int t = 0; t < 8; ++t) {
+        const auto g = random_tuple(r.n, rng);
+        const auto x = random_tuple(r.n, rng);
+        const auto y = random_tuple(r.n, rng);
+        std::vector<double> xy(x.size());
+        for (size_t i = 0; i < x.size(); ++i) xy[i] = x[i] + y[i];
+        const auto lhs = r.multiply(g, xy);
+        const auto gx = r.multiply(g, x);
+        const auto gy = r.multiply(g, y);
+        std::vector<double> rhs(gx.size());
+        for (size_t i = 0; i < gx.size(); ++i) rhs[i] = gx[i] + gy[i];
+        EXPECT_LT(max_abs_diff(lhs, rhs), 1e-9);
+    }
+}
+
+TEST_P(RingProperty, AssociativityExact)
+{
+    EXPECT_TRUE(ring().mult.is_associative());
+}
+
+TEST_P(RingProperty, AssociativityRandomTriples)
+{
+    const Ring& r = ring();
+    std::mt19937 rng(3);
+    for (int t = 0; t < 16; ++t) {
+        const auto a = random_tuple(r.n, rng);
+        const auto b = random_tuple(r.n, rng);
+        const auto c = random_tuple(r.n, rng);
+        const auto lhs = r.multiply(r.multiply(a, b), c);
+        const auto rhs = r.multiply(a, r.multiply(b, c));
+        EXPECT_LT(max_abs_diff(lhs, rhs), 1e-8);
+    }
+}
+
+TEST_P(RingProperty, CommutativityFlagIsAccurate)
+{
+    const Ring& r = ring();
+    EXPECT_EQ(r.mult.is_commutative(), r.commutative);
+    std::mt19937 rng(4);
+    bool observed_commutative = true;
+    for (int t = 0; t < 16; ++t) {
+        const auto a = random_tuple(r.n, rng);
+        const auto b = random_tuple(r.n, rng);
+        if (max_abs_diff(r.multiply(a, b), r.multiply(b, a)) > 1e-9) {
+            observed_commutative = false;
+        }
+    }
+    EXPECT_EQ(observed_commutative, r.commutative);
+}
+
+TEST_P(RingProperty, IsomorphicMatrixActsAsMultiplication)
+{
+    const Ring& r = ring();
+    std::mt19937 rng(5);
+    for (int t = 0; t < 8; ++t) {
+        const auto g = random_tuple(r.n, rng);
+        const auto x = random_tuple(r.n, rng);
+        EXPECT_LT(max_abs_diff(r.isomorphic(g).apply(x), r.multiply(g, x)),
+                  1e-9);
+    }
+}
+
+TEST_P(RingProperty, IsomorphicMatrixIsAlgebraHomomorphism)
+{
+    // Lemma B.1: iso(a.b) = iso(a) iso(b) for associative rings.
+    const Ring& r = ring();
+    std::mt19937 rng(6);
+    for (int t = 0; t < 8; ++t) {
+        const auto a = random_tuple(r.n, rng);
+        const auto b = random_tuple(r.n, rng);
+        const Matd lhs = r.isomorphic(r.multiply(a, b));
+        const Matd rhs = r.isomorphic(a) * r.isomorphic(b);
+        EXPECT_LT(lhs.max_abs_diff(rhs), 1e-9);
+    }
+}
+
+TEST_P(RingProperty, FastAlgorithmMatchesBilinearForm)
+{
+    const Ring& r = ring();
+    std::mt19937 rng(7);
+    EXPECT_LT(r.fast.verify(r.mult, rng, 128), 1e-9);
+}
+
+TEST_P(RingProperty, FastAlgorithmMultCountMatchesTableI)
+{
+    // Implemented multiplication counts; the quaternion ships a 10-mult
+    // exact scheme against its theoretical grank of 8 (Howell-Lafon).
+    static const std::map<std::string, int> want{
+        {"R", 1},     {"RI2", 2},    {"RH2", 2},    {"C", 3},
+        {"RI4", 4},   {"RH4", 4},    {"RO4", 4},    {"RH4-I", 5},
+        {"RH4-II", 5}, {"RO4-I", 5}, {"RO4-II", 5}, {"H", 10},
+        {"RI8", 8},   {"RH8", 8}};
+    EXPECT_EQ(ring().fast.m(), want.at(GetParam()));
+}
+
+TEST_P(RingProperty, GrankMatchesTableI)
+{
+    static const std::map<std::string, int> want{
+        {"R", 1},     {"RI2", 2},    {"RH2", 2},    {"C", 3},
+        {"RI4", 4},   {"RH4", 4},    {"RO4", 4},    {"RH4-I", 5},
+        {"RH4-II", 5}, {"RO4-I", 5}, {"RO4-II", 5}, {"H", 8},
+        {"RI8", 8},   {"RH8", 8}};
+    EXPECT_EQ(ring().grank, want.at(GetParam()));
+}
+
+TEST_P(RingProperty, DofIsN)
+{
+    EXPECT_EQ(ring().dof(), ring().n);
+}
+
+TEST_P(RingProperty, ProperRingsHaveSignPermForm)
+{
+    // All full-rank mixing rings (not RI / R) admit the eq. (9) form
+    // with conditions C1 and C2.
+    const std::string name = GetParam();
+    if (name == "R" || name.rfind("RI", 0) == 0 || name == "H") return;
+    const auto sp = ring().mult.to_sign_perm();
+    ASSERT_TRUE(sp.has_value());
+    EXPECT_TRUE(sp->is_latin_square());
+    EXPECT_TRUE(sp->satisfies_c1());
+    EXPECT_TRUE(sp->satisfies_c2());
+    EXPECT_TRUE(ring().mult.has_exclusive_distribution());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRings, RingProperty,
+                         ::testing::ValuesIn(all_ring_names()),
+                         [](const auto& info) {
+                             std::string n = info.param;
+                             for (char& c : n) {
+                                 if (c == '-') c = '_';
+                             }
+                             return n;
+                         });
+
+TEST(ComplexRing, MatchesStdComplex)
+{
+    const Ring& r = get_ring("C");
+    std::mt19937 rng(8);
+    std::normal_distribution<double> dist(0, 1);
+    for (int t = 0; t < 32; ++t) {
+        const cdouble a(dist(rng), dist(rng));
+        const cdouble b(dist(rng), dist(rng));
+        const cdouble want = a * b;
+        const auto got = r.multiply({a.real(), a.imag()},
+                                    {b.real(), b.imag()});
+        EXPECT_NEAR(got[0], want.real(), 1e-12);
+        EXPECT_NEAR(got[1], want.imag(), 1e-12);
+    }
+}
+
+TEST(QuaternionRing, HamiltonTable)
+{
+    const Ring& r = get_ring("H");
+    auto e = [](int i) {
+        std::vector<double> v(4, 0.0);
+        v[static_cast<size_t>(i)] = 1.0;
+        return v;
+    };
+    // i*j = k, j*k = i, k*i = j, i*i = -1.
+    EXPECT_NEAR(r.multiply(e(1), e(2))[3], 1.0, 1e-12);
+    EXPECT_NEAR(r.multiply(e(2), e(3))[1], 1.0, 1e-12);
+    EXPECT_NEAR(r.multiply(e(3), e(1))[2], 1.0, 1e-12);
+    EXPECT_NEAR(r.multiply(e(1), e(1))[0], -1.0, 1e-12);
+    // Anti-commutativity: j*i = -k.
+    EXPECT_NEAR(r.multiply(e(2), e(1))[3], -1.0, 1e-12);
+}
+
+TEST(QuaternionRing, NormIsMultiplicative)
+{
+    const Ring& r = get_ring("H");
+    std::mt19937 rng(9);
+    std::normal_distribution<double> dist(0, 1);
+    for (int t = 0; t < 16; ++t) {
+        std::vector<double> a(4), b(4);
+        for (auto* v : {&a, &b}) {
+            for (double& x : *v) x = dist(rng);
+        }
+        const auto ab = r.multiply(a, b);
+        auto nrm = [](const std::vector<double>& v) {
+            double s = 0;
+            for (double x : v) s += x * x;
+            return s;
+        };
+        EXPECT_NEAR(nrm(ab), nrm(a) * nrm(b), 1e-9 * (1 + nrm(a) * nrm(b)));
+    }
+}
+
+TEST(XorRing, MatchesDefinition)
+{
+    const Ring& r = get_ring("RH4");
+    std::mt19937 rng(10);
+    std::normal_distribution<double> dist(0, 1);
+    std::vector<double> g(4), x(4);
+    for (double& v : g) v = dist(rng);
+    for (double& v : x) v = dist(rng);
+    const auto z = r.multiply(g, x);
+    for (int i = 0; i < 4; ++i) {
+        double want = 0.0;
+        for (int j = 0; j < 4; ++j) want += g[static_cast<size_t>(i ^ j)] * x[static_cast<size_t>(j)];
+        EXPECT_NEAR(z[static_cast<size_t>(i)], want, 1e-12);
+    }
+}
+
+TEST(CyclicRing, MatchesCircularConvolution)
+{
+    const Ring& r = get_ring("RH4-I");
+    std::mt19937 rng(11);
+    std::normal_distribution<double> dist(0, 1);
+    std::vector<double> g(4), x(4);
+    for (double& v : g) v = dist(rng);
+    for (double& v : x) v = dist(rng);
+    const auto z = r.multiply(g, x);
+    for (int i = 0; i < 4; ++i) {
+        double want = 0.0;
+        for (int j = 0; j < 4; ++j) {
+            want += g[static_cast<size_t>(((i - j) % 4 + 4) % 4)] *
+                    x[static_cast<size_t>(j)];
+        }
+        EXPECT_NEAR(z[static_cast<size_t>(i)], want, 1e-12);
+    }
+}
+
+TEST(HadamardDiagonalization, RhRingsFollowTheoremA1)
+{
+    // G = H^{-1} diag(H g) H for the XOR-convolution rings.
+    for (const char* name : {"RH2", "RH4", "RH8"}) {
+        const Ring& r = get_ring(name);
+        const Matd h = hadamard(r.n);
+        const Matd hinv = h.inverse();
+        std::mt19937 rng(12);
+        std::normal_distribution<double> dist(0, 1);
+        std::vector<double> g(static_cast<size_t>(r.n));
+        for (double& v : g) v = dist(rng);
+        const auto hg = h.apply(g);
+        Matd d(r.n, r.n);
+        for (int i = 0; i < r.n; ++i) d.at(i, i) = hg[static_cast<size_t>(i)];
+        const Matd want = hinv * d * h;
+        EXPECT_LT(r.isomorphic(g).max_abs_diff(want), 1e-9) << name;
+    }
+}
+
+TEST(RingRegistry, NamesAndLookup)
+{
+    EXPECT_TRUE(has_ring("RH4-I"));
+    EXPECT_FALSE(has_ring("RZ9"));
+    EXPECT_EQ(all_ring_names().size(), 14u);
+    EXPECT_EQ(paper_comparison_rings().size(), 11u);
+}
+
+TEST(RingRegistry, TwistedVariantsAreDistinct)
+{
+    // The four cyclic-permutation rings must be pairwise distinct tensors.
+    const std::vector<std::string> names{"RH4-I", "RH4-II", "RO4-I", "RO4-II"};
+    for (size_t a = 0; a < names.size(); ++a) {
+        for (size_t b = a + 1; b < names.size(); ++b) {
+            const auto& ma = get_ring(names[a]).mult;
+            const auto& mb = get_ring(names[b]).mult;
+            bool same = true;
+            for (int i = 0; i < 4 && same; ++i) {
+                for (int k = 0; k < 4 && same; ++k) {
+                    for (int j = 0; j < 4 && same; ++j) {
+                        if (ma.at(i, k, j) != mb.at(i, k, j)) same = false;
+                    }
+                }
+            }
+            EXPECT_FALSE(same) << names[a] << " vs " << names[b];
+        }
+    }
+}
+
+TEST(SemisimpleDerivation, ReproducesFastAlgorithms)
+{
+    // The generic eigen-based derivation must produce a working
+    // m = reals + 3*pairs algorithm for every commutative ring.
+    std::mt19937 rng(13);
+    for (const char* name : {"RH2", "C", "RH4", "RO4", "RH4-I", "RH4-II",
+                             "RO4-I", "RO4-II"}) {
+        const Ring& r = get_ring(name);
+        const auto fa = derive_semisimple(r.mult, rng);
+        ASSERT_TRUE(fa.has_value()) << name;
+        EXPECT_EQ(fa->m(), r.grank) << name;
+        std::mt19937 vr(14);
+        EXPECT_LT(fa->verify(r.mult, vr, 64), 1e-7) << name;
+    }
+}
+
+TEST(AlgebraDecomposition, MatchesKnownStructures)
+{
+    std::mt19937 rng(15);
+    // RH4 = R^4, RO4 = R^4, cyclic = R x R x C, C = C, quaternion: not
+    // semisimple-commutative (pairs with repeated eigenvalues).
+    auto dec = [&](const char* name) {
+        return decompose_algebra(get_ring(name).mult, rng);
+    };
+    EXPECT_EQ(dec("RH4").real_eigs, 4);
+    EXPECT_EQ(dec("RH4").complex_pairs, 0);
+    EXPECT_EQ(dec("RO4").real_eigs, 4);
+    EXPECT_EQ(dec("RH4-I").real_eigs, 2);
+    EXPECT_EQ(dec("RH4-I").complex_pairs, 1);
+    EXPECT_EQ(dec("RH4-I").grank(), 5);
+    EXPECT_EQ(dec("C").complex_pairs, 1);
+    EXPECT_EQ(dec("C").grank(), 3);
+    EXPECT_FALSE(dec("H").semisimple);  // defective generic spectrum
+}
+
+TEST(SolveReconstruction, RecoversComplexScheme)
+{
+    // Given the 3-mult transforms of C, the solver must find a Tz making
+    // the algorithm exact.
+    const Ring& c = get_ring("C");
+    const auto fa = solve_reconstruction(c.mult, c.fast.tg, c.fast.tx);
+    ASSERT_TRUE(fa.has_value());
+    std::mt19937 rng(16);
+    EXPECT_LT(fa->verify(c.mult, rng, 64), 1e-9);
+}
+
+TEST(SolveReconstruction, RejectsInsufficientTransforms)
+{
+    // Two products cannot realize the complex multiplication.
+    const Ring& c = get_ring("C");
+    Matd tg{{1, 0}, {0, 1}};
+    Matd tx{{1, 0}, {0, 1}};
+    EXPECT_FALSE(solve_reconstruction(c.mult, tg, tx).has_value());
+}
+
+}  // namespace
+}  // namespace ringcnn

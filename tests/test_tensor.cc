@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit tests for the tensor substrate: indexing, reference conv2d,
+ * pixel (un)shuffle round trips, PSNR, resampling kernels.
+ */
+#include <gtest/gtest.h>
+
+#include "tensor/image_ops.h"
+#include "tensor/tensor.h"
+
+namespace ringcnn {
+namespace {
+
+TEST(Tensor, IndexingRoundTrip)
+{
+    Tensor t({2, 3, 4});
+    float v = 0.0f;
+    for (int i = 0; i < 2; ++i) {
+        for (int j = 0; j < 3; ++j) {
+            for (int k = 0; k < 4; ++k) t.at(i, j, k) = v++;
+        }
+    }
+    EXPECT_EQ(t.numel(), 24);
+    EXPECT_FLOAT_EQ(t.at(0, 0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(t.at(1, 2, 3), 23.0f);
+    EXPECT_FLOAT_EQ(t[23], 23.0f);
+}
+
+TEST(Tensor, Arithmetic)
+{
+    Tensor a({2, 2});
+    Tensor b({2, 2});
+    a.fill(1.5f);
+    b.fill(2.0f);
+    Tensor c = a + b;
+    EXPECT_FLOAT_EQ(c.at(1, 1), 3.5f);
+    c -= a;
+    EXPECT_FLOAT_EQ(c.at(0, 0), 2.0f);
+    c *= 2.0f;
+    EXPECT_FLOAT_EQ(c.at(0, 1), 4.0f);
+    EXPECT_DOUBLE_EQ(c.sum(), 16.0);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t({2, 6});
+    for (int64_t i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(i);
+    Tensor r = t.reshaped({3, 4});
+    EXPECT_EQ(r.dim(0), 3);
+    EXPECT_FLOAT_EQ(r.at(2, 3), 11.0f);
+}
+
+TEST(Conv2d, IdentityKernel)
+{
+    std::mt19937 rng(7);
+    Tensor x({3, 8, 8});
+    x.randn(rng);
+    Tensor w({3, 3, 1, 1});
+    for (int c = 0; c < 3; ++c) w.at(c, c, 0, 0) = 1.0f;
+    const Tensor y = conv2d_same(x, w, {});
+    EXPECT_LT(mse(x, y), 1e-12);
+}
+
+TEST(Conv2d, KnownAverageKernel)
+{
+    Tensor x({1, 3, 3});
+    float v = 1.0f;
+    for (int y = 0; y < 3; ++y) {
+        for (int xx = 0; xx < 3; ++xx) x.at(0, y, xx) = v++;
+    }
+    Tensor w({1, 1, 3, 3});
+    for (int ky = 0; ky < 3; ++ky) {
+        for (int kx = 0; kx < 3; ++kx) w.at(0, 0, ky, kx) = 1.0f;
+    }
+    const Tensor y = conv2d_same(x, w, {});
+    // Center tap sums all nine pixels: 45.
+    EXPECT_FLOAT_EQ(y.at(0, 1, 1), 45.0f);
+    // Corner (0,0) sums the 2x2 top-left block: 1+2+4+5 = 12.
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0), 12.0f);
+}
+
+TEST(Conv2d, BiasApplied)
+{
+    Tensor x({1, 4, 4});
+    x.fill(0.0f);
+    Tensor w({2, 1, 3, 3});
+    const Tensor y = conv2d_same(x, w, {1.0f, -2.5f});
+    EXPECT_FLOAT_EQ(y.at(0, 2, 2), 1.0f);
+    EXPECT_FLOAT_EQ(y.at(1, 0, 3), -2.5f);
+}
+
+TEST(Conv2d, MatchesManualComputation)
+{
+    std::mt19937 rng(11);
+    Tensor x({2, 5, 5});
+    x.randn(rng);
+    Tensor w({1, 2, 3, 3});
+    w.randn(rng);
+    const Tensor y = conv2d_same(x, w, {});
+    // Manual value at an interior pixel (2, 3).
+    double want = 0.0;
+    for (int c = 0; c < 2; ++c) {
+        for (int ky = 0; ky < 3; ++ky) {
+            for (int kx = 0; kx < 3; ++kx) {
+                want += static_cast<double>(w.at(0, c, ky, kx)) *
+                        x.at(c, 2 + ky - 1, 3 + kx - 1);
+            }
+        }
+    }
+    EXPECT_NEAR(y.at(0, 2, 3), want, 1e-5);
+}
+
+TEST(PixelShuffle, RoundTrip)
+{
+    std::mt19937 rng(3);
+    Tensor x({2, 8, 6});
+    x.randn(rng);
+    const Tensor down = pixel_unshuffle(x, 2);
+    EXPECT_EQ(down.dim(0), 8);
+    EXPECT_EQ(down.dim(1), 4);
+    EXPECT_EQ(down.dim(2), 3);
+    const Tensor up = pixel_shuffle(down, 2);
+    EXPECT_LT(mse(x, up), 1e-14);
+}
+
+TEST(PixelShuffle, ChannelOrdering)
+{
+    Tensor x({1, 2, 2});
+    x.at(0, 0, 0) = 1;
+    x.at(0, 0, 1) = 2;
+    x.at(0, 1, 0) = 3;
+    x.at(0, 1, 1) = 4;
+    const Tensor d = pixel_unshuffle(x, 2);
+    EXPECT_FLOAT_EQ(d.at(0, 0, 0), 1);  // (dy=0, dx=0)
+    EXPECT_FLOAT_EQ(d.at(1, 0, 0), 2);  // (dy=0, dx=1)
+    EXPECT_FLOAT_EQ(d.at(2, 0, 0), 3);  // (dy=1, dx=0)
+    EXPECT_FLOAT_EQ(d.at(3, 0, 0), 4);  // (dy=1, dx=1)
+}
+
+TEST(Psnr, KnownValue)
+{
+    Tensor a({1, 2, 2});
+    Tensor b({1, 2, 2});
+    b.fill(0.1f);
+    // MSE = 0.01, peak = 1 -> PSNR = 20 dB.
+    EXPECT_NEAR(psnr(a, b), 20.0, 1e-4);
+}
+
+TEST(Psnr, InfiniteForIdentical)
+{
+    Tensor a({1, 3, 3});
+    a.fill(0.5f);
+    EXPECT_TRUE(std::isinf(psnr(a, a)));
+}
+
+TEST(Resample, BoxDownThenNearestUpPreservesConstant)
+{
+    Tensor x({1, 8, 8});
+    x.fill(0.7f);
+    const Tensor d = downsample_box(x, 4);
+    EXPECT_EQ(d.dim(1), 2);
+    EXPECT_FLOAT_EQ(d.at(0, 0, 0), 0.7f);
+    const Tensor u = upsample_nearest(d, 4);
+    EXPECT_LT(mse(x, u), 1e-12);
+}
+
+TEST(Resample, BilinearPreservesConstant)
+{
+    Tensor x({2, 4, 4});
+    x.fill(-0.25f);
+    const Tensor u = upsample_bilinear(x, 4);
+    EXPECT_EQ(u.dim(1), 16);
+    EXPECT_LT(mse(u, clamp(u, -0.25f, -0.25f)), 1e-12);
+}
+
+TEST(Clamp, Bounds)
+{
+    Tensor x({1, 1, 3});
+    x.at(0, 0, 0) = -2.0f;
+    x.at(0, 0, 1) = 0.5f;
+    x.at(0, 0, 2) = 9.0f;
+    const Tensor y = clamp(x, 0.0f, 1.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 1), 0.5f);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 2), 1.0f);
+}
+
+}  // namespace
+}  // namespace ringcnn
