@@ -2,18 +2,113 @@
  * @file
  * google-benchmark microbenchmarks: host-side throughput of the fast
  * ring convolution (FRCONV) versus the isomorphic real convolution, per
- * ring. Demonstrates the m/n^2 arithmetic reduction on the CPU too.
+ * ring, plus the RingConvEngine execution paths (weight-transform
+ * caching, row-contiguous kernels, threading, batching) against the
+ * seed per-pixel FRCONV loop they replaced.
  */
 #include <benchmark/benchmark.h>
 
 #include <random>
 
 #include "core/ring_conv.h"
+#include "core/ring_conv_engine.h"
 #include "tensor/image_ops.h"
 
 namespace {
 
 using namespace ringcnn;
+
+/**
+ * The pre-engine ring_conv_fast implementation, kept verbatim as the
+ * baseline the engine speedups are measured against: re-derives the
+ * filter transform every call, walks pixels through Tensor::at(), and
+ * runs single-threaded.
+ */
+Tensor
+seed_ring_conv_fast(const Ring& ring, const Tensor& x,
+                    const RingConvWeights& w, const std::vector<float>& bias)
+{
+    const int n = ring.n;
+    const int m = ring.fast.m();
+    const int ci_t = x.dim(0) / n;
+    const int h = x.dim(1), wd = x.dim(2);
+    const Matd& tg = ring.fast.tg;
+    const Matd& tx = ring.fast.tx;
+    const Matd& tz = ring.fast.tz;
+    const int pad = w.k / 2;
+
+    Tensor xt({ci_t * m, h, wd});
+    for (int t = 0; t < ci_t; ++t) {
+        for (int r = 0; r < m; ++r) {
+            for (int y = 0; y < h; ++y) {
+                for (int xx = 0; xx < wd; ++xx) {
+                    double acc = 0.0;
+                    for (int j = 0; j < n; ++j) {
+                        const double c = tx.at(r, j);
+                        if (c != 0.0) acc += c * x.at(t * n + j, y, xx);
+                    }
+                    xt.at(t * m + r, y, xx) = static_cast<float>(acc);
+                }
+            }
+        }
+    }
+
+    std::vector<double> gt(static_cast<size_t>(w.co_t) * ci_t * w.k * w.k * m);
+    auto gt_at = [&](int co, int ci, int ky, int kx, int r) -> double& {
+        return gt[(((static_cast<size_t>(co) * ci_t + ci) * w.k + ky) * w.k +
+                   kx) * m + r];
+    };
+    for (int co = 0; co < w.co_t; ++co) {
+        for (int ci = 0; ci < ci_t; ++ci) {
+            for (int ky = 0; ky < w.k; ++ky) {
+                for (int kx = 0; kx < w.k; ++kx) {
+                    for (int r = 0; r < m; ++r) {
+                        double acc = 0.0;
+                        for (int k = 0; k < n; ++k) {
+                            acc += tg.at(r, k) * w.at(co, ci, ky, kx, k);
+                        }
+                        gt_at(co, ci, ky, kx, r) = acc;
+                    }
+                }
+            }
+        }
+    }
+
+    Tensor out({w.co_t * n, h, wd});
+    std::vector<double> acc(static_cast<size_t>(m));
+    for (int co = 0; co < w.co_t; ++co) {
+        for (int y = 0; y < h; ++y) {
+            for (int xx = 0; xx < wd; ++xx) {
+                std::fill(acc.begin(), acc.end(), 0.0);
+                for (int ci = 0; ci < ci_t; ++ci) {
+                    for (int ky = 0; ky < w.k; ++ky) {
+                        const int iy = y + ky - pad;
+                        if (iy < 0 || iy >= h) continue;
+                        for (int kx = 0; kx < w.k; ++kx) {
+                            const int ix = xx + kx - pad;
+                            if (ix < 0 || ix >= wd) continue;
+                            for (int r = 0; r < m; ++r) {
+                                acc[static_cast<size_t>(r)] +=
+                                    gt_at(co, ci, ky, kx, r) *
+                                    xt.at(ci * m + r, iy, ix);
+                            }
+                        }
+                    }
+                }
+                for (int i = 0; i < n; ++i) {
+                    double z = bias.empty()
+                                   ? 0.0
+                                   : bias[static_cast<size_t>(co * n + i)];
+                    for (int r = 0; r < m; ++r) {
+                        z += tz.at(i, r) * acc[static_cast<size_t>(r)];
+                    }
+                    out.at(co * n + i, y, xx) = static_cast<float>(z);
+                }
+            }
+        }
+    }
+    return out;
+}
 
 struct Setup
 {
@@ -24,14 +119,15 @@ struct Setup
 };
 
 Setup
-make_setup(const std::string& name)
+make_setup(const std::string& name, int real_channels = 16, int side = 32)
 {
     const Ring& ring = get_ring(name);
     std::mt19937 rng(3);
-    const int ci_t = 16 / ring.n > 0 ? 16 / ring.n : 1;
+    const int ci_t =
+        real_channels / ring.n > 0 ? real_channels / ring.n : 1;
     const int co_t = ci_t;
     Setup s{&ring, RingConvWeights(co_t, ci_t, 3, ring.n),
-            Tensor({ci_t * ring.n, 32, 32}),
+            Tensor({ci_t * ring.n, side, side}),
             std::vector<float>(static_cast<size_t>(co_t) * ring.n, 0.1f)};
     std::normal_distribution<float> d(0.0f, 0.3f);
     for (auto& v : s.w.w) v = d(rng);
@@ -58,6 +154,65 @@ bm_rconv_reference(benchmark::State& state, const std::string& name)
         benchmark::DoNotOptimize(
             ring_conv_reference(*s.ring, s.x, s.w, s.bias));
     }
+}
+
+// ---- Engine vs seed: the acceptance layer is 64 real channels (16
+// tuples of n=4) at 128x128, the "as fast as the hardware allows" hot
+// path. Compare wall time ("Time" column) of _seed vs _engine.
+
+void
+bm_frconv_seed(benchmark::State& state, const std::string& name, int ch,
+               int side)
+{
+    Setup s = make_setup(name, ch, side);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(seed_ring_conv_fast(*s.ring, s.x, s.w,
+                                                     s.bias));
+    }
+    state.SetLabel(name + " seed per-pixel loop");
+}
+
+void
+bm_frconv_engine(benchmark::State& state, const std::string& name, int ch,
+                 int side, int threads)
+{
+    Setup s = make_setup(name, ch, side);
+    RingConvEngineOptions opt;
+    opt.threads = threads;
+    const RingConvEngine engine(*s.ring, s.w, s.bias, opt);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.run(s.x));
+    }
+    state.SetLabel(name + " cached engine, threads=" +
+                   (threads > 0 ? std::to_string(threads) : "auto"));
+}
+
+void
+bm_frconv_engine_cold(benchmark::State& state, const std::string& name,
+                      int ch, int side)
+{
+    // Engine constructed inside the loop: measures what the stateless
+    // ring_conv_fast() wrapper pays without weight-transform caching.
+    Setup s = make_setup(name, ch, side);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            RingConvEngine(*s.ring, s.w, s.bias).run(s.x));
+    }
+    state.SetLabel(name + " engine built per call");
+}
+
+void
+bm_frconv_engine_batch(benchmark::State& state, const std::string& name,
+                       int ch, int side, int batch)
+{
+    Setup s = make_setup(name, ch, side);
+    const RingConvEngine engine(*s.ring, s.w, s.bias);
+    std::vector<Tensor> xs(static_cast<size_t>(batch), s.x);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.run(xs));
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+    state.SetLabel(name + " batched engine, batch=" + std::to_string(batch));
 }
 
 void
@@ -88,4 +243,19 @@ BENCHMARK_CAPTURE(bm_rconv_reference, R, std::string("R"));
 BENCHMARK_CAPTURE(bm_rconv_reference, RI4, std::string("RI4"));
 BENCHMARK_CAPTURE(bm_directional_relu, n2, 2);
 BENCHMARK_CAPTURE(bm_directional_relu, n4, 4);
+// Acceptance config: 64 real channels (n=4), 128x128.
+BENCHMARK_CAPTURE(bm_frconv_seed, RH4_64x128x128, std::string("RH4"), 64,
+                  128)->UseRealTime();
+BENCHMARK_CAPTURE(bm_frconv_engine, RH4_64x128x128_1thread,
+                  std::string("RH4"), 64, 128, 1)->UseRealTime();
+BENCHMARK_CAPTURE(bm_frconv_engine, RH4_64x128x128, std::string("RH4"), 64,
+                  128, 0)->UseRealTime();
+BENCHMARK_CAPTURE(bm_frconv_engine_cold, RH4_64x128x128, std::string("RH4"),
+                  64, 128)->UseRealTime();
+BENCHMARK_CAPTURE(bm_frconv_engine_batch, RH4_64x128x128_b4,
+                  std::string("RH4"), 64, 128, 4)->UseRealTime();
+BENCHMARK_CAPTURE(bm_frconv_seed, RI4_64x128x128, std::string("RI4"), 64,
+                  128)->UseRealTime();
+BENCHMARK_CAPTURE(bm_frconv_engine, RI4_64x128x128, std::string("RI4"), 64,
+                  128, 0)->UseRealTime();
 BENCHMARK_MAIN();

@@ -1,6 +1,8 @@
 #include "core/ring_conv.h"
 
+#include "core/ring_conv_engine.h"
 #include "tensor/image_ops.h"
+#include "util/check.h"
 
 namespace ringcnn {
 
@@ -8,7 +10,9 @@ Tensor
 expand_to_real(const Ring& ring, const RingConvWeights& w)
 {
     const int n = ring.n;
-    assert(w.n == n);
+    RINGCNN_CHECK(w.n == n, "ring weights built for n=" +
+                                std::to_string(w.n) + " but ring '" +
+                                ring.name + "' has n=" + std::to_string(n));
     Tensor out({w.co_t * n, w.ci_t * n, w.k, w.k});
     for (int co = 0; co < w.co_t; ++co) {
         for (int ci = 0; ci < w.ci_t; ++ci) {
@@ -36,6 +40,10 @@ RingConvWeights
 project_from_real_grad(const Ring& ring, const Tensor& real_grad)
 {
     const int n = ring.n;
+    RINGCNN_CHECK(real_grad.rank() == 4 && real_grad.dim(0) % n == 0 &&
+                      real_grad.dim(1) % n == 0,
+                  "real weight gradient must be [co_t*n][ci_t*n][k][k], got " +
+                      real_grad.shape_str() + " for n=" + std::to_string(n));
     const int co_t = real_grad.dim(0) / n;
     const int ci_t = real_grad.dim(1) / n;
     const int k = real_grad.dim(2);
@@ -68,6 +76,15 @@ Tensor
 ring_conv_reference(const Ring& ring, const Tensor& x,
                     const RingConvWeights& w, const std::vector<float>& bias)
 {
+    RINGCNN_CHECK(x.rank() == 3 && x.dim(0) == w.ci_t * ring.n,
+                  "RCONV input must be [ci_t*n][H][W]=[" +
+                      std::to_string(w.ci_t * ring.n) + "][H][W], got " +
+                      x.shape_str());
+    RINGCNN_CHECK(bias.empty() ||
+                      static_cast<int>(bias.size()) == w.co_t * ring.n,
+                  "bias must be empty or co_t*n=" +
+                      std::to_string(w.co_t * ring.n) + " entries, got " +
+                      std::to_string(bias.size()));
     return conv2d_same(x, expand_to_real(ring, w), bias);
 }
 
@@ -75,92 +92,11 @@ Tensor
 ring_conv_fast(const Ring& ring, const Tensor& x, const RingConvWeights& w,
                const std::vector<float>& bias)
 {
-    const int n = ring.n;
-    const int m = ring.fast.m();
-    const int ci_t = x.dim(0) / n;
-    const int h = x.dim(1), wd = x.dim(2);
-    assert(w.ci_t == ci_t && w.n == n);
-    const Matd& tg = ring.fast.tg;
-    const Matd& tx = ring.fast.tx;
-    const Matd& tz = ring.fast.tz;
-    const int pad = w.k / 2;
-
-    // Data transform, applied once per input tuple (eq. (6)).
-    Tensor xt({ci_t * m, h, wd});
-    for (int t = 0; t < ci_t; ++t) {
-        for (int r = 0; r < m; ++r) {
-            for (int y = 0; y < h; ++y) {
-                for (int xx = 0; xx < wd; ++xx) {
-                    double acc = 0.0;
-                    for (int j = 0; j < n; ++j) {
-                        const double c = tx.at(r, j);
-                        if (c != 0.0) acc += c * x.at(t * n + j, y, xx);
-                    }
-                    xt.at(t * m + r, y, xx) = static_cast<float>(acc);
-                }
-            }
-        }
-    }
-
-    // Filter transform, applied once per weight tuple.
-    // gt[co][ci][ky][kx][r] = sum_k Tg[r][k] g_k
-    std::vector<double> gt(static_cast<size_t>(w.co_t) * ci_t * w.k * w.k * m);
-    auto gt_at = [&](int co, int ci, int ky, int kx, int r) -> double& {
-        return gt[(((static_cast<size_t>(co) * ci_t + ci) * w.k + ky) * w.k +
-                   kx) * m + r];
-    };
-    for (int co = 0; co < w.co_t; ++co) {
-        for (int ci = 0; ci < ci_t; ++ci) {
-            for (int ky = 0; ky < w.k; ++ky) {
-                for (int kx = 0; kx < w.k; ++kx) {
-                    for (int r = 0; r < m; ++r) {
-                        double acc = 0.0;
-                        for (int k = 0; k < n; ++k) {
-                            acc += tg.at(r, k) * w.at(co, ci, ky, kx, k);
-                        }
-                        gt_at(co, ci, ky, kx, r) = acc;
-                    }
-                }
-            }
-        }
-    }
-
-    // Component-wise 2-D convolutions accumulated over input tuples
-    // (eq. (7)), then the reconstruction transform (eq. (8)).
-    Tensor out({w.co_t * n, h, wd});
-    std::vector<double> acc(static_cast<size_t>(m));
-    for (int co = 0; co < w.co_t; ++co) {
-        for (int y = 0; y < h; ++y) {
-            for (int xx = 0; xx < wd; ++xx) {
-                std::fill(acc.begin(), acc.end(), 0.0);
-                for (int ci = 0; ci < ci_t; ++ci) {
-                    for (int ky = 0; ky < w.k; ++ky) {
-                        const int iy = y + ky - pad;
-                        if (iy < 0 || iy >= h) continue;
-                        for (int kx = 0; kx < w.k; ++kx) {
-                            const int ix = xx + kx - pad;
-                            if (ix < 0 || ix >= wd) continue;
-                            for (int r = 0; r < m; ++r) {
-                                acc[static_cast<size_t>(r)] +=
-                                    gt_at(co, ci, ky, kx, r) *
-                                    xt.at(ci * m + r, iy, ix);
-                            }
-                        }
-                    }
-                }
-                for (int i = 0; i < n; ++i) {
-                    double z = bias.empty()
-                                   ? 0.0
-                                   : bias[static_cast<size_t>(co * n + i)];
-                    for (int r = 0; r < m; ++r) {
-                        z += tz.at(i, r) * acc[static_cast<size_t>(r)];
-                    }
-                    out.at(co * n + i, y, xx) = static_cast<float>(z);
-                }
-            }
-        }
-    }
-    return out;
+    // Thin wrapper kept for API stability; the cached, parallel
+    // implementation lives in RingConvEngine. A one-shot engine still
+    // pays the filter transform each call — callers on a hot loop
+    // should hold an engine instead.
+    return RingConvEngine(ring, w, bias).run(x);
 }
 
 Tensor
@@ -168,9 +104,15 @@ directional_relu(const Matd& u, const Matd& v, const Tensor& x)
 {
     const int n = v.cols();
     const int c = x.dim(0), h = x.dim(1), w = x.dim(2);
-    assert(c % n == 0);
+    RINGCNN_CHECK(u.rows() == n && u.cols() == n && v.rows() == n,
+                  "directional ReLU transforms must be square n x n");
+    RINGCNN_CHECK(c % n == 0, "channel count " + std::to_string(c) +
+                                  " is not a multiple of the tuple size " +
+                                  std::to_string(n));
     Tensor out({c, h, w});
+    // Scratch tuples hoisted out of the spatial loops.
     std::vector<double> y(static_cast<size_t>(n));
+    std::vector<double> r(static_cast<size_t>(n));
     for (int t = 0; t < c / n; ++t) {
         for (int yy = 0; yy < h; ++yy) {
             for (int xx = 0; xx < w; ++xx) {
@@ -178,7 +120,6 @@ directional_relu(const Matd& u, const Matd& v, const Tensor& x)
                     y[static_cast<size_t>(i)] = x.at(t * n + i, yy, xx);
                 }
                 // v-rotate, rectify, u-rotate back
-                std::vector<double> r(static_cast<size_t>(n), 0.0);
                 for (int i = 0; i < n; ++i) {
                     double acc = 0.0;
                     for (int j = 0; j < n; ++j) {

@@ -64,7 +64,8 @@ RingConvWeights project_from_real_grad(const Ring& ring,
 
 /**
  * RCONV via the isomorphism: expand to real weights and run the golden
- * real-valued convolution ("same" padding).
+ * real-valued convolution ("same" padding). Shape mismatches throw
+ * std::invalid_argument.
  * @param bias per real output channel (co_t * n), may be empty.
  */
 Tensor ring_conv_reference(const Ring& ring, const Tensor& x,
@@ -75,6 +76,10 @@ Tensor ring_conv_reference(const Ring& ring, const Tensor& x,
  * FRCONV (eq. (12)): transform the input once per tuple, run m
  * component-wise 2-D convolutions per channel pair, accumulate over
  * input tuples, then apply the reconstruction transform once.
+ *
+ * Thin stateless wrapper over RingConvEngine (core/ring_conv_engine.h);
+ * hot loops should construct an engine once per weight set to reuse the
+ * cached filter transform. Shape mismatches throw std::invalid_argument.
  */
 Tensor ring_conv_fast(const Ring& ring, const Tensor& x,
                       const RingConvWeights& w,

@@ -1,0 +1,297 @@
+#include "core/ring_conv_engine.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace ringcnn {
+
+RingConvEngine::RingConvEngine(const Ring& ring, const RingConvWeights& w,
+                               std::vector<float> bias,
+                               RingConvEngineOptions opt)
+    : ring_(&ring), co_t_(0), ci_t_(0), k_(0), n_(ring.n),
+      m_(ring.fast.m()), opt_(opt)
+{
+    // The data/reconstruction transforms depend only on the ring.
+    const Matd& tx = ring.fast.tx;
+    tx_nz_.resize(static_cast<size_t>(m_));
+    for (int r = 0; r < m_; ++r) {
+        for (int j = 0; j < n_; ++j) {
+            const double c = tx.at(r, j);
+            if (c != 0.0) tx_nz_[static_cast<size_t>(r)].emplace_back(j, c);
+        }
+    }
+    const Matd& tz = ring.fast.tz;
+    tz_.resize(static_cast<size_t>(n_) * m_);
+    for (int i = 0; i < n_; ++i) {
+        for (int r = 0; r < m_; ++r) {
+            tz_[static_cast<size_t>(i) * m_ + r] = tz.at(i, r);
+        }
+    }
+    set_weights(w, std::move(bias));
+}
+
+void
+RingConvEngine::set_weights(const RingConvWeights& w, std::vector<float> bias)
+{
+    RINGCNN_CHECK(w.n == ring_->n,
+                  "ring weights built for n=" + std::to_string(w.n) +
+                      " but ring '" + ring_->name + "' has n=" +
+                      std::to_string(ring_->n));
+    RINGCNN_CHECK(w.co_t > 0 && w.ci_t > 0,
+                  "ring weights need positive tuple channel counts");
+    RINGCNN_CHECK(w.k > 0 && w.k % 2 == 1,
+                  "kernel size must be odd and positive, got " +
+                      std::to_string(w.k));
+    RINGCNN_CHECK(bias.empty() ||
+                      static_cast<int>(bias.size()) == w.co_t * w.n,
+                  "bias must be empty or co_t*n=" +
+                      std::to_string(w.co_t * w.n) + " entries, got " +
+                      std::to_string(bias.size()));
+    co_t_ = w.co_t;
+    ci_t_ = w.ci_t;
+    k_ = w.k;
+
+    // Filter transform, derived once per weight set:
+    // gt[co][r][ci][ky][kx] = sum_k Tg[r][k] g_k  (eq. (6)).
+    const Matd& tg = ring_->fast.tg;
+    gt_.assign(static_cast<size_t>(co_t_) * m_ * ci_t_ * k_ * k_, 0.0);
+    for (int co = 0; co < co_t_; ++co) {
+        for (int ci = 0; ci < ci_t_; ++ci) {
+            for (int ky = 0; ky < k_; ++ky) {
+                for (int kx = 0; kx < k_; ++kx) {
+                    for (int r = 0; r < m_; ++r) {
+                        double acc = 0.0;
+                        for (int k = 0; k < n_; ++k) {
+                            acc += tg.at(r, k) * w.at(co, ci, ky, kx, k);
+                        }
+                        gt_[(((static_cast<size_t>(co) * m_ + r) * ci_t_ +
+                              ci) * k_ + ky) * k_ + kx] = acc;
+                    }
+                }
+            }
+        }
+    }
+
+    bias_.assign(static_cast<size_t>(co_t_) * n_, 0.0);
+    for (size_t i = 0; i < bias.size(); ++i) bias_[i] = bias[i];
+}
+
+void
+RingConvEngine::validate_input(const Tensor& x) const
+{
+    RINGCNN_CHECK(x.rank() == 3, "FRCONV input must be a CHW tensor, got " +
+                                     x.shape_str());
+    RINGCNN_CHECK(x.dim(0) == ci_t_ * n_,
+                  "FRCONV input has " + std::to_string(x.dim(0)) +
+                      " channels but the engine expects ci_t*n=" +
+                      std::to_string(ci_t_ * n_));
+}
+
+int
+RingConvEngine::band_rows(int h, int threads) const
+{
+    if (opt_.row_band > 0) return std::min(opt_.row_band, h);
+    // Aim for a few tasks per worker across the output tuples while
+    // keeping bands at least 8 rows tall; any choice is bit-equivalent.
+    const int target_tasks = std::max(threads * 4, co_t_);
+    const int bands = std::max(1, target_tasks / std::max(co_t_, 1));
+    const int bh = std::max((h + bands - 1) / bands, std::min(8, h));
+    return std::min(bh, h);
+}
+
+void
+RingConvEngine::transform_plane(const Tensor& x, int t, int r,
+                                float* dst) const
+{
+    // xt[t*m+r] = sum_j Tx[r][j] x[t*n+j]  (eq. (6)), accumulated in
+    // double per element with exact zeros skipped, as in the seed loop.
+    const int h = x.dim(1), wd = x.dim(2);
+    const int64_t plane = static_cast<int64_t>(h) * wd;
+    std::vector<double> acc(static_cast<size_t>(plane), 0.0);
+    for (const auto& [j, c] : tx_nz_[static_cast<size_t>(r)]) {
+        const float* src =
+            x.data() + static_cast<int64_t>(t * n_ + j) * plane;
+        for (int64_t i = 0; i < plane; ++i) {
+            acc[static_cast<size_t>(i)] += c * src[i];
+        }
+    }
+    for (int64_t i = 0; i < plane; ++i) {
+        dst[i] = static_cast<float>(acc[static_cast<size_t>(i)]);
+    }
+}
+
+void
+RingConvEngine::conv_band(const float* xt, int h, int wd, int co, int y0,
+                          int y1, Tensor& out) const
+{
+    const int pad = k_ / 2;
+    const int bh = y1 - y0;
+    const int64_t plane = static_cast<int64_t>(h) * wd;
+
+    // Component-wise convolutions accumulated over input tuples
+    // (eq. (7)): one double accumulation band per component r, filled
+    // in (ci, ky, kx) order — the seed's per-element order.
+    std::vector<double> z(static_cast<size_t>(m_) * bh * wd, 0.0);
+    for (int r = 0; r < m_; ++r) {
+        double* zr = z.data() + static_cast<size_t>(r) * bh * wd;
+        for (int ci = 0; ci < ci_t_; ++ci) {
+            const float* x_ch =
+                xt + static_cast<int64_t>(ci * m_ + r) * plane;
+            const double* g_tap =
+                gt_.data() + ((static_cast<size_t>(co) * m_ + r) * ci_t_ +
+                              ci) * k_ * k_;
+            for (int ky = 0; ky < k_; ++ky) {
+                const int yy_lo = std::max(y0, pad - ky);
+                const int yy_hi = std::min(y1, h + pad - ky);
+                for (int kx = 0; kx < k_; ++kx) {
+                    const double wv = g_tap[static_cast<size_t>(ky) * k_ + kx];
+                    if (wv == 0.0) continue;
+                    const int x_lo = std::max(0, pad - kx);
+                    const int x_hi = std::min(wd, wd + pad - kx);
+                    const int shift_y = ky - pad, shift_x = kx - pad;
+                    for (int y = yy_lo; y < yy_hi; ++y) {
+                        double* zrow =
+                            zr + static_cast<size_t>(y - y0) * wd;
+                        const float* irow = x_ch +
+                            static_cast<int64_t>(y + shift_y) * wd + shift_x;
+                        for (int xx = x_lo; xx < x_hi; ++xx) {
+                            zrow[xx] += wv * irow[xx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Reconstruction transform plus bias (eq. (8)), ascending r.
+    for (int i = 0; i < n_; ++i) {
+        const double b = bias_[static_cast<size_t>(co) * n_ + i];
+        const double* tzrow = tz_.data() + static_cast<size_t>(i) * m_;
+        float* o_ch = out.data() +
+            (static_cast<int64_t>(co * n_ + i) * h + y0) * wd;
+        for (int y = 0; y < bh; ++y) {
+            float* orow = o_ch + static_cast<int64_t>(y) * wd;
+            const double* zrow0 = z.data() + static_cast<size_t>(y) * wd;
+            for (int xx = 0; xx < wd; ++xx) {
+                double v = b;
+                const double* zp = zrow0 + xx;
+                for (int r = 0; r < m_; ++r) {
+                    v += tzrow[r] * zp[static_cast<size_t>(r) * bh * wd];
+                }
+                orow[xx] = static_cast<float>(v);
+            }
+        }
+    }
+}
+
+struct RingConvEngine::Task
+{
+    int img, co, y0, y1;
+};
+
+void
+RingConvEngine::run_into(const Tensor* const* xs, Tensor* outs,
+                         int count) const
+{
+    for (int b = 0; b < count; ++b) validate_input(*xs[b]);
+
+    // Clamp workers so each gets a meaningful slice: small inputs
+    // (e.g. training-eval patches, possibly already nested under
+    // util::run_parallel) run inline rather than paying thread spawns
+    // that cost more than the arithmetic they hide.
+    constexpr int64_t kMinMacsPerThread = 1 << 21;
+    int64_t total_macs = 0;
+    for (int b = 0; b < count; ++b) {
+        total_macs += macs(xs[b]->dim(1), xs[b]->dim(2));
+    }
+    const int threads = static_cast<int>(
+        std::min<int64_t>(util::resolve_threads(opt_.threads),
+                          std::max<int64_t>(1, total_macs /
+                                                   kMinMacsPerThread)));
+
+    // Per-image transformed-input buffers; one flat (img, tuple,
+    // component) task per plane.
+    std::vector<std::vector<float>> xt(static_cast<size_t>(count));
+    for (int b = 0; b < count; ++b) {
+        const int64_t plane =
+            static_cast<int64_t>(xs[b]->dim(1)) * xs[b]->dim(2);
+        xt[static_cast<size_t>(b)].resize(
+            static_cast<size_t>(ci_t_) * m_ * plane);
+    }
+    util::parallel_for(
+        static_cast<int64_t>(count) * ci_t_ * m_,
+        [&](int64_t id) {
+            const int b = static_cast<int>(id / (ci_t_ * m_));
+            const int p = static_cast<int>(id % (ci_t_ * m_));
+            const Tensor& x = *xs[b];
+            const int64_t plane = static_cast<int64_t>(x.dim(1)) * x.dim(2);
+            transform_plane(x, p / m_, p % m_,
+                            xt[static_cast<size_t>(b)].data() + p * plane);
+        },
+        threads);
+
+    // One task per (image, output tuple, row band).
+    std::vector<Task> tasks;
+    for (int b = 0; b < count; ++b) {
+        const int h = xs[b]->dim(1), wd = xs[b]->dim(2);
+        outs[b] = Tensor({co_t_ * n_, h, wd});
+        const int bh = band_rows(h, threads);
+        for (int co = 0; co < co_t_; ++co) {
+            for (int y0 = 0; y0 < h; y0 += bh) {
+                tasks.push_back({b, co, y0, std::min(y0 + bh, h)});
+            }
+        }
+    }
+    util::parallel_for(
+        static_cast<int64_t>(tasks.size()),
+        [&](int64_t i) {
+            const Task& t = tasks[static_cast<size_t>(i)];
+            conv_band(xt[static_cast<size_t>(t.img)].data(),
+                      xs[t.img]->dim(1), xs[t.img]->dim(2), t.co, t.y0,
+                      t.y1, outs[t.img]);
+        },
+        threads);
+}
+
+Tensor
+RingConvEngine::run(const Tensor& x) const
+{
+    Tensor out;
+    const Tensor* px = &x;
+    run_into(&px, &out, 1);
+    return out;
+}
+
+std::vector<Tensor>
+RingConvEngine::run(const std::vector<Tensor>& xs) const
+{
+    std::vector<Tensor> outs(xs.size());
+    std::vector<const Tensor*> ptrs(xs.size());
+    for (size_t i = 0; i < xs.size(); ++i) ptrs[i] = &xs[i];
+    run_into(ptrs.data(), outs.data(), static_cast<int>(xs.size()));
+    return outs;
+}
+
+uint64_t
+weights_fingerprint(const RingConvWeights& w, const std::vector<float>& bias)
+{
+    uint64_t h = 1469598103934665603ull;  // FNV-1a
+    auto mix = [&h](const void* p, size_t bytes) {
+        const unsigned char* c = static_cast<const unsigned char*>(p);
+        for (size_t i = 0; i < bytes; ++i) {
+            h ^= c[i];
+            h *= 1099511628211ull;
+        }
+    };
+    const int dims[4] = {w.co_t, w.ci_t, w.k, w.n};
+    mix(dims, sizeof dims);
+    const size_t nb = bias.size();
+    mix(&nb, sizeof nb);
+    mix(w.w.data(), w.w.size() * sizeof(float));
+    mix(bias.data(), bias.size() * sizeof(float));
+    return h;
+}
+
+}  // namespace ringcnn

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * RingConvEngine: a stateful executor for FRCONV (paper eq. (12)).
+ *
+ * The free function ring_conv_fast() historically re-derived the
+ * transformed filter tensor g~ = Tg g on every forward call and walked
+ * pixels through per-element Tensor::at() indexing. The engine instead
+ *
+ *   1. precomputes g~ and the expanded bias once per weight set,
+ *   2. runs the component-wise 2-D convolutions as row-contiguous
+ *      kernels using the shift/clamp idiom of nn::conv2d_forward,
+ *   3. parallelizes across output tuples and output-row bands via
+ *      util::parallel_for, and
+ *   4. exposes a batched run() overload so demos, benches, and the
+ *      quantized simulator's calibration pass share one hot path.
+ *
+ * Determinism: for every output element the engine performs the same
+ * operations, on the same operand values, in the same order as the
+ * original ring_conv_fast() loop nest (input transform in ascending j
+ * with exact zeros skipped; per-r accumulation in (ci, ky, kx) order in
+ * double precision; reconstruction in ascending r). Results are
+ * therefore bit-identical to the seed implementation and invariant
+ * under the thread count and row banding. One deliberate deviation:
+ * exactly-zero transformed filter taps are skipped (the conv2d_forward
+ * idiom, a real win for pruned weight sets), which only differs from
+ * the seed when an activation is Inf/NaN — the seed would propagate
+ * 0 * Inf = NaN where the engine does not.
+ */
+#ifndef RINGCNN_CORE_RING_CONV_ENGINE_H
+#define RINGCNN_CORE_RING_CONV_ENGINE_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/ring_conv.h"
+
+namespace ringcnn {
+
+/** Execution knobs; the defaults auto-size to the machine. */
+struct RingConvEngineOptions
+{
+    /** Worker threads; 0 = auto (RINGCNN_THREADS env or hardware). */
+    int threads = 0;
+    /** Output rows per parallel task; 0 = auto. Any value produces
+     *  bit-identical results — this only shapes the parallel grain. */
+    int row_band = 0;
+};
+
+/**
+ * Caches the weight-dependent FRCONV state (transformed filters,
+ * expanded bias, sparsity pattern of the data transform) and executes
+ * forwards against it. Construction validates every shape with checked
+ * errors (std::invalid_argument), not assert.
+ *
+ * The referenced Ring must outlive the engine (registry rings do).
+ */
+class RingConvEngine
+{
+  public:
+    RingConvEngine(const Ring& ring, const RingConvWeights& w,
+                   std::vector<float> bias,
+                   RingConvEngineOptions opt = {});
+
+    /** Replaces the weight set, re-deriving the cached transforms. */
+    void set_weights(const RingConvWeights& w, std::vector<float> bias);
+
+    /** FRCONV forward of one CHW image ([ci_t*n][H][W] -> [co_t*n][H][W]). */
+    Tensor run(const Tensor& x) const;
+
+    /**
+     * Batched forward: one output per input, in order. Images may have
+     * different spatial sizes; all tuple/band tasks across the whole
+     * batch are scheduled onto one worker set.
+     */
+    std::vector<Tensor> run(const std::vector<Tensor>& xs) const;
+
+    const Ring& ring() const { return *ring_; }
+    int co_t() const { return co_t_; }
+    int ci_t() const { return ci_t_; }
+    int k() const { return k_; }
+    int n() const { return n_; }
+    int m() const { return m_; }
+
+    /** Real multiplications for one H x W forward (complexity axis). */
+    int64_t macs(int h, int w) const
+    {
+        return static_cast<int64_t>(co_t_) * ci_t_ * k_ * k_ * m_ * h * w;
+    }
+
+  private:
+    struct Task;  // one (image, output tuple, row band) work item
+
+    void validate_input(const Tensor& x) const;
+    int band_rows(int h, int threads) const;
+    /** Tx-transform of input tuple t, component r, into a float plane. */
+    void transform_plane(const Tensor& x, int t, int r, float* dst) const;
+    /** Computes output rows [y0, y1) of output tuple co from xt. */
+    void conv_band(const float* xt, int h, int w, int co, int y0, int y1,
+                   Tensor& out) const;
+    void run_into(const Tensor* const* xs, Tensor* outs, int count) const;
+
+    const Ring* ring_;
+    int co_t_, ci_t_, k_, n_, m_;
+    RingConvEngineOptions opt_;
+    /** g~ in [co][r][ci][ky][kx] layout: contiguous taps per (co, r, ci)
+     *  so the per-component kernels stream rows. */
+    std::vector<double> gt_;
+    /** Bias expanded to all co_t*n real channels (zeros when absent). */
+    std::vector<double> bias_;
+    /** Nonzero (j, Tx[r][j]) entries per component r, ascending j. */
+    std::vector<std::vector<std::pair<int, double>>> tx_nz_;
+    /** Tz as a dense row-major [n][m] array. */
+    std::vector<double> tz_;
+};
+
+/**
+ * Order-independent-free fingerprint (FNV-1a over dims, weights, and
+ * bias bytes). Used by layers to invalidate a cached engine when the
+ * optimizer mutates the underlying parameters in place.
+ */
+uint64_t weights_fingerprint(const RingConvWeights& w,
+                             const std::vector<float>& bias);
+
+}  // namespace ringcnn
+
+#endif  // RINGCNN_CORE_RING_CONV_ENGINE_H

@@ -18,6 +18,10 @@
 #include "core/ring_conv.h"
 #include "tensor/tensor.h"
 
+namespace ringcnn {
+class RingConvEngine;
+}
+
 namespace ringcnn::nn {
 
 /** Mutable view of one parameter group and its gradient accumulator. */
@@ -114,6 +118,19 @@ class RingConv2d : public Layer
     const RingConvWeights& weights() const { return g_; }
     std::vector<float>& bias() { return b_; }
 
+    /**
+     * The FRCONV engine backing inference forwards, rebuilt lazily when
+     * the parameters change (detected via weights_fingerprint, so
+     * in-place optimizer updates are safe). Lets callers with many
+     * images per weight set — e.g. quantization calibration — use the
+     * batched hot path directly.
+     *
+     * Like forward()/backward() (which share x_cache_), this mutates
+     * layer state: a layer instance must not be driven from multiple
+     * threads — clone() per worker, as the benches do.
+     */
+    const RingConvEngine& inference_engine();
+
   private:
     const Ring* ring_;
     int ci_t_, co_t_, k_;
@@ -121,6 +138,8 @@ class RingConv2d : public Layer
     std::vector<float> b_, gb_;
     Tensor x_cache_;
     Tensor w_real_;  ///< cached expansion for the current forward pass
+    std::shared_ptr<RingConvEngine> engine_;  ///< lazy inference cache
+    uint64_t engine_fingerprint_ = 0;
 };
 
 /** Component-wise ReLU (fcw, eq. (5)). */

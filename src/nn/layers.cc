@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/ring_conv_engine.h"
 #include "nn/conv_kernels.h"
 #include "tensor/image_ops.h"
 
@@ -83,10 +84,25 @@ RingConv2d::RingConv2d(const Ring& ring, int ci_t, int co_t, int k,
     for (auto& v : g_.w) v = dist(rng);
 }
 
+const RingConvEngine&
+RingConv2d::inference_engine()
+{
+    const uint64_t fp = weights_fingerprint(g_, b_);
+    if (!engine_ || fp != engine_fingerprint_) {
+        engine_ = std::make_shared<RingConvEngine>(*ring_, g_, b_);
+        engine_fingerprint_ = fp;
+    }
+    return *engine_;
+}
+
 Tensor
 RingConv2d::forward(const Tensor& x, bool train)
 {
-    if (train) x_cache_ = x;
+    // Inference runs FRCONV through the cached engine; training keeps
+    // the isomorphic real expansion the backward pass differentiates
+    // through (Section IV-B).
+    if (!train) return inference_engine().run(x);
+    x_cache_ = x;
     w_real_ = expand_to_real(*ring_, g_);
     Tensor out({co_t_ * ring_->n, x.dim(1), x.dim(2)});
     conv2d_forward(x, w_real_, b_, out);
@@ -134,6 +150,8 @@ RingConv2d::clone() const
     auto c = std::make_unique<RingConv2d>(*this);
     c->x_cache_ = Tensor();
     c->w_real_ = Tensor();
+    c->engine_.reset();
+    c->engine_fingerprint_ = 0;
     return c;
 }
 

@@ -1,10 +1,9 @@
 #include "nn/trainer.h"
 
-#include <atomic>
 #include <cmath>
-#include <thread>
 
 #include "tensor/image_ops.h"
+#include "util/parallel.h"
 
 namespace ringcnn::nn {
 
@@ -86,25 +85,7 @@ train_on_task(Model& model, const data::ImagingTask& task,
 void
 run_parallel(std::vector<std::function<void()>> jobs, int max_threads)
 {
-    if (max_threads <= 0) {
-        max_threads = static_cast<int>(std::thread::hardware_concurrency());
-        if (max_threads <= 0) max_threads = 4;
-    }
-    std::atomic<size_t> next{0};
-    const int workers =
-        std::min<int>(max_threads, static_cast<int>(jobs.size()));
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(workers));
-    for (int t = 0; t < workers; ++t) {
-        pool.emplace_back([&]() {
-            for (;;) {
-                const size_t i = next.fetch_add(1);
-                if (i >= jobs.size()) return;
-                jobs[i]();
-            }
-        });
-    }
-    for (auto& th : pool) th.join();
+    util::run_parallel(std::move(jobs), max_threads);
 }
 
 }  // namespace ringcnn::nn

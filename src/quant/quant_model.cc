@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "core/ring_conv.h"
+#include "core/ring_conv_engine.h"
 
 namespace ringcnn::quant {
 
@@ -379,6 +380,12 @@ struct Ctx
 void
 advance(Ctx& ctx, nn::Layer* l)
 {
+    // Ring convolutions push the whole calibration set through the
+    // layer's cached FRCONV engine in one batched call.
+    if (auto* rc = dynamic_cast<nn::RingConv2d*>(l)) {
+        ctx.acts = rc->inference_engine().run(ctx.acts);
+        return;
+    }
     for (auto& a : ctx.acts) a = l->forward(a, false);
 }
 

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Checked runtime errors for library entry points.
+ *
+ * assert() compiles out under -DNDEBUG (the default Release build), so
+ * public entry points use RINGCNN_CHECK instead: a failed condition
+ * throws std::invalid_argument with the condition text and a caller
+ * message, in every build type. Internal invariants keep using assert.
+ */
+#ifndef RINGCNN_UTIL_CHECK_H
+#define RINGCNN_UTIL_CHECK_H
+
+#include <stdexcept>
+#include <string>
+
+namespace ringcnn {
+
+[[noreturn]] inline void
+check_fail(const char* expr, const std::string& msg)
+{
+    throw std::invalid_argument("ringcnn: check failed (" +
+                                std::string(expr) + "): " + msg);
+}
+
+}  // namespace ringcnn
+
+/** Throws std::invalid_argument with `msg` when `cond` is false. */
+#define RINGCNN_CHECK(cond, msg)                      \
+    do {                                              \
+        if (!(cond)) ::ringcnn::check_fail(#cond, (msg)); \
+    } while (0)
+
+#endif  // RINGCNN_UTIL_CHECK_H

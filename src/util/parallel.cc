@@ -1,0 +1,61 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace ringcnn::util {
+
+int
+hardware_threads()
+{
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    return hw > 0 ? hw : 4;
+}
+
+int
+resolve_threads(int requested)
+{
+    if (requested > 0) return requested;
+    if (const char* env = std::getenv("RINGCNN_THREADS")) {
+        const int v = std::atoi(env);
+        if (v > 0) return v;
+    }
+    return hardware_threads();
+}
+
+void
+parallel_for(int64_t count, const std::function<void(int64_t)>& fn,
+             int threads)
+{
+    if (count <= 0) return;
+    const int workers =
+        std::min<int64_t>(resolve_threads(threads), count);
+    if (workers <= 1) {
+        for (int64_t i = 0; i < count; ++i) fn(i);
+        return;
+    }
+    std::atomic<int64_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(workers));
+    for (int t = 0; t < workers; ++t) {
+        pool.emplace_back([&]() {
+            for (;;) {
+                const int64_t i = next.fetch_add(1);
+                if (i >= count) return;
+                fn(i);
+            }
+        });
+    }
+    for (auto& th : pool) th.join();
+}
+
+void
+run_parallel(std::vector<std::function<void()>> jobs, int max_threads)
+{
+    parallel_for(static_cast<int64_t>(jobs.size()),
+                 [&jobs](int64_t i) { jobs[static_cast<size_t>(i)](); },
+                 max_threads);
+}
+
+}  // namespace ringcnn::util
