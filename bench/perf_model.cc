@@ -1,0 +1,274 @@
+/**
+ * @file
+ * End-to-end model inference benchmark: the PR-1 engine path (strict
+ * fp64 engines, layer-by-layer walk, per-layer activation allocation)
+ * against the compiled ModelExecutor (fp32 SIMD kernels, fused
+ * epilogues, activation arena), single- and multi-threaded, plus
+ * per-ring engine micro-timings.
+ *
+ * Emits BENCH_model.json (img/s, ns/MAC, per-ring table, fp32-vs-fp64
+ * max |Δ|) so the perf trajectory of the repo is recorded run over
+ * run. `--smoke` shrinks sizes/reps for CI.
+ *
+ * Usage: perf_model [--smoke] [--out PATH]
+ */
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/ring_conv_engine.h"
+#include "core/simd.h"
+#include "nn/executor.h"
+#include "nn/layer.h"
+#include "nn/model.h"
+#include "tensor/image_ops.h"
+
+namespace {
+
+using namespace ringcnn;
+
+double
+now_ms()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Median wall time of `reps` calls, in milliseconds. */
+template <typename Fn>
+double
+time_ms(int reps, Fn&& fn)
+{
+    std::vector<double> t;
+    t.reserve(static_cast<size_t>(reps));
+    for (int i = 0; i < reps; ++i) {
+        const double t0 = now_ms();
+        fn();
+        t.push_back(now_ms() - t0);
+    }
+    std::sort(t.begin(), t.end());
+    return t[t.size() / 2];
+}
+
+
+/** The acceptance workload: a 3-layer n=4 denoising backbone —
+ *  RingConv2d(3x3) + fH directional ReLU, three times over C real
+ *  channels of the RI4 ring. */
+nn::Model
+bench_backbone(const Ring& ring, int tuple_channels, int layers,
+               unsigned seed)
+{
+    std::mt19937 rng(seed);
+    const auto [u, v] = fh_transforms(ring.n);
+    auto seq = std::make_unique<nn::Sequential>();
+    for (int l = 0; l < layers; ++l) {
+        seq->add(std::make_unique<nn::RingConv2d>(ring, tuple_channels,
+                                                  tuple_channels, 3, rng));
+        seq->add(std::make_unique<nn::DirectionalReLU>(u, v));
+    }
+    return nn::Model("bench-backbone", std::move(seq));
+}
+
+/**
+ * The PR-1 inference path, reconstructed faithfully: one cached strict
+ * fp64 engine per conv (weight transforms cached, as PR 1 did), a
+ * fresh activation tensor per layer, nonlinearities through
+ * Layer::forward.
+ */
+struct Pr1Path
+{
+    std::vector<nn::Layer*> layers;
+    std::vector<std::unique_ptr<RingConvEngine>> engines;  // per conv
+
+    Pr1Path(nn::Model& model, int threads)
+    {
+        auto& seq = dynamic_cast<nn::Sequential&>(model.root());
+        for (size_t i = 0; i < seq.size(); ++i) {
+            nn::Layer* l = &seq.at(i);
+            layers.push_back(l);
+            if (auto* rc = dynamic_cast<nn::RingConv2d*>(l)) {
+                RingConvEngineOptions opt;
+                opt.strict_fp64 = true;
+                opt.threads = threads;
+                engines.push_back(std::make_unique<RingConvEngine>(
+                    rc->ring(), rc->weights(), rc->bias(), opt));
+            } else {
+                engines.push_back(nullptr);
+            }
+        }
+    }
+
+    Tensor run(const Tensor& x) const
+    {
+        Tensor cur = x;
+        for (size_t i = 0; i < layers.size(); ++i) {
+            if (engines[i]) {
+                cur = engines[i]->run(cur);
+            } else {
+                cur = layers[i]->forward(cur, false);
+            }
+        }
+        return cur;
+    }
+};
+
+struct RingRow
+{
+    std::string ring;
+    double fp64_ns_per_mac = 0.0;
+    double fp32_ns_per_mac = 0.0;
+};
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    std::string out_path = "BENCH_model.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        }
+    }
+
+    const int hw = smoke ? 64 : 128;
+    const int reps = smoke ? 3 : 9;
+    const int tuple_channels = 8;  // 32 real channels over n=4
+    const int layers = 3;
+
+    const Ring& ri4 = get_ring("RI4");
+    nn::Model model = bench_backbone(ri4, tuple_channels, layers, 7);
+    const Shape in_shape{tuple_channels * ri4.n, hw, hw};
+    const int64_t macs = model.macs(in_shape);
+
+    std::mt19937 rng(11);
+    Tensor x(in_shape);
+    x.randn(rng);
+
+    std::printf("perf_model: %d-layer n=%d backbone, %dx%d, %lld MAC/img, "
+                "simd=%s%s\n",
+                layers, ri4.n, hw, hw, static_cast<long long>(macs),
+                simd::active_isa(), smoke ? " (smoke)" : "");
+
+    // ---- end-to-end: PR-1 path vs executor, 1 and 8 threads ----
+    const Pr1Path pr1_st(model, 1);
+    nn::ExecutorOptions ex_st;
+    ex_st.threads = 1;
+    nn::ModelExecutor exec_st(model, in_shape, ex_st);
+
+    // Accuracy first (also warms both paths).
+    const Tensor ref64 = pr1_st.run(x);
+    const Tensor got32 = exec_st.run(x);
+    const double fp_diff = max_abs_diff(ref64, got32);
+
+    const double pr1_st_ms = time_ms(reps, [&]() { pr1_st.run(x); });
+    const double exec_st_ms =
+        time_ms(reps, [&]() { exec_st.run_view(x); });
+
+    const Pr1Path pr1_mt(model, 8);
+    nn::ExecutorOptions ex_mt;
+    ex_mt.threads = 8;
+    nn::ModelExecutor exec_mt(model, in_shape, ex_mt);
+    pr1_mt.run(x);          // warm
+    exec_mt.run_view(x);    // warm
+    const double pr1_mt_ms = time_ms(reps, [&]() { pr1_mt.run(x); });
+    const double exec_mt_ms =
+        time_ms(reps, [&]() { exec_mt.run_view(x); });
+
+    const double st_speedup = pr1_st_ms / exec_st_ms;
+    const double mt_speedup = pr1_mt_ms / exec_mt_ms;
+    std::printf("  single-thread: PR-1 %.2f ms  executor %.2f ms  "
+                "(%.2fx)\n",
+                pr1_st_ms, exec_st_ms, st_speedup);
+    std::printf("  8-thread:      PR-1 %.2f ms  executor %.2f ms  "
+                "(%.2fx)\n",
+                pr1_mt_ms, exec_mt_ms, mt_speedup);
+    std::printf("  fp32 vs fp64 max|d| = %.3g\n", fp_diff);
+
+    // ---- per-ring engine micro-timings ----
+    std::vector<RingRow> rows;
+    const std::vector<std::string> ring_names =
+        smoke ? std::vector<std::string>{"RI4"}
+              : std::vector<std::string>{"RI2", "RI4", "RI8", "RH4", "C"};
+    for (const auto& name : ring_names) {
+        const Ring& ring = get_ring(name);
+        const int ct = 32 / ring.n;  // keep 32 real channels
+        RingConvWeights w(ct, ct, 3, ring.n);
+        std::normal_distribution<float> dist(0.0f, 0.5f);
+        for (auto& vv : w.w) vv = dist(rng);
+        Tensor rx({ct * ring.n, hw, hw});
+        rx.randn(rng);
+
+        RingConvEngineOptions o64;
+        o64.strict_fp64 = true;
+        o64.threads = 1;
+        const RingConvEngine e64(ring, w, {}, o64);
+        RingConvEngineOptions o32;
+        o32.threads = 1;
+        const RingConvEngine e32(ring, w, {}, o32);
+        e64.run(rx);
+        e32.run(rx);
+        const int64_t ring_macs = e64.macs(hw, hw);
+        RingRow row;
+        row.ring = name;
+        row.fp64_ns_per_mac = time_ms(reps, [&]() { e64.run(rx); }) * 1e6 /
+                              static_cast<double>(ring_macs);
+        row.fp32_ns_per_mac = time_ms(reps, [&]() { e32.run(rx); }) * 1e6 /
+                              static_cast<double>(ring_macs);
+        std::printf("  ring %-4s fp64 %.3f ns/MAC   fp32 %.3f ns/MAC   "
+                    "(%.2fx)\n",
+                    name.c_str(), row.fp64_ns_per_mac, row.fp32_ns_per_mac,
+                    row.fp64_ns_per_mac / row.fp32_ns_per_mac);
+        rows.push_back(row);
+    }
+
+    // ---- JSON report ----
+    FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "perf_model: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f, "  \"simd\": \"%s\",\n", simd::active_isa());
+    std::fprintf(f, "  \"model\": {\n");
+    std::fprintf(f, "    \"layers\": %d, \"n\": %d, \"hw\": %d,\n", layers,
+                 ri4.n, hw);
+    std::fprintf(f, "    \"macs_per_img\": %lld,\n",
+                 static_cast<long long>(macs));
+    std::fprintf(f, "    \"pr1_fp64_st_ms\": %.4f,\n", pr1_st_ms);
+    std::fprintf(f, "    \"executor_fp32_st_ms\": %.4f,\n", exec_st_ms);
+    std::fprintf(f, "    \"st_speedup\": %.3f,\n", st_speedup);
+    std::fprintf(f, "    \"pr1_fp64_mt_ms\": %.4f,\n", pr1_mt_ms);
+    std::fprintf(f, "    \"executor_fp32_mt_ms\": %.4f,\n", exec_mt_ms);
+    std::fprintf(f, "    \"mt_speedup\": %.3f,\n", mt_speedup);
+    std::fprintf(f, "    \"img_per_s_st\": %.3f,\n", 1000.0 / exec_st_ms);
+    std::fprintf(f, "    \"img_per_s_mt\": %.3f,\n", 1000.0 / exec_mt_ms);
+    std::fprintf(f, "    \"ns_per_mac_st\": %.5f,\n",
+                 exec_st_ms * 1e6 / static_cast<double>(macs));
+    std::fprintf(f, "    \"max_abs_diff_fp32_vs_fp64\": %.6g\n", fp_diff);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"rings\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        std::fprintf(f,
+                     "    {\"ring\": \"%s\", \"fp64_ns_per_mac\": %.5f, "
+                     "\"fp32_ns_per_mac\": %.5f}%s\n",
+                     rows[i].ring.c_str(), rows[i].fp64_ns_per_mac,
+                     rows[i].fp32_ns_per_mac,
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

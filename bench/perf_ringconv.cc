@@ -12,6 +12,7 @@
 
 #include "core/ring_conv.h"
 #include "core/ring_conv_engine.h"
+#include "core/simd.h"
 #include "tensor/image_ops.h"
 
 namespace {
@@ -174,17 +175,56 @@ bm_frconv_seed(benchmark::State& state, const std::string& name, int ch,
 
 void
 bm_frconv_engine(benchmark::State& state, const std::string& name, int ch,
-                 int side, int threads)
+                 int side, int threads, bool strict_fp64 = false)
 {
     Setup s = make_setup(name, ch, side);
     RingConvEngineOptions opt;
     opt.threads = threads;
+    opt.strict_fp64 = strict_fp64;
     const RingConvEngine engine(*s.ring, s.w, s.bias, opt);
     for (auto _ : state) {
         benchmark::DoNotOptimize(engine.run(s.x));
     }
-    state.SetLabel(name + " cached engine, threads=" +
+    state.SetLabel(name + (strict_fp64 ? " fp64" : " fp32") +
+                   " engine, threads=" +
                    (threads > 0 ? std::to_string(threads) : "auto"));
+}
+
+void
+bm_frconv_engine_fused_dir(benchmark::State& state, const std::string& name,
+                           int ch, int side)
+{
+    // Fused directional epilogue vs conv + separate directional_relu
+    // (compare against bm_frconv_engine + bm_directional_relu).
+    Setup s = make_setup(name, ch, side);
+    const auto [u, v] = fh_transforms(s.ring->n);
+    RingConvEngineOptions opt;
+    opt.threads = 1;
+    RingConvEngine engine(*s.ring, s.w, s.bias, opt);
+    engine.set_epilogue(ConvEpilogue::kDirectional, &u, &v);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.run(s.x));
+    }
+    state.SetLabel(name + " fp32 engine + fused fH epilogue");
+}
+
+// ---- SIMD row kernels: sanity-checks the "stride-1 kernels
+// vectorize" claim. Compare bytes/second against machine bandwidth;
+// `simd::active_isa()` names the dispatched implementation.
+
+void
+bm_simd_axpy(benchmark::State& state)
+{
+    const int64_t len = state.range(0);
+    std::vector<float> dst(static_cast<size_t>(len), 1.0f);
+    std::vector<float> src(static_cast<size_t>(len), 2.0f);
+    for (auto _ : state) {
+        simd::axpy_f32(dst.data(), src.data(), 0.5f, len);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetBytesProcessed(state.iterations() * len *
+                            static_cast<int64_t>(3 * sizeof(float)));
+    state.SetLabel(std::string("isa=") + simd::active_isa());
 }
 
 void
@@ -248,8 +288,13 @@ BENCHMARK_CAPTURE(bm_frconv_seed, RH4_64x128x128, std::string("RH4"), 64,
                   128)->UseRealTime();
 BENCHMARK_CAPTURE(bm_frconv_engine, RH4_64x128x128_1thread,
                   std::string("RH4"), 64, 128, 1)->UseRealTime();
+BENCHMARK_CAPTURE(bm_frconv_engine, RH4_64x128x128_1thread_fp64,
+                  std::string("RH4"), 64, 128, 1, true)->UseRealTime();
 BENCHMARK_CAPTURE(bm_frconv_engine, RH4_64x128x128, std::string("RH4"), 64,
                   128, 0)->UseRealTime();
+BENCHMARK_CAPTURE(bm_frconv_engine_fused_dir, RI4_64x128x128,
+                  std::string("RI4"), 64, 128)->UseRealTime();
+BENCHMARK(bm_simd_axpy)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
 BENCHMARK_CAPTURE(bm_frconv_engine_cold, RH4_64x128x128, std::string("RH4"),
                   64, 128)->UseRealTime();
 BENCHMARK_CAPTURE(bm_frconv_engine_batch, RH4_64x128x128_b4,

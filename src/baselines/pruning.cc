@@ -61,6 +61,7 @@ magnitude_prune(nn::Model& model, double sparsity)
                     (*p.value)[i] = 0.0f;
                 }
             }
+            p.mark_dirty();
         }
         mask.keep.push_back(std::move(keep));
     }
@@ -78,6 +79,7 @@ apply_mask(nn::Model& model, const PruneMask& mask)
         for (size_t i = 0; i < vals.size(); ++i) {
             if (!keep[i]) vals[i] = 0.0f;
         }
+        params[g].mark_dirty();
     }
 }
 

@@ -95,8 +95,11 @@ ring_conv_fast(const Ring& ring, const Tensor& x, const RingConvWeights& w,
     // Thin wrapper kept for API stability; the cached, parallel
     // implementation lives in RingConvEngine. A one-shot engine still
     // pays the filter transform each call — callers on a hot loop
-    // should hold an engine instead.
-    return RingConvEngine(ring, w, bias).run(x);
+    // should hold an engine instead. Runs the strict fp64 kernels so
+    // this entry point stays bit-identical to the seed implementation.
+    RingConvEngineOptions opt;
+    opt.strict_fp64 = true;
+    return RingConvEngine(ring, w, bias, opt).run(x);
 }
 
 Tensor

@@ -2,10 +2,18 @@
 
 #include <algorithm>
 
+#include "core/simd.h"
 #include "util/check.h"
-#include "util/parallel.h"
+#include "util/thread_pool.h"
 
 namespace ringcnn {
+
+namespace {
+
+/** Directional epilogues use fixed-size per-pixel tuple registers. */
+constexpr int kMaxTuple = 16;
+
+}  // namespace
 
 RingConvEngine::RingConvEngine(const Ring& ring, const RingConvWeights& w,
                                std::vector<float> bias,
@@ -16,17 +24,25 @@ RingConvEngine::RingConvEngine(const Ring& ring, const RingConvWeights& w,
     // The data/reconstruction transforms depend only on the ring.
     const Matd& tx = ring.fast.tx;
     tx_nz_.resize(static_cast<size_t>(m_));
+    tx32_nz_.resize(static_cast<size_t>(m_));
     for (int r = 0; r < m_; ++r) {
         for (int j = 0; j < n_; ++j) {
             const double c = tx.at(r, j);
-            if (c != 0.0) tx_nz_[static_cast<size_t>(r)].emplace_back(j, c);
+            if (c != 0.0) {
+                tx_nz_[static_cast<size_t>(r)].emplace_back(j, c);
+                tx32_nz_[static_cast<size_t>(r)].emplace_back(
+                    j, static_cast<float>(c));
+            }
         }
     }
     const Matd& tz = ring.fast.tz;
     tz_.resize(static_cast<size_t>(n_) * m_);
+    tz32_.resize(static_cast<size_t>(n_) * m_);
     for (int i = 0; i < n_; ++i) {
         for (int r = 0; r < m_; ++r) {
             tz_[static_cast<size_t>(i) * m_ + r] = tz.at(i, r);
+            tz32_[static_cast<size_t>(i) * m_ + r] =
+                static_cast<float>(tz.at(i, r));
         }
     }
     set_weights(w, std::move(bias));
@@ -57,6 +73,7 @@ RingConvEngine::set_weights(const RingConvWeights& w, std::vector<float> bias)
     // gt[co][r][ci][ky][kx] = sum_k Tg[r][k] g_k  (eq. (6)).
     const Matd& tg = ring_->fast.tg;
     gt_.assign(static_cast<size_t>(co_t_) * m_ * ci_t_ * k_ * k_, 0.0);
+    gt32_.assign(gt_.size(), 0.0f);
     for (int co = 0; co < co_t_; ++co) {
         for (int ci = 0; ci < ci_t_; ++ci) {
             for (int ky = 0; ky < k_; ++ky) {
@@ -66,8 +83,11 @@ RingConvEngine::set_weights(const RingConvWeights& w, std::vector<float> bias)
                         for (int k = 0; k < n_; ++k) {
                             acc += tg.at(r, k) * w.at(co, ci, ky, kx, k);
                         }
-                        gt_[(((static_cast<size_t>(co) * m_ + r) * ci_t_ +
-                              ci) * k_ + ky) * k_ + kx] = acc;
+                        const size_t at =
+                            (((static_cast<size_t>(co) * m_ + r) * ci_t_ +
+                              ci) * k_ + ky) * k_ + kx;
+                        gt_[at] = acc;
+                        gt32_[at] = static_cast<float>(acc);
                     }
                 }
             }
@@ -75,7 +95,39 @@ RingConvEngine::set_weights(const RingConvWeights& w, std::vector<float> bias)
     }
 
     bias_.assign(static_cast<size_t>(co_t_) * n_, 0.0);
-    for (size_t i = 0; i < bias.size(); ++i) bias_[i] = bias[i];
+    bias32_.assign(bias_.size(), 0.0f);
+    for (size_t i = 0; i < bias.size(); ++i) {
+        bias_[i] = bias[i];
+        bias32_[i] = bias[i];
+    }
+}
+
+void
+RingConvEngine::set_epilogue(ConvEpilogue epilogue, const Matd* u,
+                             const Matd* v)
+{
+    RINGCNN_CHECK(epilogue == ConvEpilogue::kNone || !opt_.strict_fp64,
+                  "fused epilogues are only available on the fp32 path");
+    if (epilogue == ConvEpilogue::kDirectional) {
+        RINGCNN_CHECK(u != nullptr && v != nullptr,
+                      "directional epilogue needs the (u, v) transforms");
+        RINGCNN_CHECK(u->rows() == n_ && u->cols() == n_ &&
+                          v->rows() == n_ && v->cols() == n_,
+                      "directional transforms must be n x n for n=" +
+                          std::to_string(n_));
+        RINGCNN_CHECK(n_ <= kMaxTuple, "tuple size too large for epilogue");
+        u32_.resize(static_cast<size_t>(n_) * n_);
+        v32_.resize(static_cast<size_t>(n_) * n_);
+        for (int i = 0; i < n_; ++i) {
+            for (int j = 0; j < n_; ++j) {
+                u32_[static_cast<size_t>(i) * n_ + j] =
+                    static_cast<float>(u->at(i, j));
+                v32_[static_cast<size_t>(i) * n_ + j] =
+                    static_cast<float>(v->at(i, j));
+            }
+        }
+    }
+    epilogue_ = epilogue;
 }
 
 void
@@ -102,14 +154,15 @@ RingConvEngine::band_rows(int h, int threads) const
 }
 
 void
-RingConvEngine::transform_plane(const Tensor& x, int t, int r,
-                                float* dst) const
+RingConvEngine::transform_plane_f64(const Tensor& x, int t, int r,
+                                    float* dst,
+                                    std::vector<double>& acc) const
 {
     // xt[t*m+r] = sum_j Tx[r][j] x[t*n+j]  (eq. (6)), accumulated in
     // double per element with exact zeros skipped, as in the seed loop.
     const int h = x.dim(1), wd = x.dim(2);
     const int64_t plane = static_cast<int64_t>(h) * wd;
-    std::vector<double> acc(static_cast<size_t>(plane), 0.0);
+    acc.assign(static_cast<size_t>(plane), 0.0);
     for (const auto& [j, c] : tx_nz_[static_cast<size_t>(r)]) {
         const float* src =
             x.data() + static_cast<int64_t>(t * n_ + j) * plane;
@@ -123,8 +176,35 @@ RingConvEngine::transform_plane(const Tensor& x, int t, int r,
 }
 
 void
-RingConvEngine::conv_band(const float* xt, int h, int wd, int co, int y0,
-                          int y1, Tensor& out) const
+RingConvEngine::transform_plane_f32(const Tensor& x, int t, int r,
+                                    float* dst) const
+{
+    // Same sum in float, written as stride-1 row kernels: the first
+    // nonzero term initializes the plane, the rest accumulate in place.
+    const int h = x.dim(1), wd = x.dim(2);
+    const int64_t plane = static_cast<int64_t>(h) * wd;
+    const auto& nz = tx32_nz_[static_cast<size_t>(r)];
+    if (nz.empty()) {
+        std::fill_n(dst, plane, 0.0f);
+        return;
+    }
+    bool first = true;
+    for (const auto& [j, c] : nz) {
+        const float* src =
+            x.data() + static_cast<int64_t>(t * n_ + j) * plane;
+        if (first) {
+            simd::scale_f32(dst, src, c, plane);
+            first = false;
+        } else {
+            simd::axpy_f32(dst, src, c, plane);
+        }
+    }
+}
+
+void
+RingConvEngine::conv_band_f64(const float* xt, int h, int wd, int co,
+                              int y0, int y1, Tensor& out,
+                              RingConvScratch::Worker& scratch) const
 {
     const int pad = k_ / 2;
     const int bh = y1 - y0;
@@ -133,7 +213,8 @@ RingConvEngine::conv_band(const float* xt, int h, int wd, int co, int y0,
     // Component-wise convolutions accumulated over input tuples
     // (eq. (7)): one double accumulation band per component r, filled
     // in (ci, ky, kx) order — the seed's per-element order.
-    std::vector<double> z(static_cast<size_t>(m_) * bh * wd, 0.0);
+    scratch.z64.assign(static_cast<size_t>(m_) * bh * wd, 0.0);
+    std::vector<double>& z = scratch.z64;
     for (int r = 0; r < m_; ++r) {
         double* zr = z.data() + static_cast<size_t>(r) * bh * wd;
         for (int ci = 0; ci < ci_t_; ++ci) {
@@ -186,21 +267,130 @@ RingConvEngine::conv_band(const float* xt, int h, int wd, int co, int y0,
     }
 }
 
+void
+RingConvEngine::conv_band_f32(const float* xt, int h, int wd, int co,
+                              int y0, int y1, Tensor& out,
+                              RingConvScratch::Worker& scratch) const
+{
+    const int pad = k_ / 2;
+    const int bh = y1 - y0;
+    const int64_t plane = static_cast<int64_t>(h) * wd;
+
+    // Component-wise convolutions (eq. (7)) as stride-1 row kernels:
+    // for a fixed (r, ci, ky, kx) tap a whole output row accumulates
+    // from a contiguous input row. Per-element order is fixed by the
+    // (r, ci, ky, kx) nest, so results are invariant under banding and
+    // thread count.
+    scratch.z32.assign(static_cast<size_t>(m_) * bh * wd, 0.0f);
+    float* z = scratch.z32.data();
+    for (int r = 0; r < m_; ++r) {
+        float* zr = z + static_cast<size_t>(r) * bh * wd;
+        for (int ci = 0; ci < ci_t_; ++ci) {
+            const float* x_ch =
+                xt + static_cast<int64_t>(ci * m_ + r) * plane;
+            const float* g_tap =
+                gt32_.data() +
+                ((static_cast<size_t>(co) * m_ + r) * ci_t_ + ci) * k_ * k_;
+            for (int ky = 0; ky < k_; ++ky) {
+                const int yy_lo = std::max(y0, pad - ky);
+                const int yy_hi = std::min(y1, h + pad - ky);
+                for (int kx = 0; kx < k_; ++kx) {
+                    const float wv = g_tap[static_cast<size_t>(ky) * k_ + kx];
+                    if (wv == 0.0f) continue;
+                    const int x_lo = std::max(0, pad - kx);
+                    const int x_hi = std::min(wd, wd + pad - kx);
+                    const int shift_y = ky - pad, shift_x = kx - pad;
+                    for (int y = yy_lo; y < yy_hi; ++y) {
+                        float* zrow = zr + static_cast<size_t>(y - y0) * wd;
+                        const float* irow = x_ch +
+                            static_cast<int64_t>(y + shift_y) * wd + shift_x;
+                        simd::axpy_f32(zrow + x_lo, irow + x_lo, wv,
+                                       x_hi - x_lo);
+                    }
+                }
+            }
+        }
+    }
+
+    // Fused output pass: bias + reconstruction (eq. (8)) + epilogue,
+    // band-row by band-row while z is hot in cache.
+    for (int y = 0; y < bh; ++y) {
+        for (int i = 0; i < n_; ++i) {
+            float* orow = out.data() +
+                (static_cast<int64_t>(co * n_ + i) * h + y0 + y) * wd;
+            std::fill_n(orow, wd, bias32_[static_cast<size_t>(co) * n_ + i]);
+            const float* tzrow = tz32_.data() + static_cast<size_t>(i) * m_;
+            for (int r = 0; r < m_; ++r) {
+                simd::axpy_f32(orow,
+                               z + (static_cast<size_t>(r) * bh + y) * wd,
+                               tzrow[r], wd);
+            }
+        }
+        if (epilogue_ == ConvEpilogue::kRelu) {
+            for (int i = 0; i < n_; ++i) {
+                float* orow = out.data() +
+                    (static_cast<int64_t>(co * n_ + i) * h + y0 + y) * wd;
+                for (int xx = 0; xx < wd; ++xx) {
+                    orow[xx] = orow[xx] > 0.0f ? orow[xx] : 0.0f;
+                }
+            }
+        } else if (epilogue_ == ConvEpilogue::kDirectional) {
+            // Row-wise y -> U fcw(V y): each of the 2 n x n transforms
+            // becomes n^2 stride-1 row kernels over the band row — the
+            // same per-element accumulation order (ascending j) as a
+            // per-pixel matmul, so results are identical, but
+            // vectorized.
+            float* rows[kMaxTuple];
+            for (int i = 0; i < n_; ++i) {
+                rows[i] = out.data() +
+                    (static_cast<int64_t>(co * n_ + i) * h + y0 + y) * wd;
+            }
+            if (scratch.dir.size() < static_cast<size_t>(n_) * wd) {
+                scratch.dir.resize(static_cast<size_t>(n_) * wd);
+            }
+            for (int i = 0; i < n_; ++i) {
+                float* ti = scratch.dir.data() + static_cast<size_t>(i) * wd;
+                const float* vrow = v32_.data() + static_cast<size_t>(i) * n_;
+                simd::scale_f32(ti, rows[0], vrow[0], wd);
+                for (int j = 1; j < n_; ++j) {
+                    simd::axpy_f32(ti, rows[j], vrow[j], wd);
+                }
+                for (int xx = 0; xx < wd; ++xx) {
+                    ti[xx] = ti[xx] > 0.0f ? ti[xx] : 0.0f;
+                }
+            }
+            for (int i = 0; i < n_; ++i) {
+                const float* urow = u32_.data() + static_cast<size_t>(i) * n_;
+                simd::scale_f32(rows[i], scratch.dir.data(), urow[0], wd);
+                for (int j = 1; j < n_; ++j) {
+                    simd::axpy_f32(rows[i],
+                                   scratch.dir.data() +
+                                       static_cast<size_t>(j) * wd,
+                                   urow[j], wd);
+                }
+            }
+        }
+    }
+}
+
 struct RingConvEngine::Task
 {
     int img, co, y0, y1;
 };
 
 void
-RingConvEngine::run_into(const Tensor* const* xs, Tensor* outs,
-                         int count) const
+RingConvEngine::run_into(const Tensor* const* xs, Tensor* outs, int count,
+                         RingConvScratch* scratch) const
 {
     for (int b = 0; b < count; ++b) validate_input(*xs[b]);
 
+    RingConvScratch local;
+    RingConvScratch& sc = scratch != nullptr ? *scratch : local;
+
     // Clamp workers so each gets a meaningful slice: small inputs
     // (e.g. training-eval patches, possibly already nested under
-    // util::run_parallel) run inline rather than paying thread spawns
-    // that cost more than the arithmetic they hide.
+    // util::run_parallel) run inline rather than paying scheduling
+    // that costs more than the arithmetic it hides.
     constexpr int64_t kMinMacsPerThread = 1 << 21;
     int64_t total_macs = 0;
     for (int b = 0; b < count; ++b) {
@@ -210,25 +400,39 @@ RingConvEngine::run_into(const Tensor* const* xs, Tensor* outs,
         std::min<int64_t>(util::resolve_threads(opt_.threads),
                           std::max<int64_t>(1, total_macs /
                                                    kMinMacsPerThread)));
+    if (static_cast<int>(sc.workers.size()) < threads) {
+        sc.workers.resize(static_cast<size_t>(threads));
+    }
 
     // Per-image transformed-input buffers; one flat (img, tuple,
     // component) task per plane.
-    std::vector<std::vector<float>> xt(static_cast<size_t>(count));
+    if (sc.xt.size() < static_cast<size_t>(count)) {
+        sc.xt.resize(static_cast<size_t>(count));
+    }
     for (int b = 0; b < count; ++b) {
         const int64_t plane =
             static_cast<int64_t>(xs[b]->dim(1)) * xs[b]->dim(2);
-        xt[static_cast<size_t>(b)].resize(
-            static_cast<size_t>(ci_t_) * m_ * plane);
+        const size_t need = static_cast<size_t>(ci_t_) * m_ * plane;
+        if (sc.xt[static_cast<size_t>(b)].size() < need) {
+            sc.xt[static_cast<size_t>(b)].resize(need);
+        }
     }
-    util::parallel_for(
+    const bool strict = opt_.strict_fp64;
+    util::parallel_for_worker(
         static_cast<int64_t>(count) * ci_t_ * m_,
-        [&](int64_t id) {
+        [&](int worker, int64_t id) {
             const int b = static_cast<int>(id / (ci_t_ * m_));
             const int p = static_cast<int>(id % (ci_t_ * m_));
             const Tensor& x = *xs[b];
             const int64_t plane = static_cast<int64_t>(x.dim(1)) * x.dim(2);
-            transform_plane(x, p / m_, p % m_,
-                            xt[static_cast<size_t>(b)].data() + p * plane);
+            float* dst = sc.xt[static_cast<size_t>(b)].data() + p * plane;
+            if (strict) {
+                transform_plane_f64(
+                    x, p / m_, p % m_, dst,
+                    sc.workers[static_cast<size_t>(worker)].acc64);
+            } else {
+                transform_plane_f32(x, p / m_, p % m_, dst);
+            }
         },
         threads);
 
@@ -236,7 +440,7 @@ RingConvEngine::run_into(const Tensor* const* xs, Tensor* outs,
     std::vector<Task> tasks;
     for (int b = 0; b < count; ++b) {
         const int h = xs[b]->dim(1), wd = xs[b]->dim(2);
-        outs[b] = Tensor({co_t_ * n_, h, wd});
+        outs[b].reset({co_t_ * n_, h, wd});
         const int bh = band_rows(h, threads);
         for (int co = 0; co < co_t_; ++co) {
             for (int y0 = 0; y0 < h; y0 += bh) {
@@ -244,13 +448,20 @@ RingConvEngine::run_into(const Tensor* const* xs, Tensor* outs,
             }
         }
     }
-    util::parallel_for(
+    util::parallel_for_worker(
         static_cast<int64_t>(tasks.size()),
-        [&](int64_t i) {
+        [&](int worker, int64_t i) {
             const Task& t = tasks[static_cast<size_t>(i)];
-            conv_band(xt[static_cast<size_t>(t.img)].data(),
-                      xs[t.img]->dim(1), xs[t.img]->dim(2), t.co, t.y0,
-                      t.y1, outs[t.img]);
+            RingConvScratch::Worker& ws =
+                sc.workers[static_cast<size_t>(worker)];
+            const float* xt = sc.xt[static_cast<size_t>(t.img)].data();
+            if (strict) {
+                conv_band_f64(xt, xs[t.img]->dim(1), xs[t.img]->dim(2),
+                              t.co, t.y0, t.y1, outs[t.img], ws);
+            } else {
+                conv_band_f32(xt, xs[t.img]->dim(1), xs[t.img]->dim(2),
+                              t.co, t.y0, t.y1, outs[t.img], ws);
+            }
         },
         threads);
 }

@@ -8,23 +8,32 @@
  *
  *   1. precomputes g~ and the expanded bias once per weight set,
  *   2. runs the component-wise 2-D convolutions as row-contiguous
- *      kernels using the shift/clamp idiom of nn::conv2d_forward,
- *   3. parallelizes across output tuples and output-row bands via
- *      util::parallel_for, and
- *   4. exposes a batched run() overload so demos, benches, and the
- *      quantized simulator's calibration pass share one hot path.
+ *      stride-1 kernels (simd::axpy_f32 on the default float path;
+ *      the original double-accumulation loops on the strict path),
+ *   3. fuses bias, the reconstruction transform Tz, and an optional
+ *      ReLU / directional-ReLU epilogue into one pass over each output
+ *      band, so activations never round-trip through memory,
+ *   4. parallelizes across output tuples and output-row bands on the
+ *      persistent util::ThreadPool, and
+ *   5. exposes batched entry points (and caller-owned scratch) so
+ *      demos, benches, the model executor, and the quantized
+ *      simulator's calibration pass share one hot path.
  *
- * Determinism: for every output element the engine performs the same
- * operations, on the same operand values, in the same order as the
- * original ring_conv_fast() loop nest (input transform in ascending j
- * with exact zeros skipped; per-r accumulation in (ci, ky, kx) order in
- * double precision; reconstruction in ascending r). Results are
- * therefore bit-identical to the seed implementation and invariant
- * under the thread count and row banding. One deliberate deviation:
- * exactly-zero transformed filter taps are skipped (the conv2d_forward
- * idiom, a real win for pruned weight sets), which only differs from
- * the seed when an activation is Inf/NaN — the seed would propagate
- * 0 * Inf = NaN where the engine does not.
+ * Numerics: the engine has two kernel sets.
+ *
+ *  - Default (strict_fp64 == false): float32 accumulation throughout,
+ *    built from the stride-1 row kernels in core/simd.h. Deterministic
+ *    and invariant under thread count, row banding, batching, and the
+ *    dispatched ISA; differs from the fp64 path by normal float
+ *    rounding (observed max |Δ| well under 1e-4 on unit-scale
+ *    activations).
+ *  - Strict (strict_fp64 == true): for every output element the engine
+ *    performs the same operations, on the same operand values, in the
+ *    same order as the original ring_conv_fast() loop nest, so results
+ *    are bit-identical to the seed implementation (proved against a
+ *    verbatim seed oracle in tests/test_ring_conv_engine.cc). One
+ *    deliberate deviation: exactly-zero transformed filter taps are
+ *    skipped, which only differs when an activation is Inf/NaN.
  */
 #ifndef RINGCNN_CORE_RING_CONV_ENGINE_H
 #define RINGCNN_CORE_RING_CONV_ENGINE_H
@@ -43,8 +52,43 @@ struct RingConvEngineOptions
     /** Worker threads; 0 = auto (RINGCNN_THREADS env or hardware). */
     int threads = 0;
     /** Output rows per parallel task; 0 = auto. Any value produces
-     *  bit-identical results — this only shapes the parallel grain. */
+     *  identical results — this only shapes the parallel grain. */
     int row_band = 0;
+    /**
+     * Run the original double-precision accumulation loops instead of
+     * the float32 SIMD kernels. Off by default for inference; switch on
+     * wherever bit-exactness against the seed oracle is asserted.
+     * Strict mode does not support fused epilogues.
+     */
+    bool strict_fp64 = false;
+};
+
+/** Nonlinearity fused into the engine's output pass (fp32 path only). */
+enum class ConvEpilogue
+{
+    kNone,
+    kRelu,        ///< component-wise fcw, eq. (5)
+    kDirectional  ///< y -> U fcw(V y) per n-tuple (fH / fO4, Sec. III-E)
+};
+
+/**
+ * Reusable buffers for engine runs, owned by the caller (the model
+ * executor's execution plan keeps one per engine step, so steady-state
+ * inference performs no allocations). `xt` holds the transformed input
+ * planes per batch image; `workers[w]` is the scratch of parallel
+ * worker w (per-band accumulators hoisted out of the hot loops).
+ */
+struct RingConvScratch
+{
+    std::vector<std::vector<float>> xt;
+    struct Worker
+    {
+        std::vector<float> z32;    ///< fp32 per-band component planes
+        std::vector<float> dir;    ///< directional-epilogue tuple rows
+        std::vector<double> z64;   ///< strict-path per-band planes
+        std::vector<double> acc64; ///< strict-path transform accumulator
+    };
+    std::vector<Worker> workers;
 };
 
 /**
@@ -54,6 +98,8 @@ struct RingConvEngineOptions
  * errors (std::invalid_argument), not assert.
  *
  * The referenced Ring must outlive the engine (registry rings do).
+ * An engine is immutable during run() and may be shared by threads as
+ * long as each caller passes its own scratch (or none).
  */
 class RingConvEngine
 {
@@ -65,6 +111,14 @@ class RingConvEngine
     /** Replaces the weight set, re-deriving the cached transforms. */
     void set_weights(const RingConvWeights& w, std::vector<float> bias);
 
+    /**
+     * Fuses a nonlinearity into the band pass (fp32 path only; throws
+     * on a strict_fp64 engine). kDirectional needs the n x n transform
+     * pair (u, v) of the directional ReLU; pass nullptr otherwise.
+     */
+    void set_epilogue(ConvEpilogue epilogue, const Matd* u = nullptr,
+                      const Matd* v = nullptr);
+
     /** FRCONV forward of one CHW image ([ci_t*n][H][W] -> [co_t*n][H][W]). */
     Tensor run(const Tensor& x) const;
 
@@ -75,12 +129,23 @@ class RingConvEngine
      */
     std::vector<Tensor> run(const std::vector<Tensor>& xs) const;
 
+    /**
+     * Allocation-free batched forward into caller tensors: outs[b] is
+     * reset() to the output shape, reusing its capacity. When `scratch`
+     * is non-null its buffers are reused across calls; otherwise
+     * transient scratch is allocated locally.
+     */
+    void run_into(const Tensor* const* xs, Tensor* outs, int count,
+                  RingConvScratch* scratch = nullptr) const;
+
     const Ring& ring() const { return *ring_; }
     int co_t() const { return co_t_; }
     int ci_t() const { return ci_t_; }
     int k() const { return k_; }
     int n() const { return n_; }
     int m() const { return m_; }
+    bool strict_fp64() const { return opt_.strict_fp64; }
+    ConvEpilogue epilogue() const { return epilogue_; }
 
     /** Real multiplications for one H x W forward (complexity axis). */
     int64_t macs(int h, int w) const
@@ -93,12 +158,19 @@ class RingConvEngine
 
     void validate_input(const Tensor& x) const;
     int band_rows(int h, int threads) const;
-    /** Tx-transform of input tuple t, component r, into a float plane. */
-    void transform_plane(const Tensor& x, int t, int r, float* dst) const;
+    /** Tx-transform of input tuple t, component r, into a float plane
+     *  (strict path: double accumulation through `acc`). */
+    void transform_plane_f64(const Tensor& x, int t, int r, float* dst,
+                             std::vector<double>& acc) const;
+    void transform_plane_f32(const Tensor& x, int t, int r,
+                             float* dst) const;
     /** Computes output rows [y0, y1) of output tuple co from xt. */
-    void conv_band(const float* xt, int h, int w, int co, int y0, int y1,
-                   Tensor& out) const;
-    void run_into(const Tensor* const* xs, Tensor* outs, int count) const;
+    void conv_band_f64(const float* xt, int h, int w, int co, int y0,
+                       int y1, Tensor& out,
+                       RingConvScratch::Worker& scratch) const;
+    void conv_band_f32(const float* xt, int h, int w, int co, int y0,
+                       int y1, Tensor& out,
+                       RingConvScratch::Worker& scratch) const;
 
     const Ring* ring_;
     int co_t_, ci_t_, k_, n_, m_;
@@ -106,18 +178,25 @@ class RingConvEngine
     /** g~ in [co][r][ci][ky][kx] layout: contiguous taps per (co, r, ci)
      *  so the per-component kernels stream rows. */
     std::vector<double> gt_;
+    std::vector<float> gt32_;
     /** Bias expanded to all co_t*n real channels (zeros when absent). */
     std::vector<double> bias_;
+    std::vector<float> bias32_;
     /** Nonzero (j, Tx[r][j]) entries per component r, ascending j. */
     std::vector<std::vector<std::pair<int, double>>> tx_nz_;
+    std::vector<std::vector<std::pair<int, float>>> tx32_nz_;
     /** Tz as a dense row-major [n][m] array. */
     std::vector<double> tz_;
+    std::vector<float> tz32_;
+    /** Fused epilogue state (row-major n x n, fp32 path only). */
+    ConvEpilogue epilogue_ = ConvEpilogue::kNone;
+    std::vector<float> u32_, v32_;
 };
 
 /**
  * Order-independent-free fingerprint (FNV-1a over dims, weights, and
- * bias bytes). Used by layers to invalidate a cached engine when the
- * optimizer mutates the underlying parameters in place.
+ * bias bytes). Retained as the debug cross-check behind the parameter
+ * version counters that layers now use to invalidate cached engines.
  */
 uint64_t weights_fingerprint(const RingConvWeights& w,
                              const std::vector<float>& bias);

@@ -1,0 +1,111 @@
+#include "core/simd.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define RINGCNN_X86_DISPATCH 1
+#include <immintrin.h>
+#endif
+
+namespace ringcnn::simd {
+
+namespace {
+
+void
+axpy_generic(float* dst, const float* src, float a, int64_t len)
+{
+    for (int64_t i = 0; i < len; ++i) dst[i] += a * src[i];
+}
+
+void
+scale_generic(float* dst, const float* src, float a, int64_t len)
+{
+    for (int64_t i = 0; i < len; ++i) dst[i] = a * src[i];
+}
+
+#ifdef RINGCNN_X86_DISPATCH
+
+// Explicit 8-wide AVX2 rows. Deliberately mul+add rather than FMA: the
+// x86-64 baseline scalar/SSE code cannot fuse, so keeping the same
+// rounding here makes the fp32 path produce identical bits no matter
+// which implementation the runtime dispatch picks.
+__attribute__((target("avx2"))) void
+axpy_avx2(float* dst, const float* src, float a, int64_t len)
+{
+    const __m256 va = _mm256_set1_ps(a);
+    int64_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+        const __m256 s = _mm256_loadu_ps(src + i);
+        const __m256 d = _mm256_loadu_ps(dst + i);
+        _mm256_storeu_ps(dst + i, _mm256_add_ps(d, _mm256_mul_ps(va, s)));
+    }
+    for (; i < len; ++i) dst[i] += a * src[i];
+}
+
+__attribute__((target("avx2"))) void
+scale_avx2(float* dst, const float* src, float a, int64_t len)
+{
+    const __m256 va = _mm256_set1_ps(a);
+    int64_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+        _mm256_storeu_ps(dst + i,
+                         _mm256_mul_ps(va, _mm256_loadu_ps(src + i)));
+    }
+    for (; i < len; ++i) dst[i] = a * src[i];
+}
+
+bool
+have_avx2()
+{
+    return __builtin_cpu_supports("avx2");
+}
+
+#endif  // RINGCNN_X86_DISPATCH
+
+using AxpyFn = void (*)(float*, const float*, float, int64_t);
+using ScaleFn = void (*)(float*, const float*, float, int64_t);
+
+struct Dispatch
+{
+    AxpyFn axpy = axpy_generic;
+    ScaleFn scale = scale_generic;
+    const char* isa = "generic";
+
+    Dispatch()
+    {
+#ifdef RINGCNN_X86_DISPATCH
+        if (have_avx2()) {
+            axpy = axpy_avx2;
+            scale = scale_avx2;
+            isa = "avx2";
+        }
+#endif
+    }
+};
+
+const Dispatch&
+dispatch()
+{
+    static const Dispatch d;
+    return d;
+}
+
+}  // namespace
+
+void
+axpy_f32(float* dst, const float* src, float a, int64_t len)
+{
+    dispatch().axpy(dst, src, a, len);
+}
+
+void
+scale_f32(float* dst, const float* src, float a, int64_t len)
+{
+    dispatch().scale(dst, src, a, len);
+}
+
+const char*
+active_isa()
+{
+    return dispatch().isa;
+}
+
+}  // namespace ringcnn::simd

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Vector-friendly float32 primitives for the FRCONV hot loops.
+ *
+ * Every heavy inner loop of the fp32 engine path reduces to one of two
+ * stride-1 row kernels:
+ *
+ *   axpy_f32:  dst[i] += a * src[i]     (conv taps, reconstruction)
+ *   scale_f32: dst[i]  = a * src[i]     (first transform term)
+ *
+ * The generic builds are plain loops the compiler auto-vectorizes at
+ * -O2/-O3 (verified by the perf_ringconv fp32 microbenchmarks). On
+ * x86-64 GCC/Clang additionally compile explicit AVX2 versions via the
+ * target attribute — no -mavx2 flag needed — and dispatch at runtime
+ * with __builtin_cpu_supports, so one binary runs the widest ISA the
+ * machine has. On AArch64, NEON is baseline and the plain loops
+ * vectorize to it directly.
+ *
+ * Determinism: both kernels perform one multiply and one add per
+ * element in index order with no reassociation, and the AVX2 path
+ * deliberately avoids FMA contraction, so every dispatch target
+ * produces identical bits. The bit-exactness oracle against the seed
+ * implementation additionally runs on the strict fp64 engine path.
+ */
+#ifndef RINGCNN_CORE_SIMD_H
+#define RINGCNN_CORE_SIMD_H
+
+#include <cstdint>
+
+namespace ringcnn::simd {
+
+/** dst[i] += a * src[i] for i in [0, len). */
+void axpy_f32(float* dst, const float* src, float a, int64_t len);
+
+/** dst[i] = a * src[i] for i in [0, len). */
+void scale_f32(float* dst, const float* src, float a, int64_t len);
+
+/** Name of the dispatched implementation: "avx2" or "generic". */
+const char* active_isa();
+
+}  // namespace ringcnn::simd
+
+#endif  // RINGCNN_CORE_SIMD_H

@@ -1,0 +1,475 @@
+#include "nn/executor.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "nn/conv_kernels.h"
+#include "tensor/image_ops.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace ringcnn::nn {
+
+namespace {
+
+// The permutation/pad/crop arena kernels (pixel_*_into, channel_pad_into,
+// crop_channels_into) live in tensor/image_ops.cc so their index math is
+// shared with the allocating reference functions.
+
+void
+relu_into(const Tensor& x, Tensor& out)
+{
+    out.reset(x.shape());  // no-op when in place
+    const float* src = x.data();
+    float* dst = out.data();
+    for (int64_t i = 0; i < x.numel(); ++i) {
+        dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+    }
+}
+
+/**
+ * y -> U fcw(V y) per n-tuple, float arithmetic. Safe in place. This is
+ * the unfused fallback for a DirectionalReLU the planner could not fold
+ * into a conv epilogue; the band-fused form lives in
+ * RingConvEngine::conv_band_f32 and the double-precision reference in
+ * core/ring_conv.cc — keep the three consistent.
+ */
+void
+directional_relu_into(const Tensor& x, const Matd& u, const Matd& v,
+                      Tensor& out)
+{
+    const int n = v.cols();
+    const int c = x.dim(0), h = x.dim(1), w = x.dim(2);
+    out.reset(x.shape());
+    constexpr int kMaxTuple = 16;
+    RINGCNN_CHECK(n <= kMaxTuple && c % n == 0,
+                  "directional ReLU tuple mismatch");
+    float uf[kMaxTuple * kMaxTuple], vf[kMaxTuple * kMaxTuple];
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            uf[i * n + j] = static_cast<float>(u.at(i, j));
+            vf[i * n + j] = static_cast<float>(v.at(i, j));
+        }
+    }
+    const int64_t plane = static_cast<int64_t>(h) * w;
+    for (int t = 0; t < c / n; ++t) {
+        const float* in0 = x.data() + static_cast<int64_t>(t) * n * plane;
+        float* out0 = out.data() + static_cast<int64_t>(t) * n * plane;
+        float yv[kMaxTuple], rv[kMaxTuple];
+        for (int64_t p = 0; p < plane; ++p) {
+            for (int i = 0; i < n; ++i) yv[i] = in0[i * plane + p];
+            for (int i = 0; i < n; ++i) {
+                float acc = 0.0f;
+                for (int j = 0; j < n; ++j) acc += vf[i * n + j] * yv[j];
+                rv[i] = acc > 0.0f ? acc : 0.0f;
+            }
+            for (int i = 0; i < n; ++i) {
+                float acc = 0.0f;
+                for (int j = 0; j < n; ++j) acc += uf[i * n + j] * rv[j];
+                out0[i * plane + p] = acc;
+            }
+        }
+    }
+}
+
+}  // namespace
+
+/** One compiled ring-conv step: the engine plus its plan-owned scratch
+ *  (transform buffers, per-worker band accumulators) and the weight
+ *  version it was last synced at. */
+struct ModelExecutor::EngineRec
+{
+    std::unique_ptr<RingConvEngine> engine;
+    RingConv2d* layer = nullptr;
+    uint64_t seen_version = 0;
+    RingConvScratch scratch;
+    std::vector<const Tensor*> in_ptrs;  ///< reused batch pointer array
+};
+
+ModelExecutor::~ModelExecutor() = default;
+
+// ---- compile-time slot (arena) management ----------------------------------
+
+int
+ModelExecutor::acquire_slot()
+{
+    if (!free_slots_.empty()) {
+        const int s = free_slots_.back();
+        free_slots_.pop_back();
+        refcount_[static_cast<size_t>(s)] = 1;
+        return s;
+    }
+    slots_.emplace_back();
+    refcount_.push_back(1);
+    return static_cast<int>(slots_.size()) - 1;
+}
+
+void
+ModelExecutor::addref(int slot)
+{
+    ++refcount_[static_cast<size_t>(slot)];
+}
+
+void
+ModelExecutor::decref(int slot)
+{
+    if (--refcount_[static_cast<size_t>(slot)] == 0) {
+        free_slots_.push_back(slot);
+    }
+}
+
+// ---- compilation -----------------------------------------------------------
+
+ModelExecutor::ModelExecutor(Model& model, Shape in_shape,
+                             ExecutorOptions opt)
+    : opt_(opt), in_shape_(std::move(in_shape))
+{
+    RINGCNN_CHECK(in_shape_.size() == 3,
+                  "executor input must be a CHW shape");
+    macs_ = model.macs(in_shape_);
+    entry_slot_ = acquire_slot();
+    Shape shape = in_shape_;
+    out_slot_ = compile(&model.root(), entry_slot_, shape);
+    out_shape_ = shape;
+}
+
+int
+ModelExecutor::compile_ringconv(RingConv2d* rc, int in, Shape& shape,
+                                ConvEpilogue epilogue, const Matd* u,
+                                const Matd* v)
+{
+    auto rec = std::make_unique<EngineRec>();
+    RingConvEngineOptions eo;
+    eo.threads = opt_.threads;
+    eo.strict_fp64 = opt_.strict_fp64;
+    rec->engine = std::make_unique<RingConvEngine>(
+        rc->ring(), rc->weights(), rc->bias(), eo);
+    rec->engine->set_epilogue(epilogue, u, v);
+    rec->layer = rc;
+    rec->seen_version = rc->param_version();
+    const size_t rec_idx = engines_.size();
+    engines_.push_back(std::move(rec));
+
+    const int out = acquire_slot();
+    steps_.push_back([this, rec_idx, in, out](int batch) {
+        EngineRec& r = *engines_[rec_idx];
+        for (int b = 0; b < batch; ++b) {
+            r.in_ptrs[static_cast<size_t>(b)] =
+                &slots_[static_cast<size_t>(in)][static_cast<size_t>(b)];
+        }
+        r.engine->run_into(r.in_ptrs.data(),
+                           slots_[static_cast<size_t>(out)].data(), batch,
+                           &r.scratch);
+    });
+    decref(in);
+    shape = rc->out_shape(shape);
+    return out;
+}
+
+int
+ModelExecutor::compile_sequential(Sequential* seq, int in, Shape& shape)
+{
+    int cur = in;
+    for (size_t i = 0; i < seq->size(); ++i) {
+        Layer* l = &seq->at(i);
+        if (auto* rc = dynamic_cast<RingConv2d*>(l)) {
+            // Epilogue fusion: fold an immediately-following ReLU or
+            // (tuple-aligned) DirectionalReLU into the engine's band
+            // pass.
+            Layer* next = i + 1 < seq->size() ? &seq->at(i + 1) : nullptr;
+            ConvEpilogue ep = ConvEpilogue::kNone;
+            const Matd* u = nullptr;
+            const Matd* v = nullptr;
+            if (opt_.fuse_epilogues && !opt_.strict_fp64 &&
+                next != nullptr) {
+                if (dynamic_cast<ReLU*>(next) != nullptr) {
+                    ep = ConvEpilogue::kRelu;
+                } else if (auto* dr =
+                               dynamic_cast<DirectionalReLU*>(next)) {
+                    if (dr->v().cols() == rc->ring().n) {
+                        ep = ConvEpilogue::kDirectional;
+                        u = &dr->u();
+                        v = &dr->v();
+                    }
+                }
+            }
+            cur = compile_ringconv(rc, cur, shape, ep, u, v);
+            if (ep != ConvEpilogue::kNone) ++i;  // consumed the nonlin
+            continue;
+        }
+        cur = compile(l, cur, shape);
+    }
+    return cur;
+}
+
+int
+ModelExecutor::compile(Layer* l, int in, Shape& shape)
+{
+    if (auto* seq = dynamic_cast<Sequential*>(l)) {
+        return compile_sequential(seq, in, shape);
+    }
+    if (auto* rc = dynamic_cast<RingConv2d*>(l)) {
+        return compile_ringconv(rc, in, shape, ConvEpilogue::kNone, nullptr,
+                                nullptr);
+    }
+    if (auto* res = dynamic_cast<Residual*>(l)) {
+        addref(in);  // the skip connection reads it after the body runs
+        Shape body_shape = shape;
+        const int body_out = compile(&res->body(), in, body_shape);
+        RINGCNN_CHECK(body_shape == shape,
+                      "residual body must preserve the shape");
+        steps_.push_back([this, body_out, in](int batch) {
+            for (int b = 0; b < batch; ++b) {
+                slots_[static_cast<size_t>(body_out)]
+                      [static_cast<size_t>(b)] +=
+                    slots_[static_cast<size_t>(in)][static_cast<size_t>(b)];
+            }
+        });
+        decref(in);
+        return body_out;
+    }
+    if (auto* two = dynamic_cast<TwoBranchAdd*>(l)) {
+        addref(in);  // both branches read the same input
+        Shape main_shape = shape;
+        const int main_out = compile(&two->main(), in, main_shape);
+        Shape skip_shape = shape;
+        const int skip_out = compile(&two->skip(), in, skip_shape);
+        RINGCNN_CHECK(main_shape == skip_shape,
+                      "two-branch outputs must agree");
+        steps_.push_back([this, main_out, skip_out](int batch) {
+            for (int b = 0; b < batch; ++b) {
+                slots_[static_cast<size_t>(main_out)]
+                      [static_cast<size_t>(b)] +=
+                    slots_[static_cast<size_t>(skip_out)]
+                          [static_cast<size_t>(b)];
+            }
+        });
+        decref(skip_out);
+        shape = main_shape;
+        return main_out;
+    }
+    if (auto* conv = dynamic_cast<Conv2d*>(l)) {
+        const int out = acquire_slot();
+        Shape out_shape = conv->out_shape(shape);
+        steps_.push_back([this, conv, in, out, out_shape](int batch) {
+            for (int b = 0; b < batch; ++b) {
+                Tensor& dst =
+                    slots_[static_cast<size_t>(out)][static_cast<size_t>(b)];
+                dst.reset(out_shape);
+                conv2d_forward(
+                    slots_[static_cast<size_t>(in)][static_cast<size_t>(b)],
+                    conv->weights(), conv->bias(), dst);
+            }
+        });
+        decref(in);
+        shape = out_shape;
+        return out;
+    }
+    if (dynamic_cast<ReLU*>(l) != nullptr) {
+        // In place when this step is the input's only consumer.
+        const bool inplace = refcount_[static_cast<size_t>(in)] == 1;
+        const int out = inplace ? in : acquire_slot();
+        steps_.push_back([this, in, out](int batch) {
+            for (int b = 0; b < batch; ++b) {
+                relu_into(
+                    slots_[static_cast<size_t>(in)][static_cast<size_t>(b)],
+                    slots_[static_cast<size_t>(out)][static_cast<size_t>(b)]);
+            }
+        });
+        if (!inplace) decref(in);
+        return out;
+    }
+    if (auto* dr = dynamic_cast<DirectionalReLU*>(l)) {
+        const bool inplace = refcount_[static_cast<size_t>(in)] == 1;
+        const int out = inplace ? in : acquire_slot();
+        steps_.push_back([this, dr, in, out](int batch) {
+            for (int b = 0; b < batch; ++b) {
+                directional_relu_into(
+                    slots_[static_cast<size_t>(in)][static_cast<size_t>(b)],
+                    dr->u(), dr->v(),
+                    slots_[static_cast<size_t>(out)][static_cast<size_t>(b)]);
+            }
+        });
+        if (!inplace) decref(in);
+        return out;
+    }
+    if (auto* ps = dynamic_cast<PixelShuffle*>(l)) {
+        const int out = acquire_slot();
+        const Shape os = ps->out_shape(shape);
+        const int r = os[1] / shape[1];
+        steps_.push_back([this, in, out, r](int batch) {
+            for (int b = 0; b < batch; ++b) {
+                pixel_shuffle_into(
+                    slots_[static_cast<size_t>(in)][static_cast<size_t>(b)],
+                    r,
+                    slots_[static_cast<size_t>(out)][static_cast<size_t>(b)]);
+            }
+        });
+        decref(in);
+        shape = os;
+        return out;
+    }
+    if (auto* pu = dynamic_cast<PixelUnshuffle*>(l)) {
+        const int out = acquire_slot();
+        const Shape os = pu->out_shape(shape);
+        const int r = shape[1] / os[1];
+        steps_.push_back([this, in, out, r](int batch) {
+            for (int b = 0; b < batch; ++b) {
+                pixel_unshuffle_into(
+                    slots_[static_cast<size_t>(in)][static_cast<size_t>(b)],
+                    r,
+                    slots_[static_cast<size_t>(out)][static_cast<size_t>(b)]);
+            }
+        });
+        decref(in);
+        shape = os;
+        return out;
+    }
+    if (auto* pad = dynamic_cast<ChannelPad*>(l)) {
+        const Shape os = pad->out_shape(shape);
+        if (os[0] == shape[0]) return in;  // no-op pad
+        const int out = acquire_slot();
+        const int want = os[0];
+        steps_.push_back([this, in, out, want](int batch) {
+            for (int b = 0; b < batch; ++b) {
+                channel_pad_into(
+                    slots_[static_cast<size_t>(in)][static_cast<size_t>(b)],
+                    want,
+                    slots_[static_cast<size_t>(out)][static_cast<size_t>(b)]);
+            }
+        });
+        decref(in);
+        shape = os;
+        return out;
+    }
+    if (auto* crop = dynamic_cast<CropChannels*>(l)) {
+        const Shape os = crop->out_shape(shape);
+        if (os[0] == shape[0]) return in;  // no-op crop
+        const int out = acquire_slot();
+        const int keep = os[0];
+        steps_.push_back([this, in, out, keep](int batch) {
+            for (int b = 0; b < batch; ++b) {
+                crop_channels_into(
+                    slots_[static_cast<size_t>(in)][static_cast<size_t>(b)],
+                    keep,
+                    slots_[static_cast<size_t>(out)][static_cast<size_t>(b)]);
+            }
+        });
+        decref(in);
+        shape = os;
+        return out;
+    }
+    // Fallback for layers without a compiled kernel (DepthwiseConv2d,
+    // UpsampleBilinearLayer, future additions): correct but allocating.
+    const int out = acquire_slot();
+    steps_.push_back([this, l, in, out](int batch) {
+        for (int b = 0; b < batch; ++b) {
+            slots_[static_cast<size_t>(out)][static_cast<size_t>(b)] =
+                l->forward(
+                    slots_[static_cast<size_t>(in)][static_cast<size_t>(b)],
+                    false);
+        }
+    });
+    decref(in);
+    shape = l->out_shape(shape);
+    return out;
+}
+
+// ---- execution -------------------------------------------------------------
+
+void
+ModelExecutor::refresh()
+{
+    for (auto& rec : engines_) {
+        const uint64_t now = rec->layer->param_version();
+        if (now != rec->seen_version) {
+            rec->engine->set_weights(rec->layer->weights(),
+                                     rec->layer->bias());
+            rec->seen_version = now;
+        }
+    }
+}
+
+void
+ModelExecutor::ensure_batch(int count)
+{
+    if (count <= batch_capacity_) return;
+    for (auto& slot : slots_) slot.resize(static_cast<size_t>(count));
+    for (auto& rec : engines_) {
+        rec->in_ptrs.resize(static_cast<size_t>(count));
+    }
+    batch_capacity_ = count;
+}
+
+void
+ModelExecutor::exec(const Tensor* const* xs, int count)
+{
+    for (int b = 0; b < count; ++b) {
+        RINGCNN_CHECK(xs[b]->shape() == in_shape_,
+                      "executor compiled for input [" +
+                          std::to_string(in_shape_[0]) + ", " +
+                          std::to_string(in_shape_[1]) + ", " +
+                          std::to_string(in_shape_[2]) + "], got " +
+                          xs[b]->shape_str());
+    }
+    refresh();
+    ensure_batch(count);
+    auto& entry = slots_[static_cast<size_t>(entry_slot_)];
+    for (int b = 0; b < count; ++b) {
+        entry[static_cast<size_t>(b)].reset(in_shape_);
+        std::memcpy(entry[static_cast<size_t>(b)].data(), xs[b]->data(),
+                    static_cast<size_t>(xs[b]->numel()) * sizeof(float));
+    }
+    for (auto& step : steps_) step(count);
+}
+
+Tensor
+ModelExecutor::run(const Tensor& x)
+{
+    return run_view(x);  // copies on return
+}
+
+const Tensor&
+ModelExecutor::run_view(const Tensor& x)
+{
+    const Tensor* px = &x;
+    exec(&px, 1);
+    return slots_[static_cast<size_t>(out_slot_)][0];
+}
+
+std::vector<Tensor>
+ModelExecutor::run(const std::vector<Tensor>& xs)
+{
+    std::vector<const Tensor*> ptrs(xs.size());
+    for (size_t i = 0; i < xs.size(); ++i) ptrs[i] = &xs[i];
+    exec(ptrs.data(), static_cast<int>(xs.size()));
+    const auto& out = slots_[static_cast<size_t>(out_slot_)];
+    return std::vector<Tensor>(out.begin(),
+                               out.begin() + static_cast<int64_t>(xs.size()));
+}
+
+std::vector<Tensor>
+ModelExecutor::run_layer(Layer& l, const std::vector<Tensor>& xs)
+{
+    if (auto* rc = dynamic_cast<RingConv2d*>(&l)) {
+        return rc->inference_engine().run(xs);
+    }
+    std::vector<Tensor> out(xs.size());
+    // ReLU and DirectionalReLU forwards are state-free at inference
+    // (train == false), so the batch can fan out across the pool.
+    const bool pure = dynamic_cast<ReLU*>(&l) != nullptr ||
+                      dynamic_cast<DirectionalReLU*>(&l) != nullptr;
+    if (pure && xs.size() > 1) {
+        util::parallel_for(static_cast<int64_t>(xs.size()), [&](int64_t i) {
+            out[static_cast<size_t>(i)] =
+                l.forward(xs[static_cast<size_t>(i)], false);
+        });
+    } else {
+        for (size_t i = 0; i < xs.size(); ++i) {
+            out[i] = l.forward(xs[i], false);
+        }
+    }
+    return out;
+}
+
+}  // namespace ringcnn::nn

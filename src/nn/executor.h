@@ -1,0 +1,145 @@
+/**
+ * @file
+ * ModelExecutor: a compiled inference plan for a trained model.
+ *
+ * Layer::forward-based inference walks the layer graph allocating a
+ * fresh activation tensor per layer and rebuilding nothing across
+ * calls. The executor instead walks the graph ONCE at construction
+ * and compiles it into a linear step plan:
+ *
+ *  - every RingConv2d gets its own RingConvEngine (fp32 SIMD kernels
+ *    by default) with a per-step RingConvScratch owned by the plan,
+ *    so transform buffers and per-worker band accumulators are reused
+ *    across calls;
+ *  - a ReLU or DirectionalReLU that immediately follows a ring conv is
+ *    fused into that engine's output pass (ConvEpilogue), so the
+ *    activation never round-trips through memory;
+ *  - all other supported layers (Conv2d, shuffles, pad/crop, residual
+ *    and two-branch adds) become allocation-free steps over a slotted
+ *    activation arena — a generalized ping-pong buffer set sized from
+ *    out_shape() at compile time, with slots recycled by compile-time
+ *    liveness (reference counts). After the first run the steady state
+ *    performs no heap allocations;
+ *  - unrecognized layers fall back to Layer::forward (correct, but
+ *    allocating) so any model stays runnable.
+ *
+ * Batching: run() accepts whole image batches; engine steps schedule
+ * every (image, tuple, band) task of the batch onto one worker set of
+ * the persistent thread pool.
+ *
+ * Weight staleness: engines are refreshed from the layers' parameter
+ * version counters (see ParamRef::version) at every run, so training
+ * steps interleaved with executor inference stay correct.
+ *
+ * The executor holds pointers into the model's layers: the model must
+ * outlive it and its topology must not change (parameter values may).
+ * One executor serves one caller at a time — run()/run_view() share the
+ * activation arena and per-engine scratch, so concurrent calls on the
+ * same instance race; build one executor per thread instead (engine
+ * steps still parallelize internally across the worker pool).
+ */
+#ifndef RINGCNN_NN_EXECUTOR_H
+#define RINGCNN_NN_EXECUTOR_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/ring_conv_engine.h"
+#include "nn/model.h"
+
+namespace ringcnn::nn {
+
+/** Compilation knobs for ModelExecutor. */
+struct ExecutorOptions
+{
+    /** Worker threads for engine steps; 0 = auto. */
+    int threads = 0;
+    /** Build strict fp64 engines (bit-identical to the seed FRCONV
+     *  path). Disables epilogue fusion. */
+    bool strict_fp64 = false;
+    /** Fuse ReLU / DirectionalReLU into the preceding ring conv. */
+    bool fuse_epilogues = true;
+};
+
+class ModelExecutor
+{
+  public:
+    /**
+     * Compiles `model` for inputs of exactly `in_shape` (CHW). Throws
+     * std::invalid_argument on malformed shapes.
+     */
+    ModelExecutor(Model& model, Shape in_shape, ExecutorOptions opt = {});
+    ~ModelExecutor();
+    ModelExecutor(const ModelExecutor&) = delete;
+    ModelExecutor& operator=(const ModelExecutor&) = delete;
+
+    const Shape& in_shape() const { return in_shape_; }
+    const Shape& out_shape() const { return out_shape_; }
+    /** Real multiplications for one image (the complexity axis). */
+    int64_t macs() const { return macs_; }
+    /** Compiled step count (introspection for tests/benches). */
+    size_t step_count() const { return steps_.size(); }
+    /** Activation-arena slot count (introspection for tests/benches). */
+    int slot_count() const { return static_cast<int>(slots_.size()); }
+
+    /** Re-syncs cached engines with layer parameter versions. Called
+     *  automatically by run(). */
+    void refresh();
+
+    /** Runs one image; returns an owned copy of the output. */
+    Tensor run(const Tensor& x);
+    /** Runs a batch; returns owned copies of the outputs, in order. */
+    std::vector<Tensor> run(const std::vector<Tensor>& xs);
+    /**
+     * Runs one image and returns a reference into the output arena —
+     * the no-copy hot path. Valid until the next run on this executor.
+     */
+    const Tensor& run_view(const Tensor& x);
+
+    /**
+     * Pushes a batch through ONE layer with the pooled batched kernels
+     * (ring convs ride the layer's cached engine; elementwise layers
+     * fan out across images). The quantization calibration walk uses
+     * this to advance its activation set layer by layer.
+     */
+    static std::vector<Tensor> run_layer(Layer& l,
+                                         const std::vector<Tensor>& xs);
+
+  private:
+    struct EngineRec;
+
+    // ---- compile-time helpers (see executor.cc) ----
+    int acquire_slot();
+    void addref(int slot);
+    void decref(int slot);
+    int compile(Layer* l, int in, Shape& shape);
+    int compile_sequential(Sequential* seq, int in, Shape& shape);
+    int compile_ringconv(RingConv2d* rc, int in, Shape& shape,
+                         ConvEpilogue epilogue, const Matd* u,
+                         const Matd* v);
+
+    void exec(const Tensor* const* xs, int count);
+    void ensure_batch(int count);
+
+    ExecutorOptions opt_;
+    Shape in_shape_, out_shape_;
+    int64_t macs_ = 0;
+
+    /** Activation arena: slots_[slot][image]. Buffers keep their
+     *  capacity across runs; batch dimension grows on demand. */
+    std::vector<std::vector<Tensor>> slots_;
+    std::vector<int> refcount_;  ///< compile-time liveness only
+    std::vector<int> free_slots_;
+    int entry_slot_ = -1, out_slot_ = -1;
+
+    /** Linear plan; each step processes the whole current batch. */
+    std::vector<std::function<void(int)>> steps_;
+    std::vector<std::unique_ptr<EngineRec>> engines_;
+    int batch_capacity_ = 0;
+};
+
+}  // namespace ringcnn::nn
+
+#endif  // RINGCNN_NN_EXECUTOR_H

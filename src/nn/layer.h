@@ -30,6 +30,20 @@ struct ParamRef
     std::vector<float>* value;
     std::vector<float>* grad;
     std::string name;
+    /**
+     * Monotonic write counter of the owning layer, or null when the
+     * layer caches no derived state. Whoever mutates *value in place
+     * (optimizer steps, pruning masks, tests) must call mark_dirty()
+     * so cached inference engines are invalidated without re-hashing
+     * every weight on every forward.
+     */
+    uint64_t* version = nullptr;
+
+    /** Records an in-place mutation of *value. */
+    void mark_dirty() const
+    {
+        if (version != nullptr) ++*version;
+    }
 };
 
 /** Base class for all layers. */
@@ -119,9 +133,11 @@ class RingConv2d : public Layer
     std::vector<float>& bias() { return b_; }
 
     /**
-     * The FRCONV engine backing inference forwards, rebuilt lazily when
-     * the parameters change (detected via weights_fingerprint, so
-     * in-place optimizer updates are safe). Lets callers with many
+     * The FRCONV engine backing inference forwards, refreshed lazily
+     * when the parameter version counter says the weights changed
+     * (in-place optimizer updates bump it through ParamRef). Debug
+     * builds cross-check the counter against weights_fingerprint to
+     * catch writers that forgot mark_dirty(). Lets callers with many
      * images per weight set — e.g. quantization calibration — use the
      * batched hot path directly.
      *
@@ -131,6 +147,11 @@ class RingConv2d : public Layer
      */
     const RingConvEngine& inference_engine();
 
+    /** Current parameter-write counter (see ParamRef::version). */
+    uint64_t param_version() const { return param_version_; }
+    /** Records an out-of-band in-place parameter mutation. */
+    void mark_params_dirty() { ++param_version_; }
+
   private:
     const Ring* ring_;
     int ci_t_, co_t_, k_;
@@ -139,7 +160,9 @@ class RingConv2d : public Layer
     Tensor x_cache_;
     Tensor w_real_;  ///< cached expansion for the current forward pass
     std::shared_ptr<RingConvEngine> engine_;  ///< lazy inference cache
-    uint64_t engine_fingerprint_ = 0;
+    uint64_t param_version_ = 1;   ///< bumped on every param write
+    uint64_t engine_version_ = 0;  ///< param version the engine was built at
+    uint64_t engine_fingerprint_ = 0;  ///< debug cross-check only
 };
 
 /** Component-wise ReLU (fcw, eq. (5)). */

@@ -87,11 +87,21 @@ RingConv2d::RingConv2d(const Ring& ring, int ci_t, int co_t, int k,
 const RingConvEngine&
 RingConv2d::inference_engine()
 {
-    const uint64_t fp = weights_fingerprint(g_, b_);
-    if (!engine_ || fp != engine_fingerprint_) {
-        engine_ = std::make_shared<RingConvEngine>(*ring_, g_, b_);
-        engine_fingerprint_ = fp;
+    if (!engine_ || engine_version_ != param_version_) {
+        if (engine_) {
+            engine_->set_weights(g_, b_);  // keeps the ring transforms
+        } else {
+            engine_ = std::make_shared<RingConvEngine>(*ring_, g_, b_);
+        }
+        engine_version_ = param_version_;
+#ifndef NDEBUG
+        engine_fingerprint_ = weights_fingerprint(g_, b_);
+#endif
     }
+    // Debug cross-check: a changed fingerprint under an unchanged
+    // version counter means some writer skipped ParamRef::mark_dirty().
+    assert(engine_fingerprint_ == weights_fingerprint(g_, b_) &&
+           "RingConv2d params mutated without mark_dirty()");
     return *engine_;
 }
 
@@ -126,8 +136,8 @@ RingConv2d::backward(const Tensor& grad_out)
 void
 RingConv2d::collect_params(std::vector<ParamRef>& out)
 {
-    out.push_back({&g_.w, &gg_.w, "ringconv.g"});
-    out.push_back({&b_, &gb_, "ringconv.b"});
+    out.push_back({&g_.w, &gg_.w, "ringconv.g", &param_version_});
+    out.push_back({&b_, &gb_, "ringconv.b", &param_version_});
 }
 
 Shape
@@ -151,6 +161,7 @@ RingConv2d::clone() const
     c->x_cache_ = Tensor();
     c->w_real_ = Tensor();
     c->engine_.reset();
+    c->engine_version_ = 0;
     c->engine_fingerprint_ = 0;
     return c;
 }

@@ -1,0 +1,67 @@
+#include "nn/model.h"
+
+#include "nn/executor.h"
+
+namespace ringcnn::nn {
+
+// Out-of-line special members: the unique_ptr<ModelExecutor> member
+// needs the complete type to destroy. The executor holds pointers into
+// this instance's layer tree, so it never travels with a copy; a move
+// keeps it (layer addresses are stable under Model moves).
+
+Model::Model() = default;
+
+Model::Model(std::string name, std::unique_ptr<Layer> root)
+    : name_(std::move(name)), root_(std::move(root))
+{
+}
+
+Model::Model(const Model& o) : name_(o.name_)
+{
+    if (o.root_) root_ = o.root_->clone();
+}
+
+Model&
+Model::operator=(const Model& o)
+{
+    if (this != &o) {
+        name_ = o.name_;
+        root_ = o.root_ ? o.root_->clone() : nullptr;
+        execs_.clear();
+    }
+    return *this;
+}
+
+Model::Model(Model&& o) noexcept = default;
+Model& Model::operator=(Model&& o) noexcept = default;
+Model::~Model() = default;
+
+ModelExecutor&
+Model::executor(const Shape& shape)
+{
+    for (auto& e : execs_) {
+        if (e->in_shape() == shape) return *e;
+    }
+    // Bounded FIFO of compiled plans: enough for train-patch +
+    // eval-patch alternation without unbounded growth on adversarial
+    // shape streams.
+    constexpr size_t kMaxPlans = 4;
+    if (execs_.size() >= kMaxPlans) execs_.erase(execs_.begin());
+    execs_.push_back(std::make_unique<ModelExecutor>(*this, shape));
+    return *execs_.back();
+}
+
+Tensor
+Model::infer(const Tensor& x)
+{
+    return executor(x.shape()).run(x);
+}
+
+std::vector<Tensor>
+Model::infer(const std::vector<Tensor>& xs)
+{
+    if (xs.empty()) return {};
+    return executor(xs.front().shape()).run(xs);
+}
+
+}  // namespace ringcnn::nn

@@ -13,30 +13,23 @@
 
 namespace ringcnn::nn {
 
+class ModelExecutor;
+
 /** A trainable model = named root layer + bookkeeping helpers. */
 class Model
 {
   public:
-    Model() = default;
-    Model(std::string name, std::unique_ptr<Layer> root)
-        : name_(std::move(name)), root_(std::move(root))
-    {
-    }
-
-    Model(const Model& o) : name_(o.name_)
-    {
-        if (o.root_) root_ = o.root_->clone();
-    }
-    Model& operator=(const Model& o)
-    {
-        if (this != &o) {
-            name_ = o.name_;
-            root_ = o.root_ ? o.root_->clone() : nullptr;
-        }
-        return *this;
-    }
-    Model(Model&&) = default;
-    Model& operator=(Model&&) = default;
+    // Copies clone the layer tree; the cached inference executor is
+    // per-instance state and is never copied. All special members are
+    // defined out of line (nn/model.cc) because ModelExecutor is
+    // incomplete here.
+    Model();
+    Model(std::string name, std::unique_ptr<Layer> root);
+    Model(const Model& o);
+    Model& operator=(const Model& o);
+    Model(Model&& o) noexcept;
+    Model& operator=(Model&& o) noexcept;
+    ~Model();
 
     const std::string& name() const { return name_; }
     Layer& root() { return *root_; }
@@ -47,6 +40,27 @@ class Model
         return root_->forward(x, train);
     }
     Tensor backward(const Tensor& grad) { return root_->backward(grad); }
+
+    /**
+     * Executor-backed inference: compiles the model into a fused,
+     * arena-planned step list on first use (per input shape) and
+     * reuses it afterwards — weight updates are picked up through the
+     * layers' parameter version counters. The hot path for evaluation,
+     * demos, and serving; forward(x, false) remains the layer-by-layer
+     * reference walk.
+     */
+    Tensor infer(const Tensor& x);
+    /** Batched executor inference (one worker set for the batch). */
+    std::vector<Tensor> infer(const std::vector<Tensor>& xs);
+
+    /**
+     * The cached executor for `shape`, building it if needed (a small
+     * per-shape plan cache, so mixed-shape eval loops don't recompile
+     * on every alternation). The returned reference is invalidated by
+     * later executor()/infer() calls with other shapes (the cache
+     * evicts oldest-first) — use it immediately, don't store it.
+     */
+    ModelExecutor& executor(const Shape& shape);
 
     std::vector<ParamRef> params()
     {
@@ -81,6 +95,8 @@ class Model
   private:
     std::string name_;
     std::unique_ptr<Layer> root_;
+    /** Lazy inference plans, one per input shape (bounded FIFO). */
+    std::vector<std::unique_ptr<ModelExecutor>> execs_;
 };
 
 }  // namespace ringcnn::nn

@@ -32,6 +32,7 @@ Adam::step(float grad_scale)
             const float vhat = v[i] / bc2;
             val[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
         }
+        params_[pi].mark_dirty();
     }
 }
 
@@ -70,6 +71,7 @@ Sgd::step(float grad_scale)
             vel[i] = momentum_ * vel[i] - lr_ * grad[i] * grad_scale;
             val[i] += vel[i];
         }
+        params_[pi].mark_dirty();
     }
 }
 

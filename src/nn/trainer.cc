@@ -2,17 +2,22 @@
 
 #include <cmath>
 
+#include "nn/executor.h"
 #include "tensor/image_ops.h"
-#include "util/parallel.h"
+#include "util/thread_pool.h"
 
 namespace ringcnn::nn {
 
 double
 evaluate_psnr(Model& model, const std::vector<data::Sample>& eval_set)
 {
+    // Evaluation rides the compiled executor (fused fp32 engines, no
+    // per-layer allocations); the plan is cached on the model, so the
+    // per-epoch evals of a training run compile once.
     double acc = 0.0;
     for (const auto& [input, target] : eval_set) {
-        const Tensor out = clamp(model.forward(input, false), 0.0f, 1.0f);
+        ModelExecutor& exec = model.executor(input.shape());
+        const Tensor out = clamp(exec.run_view(input), 0.0f, 1.0f);
         acc += psnr(out, target);
     }
     return acc / static_cast<double>(eval_set.size());

@@ -69,7 +69,10 @@ shift_round_saturate(int64_t v, int shift, int bits)
     if (shift > 0) {
         v = (v + (1LL << (shift - 1))) >> shift;
     } else if (shift < 0) {
-        v <<= -shift;
+        // Shift through uint64: left-shifting a negative signed value
+        // is UB before C++20; the unsigned shift produces the same
+        // two's-complement bits.
+        v = static_cast<int64_t>(static_cast<uint64_t>(v) << -shift);
     }
     const int64_t hi = (1LL << (bits - 1)) - 1;
     const int64_t lo = -(1LL << (bits - 1));

@@ -7,6 +7,7 @@
 
 #include "core/ring_conv.h"
 #include "core/ring_conv_engine.h"
+#include "nn/executor.h"
 
 namespace ringcnn::quant {
 
@@ -380,13 +381,10 @@ struct Ctx
 void
 advance(Ctx& ctx, nn::Layer* l)
 {
-    // Ring convolutions push the whole calibration set through the
-    // layer's cached FRCONV engine in one batched call.
-    if (auto* rc = dynamic_cast<nn::RingConv2d*>(l)) {
-        ctx.acts = rc->inference_engine().run(ctx.acts);
-        return;
-    }
-    for (auto& a : ctx.acts) a = l->forward(a, false);
+    // The executor's single-layer entry point batches ring convs
+    // through the layer's cached FRCONV engine and fans elementwise
+    // layers out across the worker pool.
+    ctx.acts = nn::ModelExecutor::run_layer(*l, ctx.acts);
 }
 
 [[noreturn]] void
@@ -726,8 +724,10 @@ onthefly_directional_relu(const std::vector<int64_t>& y,
     for (int i = 1; i < n; ++i) fmax = std::max(fmax, ny[static_cast<size_t>(i)]);
     std::vector<int64_t> t(static_cast<size_t>(n));
     for (int i = 0; i < n; ++i) {
-        t[static_cast<size_t>(i)] = y[static_cast<size_t>(i)]
-                                    << (fmax - ny[static_cast<size_t>(i)]);
+        // Unsigned shift: same bits, no UB on negative components.
+        t[static_cast<size_t>(i)] = static_cast<int64_t>(
+            static_cast<uint64_t>(y[static_cast<size_t>(i)])
+            << (fmax - ny[static_cast<size_t>(i)]));
     }
     wht_inplace(t, n);
     for (auto& v : t) {

@@ -1,5 +1,6 @@
 #include "tensor/image_ops.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -51,12 +52,12 @@ conv2d_same(const Tensor& x, const Tensor& w, const std::vector<float>& bias)
     return conv2d(x, w, bias, w.dim(2) / 2);
 }
 
-Tensor
-pixel_unshuffle(const Tensor& x, int r)
+void
+pixel_unshuffle_into(const Tensor& x, int r, Tensor& out)
 {
     assert(x.rank() == 3 && x.dim(1) % r == 0 && x.dim(2) % r == 0);
     const int c = x.dim(0), h = x.dim(1) / r, w = x.dim(2) / r;
-    Tensor out({c * r * r, h, w});
+    out.reset({c * r * r, h, w});
     for (int ic = 0; ic < c; ++ic) {
         for (int dy = 0; dy < r; ++dy) {
             for (int dx = 0; dx < r; ++dx) {
@@ -69,15 +70,22 @@ pixel_unshuffle(const Tensor& x, int r)
             }
         }
     }
-    return out;
 }
 
 Tensor
-pixel_shuffle(const Tensor& x, int r)
+pixel_unshuffle(const Tensor& x, int r)
+{
+    Tensor out;
+    pixel_unshuffle_into(x, r, out);
+    return out;
+}
+
+void
+pixel_shuffle_into(const Tensor& x, int r, Tensor& out)
 {
     assert(x.rank() == 3 && x.dim(0) % (r * r) == 0);
     const int c = x.dim(0) / (r * r), h = x.dim(1), w = x.dim(2);
-    Tensor out({c, h * r, w * r});
+    out.reset({c, h * r, w * r});
     for (int oc = 0; oc < c; ++oc) {
         for (int dy = 0; dy < r; ++dy) {
             for (int dx = 0; dx < r; ++dx) {
@@ -90,7 +98,31 @@ pixel_shuffle(const Tensor& x, int r)
             }
         }
     }
+}
+
+Tensor
+pixel_shuffle(const Tensor& x, int r)
+{
+    Tensor out;
+    pixel_shuffle_into(x, r, out);
     return out;
+}
+
+void
+channel_pad_into(const Tensor& x, int want, Tensor& out)
+{
+    assert(x.rank() == 3 && want >= x.dim(0));
+    out.reset({want, x.dim(1), x.dim(2)});
+    std::copy(x.data(), x.data() + x.numel(), out.data());
+    std::fill(out.data() + x.numel(), out.data() + out.numel(), 0.0f);
+}
+
+void
+crop_channels_into(const Tensor& x, int keep, Tensor& out)
+{
+    assert(x.rank() == 3 && keep <= x.dim(0));
+    out.reset({keep, x.dim(1), x.dim(2)});
+    std::copy(x.data(), x.data() + out.numel(), out.data());
 }
 
 double
@@ -103,6 +135,17 @@ mse(const Tensor& a, const Tensor& b)
         acc += d * d;
     }
     return acc / static_cast<double>(a.numel());
+}
+
+double
+max_abs_diff(const Tensor& a, const Tensor& b)
+{
+    assert(a.numel() == b.numel());
+    double m = 0.0;
+    for (int64_t i = 0; i < a.numel(); ++i) {
+        m = std::max<double>(m, std::fabs(static_cast<double>(a[i]) - b[i]));
+    }
+    return m;
 }
 
 double

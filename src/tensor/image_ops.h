@@ -40,8 +40,22 @@ Tensor pixel_unshuffle(const Tensor& x, int r);
 /** Pixel shuffle (depth-to-space): [C*r*r][H][W] -> [C][H*r][W*r]. */
 Tensor pixel_shuffle(const Tensor& x, int r);
 
+// Allocation-free variants writing into a caller buffer (reset() to
+// the output shape, capacity reused) — the model executor's arena
+// steps. The allocating versions above are thin wrappers, so each
+// permutation's index math exists exactly once.
+void pixel_unshuffle_into(const Tensor& x, int r, Tensor& out);
+void pixel_shuffle_into(const Tensor& x, int r, Tensor& out);
+/** Zero-pads channels up to exactly `want` (want >= C). */
+void channel_pad_into(const Tensor& x, int want, Tensor& out);
+/** Keeps the first `keep` channels (keep <= C). */
+void crop_channels_into(const Tensor& x, int keep, Tensor& out);
+
 /** Mean squared error between two equally-shaped tensors. */
 double mse(const Tensor& a, const Tensor& b);
+
+/** Largest element-wise |a - b| between two equally-shaped tensors. */
+double max_abs_diff(const Tensor& a, const Tensor& b);
 
 /**
  * Peak signal-to-noise ratio in dB for signals with the given peak value

@@ -83,6 +83,20 @@ class Tensor
     /** Sets every element to v. */
     void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 
+    /**
+     * Re-shapes in place, reusing the existing buffer capacity (the
+     * activation-arena hot path: no allocation once capacity is
+     * reserved). Newly exposed elements are zero; existing contents are
+     * otherwise preserved per std::vector::resize semantics — callers
+     * are expected to overwrite every element.
+     */
+    void reset(Shape shape)
+    {
+        assert(!shape.empty() && shape.size() <= 4);
+        shape_ = std::move(shape);
+        data_.resize(static_cast<size_t>(shape_numel(shape_)));
+    }
+
     /** Reinterprets the flat buffer with a new shape of equal numel. */
     Tensor reshaped(Shape new_shape) const
     {

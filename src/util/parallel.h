@@ -1,45 +1,13 @@
 /**
  * @file
- * Shared threading primitives: an index-space parallel_for used by the
- * FRCONV execution engine and the job-list run_parallel used by the
- * quality benches to train many algebra variants concurrently
- * (previously a private helper of nn/trainer.cc).
- *
- * Both helpers spawn plain std::threads per call (no persistent pool);
- * callers are expected to hand them coarse-grained work items.
+ * Compatibility forwarder: the threading primitives moved to
+ * util/thread_pool.h when the per-call std::thread spawning was
+ * replaced by a persistent worker pool. Include that header directly
+ * in new code.
  */
 #ifndef RINGCNN_UTIL_PARALLEL_H
 #define RINGCNN_UTIL_PARALLEL_H
 
-#include <cstdint>
-#include <functional>
-#include <vector>
-
-namespace ringcnn::util {
-
-/** Hardware concurrency with a sane fallback (always >= 1). */
-int hardware_threads();
-
-/**
- * Resolves a requested thread count: values > 0 pass through, 0 means
- * "auto" — the RINGCNN_THREADS environment variable when set to a
- * positive integer, otherwise hardware_threads().
- */
-int resolve_threads(int requested);
-
-/**
- * Runs fn(i) for every i in [0, count) on up to resolve_threads(threads)
- * std::threads. Indices are claimed from a shared atomic counter, so
- * work items must be independent; runs inline when count <= 1 or only
- * one thread resolves.
- */
-void parallel_for(int64_t count, const std::function<void(int64_t)>& fn,
-                  int threads = 0);
-
-/** Runs jobs concurrently on up to resolve_threads(max_threads) threads. */
-void run_parallel(std::vector<std::function<void()>> jobs,
-                  int max_threads = 0);
-
-}  // namespace ringcnn::util
+#include "util/thread_pool.h"
 
 #endif  // RINGCNN_UTIL_PARALLEL_H

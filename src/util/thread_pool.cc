@@ -1,0 +1,204 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace ringcnn::util {
+
+namespace {
+
+/** Set while a thread is driving or helping a pool job; nested
+ *  parallel loops from such a thread run inline. */
+thread_local bool t_in_job = false;
+
+/** Upper bound on spawned workers, well above any sane RINGCNN_THREADS
+ *  override — a backstop against runaway env values, not a tuning knob. */
+constexpr int kMaxWorkers = 256;
+
+}  // namespace
+
+int
+hardware_threads()
+{
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    return hw > 0 ? hw : 4;
+}
+
+int
+resolve_threads(int requested)
+{
+    if (requested > 0) return requested;
+    if (const char* env = std::getenv("RINGCNN_THREADS")) {
+        const int v = std::atoi(env);
+        if (v > 0) return v;
+    }
+    return hardware_threads();
+}
+
+/** One parallel loop in flight: shared cursor plus worker-id source. */
+struct ThreadPool::Job
+{
+    const std::function<void(int, int64_t)>* fn = nullptr;
+    int64_t count = 0;
+    int64_t chunk = 1;
+    std::atomic<int64_t> next{0};
+    std::atomic<int> next_worker{1};  ///< id 0 is the submitting thread
+};
+
+ThreadPool&
+ThreadPool::instance()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+bool
+ThreadPool::in_worker()
+{
+    return t_in_job;
+}
+
+int
+ThreadPool::spawned_workers() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(workers_.size());
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : workers_) t.join();
+}
+
+void
+ThreadPool::ensure_workers(int wanted)
+{
+    wanted = std::min(wanted, kMaxWorkers);
+    while (static_cast<int>(workers_.size()) < wanted) {
+        workers_.emplace_back([this]() { worker_loop(); });
+    }
+}
+
+void
+ThreadPool::drain(Job& job, int worker)
+{
+    for (;;) {
+        const int64_t i0 = job.next.fetch_add(job.chunk);
+        if (i0 >= job.count) return;
+        const int64_t i1 = std::min(i0 + job.chunk, job.count);
+        for (int64_t i = i0; i < i1; ++i) (*job.fn)(worker, i);
+    }
+}
+
+void
+ThreadPool::worker_loop()
+{
+    t_in_job = true;  // nested loops inside job bodies run inline
+    uint64_t last_seq = 0;  // jobs this worker already helped with
+    for (;;) {
+        Job* job = nullptr;
+        int worker = 0;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [this, last_seq]() {
+                return stop_ || (job_ != nullptr && unclaimed_ > 0 &&
+                                 job_seq_ != last_seq);
+            });
+            if (stop_) return;
+            job = job_;
+            last_seq = job_seq_;
+            --unclaimed_;
+            ++active_;
+            worker = job->next_worker.fetch_add(1);
+        }
+        drain(*job, worker);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --active_;
+        }
+        done_cv_.notify_one();
+    }
+}
+
+void
+ThreadPool::for_each(int64_t count, int participants,
+                     const std::function<void(int, int64_t)>& fn)
+{
+    if (count <= 0) return;
+    participants =
+        static_cast<int>(std::min<int64_t>(participants, count));
+    if (participants <= 1 || t_in_job) {
+        for (int64_t i = 0; i < count; ++i) fn(0, i);
+        return;
+    }
+
+    // One published job at a time; the submitter always works too, so
+    // serializing top-level submissions cannot deadlock.
+    std::lock_guard<std::mutex> submit(submit_mu_);
+    Job job;
+    job.fn = &fn;
+    job.count = count;
+    // A few chunks per participant amortizes the shared fetch_add while
+    // still load-balancing uneven items.
+    job.chunk = std::max<int64_t>(1, count / (8 * participants));
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ensure_workers(participants - 1);
+        job_ = &job;
+        unclaimed_ = participants - 1;
+        ++job_seq_;
+    }
+    work_cv_.notify_all();
+
+    // Retracts the job and waits out claimed helpers; must run even
+    // when fn throws on the submitting thread, or a late-waking worker
+    // would drain the destroyed stack-allocated Job. (fn throwing on a
+    // helper still terminates, as with plain std::threads.)
+    auto retract = [this]() {
+        t_in_job = false;
+        std::unique_lock<std::mutex> lock(mu_);
+        job_ = nullptr;  // retract unclaimed helper slots
+        unclaimed_ = 0;
+        done_cv_.wait(lock, [this]() { return active_ == 0; });
+    };
+    t_in_job = true;
+    try {
+        drain(job, 0);
+    } catch (...) {
+        retract();
+        throw;
+    }
+    retract();
+}
+
+void
+parallel_for(int64_t count, const std::function<void(int64_t)>& fn,
+             int threads)
+{
+    ThreadPool::instance().for_each(
+        count, resolve_threads(threads),
+        [&fn](int /*worker*/, int64_t i) { fn(i); });
+}
+
+void
+parallel_for_worker(int64_t count,
+                    const std::function<void(int, int64_t)>& fn, int threads)
+{
+    ThreadPool::instance().for_each(count, resolve_threads(threads), fn);
+}
+
+void
+run_parallel(std::vector<std::function<void()>> jobs, int max_threads)
+{
+    parallel_for(static_cast<int64_t>(jobs.size()),
+                 [&jobs](int64_t i) { jobs[static_cast<size_t>(i)](); },
+                 max_threads);
+}
+
+}  // namespace ringcnn::util

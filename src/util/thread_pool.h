@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Persistent worker pool behind the library's threading primitives.
+ *
+ * The PR-1 helpers spawned and joined fresh std::threads inside every
+ * parallel_for call, so a model forward paid thread creation once per
+ * layer per transform stage. The pool here is created lazily on first
+ * use, parks its workers on a condition variable between jobs, and
+ * hands out *chunks* of the index space (one fetch_add per chunk, not
+ * per item). parallel_for/run_parallel keep their historical
+ * signatures, so every existing call site migrates for free.
+ *
+ * Nesting: a parallel_for issued from inside a pool worker (or from a
+ * caller that is itself driving a job) runs inline on that thread —
+ * never deadlocks, at the cost of no nested fan-out. Concurrent
+ * top-level calls from independent threads serialize on a submit lock;
+ * the submitting thread always participates in its own job, so
+ * progress is guaranteed even with zero pool workers.
+ */
+#ifndef RINGCNN_UTIL_THREAD_POOL_H
+#define RINGCNN_UTIL_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ringcnn::util {
+
+/** Hardware concurrency with a sane fallback (always >= 1). */
+int hardware_threads();
+
+/**
+ * Resolves a requested thread count: values > 0 pass through, 0 means
+ * "auto" — the RINGCNN_THREADS environment variable when set to a
+ * positive integer, otherwise hardware_threads().
+ */
+int resolve_threads(int requested);
+
+/**
+ * The shared persistent pool. Library code should normally go through
+ * parallel_for / parallel_for_worker below; the class is exposed for
+ * tests and for callers that want to inspect the worker count.
+ */
+class ThreadPool
+{
+  public:
+    /** The process-wide pool (created on first use). */
+    static ThreadPool& instance();
+
+    /**
+     * Runs fn(worker, i) for every i in [0, count) on up to
+     * `participants` threads (the caller plus parked workers, spawned
+     * on demand). `worker` is a dense id in [0, participants) that is
+     * stable for the duration of one call — callers use it to index
+     * per-worker scratch. Runs inline (worker id 0) when count <= 1,
+     * participants <= 1, or when called from inside another job.
+     */
+    void for_each(int64_t count, int participants,
+                  const std::function<void(int, int64_t)>& fn);
+
+    /** Worker threads spawned so far (grows on demand, never shrinks). */
+    int spawned_workers() const;
+
+    /** True when the calling thread is executing inside a pool job. */
+    static bool in_worker();
+
+    ~ThreadPool();
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+  private:
+    struct Job;
+
+    ThreadPool() = default;
+    void ensure_workers(int wanted);  // requires mu_ held
+    void worker_loop();
+    static void drain(Job& job, int worker);
+
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_;   ///< workers park here
+    std::condition_variable done_cv_;   ///< submitter waits here
+    std::vector<std::thread> workers_;
+    Job* job_ = nullptr;     ///< currently published job (one at a time)
+    uint64_t job_seq_ = 0;   ///< keeps a worker from re-claiming a job
+    int unclaimed_ = 0;      ///< helper slots still open on job_
+    int active_ = 0;         ///< helpers currently running job_
+    bool stop_ = false;
+    std::mutex submit_mu_;   ///< serializes top-level submissions
+};
+
+/**
+ * Runs fn(i) for every i in [0, count) on up to
+ * resolve_threads(threads) pool threads (including the caller). Work
+ * items must be independent; chunk boundaries are not observable, so
+ * any kernel whose per-item arithmetic is fixed stays bit-deterministic
+ * under every thread count.
+ */
+void parallel_for(int64_t count, const std::function<void(int64_t)>& fn,
+                  int threads = 0);
+
+/**
+ * Like parallel_for but also hands the body a dense worker id in
+ * [0, resolve_threads(threads)), stable for the duration of the call —
+ * the hook for reusable per-worker scratch buffers.
+ */
+void parallel_for_worker(int64_t count,
+                         const std::function<void(int, int64_t)>& fn,
+                         int threads = 0);
+
+/** Runs jobs concurrently on up to resolve_threads(max_threads) threads. */
+void run_parallel(std::vector<std::function<void()>> jobs,
+                  int max_threads = 0);
+
+}  // namespace ringcnn::util
+
+#endif  // RINGCNN_UTIL_THREAD_POOL_H

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * ModelExecutor tests: compiled-plan inference must agree with the
+ * layer-by-layer reference walk on real backbones (all rings, fused
+ * and strict modes), reuse its activation arena, track in-place weight
+ * mutations, and batch consistently.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "models/backbones.h"
+#include "nn/executor.h"
+#include "tensor/image_ops.h"
+
+namespace ringcnn {
+namespace {
+
+models::ErnetConfig
+small_cfg()
+{
+    models::ErnetConfig cfg;
+    cfg.channels = 8;
+    cfg.blocks = 1;
+    cfg.pump_ratio = 2;
+    cfg.extra_pump = 0;
+    return cfg;
+}
+
+class ExecutorAllRings : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ExecutorAllRings, MatchesLayerWalkOnDenoisingBackbone)
+{
+    const Ring& ring = get_ring(GetParam());
+    const models::Algebra alg = models::Algebra::with_fcw(ring.name);
+    nn::Model model = models::build_dn_ernet_pu(alg, small_cfg());
+
+    std::mt19937 rng(41);
+    Tensor x({3, 16, 16});
+    x.rand_uniform(rng, 0.0f, 1.0f);
+
+    const Tensor want = model.forward(x, false);  // layer-by-layer
+    const Tensor got = model.infer(x);            // compiled + fused
+    ASSERT_EQ(got.shape(), want.shape());
+    EXPECT_LT(max_abs_diff(got, want), 1e-4) << ring.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRings, ExecutorAllRings,
+                         ::testing::ValuesIn(all_ring_names()),
+                         [](const auto& info) {
+                             std::string n = info.param;
+                             for (char& c : n) {
+                                 if (c == '-') c = '_';
+                             }
+                             return n;
+                         });
+
+TEST(ModelExecutor, MatchesLayerWalkWithDirectionalFusion)
+{
+    // (RI4, fH): the directional ReLU is fused into the conv epilogue.
+    const models::Algebra alg = models::Algebra::with_fh("RI4");
+    nn::Model model = models::build_dn_ernet_pu(alg, small_cfg());
+
+    std::mt19937 rng(42);
+    Tensor x({3, 16, 16});
+    x.rand_uniform(rng, 0.0f, 1.0f);
+
+    const Tensor want = model.forward(x, false);
+    const Tensor got = model.infer(x);
+    ASSERT_EQ(got.shape(), want.shape());
+    EXPECT_LT(max_abs_diff(got, want), 1e-4);
+
+    // The fused plan must have consumed the nonlinearity steps: fewer
+    // steps than layers in the flattened graph, and a small recycled
+    // arena rather than one buffer per layer.
+    nn::ModelExecutor exec(model, {3, 16, 16});
+    EXPECT_LE(exec.slot_count(), 6);
+}
+
+TEST(ModelExecutor, StrictModeBitIdenticalToSeedChain)
+{
+    // A pure conv chain in strict fp64 mode must reproduce the seed
+    // FRCONV numerics (ring_conv_fast) bit for bit, layer by layer.
+    const Ring& ring = get_ring("RH4");
+    std::mt19937 rng(43);
+    auto seq = std::make_unique<nn::Sequential>();
+    seq->add(std::make_unique<nn::RingConv2d>(ring, 2, 3, 3, rng));
+    seq->add(std::make_unique<nn::RingConv2d>(ring, 3, 2, 3, rng));
+    nn::Model model("chain", std::move(seq));
+
+    Tensor x({2 * ring.n, 9, 8});
+    x.randn(rng);
+
+    auto* l0 = dynamic_cast<nn::RingConv2d*>(
+        &dynamic_cast<nn::Sequential&>(model.root()).at(0));
+    auto* l1 = dynamic_cast<nn::RingConv2d*>(
+        &dynamic_cast<nn::Sequential&>(model.root()).at(1));
+    ASSERT_NE(l0, nullptr);
+    ASSERT_NE(l1, nullptr);
+    const Tensor mid = ring_conv_fast(ring, x, l0->weights(), l0->bias());
+    const Tensor want = ring_conv_fast(ring, mid, l1->weights(), l1->bias());
+
+    nn::ExecutorOptions opt;
+    opt.strict_fp64 = true;
+    nn::ModelExecutor exec(model, {2 * ring.n, 9, 8}, opt);
+    const Tensor got = exec.run(x);
+    ASSERT_EQ(got.shape(), want.shape());
+    for (int64_t i = 0; i < want.numel(); ++i) {
+        ASSERT_EQ(got[i], want[i]) << "flat " << i;
+    }
+}
+
+TEST(ModelExecutor, BatchedRunMatchesSingleRuns)
+{
+    const models::Algebra alg = models::Algebra::with_fh("RI4");
+    nn::Model model = models::build_dn_ernet_pu(alg, small_cfg());
+
+    std::mt19937 rng(44);
+    std::vector<Tensor> xs;
+    for (int i = 0; i < 3; ++i) {
+        Tensor x({3, 16, 16});
+        x.rand_uniform(rng, 0.0f, 1.0f);
+        xs.push_back(std::move(x));
+    }
+    nn::ModelExecutor exec(model, {3, 16, 16});
+    const std::vector<Tensor> batched = exec.run(xs);
+    ASSERT_EQ(batched.size(), xs.size());
+    for (size_t i = 0; i < xs.size(); ++i) {
+        const Tensor single = exec.run(xs[i]);
+        ASSERT_EQ(batched[i].shape(), single.shape());
+        for (int64_t j = 0; j < single.numel(); ++j) {
+            ASSERT_EQ(batched[i][j], single[j])
+                << "image " << i << " flat " << j;
+        }
+    }
+}
+
+TEST(ModelExecutor, TracksInPlaceWeightMutation)
+{
+    const models::Algebra alg = models::Algebra::with_fh("RI4");
+    nn::Model model = models::build_dn_ernet_pu(alg, small_cfg());
+
+    std::mt19937 rng(45);
+    Tensor x({3, 16, 16});
+    x.rand_uniform(rng, 0.0f, 1.0f);
+
+    const Tensor before = model.infer(x);
+    // Optimizer-style in-place update through ParamRef.
+    for (auto& p : model.params()) {
+        for (auto& v : *p.value) v += 0.0625f;
+        p.mark_dirty();
+    }
+    const Tensor after = model.infer(x);  // cached plan, refreshed weights
+    EXPECT_GT(mse(before, after), 0.0);
+
+    // A freshly compiled executor agrees with the refreshed one.
+    nn::ModelExecutor fresh(model, {3, 16, 16});
+    const Tensor want = fresh.run(x);
+    for (int64_t i = 0; i < want.numel(); ++i) {
+        ASSERT_EQ(after[i], want[i]) << "flat " << i;
+    }
+}
+
+TEST(ModelExecutor, SupportsTwoBranchSuperResolutionModels)
+{
+    nn::Model model =
+        models::build_srresnet(models::Algebra::with_fh("RI4"), 8, 1);
+    std::mt19937 rng(46);
+    Tensor x({3, 8, 8});
+    x.rand_uniform(rng, 0.0f, 1.0f);
+
+    const Tensor want = model.forward(x, false);
+    const Tensor got = model.infer(x);
+    ASSERT_EQ(got.shape(), want.shape());
+    EXPECT_EQ(got.shape(), (Shape{3, 32, 32}));
+    EXPECT_LT(max_abs_diff(got, want), 1e-4);
+}
+
+TEST(ModelExecutor, RejectsWrongInputShape)
+{
+    const models::Algebra alg = models::Algebra::with_fcw("RI4");
+    nn::Model model = models::build_dn_ernet_pu(alg, small_cfg());
+    nn::ModelExecutor exec(model, {3, 16, 16});
+    Tensor wrong({3, 12, 12});
+    EXPECT_THROW(exec.run(wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ringcnn

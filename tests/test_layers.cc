@@ -64,12 +64,17 @@ check_param_grads(Layer& layer, const Tensor& x, std::mt19937& rng,
     for (auto& p : params) {
         const size_t stride = std::max<size_t>(1, p.value->size() / 7);
         for (size_t i = 0; i < p.value->size(); i += stride) {
+            // Every in-place write bumps the version counter so layers
+            // with cached inference engines (RingConv2d) rebuild.
             const float saved = (*p.value)[i];
             (*p.value)[i] = saved + eps;
+            p.mark_dirty();
             const double lp = probe_loss(layer, x, r);
             (*p.value)[i] = saved - eps;
+            p.mark_dirty();
             const double lm = probe_loss(layer, x, r);
             (*p.value)[i] = saved;
+            p.mark_dirty();
             const double num = (lp - lm) / (2 * eps);
             ASSERT_NEAR((*p.grad)[i], num, tol)
                 << p.name << " index " << i;

@@ -11,6 +11,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <random>
 
 #include "core/ring_conv_engine.h"
@@ -139,10 +141,12 @@ class EngineAllRings : public ::testing::TestWithParam<std::string>
 {
 };
 
-TEST_P(EngineAllRings, BitIdenticalToSeedFrconv)
+TEST_P(EngineAllRings, StrictFp64BitIdenticalToSeedFrconv)
 {
     const Ring& ring = get_ring(GetParam());
     std::mt19937 rng(91);
+    RingConvEngineOptions strict;
+    strict.strict_fp64 = true;
     // Odd and even spatial sizes, both kernel sizes, with/without bias.
     const int sizes[2][2] = {{7, 6}, {8, 9}};
     for (const auto& hw : sizes) {
@@ -161,11 +165,17 @@ TEST_P(EngineAllRings, BitIdenticalToSeedFrconv)
                     (with_bias ? " bias" : " nobias");
 
                 const Tensor seed = seed_frconv(ring, x, w, bias);
-                const RingConvEngine engine(ring, w, bias);
+                const RingConvEngine engine(ring, w, bias, strict);
                 expect_bit_identical(engine.run(x), seed, "engine " + tag);
                 // The free function must stay a faithful wrapper.
                 expect_bit_identical(ring_conv_fast(ring, x, w, bias), seed,
                                      "wrapper " + tag);
+                // The default fp32 SIMD path tracks the fp64 oracle to
+                // normal float rounding.
+                const RingConvEngine fast(ring, w, bias);
+                EXPECT_FALSE(fast.strict_fp64());
+                EXPECT_LT(max_abs_diff(fast.run(x), seed), 1e-4)
+                    << "fp32 " << tag;
                 // And FRCONV still matches RCONV up to float rounding.
                 EXPECT_LT(mse(seed, ring_conv_reference(ring, x, w, bias)),
                           1e-9)
@@ -184,20 +194,26 @@ TEST_P(EngineAllRings, InvariantUnderThreadCountAndBanding)
     x.randn(rng);
     const std::vector<float> bias = random_bias(3 * ring.n, rng);
 
-    RingConvEngineOptions ref_opt;
-    ref_opt.threads = 1;
-    ref_opt.row_band = 13;  // single band, single thread
-    const Tensor ref = RingConvEngine(ring, w, bias, ref_opt).run(x);
-    for (const int threads : {2, 5, 0}) {
-        for (const int band : {1, 4, 0}) {
-            RingConvEngineOptions opt;
-            opt.threads = threads;
-            opt.row_band = band;
-            const Tensor got = RingConvEngine(ring, w, bias, opt).run(x);
-            expect_bit_identical(got, ref,
-                                 ring.name + " threads=" +
-                                     std::to_string(threads) + " band=" +
-                                     std::to_string(band));
+    // Both kernel sets must be deterministic and banding-invariant.
+    for (const bool strict : {false, true}) {
+        RingConvEngineOptions ref_opt;
+        ref_opt.threads = 1;
+        ref_opt.row_band = 13;  // single band, single thread
+        ref_opt.strict_fp64 = strict;
+        const Tensor ref = RingConvEngine(ring, w, bias, ref_opt).run(x);
+        for (const int threads : {2, 5, 0}) {
+            for (const int band : {1, 4, 0}) {
+                RingConvEngineOptions opt;
+                opt.threads = threads;
+                opt.row_band = band;
+                opt.strict_fp64 = strict;
+                const Tensor got = RingConvEngine(ring, w, bias, opt).run(x);
+                expect_bit_identical(
+                    got, ref,
+                    ring.name + (strict ? " fp64" : " fp32") +
+                        " threads=" + std::to_string(threads) +
+                        " band=" + std::to_string(band));
+            }
         }
     }
 }
@@ -301,22 +317,66 @@ TEST(RingConvEngine, LayerInferenceTracksWeightMutation)
     Tensor x({2 * ring.n, 8, 8});
     x.randn(rng);
 
+    // Layer inference rides the default fp32 engine.
     const Tensor direct =
-        ring_conv_fast(ring, x, layer.weights(), layer.bias());
+        RingConvEngine(ring, layer.weights(), layer.bias()).run(x);
     expect_bit_identical(layer.forward(x, false), direct, "layer inference");
 
     // Mutate parameters in place through the optimizer interface; the
-    // fingerprint check must rebuild the cached engine.
+    // version bump (ParamRef::mark_dirty) must rebuild the cached
+    // engine.
     std::vector<nn::ParamRef> params;
     layer.collect_params(params);
     for (auto& p : params) {
+        ASSERT_NE(p.version, nullptr) << p.name;
         for (auto& v : *p.value) v += 0.125f;
+        p.mark_dirty();
     }
     const Tensor updated =
-        ring_conv_fast(ring, x, layer.weights(), layer.bias());
+        RingConvEngine(ring, layer.weights(), layer.bias()).run(x);
     expect_bit_identical(layer.forward(x, false), updated,
                          "layer inference after in-place update");
     EXPECT_GT(mse(direct, updated), 0.0);
+}
+
+TEST(RingConvEngine, FusedEpiloguesMatchSeparateApplication)
+{
+    const Ring& ring = get_ring("RI4");
+    std::mt19937 rng(97);
+    const RingConvWeights w = random_weights(2, 2, 3, ring.n, rng);
+    const std::vector<float> bias = random_bias(2 * ring.n, rng);
+    Tensor x({2 * ring.n, 9, 7});
+    x.randn(rng);
+
+    const RingConvEngine plain(ring, w, bias);
+    const Tensor conv = plain.run(x);
+
+    // ReLU epilogue == clamping the unfused output.
+    RingConvEngine fused_relu(ring, w, bias);
+    fused_relu.set_epilogue(ConvEpilogue::kRelu);
+    const Tensor got_relu = fused_relu.run(x);
+    ASSERT_EQ(got_relu.shape(), conv.shape());
+    for (int64_t i = 0; i < conv.numel(); ++i) {
+        const float want = conv[i] > 0.0f ? conv[i] : 0.0f;
+        ASSERT_EQ(got_relu[i], want) << "relu epilogue flat " << i;
+    }
+
+    // Directional epilogue == the fH transform pair applied per tuple,
+    // in the same float arithmetic.
+    const auto [u, v] = fh_transforms(ring.n);
+    RingConvEngine fused_dir(ring, w, bias);
+    fused_dir.set_epilogue(ConvEpilogue::kDirectional, &u, &v);
+    const Tensor got_dir = fused_dir.run(x);
+    const Tensor want_dir = directional_relu(u, v, conv);
+    ASSERT_EQ(got_dir.shape(), want_dir.shape());
+    EXPECT_LT(max_abs_diff(got_dir, want_dir), 1e-4);
+
+    // Epilogues are an fp32-path feature; strict engines refuse them.
+    RingConvEngineOptions strict;
+    strict.strict_fp64 = true;
+    RingConvEngine se(ring, w, bias, strict);
+    EXPECT_THROW(se.set_epilogue(ConvEpilogue::kRelu),
+                 std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the persistent thread pool behind parallel_for: index
+ * coverage, worker-id contracts, nested-call safety, cross-thread
+ * submissions, and end-to-end determinism of the FRCONV engine under
+ * different RINGCNN_THREADS settings.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "core/ring_conv_engine.h"
+#include "util/thread_pool.h"
+
+namespace ringcnn {
+namespace {
+
+/** RAII override of RINGCNN_THREADS (POSIX setenv). */
+class ThreadsEnv
+{
+  public:
+    explicit ThreadsEnv(int n)
+    {
+        const char* old = std::getenv("RINGCNN_THREADS");
+        if (old != nullptr) saved_ = old;
+        had_ = old != nullptr;
+        setenv("RINGCNN_THREADS", std::to_string(n).c_str(), 1);
+    }
+    ~ThreadsEnv()
+    {
+        if (had_) {
+            setenv("RINGCNN_THREADS", saved_.c_str(), 1);
+        } else {
+            unsetenv("RINGCNN_THREADS");
+        }
+    }
+
+  private:
+    std::string saved_;
+    bool had_ = false;
+};
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    for (const int threads : {1, 2, 7}) {
+        const int64_t count = 10007;  // prime: uneven chunking
+        std::vector<std::atomic<int>> hits(static_cast<size_t>(count));
+        for (auto& h : hits) h.store(0);
+        util::parallel_for(
+            count,
+            [&](int64_t i) { hits[static_cast<size_t>(i)].fetch_add(1); },
+            threads);
+        for (int64_t i = 0; i < count; ++i) {
+            ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+                << "threads=" << threads << " index " << i;
+        }
+    }
+}
+
+TEST(ThreadPool, WorkerIdsAreDenseAndInRange)
+{
+    const int threads = 5;
+    const int64_t count = 5000;
+    std::vector<std::atomic<int>> per_worker(threads);
+    for (auto& c : per_worker) c.store(0);
+    util::parallel_for_worker(
+        count,
+        [&](int worker, int64_t) {
+            ASSERT_GE(worker, 0);
+            ASSERT_LT(worker, threads);
+            per_worker[static_cast<size_t>(worker)].fetch_add(1);
+        },
+        threads);
+    int total = 0;
+    for (auto& c : per_worker) total += c.load();
+    EXPECT_EQ(total, count);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock)
+{
+    const int outer = 6, inner = 4321;
+    std::vector<int64_t> sums(static_cast<size_t>(outer), 0);
+    util::parallel_for(
+        outer,
+        [&](int64_t o) {
+            // Nested loop: must complete (inline) and not corrupt the
+            // per-outer accumulator even when the outer body runs on a
+            // pool worker.
+            int64_t local = 0;
+            util::parallel_for(
+                inner, [&](int64_t i) { local += i; }, 3);
+            sums[static_cast<size_t>(o)] = local;
+        },
+        4);
+    for (int o = 0; o < outer; ++o) {
+        EXPECT_EQ(sums[static_cast<size_t>(o)],
+                  static_cast<int64_t>(inner) * (inner - 1) / 2);
+    }
+}
+
+TEST(ThreadPool, ConcurrentSubmittersSerializeSafely)
+{
+    std::atomic<int64_t> total{0};
+    auto submit = [&]() {
+        util::parallel_for(
+            1000, [&](int64_t) { total.fetch_add(1); }, 3);
+    };
+    std::thread a(submit), b(submit);
+    a.join();
+    b.join();
+    EXPECT_EQ(total.load(), 2000);
+}
+
+TEST(ThreadPool, RunParallelExecutesEveryJob)
+{
+    std::vector<std::atomic<int>> hits(16);
+    for (auto& h : hits) h.store(0);
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 16; ++i) {
+        jobs.push_back([&hits, i]() { hits[static_cast<size_t>(i)] = i + 1; });
+    }
+    util::run_parallel(std::move(jobs), 4);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(hits[static_cast<size_t>(i)].load(), i + 1);
+    }
+}
+
+TEST(ThreadPool, EngineDeterministicUnderThreadsEnv)
+{
+    // A layer big enough that the engine's work-based clamp actually
+    // uses several workers at RINGCNN_THREADS=7.
+    const Ring& ring = get_ring("RH4");
+    std::mt19937 rng(71);
+    RingConvWeights w(6, 6, 3, ring.n);
+    std::normal_distribution<float> dist(0.0f, 0.5f);
+    for (auto& v : w.w) v = dist(rng);
+    Tensor x({6 * ring.n, 96, 96});
+    x.randn(rng);
+
+    Tensor ref;
+    {
+        ThreadsEnv env(1);
+        ref = RingConvEngine(ring, w, {}).run(x);
+    }
+    for (const int n : {2, 7}) {
+        ThreadsEnv env(n);
+        const Tensor got = RingConvEngine(ring, w, {}).run(x);
+        ASSERT_EQ(got.shape(), ref.shape());
+        for (int64_t i = 0; i < ref.numel(); ++i) {
+            ASSERT_EQ(got[i], ref[i])
+                << "RINGCNN_THREADS=" << n << " flat " << i;
+        }
+    }
+}
+
+TEST(ThreadPool, ResolveThreadsHonorsEnvAndExplicitRequests)
+{
+    ThreadsEnv env(7);
+    EXPECT_EQ(util::resolve_threads(0), 7);
+    EXPECT_EQ(util::resolve_threads(3), 3);
+    EXPECT_GE(util::hardware_threads(), 1);
+}
+
+}  // namespace
+}  // namespace ringcnn
