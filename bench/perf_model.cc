@@ -27,6 +27,8 @@
 #include "nn/executor.h"
 #include "nn/layer.h"
 #include "nn/model.h"
+#include "quant/quant_executor.h"
+#include "quant/quant_model.h"
 #include "tensor/image_ops.h"
 
 namespace {
@@ -194,6 +196,37 @@ main(int argc, char** argv)
                 pr1_mt_ms, exec_mt_ms, mt_speedup);
     std::printf("  fp32 vs fp64 max|d| = %.3g\n", fp_diff);
 
+    // ---- int8: scalar quantized walk vs compiled QuantExecutor ----
+    quant::QuantizedModel qm(model, {x});
+    const quant::QAct qin = qm.quantize_input(x);
+    const quant::QAct q_ref = qm.root()->forward(qin);  // scalar oracle
+
+    quant::QuantExecOptions qx_st;
+    qx_st.threads = 1;
+    quant::QuantExecutor qex_st(qm, qx_st);
+    const quant::QAct q_eng = qex_st.run(qin);  // also warms the plan
+    bool int8_bit_exact = q_ref.shape == q_eng.shape &&
+                          q_ref.frac == q_eng.frac && q_ref.v == q_eng.v;
+
+    // The per-pixel scalar walk is orders slower; a few reps suffice.
+    const int scalar_reps = smoke ? 2 : 3;
+    const double q_scalar_ms =
+        time_ms(scalar_reps, [&]() { qm.root()->forward(qin); });
+    const double q_eng_st_ms = time_ms(reps, [&]() { qex_st.run(qin); });
+
+    quant::QuantExecOptions qx_mt;
+    qx_mt.threads = 8;
+    quant::QuantExecutor qex_mt(qm, qx_mt);
+    qex_mt.run(qin);  // warm
+    const double q_eng_mt_ms = time_ms(reps, [&]() { qex_mt.run(qin); });
+
+    const double q_st_speedup = q_scalar_ms / q_eng_st_ms;
+    const double q_mt_speedup = q_scalar_ms / q_eng_mt_ms;
+    std::printf("  int8:          scalar %.2f ms  engine %.2f ms (%.1fx)  "
+                "engine-8t %.2f ms (%.1fx)  bit-exact=%s\n",
+                q_scalar_ms, q_eng_st_ms, q_st_speedup, q_eng_mt_ms,
+                q_mt_speedup, int8_bit_exact ? "yes" : "NO");
+
     // ---- per-ring engine micro-timings ----
     std::vector<RingRow> rows;
     const std::vector<std::string> ring_names =
@@ -257,6 +290,15 @@ main(int argc, char** argv)
     std::fprintf(f, "    \"ns_per_mac_st\": %.5f,\n",
                  exec_st_ms * 1e6 / static_cast<double>(macs));
     std::fprintf(f, "    \"max_abs_diff_fp32_vs_fp64\": %.6g\n", fp_diff);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"int8\": {\n");
+    std::fprintf(f, "    \"scalar_st_ms\": %.4f,\n", q_scalar_ms);
+    std::fprintf(f, "    \"engine_st_ms\": %.4f,\n", q_eng_st_ms);
+    std::fprintf(f, "    \"st_speedup\": %.3f,\n", q_st_speedup);
+    std::fprintf(f, "    \"engine_mt_ms\": %.4f,\n", q_eng_mt_ms);
+    std::fprintf(f, "    \"mt_speedup\": %.3f,\n", q_mt_speedup);
+    std::fprintf(f, "    \"bit_exact\": %s\n",
+                 int8_bit_exact ? "true" : "false");
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"rings\": [\n");
     for (size_t i = 0; i < rows.size(); ++i) {

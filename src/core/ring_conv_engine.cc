@@ -1,6 +1,7 @@
 #include "core/ring_conv_engine.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/simd.h"
 #include "util/check.h"
@@ -483,6 +484,97 @@ RingConvEngine::run(const std::vector<Tensor>& xs) const
     for (size_t i = 0; i < xs.size(); ++i) ptrs[i] = &xs[i];
     run_into(ptrs.data(), outs.data(), static_cast<int>(xs.size()));
     return outs;
+}
+
+// ---- QuantConvKernel -------------------------------------------------------
+
+QuantConvKernel::QuantConvKernel(int co, int ci, int k,
+                                 const std::vector<int32_t>& w,
+                                 const std::vector<int64_t>& bias,
+                                 std::vector<int> out_frac)
+    : co_(co), ci_(ci), k_(k), out_frac_(std::move(out_frac))
+{
+    RINGCNN_CHECK(co > 0 && ci > 0 && k > 0 && k % 2 == 1,
+                  "quantized conv needs positive dims and odd k");
+    RINGCNN_CHECK(w.size() == static_cast<size_t>(co) * ci * k * k,
+                  "quantized conv weight count mismatch");
+    RINGCNN_CHECK(bias.size() == static_cast<size_t>(co) &&
+                      out_frac_.size() == static_cast<size_t>(co),
+                  "quantized conv needs per-output-channel bias and frac");
+    w8_.resize(w.size());
+    for (size_t i = 0; i < w.size(); ++i) {
+        if (w[i] < -128 || w[i] > 127) fits_ = false;
+        w8_[i] = static_cast<int8_t>(
+            std::clamp(w[i], INT32_C(-128), INT32_C(127)));
+    }
+    bias_.resize(bias.size());
+    abs_sum_.assign(static_cast<size_t>(co), 0.0);
+    for (int oc = 0; oc < co; ++oc) {
+        const int64_t b = bias[static_cast<size_t>(oc)];
+        if (b < INT32_MIN || b > INT32_MAX) fits_ = false;
+        bias_[static_cast<size_t>(oc)] = static_cast<int32_t>(
+            std::clamp<int64_t>(b, INT32_MIN, INT32_MAX));
+        double s = std::abs(static_cast<double>(b));
+        const size_t base = static_cast<size_t>(oc) * ci * k * k;
+        for (size_t t = 0; t < static_cast<size_t>(ci) * k * k; ++t) {
+            s += std::abs(static_cast<double>(w[base + t]));
+        }
+        // |bias| + sum |w|: acc_bound scales only the weight part by
+        // the input magnitude, so stash sum |w| and re-add |bias| there.
+        abs_sum_[static_cast<size_t>(oc)] =
+            s - std::abs(static_cast<double>(b));
+    }
+}
+
+double
+QuantConvKernel::acc_bound(int in_bits) const
+{
+    // Bias magnitudes come from the clamped int32 copy; when the int64
+    // original did not fit, fits_ is false and int32_safe() already
+    // rejects the kernel, so the clamped value cannot understate risk.
+    const double amax = std::ldexp(1.0, in_bits - 1);  // |min_int|
+    double bound = 0.0;
+    for (int oc = 0; oc < co_; ++oc) {
+        const double b =
+            std::abs(static_cast<double>(bias_[static_cast<size_t>(oc)]));
+        bound = std::max(bound,
+                         b + abs_sum_[static_cast<size_t>(oc)] * amax);
+    }
+    return bound;
+}
+
+void
+QuantConvKernel::conv_rows(const int32_t* x, int h, int wd, int oc, int y0,
+                           int y1, int32_t* dst) const
+{
+    const int pad = k_ / 2;
+    const int bh = y1 - y0;
+    const int64_t plane = static_cast<int64_t>(h) * wd;
+    std::fill_n(dst, static_cast<size_t>(bh) * wd,
+                bias_[static_cast<size_t>(oc)]);
+    const int8_t* wt = w8_.data() + static_cast<size_t>(oc) * ci_ * k_ * k_;
+    for (int ic = 0; ic < ci_; ++ic) {
+        const int32_t* x_ch = x + static_cast<int64_t>(ic) * plane;
+        for (int ky = 0; ky < k_; ++ky) {
+            const int yy_lo = std::max(y0, pad - ky);
+            const int yy_hi = std::min(y1, h + pad - ky);
+            for (int kx = 0; kx < k_; ++kx) {
+                const int32_t wv =
+                    wt[(static_cast<size_t>(ic) * k_ + ky) * k_ + kx];
+                if (wv == 0) continue;  // value-neutral: adds zero
+                const int x_lo = std::max(0, pad - kx);
+                const int x_hi = std::min(wd, wd + pad - kx);
+                const int shift_y = ky - pad, shift_x = kx - pad;
+                for (int y = yy_lo; y < yy_hi; ++y) {
+                    int32_t* drow = dst + static_cast<size_t>(y - y0) * wd;
+                    const int32_t* irow = x_ch +
+                        static_cast<int64_t>(y + shift_y) * wd + shift_x;
+                    simd::axpy_i32(drow + x_lo, irow + x_lo, wv,
+                                   x_hi - x_lo);
+                }
+            }
+        }
+    }
 }
 
 uint64_t

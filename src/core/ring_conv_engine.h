@@ -194,6 +194,74 @@ class RingConvEngine
 };
 
 /**
+ * Cached integer-conv state for the quantized engine path (paper
+ * Section IV-C): the expanded real conv weights pre-quantized to int8
+ * in band-contiguous [oc][ic][ky][kx] tap order, the int32 bias, and
+ * the per-output-band accumulator fractional widths (`out_frac`) — the
+ * align-shift metadata the fused Fig. 8 epilogue consumes.
+ *
+ * conv_rows() computes a row band of one output channel as int32
+ * accumulations through the simd::axpy_i32 row kernel. Integer
+ * addition is exact and order-independent, so the result is
+ * bit-identical to the scalar int64 QConvNode oracle whenever the true
+ * accumulator fits in int32; int32_safe() proves that bound statically
+ * (worst-case |bias| + sum |w| * max|x|, which also bounds every
+ * partial sum), and the quantized executor falls back to the scalar
+ * walk for any conv whose bound does not fit.
+ */
+class QuantConvKernel
+{
+  public:
+    /**
+     * @param w integer weights, [co][ci][k][k] row-major (the QConvNode
+     *        layout). Entries beyond int8 mark the kernel unusable
+     *        (weights_fit() == false) rather than throwing.
+     * @param bias per-output-channel bias at out_frac; entries beyond
+     *        int32 likewise mark the kernel unusable.
+     * @param out_frac accumulator fractional bits per output channel.
+     */
+    QuantConvKernel(int co, int ci, int k, const std::vector<int32_t>& w,
+                    const std::vector<int64_t>& bias,
+                    std::vector<int> out_frac);
+
+    int co() const { return co_; }
+    int ci() const { return ci_; }
+    int k() const { return k_; }
+    const std::vector<int>& out_frac() const { return out_frac_; }
+    const std::vector<int8_t>& weights_i8() const { return w8_; }
+
+    /** True when every weight fit int8 and every bias fit int32. */
+    bool weights_fit() const { return fits_; }
+
+    /** Worst-case |accumulator| for inputs bounded by 2^(in_bits-1). */
+    double acc_bound(int in_bits) const;
+
+    /** True when int32 accumulation provably equals the int64 oracle
+     *  for inputs quantized to in_bits. */
+    bool int32_safe(int in_bits) const
+    {
+        return fits_ && acc_bound(in_bits) <= 2147483647.0;
+    }
+
+    /**
+     * Computes output rows [y0, y1) of channel oc into `dst`, a
+     * contiguous [y1-y0][w] row block initialized to bias[oc]:
+     * "same"-padded stride-1 conv over the int32 CHW planes `x`.
+     * Requires int32_safe() for the input's bit width.
+     */
+    void conv_rows(const int32_t* x, int h, int w, int oc, int y0, int y1,
+                   int32_t* dst) const;
+
+  private:
+    int co_, ci_, k_;
+    std::vector<int8_t> w8_;      ///< pre-quantized per-band weights
+    std::vector<int32_t> bias_;
+    std::vector<int> out_frac_;   ///< align-shift metadata per band
+    std::vector<double> abs_sum_; ///< sum |w| per output channel
+    bool fits_ = true;
+};
+
+/**
  * Order-independent-free fingerprint (FNV-1a over dims, weights, and
  * bias bytes). Retained as the debug cross-check behind the parameter
  * version counters that layers now use to invalidate cached engines.

@@ -21,6 +21,28 @@ scale_generic(float* dst, const float* src, float a, int64_t len)
     for (int64_t i = 0; i < len; ++i) dst[i] = a * src[i];
 }
 
+// Integer rows compute through uint32 so overflow wraps mod 2^32 in
+// every build (signed overflow is UB), matching the AVX2 mullo/add
+// lanes bit for bit.
+void
+axpy_i32_generic(int32_t* dst, const int32_t* src, int32_t a, int64_t len)
+{
+    const uint32_t ua = static_cast<uint32_t>(a);
+    for (int64_t i = 0; i < len; ++i) {
+        dst[i] = static_cast<int32_t>(static_cast<uint32_t>(dst[i]) +
+                                      ua * static_cast<uint32_t>(src[i]));
+    }
+}
+
+void
+scale_i32_generic(int32_t* dst, const int32_t* src, int32_t a, int64_t len)
+{
+    const uint32_t ua = static_cast<uint32_t>(a);
+    for (int64_t i = 0; i < len; ++i) {
+        dst[i] = static_cast<int32_t>(ua * static_cast<uint32_t>(src[i]));
+    }
+}
+
 #ifdef RINGCNN_X86_DISPATCH
 
 // Explicit 8-wide AVX2 rows. Deliberately mul+add rather than FMA: the
@@ -52,6 +74,37 @@ scale_avx2(float* dst, const float* src, float a, int64_t len)
     for (; i < len; ++i) dst[i] = a * src[i];
 }
 
+__attribute__((target("avx2"))) void
+axpy_i32_avx2(int32_t* dst, const int32_t* src, int32_t a, int64_t len)
+{
+    const __m256i va = _mm256_set1_epi32(a);
+    int64_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+        const __m256i s = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(src + i));
+        const __m256i d = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(dst + i));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(dst + i),
+            _mm256_add_epi32(d, _mm256_mullo_epi32(va, s)));
+    }
+    axpy_i32_generic(dst + i, src + i, a, len - i);
+}
+
+__attribute__((target("avx2"))) void
+scale_i32_avx2(int32_t* dst, const int32_t* src, int32_t a, int64_t len)
+{
+    const __m256i va = _mm256_set1_epi32(a);
+    int64_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+        const __m256i s = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(src + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                            _mm256_mullo_epi32(va, s));
+    }
+    scale_i32_generic(dst + i, src + i, a, len - i);
+}
+
 bool
 have_avx2()
 {
@@ -62,11 +115,15 @@ have_avx2()
 
 using AxpyFn = void (*)(float*, const float*, float, int64_t);
 using ScaleFn = void (*)(float*, const float*, float, int64_t);
+using AxpyI32Fn = void (*)(int32_t*, const int32_t*, int32_t, int64_t);
+using ScaleI32Fn = void (*)(int32_t*, const int32_t*, int32_t, int64_t);
 
 struct Dispatch
 {
     AxpyFn axpy = axpy_generic;
     ScaleFn scale = scale_generic;
+    AxpyI32Fn axpy_i = axpy_i32_generic;
+    ScaleI32Fn scale_i = scale_i32_generic;
     const char* isa = "generic";
 
     Dispatch()
@@ -75,6 +132,8 @@ struct Dispatch
         if (have_avx2()) {
             axpy = axpy_avx2;
             scale = scale_avx2;
+            axpy_i = axpy_i32_avx2;
+            scale_i = scale_i32_avx2;
             isa = "avx2";
         }
 #endif
@@ -100,6 +159,18 @@ void
 scale_f32(float* dst, const float* src, float a, int64_t len)
 {
     dispatch().scale(dst, src, a, len);
+}
+
+void
+axpy_i32(int32_t* dst, const int32_t* src, int32_t a, int64_t len)
+{
+    dispatch().axpy_i(dst, src, a, len);
+}
+
+void
+scale_i32(int32_t* dst, const int32_t* src, int32_t a, int64_t len)
+{
+    dispatch().scale_i(dst, src, a, len);
 }
 
 const char*

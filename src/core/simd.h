@@ -1,12 +1,18 @@
 /**
  * @file
- * Vector-friendly float32 primitives for the FRCONV hot loops.
+ * Vector-friendly float32 and int32 primitives for the conv hot loops.
  *
  * Every heavy inner loop of the fp32 engine path reduces to one of two
  * stride-1 row kernels:
  *
  *   axpy_f32:  dst[i] += a * src[i]     (conv taps, reconstruction)
  *   scale_f32: dst[i]  = a * src[i]     (first transform term)
+ *
+ * The quantized (int8 weight / int32 accumulator) path uses the same
+ * two row shapes over int32 lanes:
+ *
+ *   axpy_i32:  dst[i] += a * src[i]     (integer conv taps)
+ *   scale_i32: dst[i]  = a * src[i]     (integer row init)
  *
  * The generic builds are plain loops the compiler auto-vectorizes at
  * -O2/-O3 (verified by the perf_ringconv fp32 microbenchmarks). On
@@ -16,11 +22,18 @@
  * machine has. On AArch64, NEON is baseline and the plain loops
  * vectorize to it directly.
  *
- * Determinism: both kernels perform one multiply and one add per
+ * Determinism: the float kernels perform one multiply and one add per
  * element in index order with no reassociation, and the AVX2 path
  * deliberately avoids FMA contraction, so every dispatch target
  * produces identical bits. The bit-exactness oracle against the seed
  * implementation additionally runs on the strict fp64 engine path.
+ *
+ * The int32 kernels are exact mod-2^32 arithmetic (the generic build
+ * computes through uint32, matching the wrapping semantics of AVX2's
+ * mullo/add), so every dispatch target produces identical bits
+ * unconditionally, and results equal arbitrary-precision integer
+ * arithmetic whenever the true values fit in int32 — the quantized
+ * conv planner proves that bound statically before picking this path.
  */
 #ifndef RINGCNN_CORE_SIMD_H
 #define RINGCNN_CORE_SIMD_H
@@ -34,6 +47,18 @@ void axpy_f32(float* dst, const float* src, float a, int64_t len);
 
 /** dst[i] = a * src[i] for i in [0, len). */
 void scale_f32(float* dst, const float* src, float a, int64_t len);
+
+/** dst[i] += a * src[i] for i in [0, len), wrapping int32. */
+void axpy_i32(int32_t* dst, const int32_t* src, int32_t a, int64_t len);
+
+/**
+ * dst[i] = a * src[i] for i in [0, len), wrapping int32. The conv band
+ * kernels currently only need axpy (rows initialize to the bias), but
+ * scale completes the row-API contract the fp32 pair established —
+ * every backend (AVX2 today, NEON/accelerator per the roadmap)
+ * implements both shapes.
+ */
+void scale_i32(int32_t* dst, const int32_t* src, int32_t a, int64_t len);
 
 /** Name of the dispatched implementation: "avx2" or "generic". */
 const char* active_isa();

@@ -26,12 +26,21 @@ struct QFormat
     int64_t min_int() const { return -(1LL << (bits - 1)); }
     double scale() const { return std::ldexp(1.0, -frac); }
 
-    /** Quantizes a real value: round-to-nearest, saturate. */
+    /**
+     * Quantizes a real value: round-to-nearest, saturate. The scaling
+     * is a single exact ldexp (not a multiply by 2^frac, which turns
+     * into 0 * inf = NaN for extreme frac), and saturation happens in
+     * the double domain BEFORE llround — large-frac formats can push a
+     * finite input past the int64 range, where llround is undefined.
+     * NaN quantizes to 0.
+     */
     int64_t quantize(double x) const
     {
-        const double scaled = x * std::ldexp(1.0, frac);
-        const auto r = static_cast<int64_t>(std::llround(scaled));
-        return std::clamp(r, min_int(), max_int());
+        const double scaled = std::ldexp(x, frac);
+        if (std::isnan(scaled)) return 0;
+        if (scaled >= static_cast<double>(max_int())) return max_int();
+        if (scaled <= static_cast<double>(min_int())) return min_int();
+        return std::llround(scaled);
     }
 
     /** Real value of a raw integer in this format. */
@@ -47,16 +56,50 @@ struct QFormat
         int frac = bits - 1;
         if (abs_max > 0.0) {
             const double limit = static_cast<double>((1LL << (bits - 1)) - 1);
-            frac = static_cast<int>(std::floor(std::log2(limit / abs_max)));
-            // Guard against rounding pushing us over the edge.
-            while (std::llround(abs_max * std::ldexp(1.0, frac)) >
-                   (1LL << (bits - 1)) - 1) {
-                --frac;
-            }
+            // Clamp before the int cast: subnormal abs_max makes the
+            // quotient (and its log2) overflow to inf.
+            const double f0 = std::floor(std::log2(limit / abs_max));
+            frac = static_cast<int>(std::clamp(f0, -1100.0, 1100.0));
+            // Guard against rounding pushing us over the edge. Compare
+            // in double: llround(abs_max * 2^frac) is undefined once
+            // the scaled value leaves the int64 range. round-to-nearest
+            // exceeds `limit` exactly when the scaled value >= limit+0.5.
+            while (std::ldexp(abs_max, frac) >= limit + 0.5) --frac;
         }
         return {bits, frac};
     }
 };
+
+/** Smallest b with 2^b >= n (n positive): tuple-width log helper. */
+inline int
+ceil_log2(int n)
+{
+    int b = 0;
+    while ((1 << b) < n) ++b;
+    return b;
+}
+
+/**
+ * In-place Walsh-Hadamard butterfly (Sylvester order) over an n-tuple,
+ * integer exact. The single definition shared by the scalar
+ * QDirReluNode oracle and the executor's fused integer epilogue — the
+ * bit-exactness contract between the two paths depends on both running
+ * this exact traversal (including its int64 overflow wrap behavior).
+ */
+inline void
+wht_inplace(int64_t* x, int n)
+{
+    for (int len = 1; len < n; len <<= 1) {
+        for (int i = 0; i < n; i += len << 1) {
+            for (int j = i; j < i + len; ++j) {
+                const int64_t a = x[j];
+                const int64_t b = x[j + len];
+                x[j] = a + b;
+                x[j + len] = a - b;
+            }
+        }
+    }
+}
 
 /**
  * Right-shift with round-half-up and saturation to `bits`:

@@ -1,0 +1,780 @@
+#include "quant/quant_executor.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace ringcnn::quant {
+
+namespace {
+
+/** Widest tuple the fused directional epilogue handles per pixel. */
+constexpr int kMaxTuple = 16;
+
+// The integer butterfly (wht_inplace) and ceil_log2 come from
+// quant/qformat.h — one definition shared with the scalar oracle.
+
+}  // namespace
+
+// ---- compile-time slot (arena) management ----------------------------------
+
+int
+QuantExecutor::acquire_slot()
+{
+    if (!free_slots_.empty()) {
+        const int s = free_slots_.back();
+        free_slots_.pop_back();
+        refcount_[static_cast<size_t>(s)] = 1;
+        return s;
+    }
+    slots_.emplace_back();
+    refcount_.push_back(1);
+    return static_cast<int>(slots_.size()) - 1;
+}
+
+void
+QuantExecutor::addref(int slot)
+{
+    ++refcount_[static_cast<size_t>(slot)];
+}
+
+void
+QuantExecutor::decref(int slot)
+{
+    if (--refcount_[static_cast<size_t>(slot)] == 0) {
+        free_slots_.push_back(slot);
+    }
+}
+
+// ---- QAct <-> arena conversion ---------------------------------------------
+
+namespace {
+
+QAct
+to_qact(const Shape& shape, const std::vector<int32_t>& v,
+        const std::vector<int>& frac)
+{
+    QAct q;
+    q.shape = shape;
+    q.frac = frac;
+    q.v.assign(v.begin(), v.end());
+    return q;
+}
+
+}  // namespace
+
+// ---- construction / compilation --------------------------------------------
+
+QuantExecutor::QuantExecutor(const QuantizedModel& qm, QuantExecOptions opt)
+    : opt_(opt), qopt_(qm.options()), input_fmt_(qm.input_format()),
+      root_(qm.root())
+{
+    RINGCNN_CHECK(qopt_.feature_bits >= 2 && qopt_.feature_bits <= 30,
+                  "quantized executor supports feature widths of 2..30 "
+                  "bits, got " + std::to_string(qopt_.feature_bits));
+    entry_slot_ = acquire_slot();
+    int bits = qopt_.feature_bits;
+    out_slot_ = compile(root_, entry_slot_, bits);
+}
+
+QuantExecutor::~QuantExecutor() = default;
+
+int
+QuantExecutor::band_rows(int h, int groups_total) const
+{
+    if (opt_.row_band > 0) return std::min(opt_.row_band, h);
+    // A few tasks per worker across the output bands; any banding is
+    // bit-equivalent, this only shapes the parallel grain.
+    const int target_tasks = std::max(threads_ * 4, groups_total);
+    const int bands = std::max(1, target_tasks / std::max(groups_total, 1));
+    const int bh = std::max((h + bands - 1) / bands, std::min(8, h));
+    return std::min(bh, h);
+}
+
+int
+QuantExecutor::compile_seq(const QSeq* seq, int in, int& bits)
+{
+    int cur = in;
+    for (size_t i = 0; i < seq->nodes.size(); ++i) {
+        const QNode* n = seq->nodes[i].get();
+        if (const auto* conv = dynamic_cast<const QConvNode*>(n)) {
+            const QNode* next =
+                i + 1 < seq->nodes.size() ? seq->nodes[i + 1].get() : nullptr;
+            const auto* dir = dynamic_cast<const QDirReluNode*>(next);
+            const auto* req = dynamic_cast<const QRequantNode*>(next);
+            cur = compile_conv(conv, dir, req, cur, bits);
+            if (dir != nullptr || req != nullptr) ++i;  // consumed
+            continue;
+        }
+        cur = compile(n, cur, bits);
+    }
+    return cur;
+}
+
+int
+QuantExecutor::compile_conv(const QConvNode* conv, const QDirReluNode* dir,
+                            const QRequantNode* req, int in, int& bits)
+{
+    auto kernel = std::make_unique<QuantConvKernel>(
+        conv->co, conv->ci, conv->k, conv->w, conv->bias, conv->out_frac);
+    const bool dir_ok =
+        dir == nullptr ||
+        (dir->n >= 1 && dir->n <= kMaxTuple && conv->co % dir->n == 0);
+    const bool fast = kernel->int32_safe(bits) && dir_ok &&
+                      (dir == nullptr || req == nullptr);
+
+    const int out = acquire_slot();
+    if (!fast) {
+        // Scalar oracle walk for this conv AND its epilogue, chained in
+        // one step so the wide int64 intermediate never has to fit the
+        // int32 arena.
+        ++scalar_convs_;
+        steps_.push_back([this, conv, dir, req, in, out](int batch) {
+            auto& ins = slots_[static_cast<size_t>(in)];
+            auto& outs = slots_[static_cast<size_t>(out)];
+            for (int b = 0; b < batch; ++b) {
+                IAct& x = ins[static_cast<size_t>(b)];
+                QAct q = to_qact(x.shape, x.v, x.frac);
+                QAct r = conv->forward(q);
+                if (dir != nullptr) r = dir->forward(r);
+                if (req != nullptr) r = req->forward(r);
+                IAct& o = outs[static_cast<size_t>(b)];
+                o.reset(r.shape);
+                o.frac = r.frac;
+                for (size_t j = 0; j < r.v.size(); ++j) {
+                    RINGCNN_CHECK(r.v[j] >= INT32_MIN && r.v[j] <= INT32_MAX,
+                                  "scalar-path activation exceeds the "
+                                  "int32 arena");
+                    o.v[j] = static_cast<int32_t>(r.v[j]);
+                }
+            }
+        });
+        decref(in);
+        bits = dir != nullptr ? dir->bits : (req != nullptr ? req->bits : 32);
+        return out;
+    }
+
+    ++fast_convs_;
+    const size_t kidx = kernels_.size();
+    kernels_.push_back(std::move(kernel));
+    const int gn = dir != nullptr ? dir->n : 1;
+
+    steps_.push_back([this, dir, req, in, out, kidx, gn](int batch) {
+        const QuantConvKernel& K = *kernels_[kidx];
+        auto& ins = slots_[static_cast<size_t>(in)];
+        auto& outs = slots_[static_cast<size_t>(out)];
+        const int co = K.co();
+
+        tasks_.clear();
+        int groups_total = 0;
+        for (int b = 0; b < batch; ++b) groups_total += co / gn;
+        for (int b = 0; b < batch; ++b) {
+            IAct& x = ins[static_cast<size_t>(b)];
+            RINGCNN_CHECK(x.shape[0] == K.ci(),
+                          "quantized conv input channel mismatch");
+            const int h = x.shape[1], wd = x.shape[2];
+            IAct& o = outs[static_cast<size_t>(b)];
+            o.reset({co, h, wd});
+            o.frac = dir != nullptr ? dir->out_frac
+                                    : (req != nullptr ? req->target
+                                                      : K.out_frac());
+            const int bh = band_rows(h, groups_total);
+            for (int g = 0; g < co / gn; ++g) {
+                for (int y0 = 0; y0 < h; y0 += bh) {
+                    tasks_.push_back({b, g, y0, std::min(y0 + bh, h)});
+                }
+            }
+        }
+
+        util::parallel_for_worker(
+            static_cast<int64_t>(tasks_.size()),
+            [&](int worker, int64_t ti) {
+                const ConvTask& t = tasks_[static_cast<size_t>(ti)];
+                IAct& x = ins[static_cast<size_t>(t.img)];
+                IAct& o = outs[static_cast<size_t>(t.img)];
+                const int h = x.shape[1], wd = x.shape[2];
+                const int bh = t.y1 - t.y0;
+                const int64_t brow = static_cast<int64_t>(bh) * wd;
+
+                std::vector<int32_t>& buf =
+                    wband_[static_cast<size_t>(worker)];
+                if (buf.size() < static_cast<size_t>(gn) * brow) {
+                    buf.resize(static_cast<size_t>(gn) * brow);
+                }
+                for (int gi = 0; gi < gn; ++gi) {
+                    K.conv_rows(x.v.data(), h, wd, t.group * gn + gi, t.y0,
+                                t.y1, buf.data() + gi * brow);
+                }
+
+                if (dir == nullptr && req == nullptr) {
+                    // Unfused: hand the wide accumulators through.
+                    for (int gi = 0; gi < gn; ++gi) {
+                        std::memcpy(o.ch(t.group * gn + gi) +
+                                        static_cast<int64_t>(t.y0) * wd,
+                                    buf.data() + gi * brow,
+                                    static_cast<size_t>(brow) *
+                                        sizeof(int32_t));
+                    }
+                    return;
+                }
+
+                if (req != nullptr) {
+                    // Fused requant (optionally ReLU-first) epilogue.
+                    const int oc = t.group;  // gn == 1
+                    const int shift =
+                        K.out_frac()[static_cast<size_t>(oc)] -
+                        req->target[static_cast<size_t>(oc)];
+                    int32_t* orow =
+                        o.ch(oc) + static_cast<int64_t>(t.y0) * wd;
+                    for (int64_t p = 0; p < brow; ++p) {
+                        int64_t v = buf[static_cast<size_t>(p)];
+                        if (req->relu_first && v < 0) v = 0;
+                        orow[p] = static_cast<int32_t>(
+                            shift_round_saturate(v, shift, req->bits));
+                    }
+                    return;
+                }
+
+                // Fused directional-ReLU epilogue (Fig. 8 on-the-fly
+                // pipeline, or the quantize-first ablation), per
+                // n-tuple of conv bands. The per-pixel arithmetic below
+                // mirrors onthefly_directional_relu / the QDirReluNode
+                // else-branch operation for operation, on stack tuples
+                // instead of heap vectors — keep them consistent.
+                const int n = gn;
+                const int base = t.group * n;
+                int64_t z[kMaxTuple];
+                int ny[kMaxTuple] = {0}, nx[kMaxTuple] = {0};
+                for (int i = 0; i < n; ++i) {
+                    ny[i] = K.out_frac()[static_cast<size_t>(base + i)];
+                    nx[i] = dir->out_frac[static_cast<size_t>(base + i)];
+                }
+                int fmax = ny[0];
+                for (int i = 1; i < n; ++i) fmax = std::max(fmax, ny[i]);
+                const int log2n = ceil_log2(n);
+                int32_t* orows[kMaxTuple];
+                for (int i = 0; i < n; ++i) {
+                    orows[i] = o.ch(base + i) +
+                               static_cast<int64_t>(t.y0) * wd;
+                }
+                for (int64_t p = 0; p < brow; ++p) {
+                    if (dir->onthefly) {
+                        // Align left-shifts to the widest frac (unsigned
+                        // shift: same bits, no UB on negatives), two
+                        // butterflies around the rectifier, one final
+                        // per-component round/saturate.
+                        int64_t tv[kMaxTuple];
+                        for (int i = 0; i < n; ++i) {
+                            tv[i] = static_cast<int64_t>(
+                                static_cast<uint64_t>(static_cast<int64_t>(
+                                    buf[static_cast<size_t>(i * brow + p)]))
+                                << (fmax - ny[i]));
+                        }
+                        wht_inplace(tv, n);
+                        for (int i = 0; i < n; ++i) {
+                            if (tv[i] < 0) tv[i] = 0;
+                        }
+                        wht_inplace(tv, n);
+                        for (int i = 0; i < n; ++i) {
+                            z[i] = shift_round_saturate(
+                                tv[i], fmax + log2n - nx[i], dir->bits);
+                        }
+                    } else {
+                        // Quantize-first ablation, operation for
+                        // operation the QDirReluNode else-branch.
+                        int64_t yv[kMaxTuple];
+                        for (int i = 0; i < n; ++i) {
+                            const int pf =
+                                dir->pre_frac[static_cast<size_t>(base + i)];
+                            yv[i] = shift_round_saturate(
+                                buf[static_cast<size_t>(i * brow + p)],
+                                ny[static_cast<size_t>(i)] - pf, dir->bits);
+                        }
+                        wht_inplace(yv, n);
+                        for (int i = 0; i < n; ++i) {
+                            const int pf =
+                                dir->pre_frac[static_cast<size_t>(base)];
+                            const int mf =
+                                dir->mid_frac[static_cast<size_t>(base + i)];
+                            int64_t v = shift_round_saturate(
+                                yv[i], pf - mf, dir->bits);
+                            yv[i] = v > 0 ? v : 0;
+                        }
+                        wht_inplace(yv, n);
+                        for (int i = 0; i < n; ++i) {
+                            const int mf =
+                                dir->mid_frac[static_cast<size_t>(base)];
+                            z[static_cast<size_t>(i)] = shift_round_saturate(
+                                yv[i],
+                                mf - nx[static_cast<size_t>(i)] + log2n,
+                                dir->bits);
+                        }
+                    }
+                    for (int i = 0; i < n; ++i) {
+                        orows[i][p] = static_cast<int32_t>(
+                            z[static_cast<size_t>(i)]);
+                    }
+                }
+            },
+            threads_);
+    });
+    decref(in);
+    bits = dir != nullptr ? dir->bits : (req != nullptr ? req->bits : 32);
+    return out;
+}
+
+int
+QuantExecutor::compile_fallback(const QNode* node, int in)
+{
+    const int out = acquire_slot();
+    steps_.push_back([this, node, in, out](int batch) {
+        auto& ins = slots_[static_cast<size_t>(in)];
+        auto& outs = slots_[static_cast<size_t>(out)];
+        for (int b = 0; b < batch; ++b) {
+            IAct& x = ins[static_cast<size_t>(b)];
+            const QAct r =
+                node->forward(to_qact(x.shape, x.v, x.frac));
+            IAct& o = outs[static_cast<size_t>(b)];
+            o.reset(r.shape);
+            o.frac = r.frac;
+            for (size_t j = 0; j < r.v.size(); ++j) {
+                RINGCNN_CHECK(r.v[j] >= INT32_MIN && r.v[j] <= INT32_MAX,
+                              "fallback activation exceeds the int32 arena");
+                o.v[j] = static_cast<int32_t>(r.v[j]);
+            }
+        }
+    });
+    decref(in);
+    return out;
+}
+
+int
+QuantExecutor::compile(const QNode* node, int in, int& bits)
+{
+    if (const auto* seq = dynamic_cast<const QSeq*>(node)) {
+        return compile_seq(seq, in, bits);
+    }
+    if (const auto* conv = dynamic_cast<const QConvNode*>(node)) {
+        return compile_conv(conv, nullptr, nullptr, in, bits);
+    }
+    if (const auto* req = dynamic_cast<const QRequantNode*>(node)) {
+        const bool inplace = refcount_[static_cast<size_t>(in)] == 1;
+        const int out = inplace ? in : acquire_slot();
+        steps_.push_back([this, req, in, out](int batch) {
+            auto& ins = slots_[static_cast<size_t>(in)];
+            auto& outs = slots_[static_cast<size_t>(out)];
+            for (int b = 0; b < batch; ++b) {
+                IAct& x = ins[static_cast<size_t>(b)];
+                IAct& o = outs[static_cast<size_t>(b)];
+                const int c = x.shape[0];
+                const int64_t plane = x.plane();
+                const Shape shape = x.shape;
+                std::vector<int> shifts(static_cast<size_t>(c));
+                for (int ch = 0; ch < c; ++ch) {
+                    shifts[static_cast<size_t>(ch)] =
+                        x.frac[static_cast<size_t>(ch)] -
+                        req->target[static_cast<size_t>(ch)];
+                }
+                o.reset(shape);  // no-op when in place
+                o.frac = req->target;
+                for (int ch = 0; ch < c; ++ch) {
+                    const int shift = shifts[static_cast<size_t>(ch)];
+                    const int32_t* src = x.ch(ch);
+                    int32_t* dst = o.ch(ch);
+                    for (int64_t p = 0; p < plane; ++p) {
+                        int64_t v = src[p];
+                        if (req->relu_first && v < 0) v = 0;
+                        dst[p] = static_cast<int32_t>(
+                            shift_round_saturate(v, shift, req->bits));
+                    }
+                }
+            }
+        });
+        if (!inplace) decref(in);
+        bits = req->bits;
+        return out;
+    }
+    if (const auto* dir = dynamic_cast<const QDirReluNode*>(node)) {
+        // A directional ReLU is always fused behind its conv by
+        // compile_seq; a standalone one (defensive) takes the oracle.
+        const int out = compile_fallback(dir, in);
+        bits = dir->bits;
+        return out;
+    }
+    if (const auto* ps = dynamic_cast<const QPixelShuffleNode*>(node)) {
+        const int out = acquire_slot();
+        const int r = ps->r;
+        steps_.push_back([this, in, out, r](int batch) {
+            auto& ins = slots_[static_cast<size_t>(in)];
+            auto& outs = slots_[static_cast<size_t>(out)];
+            for (int b = 0; b < batch; ++b) {
+                IAct& x = ins[static_cast<size_t>(b)];
+                IAct& o = outs[static_cast<size_t>(b)];
+                const int c = x.shape[0] / (r * r);
+                const int h = x.shape[1], w = x.shape[2];
+                o.reset({c, h * r, w * r});
+                o.frac.resize(static_cast<size_t>(c));
+                for (int oc = 0; oc < c; ++oc) {
+                    o.frac[static_cast<size_t>(oc)] =
+                        x.frac[static_cast<size_t>(oc * r * r)];
+                    for (int dy = 0; dy < r; ++dy) {
+                        for (int dx = 0; dx < r; ++dx) {
+                            const int ic = (oc * r + dy) * r + dx;
+                            const int32_t* src = x.ch(ic);
+                            int32_t* dst = o.ch(oc);
+                            for (int y = 0; y < h; ++y) {
+                                for (int xx = 0; xx < w; ++xx) {
+                                    dst[(static_cast<int64_t>(y) * r + dy) *
+                                            (w * r) +
+                                        xx * r + dx] =
+                                        src[static_cast<int64_t>(y) * w + xx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        decref(in);
+        return out;
+    }
+    if (const auto* pu = dynamic_cast<const QPixelUnshuffleNode*>(node)) {
+        const int out = acquire_slot();
+        const int r = pu->r;
+        steps_.push_back([this, in, out, r](int batch) {
+            auto& ins = slots_[static_cast<size_t>(in)];
+            auto& outs = slots_[static_cast<size_t>(out)];
+            for (int b = 0; b < batch; ++b) {
+                IAct& x = ins[static_cast<size_t>(b)];
+                IAct& o = outs[static_cast<size_t>(b)];
+                const int c = x.shape[0];
+                const int h = x.shape[1] / r, w = x.shape[2] / r;
+                o.reset({c * r * r, h, w});
+                o.frac.resize(static_cast<size_t>(c) * r * r);
+                for (int ic = 0; ic < c; ++ic) {
+                    for (int dy = 0; dy < r; ++dy) {
+                        for (int dx = 0; dx < r; ++dx) {
+                            const int oc = (ic * r + dy) * r + dx;
+                            o.frac[static_cast<size_t>(oc)] =
+                                x.frac[static_cast<size_t>(ic)];
+                            const int32_t* src = x.ch(ic);
+                            int32_t* dst = o.ch(oc);
+                            for (int y = 0; y < h; ++y) {
+                                for (int xx = 0; xx < w; ++xx) {
+                                    dst[static_cast<int64_t>(y) * w + xx] =
+                                        src[(static_cast<int64_t>(y) * r +
+                                             dy) * (w * r) + xx * r + dx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        decref(in);
+        return out;
+    }
+    if (const auto* pad = dynamic_cast<const QPadNode*>(node)) {
+        const int out = acquire_slot();
+        const int multiple = pad->multiple;
+        steps_.push_back([this, in, out, multiple](int batch) {
+            auto& ins = slots_[static_cast<size_t>(in)];
+            auto& outs = slots_[static_cast<size_t>(out)];
+            for (int b = 0; b < batch; ++b) {
+                IAct& x = ins[static_cast<size_t>(b)];
+                IAct& o = outs[static_cast<size_t>(b)];
+                const int c = x.shape[0];
+                const int want = (c + multiple - 1) / multiple * multiple;
+                o.reset({want, x.shape[1], x.shape[2]});
+                o.frac.assign(static_cast<size_t>(want), x.frac[0]);
+                for (int ch = 0; ch < c; ++ch) {
+                    o.frac[static_cast<size_t>(ch)] =
+                        x.frac[static_cast<size_t>(ch)];
+                }
+                std::memcpy(o.v.data(), x.v.data(),
+                            x.v.size() * sizeof(int32_t));
+                std::fill(o.v.begin() + static_cast<int64_t>(x.v.size()),
+                          o.v.end(), 0);
+            }
+        });
+        decref(in);
+        return out;
+    }
+    if (const auto* crop = dynamic_cast<const QCropNode*>(node)) {
+        const int out = acquire_slot();
+        const int keep = crop->keep;
+        steps_.push_back([this, in, out, keep](int batch) {
+            auto& ins = slots_[static_cast<size_t>(in)];
+            auto& outs = slots_[static_cast<size_t>(out)];
+            for (int b = 0; b < batch; ++b) {
+                IAct& x = ins[static_cast<size_t>(b)];
+                IAct& o = outs[static_cast<size_t>(b)];
+                o.reset({keep, x.shape[1], x.shape[2]});
+                o.frac.assign(x.frac.begin(), x.frac.begin() + keep);
+                std::memcpy(o.v.data(), x.v.data(),
+                            o.v.size() * sizeof(int32_t));
+            }
+        });
+        decref(in);
+        return out;
+    }
+    if (const auto* res = dynamic_cast<const QResidualNode*>(node)) {
+        addref(in);  // the skip connection reads it after the body runs
+        int body_bits = bits;
+        const int body_out = compile(res->body.get(), in, body_bits);
+        const bool inplace =
+            body_out != in && refcount_[static_cast<size_t>(body_out)] == 1;
+        const int out = inplace ? body_out : acquire_slot();
+        steps_.push_back([this, res, in, body_out, out](int batch) {
+            auto& as = slots_[static_cast<size_t>(in)];
+            auto& bs = slots_[static_cast<size_t>(body_out)];
+            auto& outs = slots_[static_cast<size_t>(out)];
+            for (int b = 0; b < batch; ++b) {
+                IAct& A = as[static_cast<size_t>(b)];
+                IAct& B = bs[static_cast<size_t>(b)];
+                IAct& O = outs[static_cast<size_t>(b)];
+                const int c = A.shape[0];
+                const int64_t plane = A.plane();
+                const Shape shape = A.shape;
+                for (int ch = 0; ch < c; ++ch) {
+                    // Shifts read before O.frac overwrites an alias.
+                    const int target =
+                        res->out_frac[static_cast<size_t>(ch)];
+                    const int sa =
+                        A.frac[static_cast<size_t>(ch)] - target;
+                    const int sb =
+                        B.frac[static_cast<size_t>(ch)] - target;
+                    const int32_t* pa = A.ch(ch);
+                    const int32_t* pb = B.ch(ch);
+                    if (ch == 0) O.reset(shape);  // no-op when aliased
+                    int32_t* po = O.ch(ch);
+                    for (int64_t p = 0; p < plane; ++p) {
+                        const int64_t va = shift_round_saturate(
+                            pa[p], sa, res->bits + 2);
+                        const int64_t vb = shift_round_saturate(
+                            pb[p], sb, res->bits + 2);
+                        po[p] = static_cast<int32_t>(
+                            shift_round_saturate(va + vb, 0, res->bits));
+                    }
+                }
+                O.frac = res->out_frac;
+            }
+        });
+        if (!inplace) decref(body_out);
+        decref(in);
+        bits = res->bits;
+        return out;
+    }
+    if (const auto* two = dynamic_cast<const QTwoBranchNode*>(node)) {
+        addref(in);  // both branches read the same input
+        int mb = bits, sb = bits;
+        const int main_out = compile(two->main.get(), in, mb);
+        const int skip_out = compile(two->skip.get(), in, sb);
+        const bool inplace = refcount_[static_cast<size_t>(main_out)] == 1;
+        const int out = inplace ? main_out : acquire_slot();
+        steps_.push_back([this, two, main_out, skip_out, out](int batch) {
+            auto& as = slots_[static_cast<size_t>(main_out)];
+            auto& bs = slots_[static_cast<size_t>(skip_out)];
+            auto& outs = slots_[static_cast<size_t>(out)];
+            for (int b = 0; b < batch; ++b) {
+                IAct& A = as[static_cast<size_t>(b)];
+                IAct& B = bs[static_cast<size_t>(b)];
+                IAct& O = outs[static_cast<size_t>(b)];
+                const int c = A.shape[0];
+                const int64_t plane = A.plane();
+                const Shape shape = A.shape;
+                for (int ch = 0; ch < c; ++ch) {
+                    const int target =
+                        two->out_frac[static_cast<size_t>(ch)];
+                    const int sa =
+                        A.frac[static_cast<size_t>(ch)] - target;
+                    const int sb2 =
+                        B.frac[static_cast<size_t>(ch)] - target;
+                    const int32_t* pa = A.ch(ch);
+                    const int32_t* pb = B.ch(ch);
+                    if (ch == 0) O.reset(shape);
+                    int32_t* po = O.ch(ch);
+                    for (int64_t p = 0; p < plane; ++p) {
+                        const int64_t va = shift_round_saturate(
+                            pa[p], sa, two->bits + 2);
+                        const int64_t vb = shift_round_saturate(
+                            pb[p], sb2, two->bits + 2);
+                        po[p] = static_cast<int32_t>(
+                            shift_round_saturate(va + vb, 0, two->bits));
+                    }
+                }
+                O.frac = two->out_frac;
+            }
+        });
+        if (out != main_out) decref(main_out);
+        decref(skip_out);
+        // No decref(in): the caller's reference and the addref above
+        // were consumed one-per-branch by the two compiles; releasing
+        // again would free a slot an outer node may still hold.
+        bits = two->bits;
+        return out;
+    }
+    if (const auto* up = dynamic_cast<const QBilinearNode*>(node)) {
+        const int out = acquire_slot();
+        steps_.push_back([this, up, in, out](int batch) {
+            auto& ins = slots_[static_cast<size_t>(in)];
+            auto& outs = slots_[static_cast<size_t>(out)];
+            const int r = up->r;
+            const int wbits = 2 * ceil_log2(2 * r);
+            for (int b = 0; b < batch; ++b) {
+                IAct& x = ins[static_cast<size_t>(b)];
+                IAct& o = outs[static_cast<size_t>(b)];
+                const int c = x.shape[0], h = x.shape[1], w = x.shape[2];
+                const int ho = h * r, wo = w * r;
+                o.reset({c, ho, wo});
+                o.frac = up->target;
+                for (int ic = 0; ic < c; ++ic) {
+                    const int shift = x.frac[static_cast<size_t>(ic)] +
+                                      wbits -
+                                      up->target[static_cast<size_t>(ic)];
+                    const int32_t* src = x.ch(ic);
+                    int32_t* dst = o.ch(ic);
+                    for (int oy = 0; oy < ho; ++oy) {
+                        int num_y = 2 * oy + 1 - r;
+                        num_y = std::max(0, std::min(num_y,
+                                                     2 * r * (h - 1)));
+                        const int y0 = num_y / (2 * r);
+                        const int wy = num_y - 2 * r * y0;
+                        const int y1 = std::min(y0 + 1, h - 1);
+                        for (int ox = 0; ox < wo; ++ox) {
+                            int num_x = 2 * ox + 1 - r;
+                            num_x = std::max(
+                                0, std::min(num_x, 2 * r * (w - 1)));
+                            const int x0 = num_x / (2 * r);
+                            const int wx = num_x - 2 * r * x0;
+                            const int x1 = std::min(x0 + 1, w - 1);
+                            const int64_t acc =
+                                static_cast<int64_t>(2 * r - wy) *
+                                    (2 * r - wx) *
+                                    src[static_cast<int64_t>(y0) * w + x0] +
+                                static_cast<int64_t>(2 * r - wy) * wx *
+                                    src[static_cast<int64_t>(y0) * w + x1] +
+                                static_cast<int64_t>(wy) * (2 * r - wx) *
+                                    src[static_cast<int64_t>(y1) * w + x0] +
+                                static_cast<int64_t>(wy) * wx *
+                                    src[static_cast<int64_t>(y1) * w + x1];
+                            dst[static_cast<int64_t>(oy) * wo + ox] =
+                                static_cast<int32_t>(shift_round_saturate(
+                                    acc, shift, up->bits));
+                        }
+                    }
+                }
+            }
+        });
+        decref(in);
+        bits = up->bits;
+        return out;
+    }
+    // Unknown node type: oracle walk, pessimistic width downstream.
+    const int out = compile_fallback(node, in);
+    bits = 32;
+    return out;
+}
+
+// ---- execution -------------------------------------------------------------
+
+void
+QuantExecutor::ensure_batch(int count)
+{
+    if (count <= batch_capacity_) return;
+    for (auto& slot : slots_) slot.resize(static_cast<size_t>(count));
+    batch_capacity_ = count;
+}
+
+void
+QuantExecutor::exec(const QAct* const* ins, int count)
+{
+    threads_ = util::resolve_threads(opt_.threads);
+    if (static_cast<int>(wband_.size()) < threads_) {
+        wband_.resize(static_cast<size_t>(threads_));
+    }
+    ensure_batch(count);
+    auto& entry = slots_[static_cast<size_t>(entry_slot_)];
+    for (int b = 0; b < count; ++b) {
+        const QAct& q = *ins[b];
+        RINGCNN_CHECK(q.shape.size() == 3 &&
+                          q.frac.size() == static_cast<size_t>(q.shape[0]),
+                      "quantized executor input must be CHW with "
+                      "per-channel fracs");
+        IAct& e = entry[static_cast<size_t>(b)];
+        e.reset(q.shape);
+        e.frac = q.frac;
+        const int64_t lo = -(INT64_C(1) << (qopt_.feature_bits - 1));
+        const int64_t hi = (INT64_C(1) << (qopt_.feature_bits - 1)) - 1;
+        for (size_t j = 0; j < q.v.size(); ++j) {
+            RINGCNN_CHECK(q.v[j] >= lo && q.v[j] <= hi,
+                          "quantized executor input exceeds the feature "
+                          "bit width the plan was proven safe for");
+            e.v[j] = static_cast<int32_t>(q.v[j]);
+        }
+    }
+    for (auto& step : steps_) step(count);
+}
+
+QAct
+QuantExecutor::run(const QAct& in)
+{
+    const QAct* p = &in;
+    exec(&p, 1);
+    IAct& o = slots_[static_cast<size_t>(out_slot_)][0];
+    return to_qact(o.shape, o.v, o.frac);
+}
+
+std::vector<QAct>
+QuantExecutor::run(const std::vector<QAct>& ins)
+{
+    std::vector<const QAct*> ptrs(ins.size());
+    for (size_t i = 0; i < ins.size(); ++i) ptrs[i] = &ins[i];
+    exec(ptrs.data(), static_cast<int>(ins.size()));
+    std::vector<QAct> out;
+    out.reserve(ins.size());
+    for (size_t i = 0; i < ins.size(); ++i) {
+        IAct& o = slots_[static_cast<size_t>(out_slot_)][i];
+        out.push_back(to_qact(o.shape, o.v, o.frac));
+    }
+    return out;
+}
+
+Tensor
+QuantExecutor::forward(const Tensor& x)
+{
+    QAct in;
+    in.shape = x.shape();
+    in.v.resize(static_cast<size_t>(x.numel()));
+    in.frac.assign(static_cast<size_t>(x.dim(0)), input_fmt_.frac);
+    for (int64_t i = 0; i < x.numel(); ++i) {
+        in.v[static_cast<size_t>(i)] = input_fmt_.quantize(x[i]);
+    }
+    return QuantizedModel::dequantize(run(in));
+}
+
+std::vector<Tensor>
+QuantExecutor::forward(const std::vector<Tensor>& xs)
+{
+    std::vector<QAct> ins(xs.size());
+    for (size_t i = 0; i < xs.size(); ++i) {
+        const Tensor& x = xs[i];
+        ins[i].shape = x.shape();
+        ins[i].v.resize(static_cast<size_t>(x.numel()));
+        ins[i].frac.assign(static_cast<size_t>(x.dim(0)), input_fmt_.frac);
+        for (int64_t j = 0; j < x.numel(); ++j) {
+            ins[i].v[static_cast<size_t>(j)] = input_fmt_.quantize(x[j]);
+        }
+    }
+    std::vector<QAct> outs = run(ins);
+    std::vector<Tensor> res;
+    res.reserve(outs.size());
+    for (const QAct& o : outs) {
+        res.push_back(QuantizedModel::dequantize(o));
+    }
+    return res;
+}
+
+}  // namespace ringcnn::quant

@@ -8,34 +8,15 @@
 #include "core/ring_conv.h"
 #include "core/ring_conv_engine.h"
 #include "nn/executor.h"
+#include "quant/quant_executor.h"
 
 namespace ringcnn::quant {
 
 namespace {
 
-int
-ilog2(int n)
-{
-    int b = 0;
-    while ((1 << b) < n) ++b;
-    return b;
-}
-
-/** In-place Walsh-Hadamard butterfly (Sylvester order), integer exact. */
-void
-wht_inplace(std::vector<int64_t>& x, int n)
-{
-    for (int len = 1; len < n; len <<= 1) {
-        for (int i = 0; i < n; i += len << 1) {
-            for (int j = i; j < i + len; ++j) {
-                const int64_t a = x[static_cast<size_t>(j)];
-                const int64_t b = x[static_cast<size_t>(j + len)];
-                x[static_cast<size_t>(j)] = a + b;
-                x[static_cast<size_t>(j + len)] = a - b;
-            }
-        }
-    }
-}
+// The integer butterfly and tuple-log helpers live in quant/qformat.h
+// (ceil_log2, wht_inplace) so the executor's fused epilogue shares the
+// exact arithmetic of this oracle.
 
 double
 abs_max_of(const std::vector<Tensor>& xs)
@@ -146,7 +127,7 @@ QDirReluNode::forward(const QAct& x) const
         std::vector<int64_t> y(static_cast<size_t>(n));
         std::vector<int64_t> z(static_cast<size_t>(n));
         std::vector<int> ny(static_cast<size_t>(n)), nx(static_cast<size_t>(n));
-        const int log2n = ilog2(n);
+        const int log2n = ceil_log2(n);
         for (int t = 0; t < c / n; ++t) {
             for (int i = 0; i < n; ++i) {
                 ny[static_cast<size_t>(i)] = x.frac[static_cast<size_t>(t * n + i)];
@@ -173,7 +154,7 @@ QDirReluNode::forward(const QAct& x) const
                         }
                         // first transform at pre_frac (uniform by
                         // construction), quantize to mid format, rectify
-                        wht_inplace(y, n);
+                        wht_inplace(y.data(), n);
                         for (int i = 0; i < n; ++i) {
                             const int pf = pre_frac[static_cast<size_t>(t * n)];
                             const int mf =
@@ -182,7 +163,7 @@ QDirReluNode::forward(const QAct& x) const
                                 y[static_cast<size_t>(i)], pf - mf, bits);
                             y[static_cast<size_t>(i)] = v > 0 ? v : 0;
                         }
-                        wht_inplace(y, n);
+                        wht_inplace(y.data(), n);
                         for (int i = 0; i < n; ++i) {
                             const int mf = mid_frac[static_cast<size_t>(t * n)];
                             z[static_cast<size_t>(i)] = shift_round_saturate(
@@ -331,7 +312,7 @@ QBilinearNode::forward(const QAct& x) const
         const int ho = h * r, wo = w * r;
         // Interpolation weights are multiples of 1/(2r); products of two
         // weights are multiples of 1/(4r^2) -> extra frac bits.
-        const int wbits = 2 * ilog2(2 * r);
+        const int wbits = 2 * ceil_log2(2 * r);
         QAct out;
         out.shape = {c, ho, wo};
         out.v.resize(static_cast<size_t>(c) * ho * wo);
@@ -729,12 +710,12 @@ onthefly_directional_relu(const std::vector<int64_t>& y,
             static_cast<uint64_t>(y[static_cast<size_t>(i)])
             << (fmax - ny[static_cast<size_t>(i)]));
     }
-    wht_inplace(t, n);
+    wht_inplace(t.data(), n);
     for (auto& v : t) {
         if (v < 0) v = 0;
     }
-    wht_inplace(t, n);
-    const int log2n = ilog2(n);
+    wht_inplace(t.data(), n);
+    const int log2n = ceil_log2(n);
     out.resize(static_cast<size_t>(n));
     for (int i = 0; i < n; ++i) {
         // float value = t * 2^-fmax / n; output integer at frac nx_i.
@@ -763,10 +744,58 @@ QuantizedModel::QuantizedModel(nn::Model& model,
     root_ = convert_layer(&model.root(), ctx);
 }
 
+QuantizedModel::~QuantizedModel() = default;
+QuantizedModel::QuantizedModel(QuantizedModel&&) noexcept = default;
+QuantizedModel& QuantizedModel::operator=(QuantizedModel&&) noexcept =
+    default;
+
+QuantExecutor&
+QuantizedModel::executor() const
+{
+    if (!exec_) exec_ = std::make_unique<QuantExecutor>(*this);
+    return *exec_;
+}
+
 Tensor
 QuantizedModel::forward(const Tensor& x) const
 {
-    return dequantize(root_->forward(quantize_input(x)));
+    if (opt_.strict_reference) {
+        return dequantize(root_->forward(quantize_input(x)));
+    }
+    return executor().forward(x);
+}
+
+std::vector<Tensor>
+QuantizedModel::forward(const std::vector<Tensor>& xs) const
+{
+    if (opt_.strict_reference) {
+        std::vector<Tensor> out;
+        out.reserve(xs.size());
+        for (const Tensor& x : xs) {
+            out.push_back(dequantize(root_->forward(quantize_input(x))));
+        }
+        return out;
+    }
+    return executor().forward(xs);
+}
+
+QAct
+QuantizedModel::infer(const QAct& in) const
+{
+    if (opt_.strict_reference) return root_->forward(in);
+    return executor().run(in);
+}
+
+std::vector<QAct>
+QuantizedModel::infer(const std::vector<QAct>& ins) const
+{
+    if (opt_.strict_reference) {
+        std::vector<QAct> out;
+        out.reserve(ins.size());
+        for (const QAct& in : ins) out.push_back(root_->forward(in));
+        return out;
+    }
+    return executor().run(ins);
 }
 
 std::vector<std::string>

@@ -37,6 +37,15 @@ struct QuantOptions
     bool onthefly_dir_relu = true;
     /** Component-wise feature Q-formats for directional ReLU outputs. */
     bool componentwise_q = true;
+    /**
+     * Run inference through the scalar QNode walk (the bit-exact golden
+     * reference) instead of the compiled int8/int32 engine path
+     * (quant::QuantExecutor). The two produce identical bits — the
+     * engine suites pin that — so this only trades speed for the
+     * oracle's simplicity, mirroring RingConvEngineOptions::strict_fp64
+     * on the float side.
+     */
+    bool strict_reference = false;
 };
 
 /** Integer activation: CHW values with per-channel fractional bits. */
@@ -186,6 +195,8 @@ class QBilinearNode : public QNode
     std::string name() const override { return "bilinear-up"; }
 };
 
+class QuantExecutor;  // compiled engine path (quant/quant_executor.h)
+
 /** Fixed-point model: quantize input, run the integer graph, dequantize. */
 class QuantizedModel
 {
@@ -197,9 +208,30 @@ class QuantizedModel
      */
     QuantizedModel(nn::Model& model, const std::vector<Tensor>& calib,
                    const QuantOptions& opt = {});
+    ~QuantizedModel();
+    QuantizedModel(QuantizedModel&&) noexcept;
+    QuantizedModel& operator=(QuantizedModel&&) noexcept;
 
-    /** End-to-end inference: float image in, float image out. */
+    /**
+     * End-to-end inference: float image in, float image out. Runs the
+     * compiled int8/int32 engine path by default; the scalar QNode walk
+     * when QuantOptions::strict_reference is set. Both produce the same
+     * bits. The engine path reuses a cached executor (one caller at a
+     * time; clone the model per thread for concurrent inference).
+     */
     Tensor forward(const Tensor& x) const;
+
+    /** Batched inference: one output per input, in order. The engine
+     *  path schedules the whole batch onto one worker set. */
+    std::vector<Tensor> forward(const std::vector<Tensor>& xs) const;
+
+    /**
+     * Integer-graph inference: quantized activation in, activation out.
+     * Engine path by default, scalar walk under strict_reference; the
+     * raw integers are identical either way.
+     */
+    QAct infer(const QAct& in) const;
+    std::vector<QAct> infer(const std::vector<QAct>& ins) const;
 
     const QuantOptions& options() const { return opt_; }
 
@@ -219,10 +251,16 @@ class QuantizedModel
     static Tensor dequantize(const QAct& out);
 
   private:
+    QuantExecutor& executor() const;
+
     QuantOptions opt_;
     QFormat input_fmt_;
     std::unique_ptr<QNode> root_;
     std::vector<std::string> op_log_;
+    /** Lazily-built engine path. Its compiled plan points into the
+     *  node graph (owned by root_), not at this object, so it stays
+     *  valid across moves. */
+    mutable std::unique_ptr<QuantExecutor> exec_;
 };
 
 /**

@@ -7,9 +7,12 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <random>
 
 #include "core/ring_conv.h"
+#include "core/ring_conv_engine.h"
+#include "core/simd.h"
 #include "data/tasks.h"
 #include "models/backbones.h"
 #include "nn/trainer.h"
@@ -51,6 +54,217 @@ TEST(ShiftRoundSaturate, Behaviour)
     EXPECT_EQ(shift_round_saturate(1000, 0, 8), 127);
     EXPECT_EQ(shift_round_saturate(-1000, 0, 8), -128);
     EXPECT_EQ(shift_round_saturate(3, -2, 8), 12);   // left shift
+}
+
+TEST(ShiftRoundSaturate, Int32ExtremesAndHalfTies)
+{
+    // Accumulators at the int32 rim, untouched and requantized.
+    EXPECT_EQ(shift_round_saturate(INT32_MAX, 0, 32), INT32_MAX);
+    EXPECT_EQ(shift_round_saturate(INT32_MIN, 0, 32), INT32_MIN);
+    EXPECT_EQ(shift_round_saturate(INT32_MAX, 24, 8), 127);   // saturates
+    EXPECT_EQ(shift_round_saturate(INT32_MIN, 24, 8), -128);
+    EXPECT_EQ(shift_round_saturate(INT32_MAX, 25, 8), 64);    // 63.99 -> 64
+    // Inputs exactly on the round-to-nearest tie: half rounds UP
+    // (toward +inf), for negatives too — the hardware convention the
+    // row kernels and the oracle must share.
+    EXPECT_EQ(shift_round_saturate(1, 1, 8), 1);     //  0.5 ->  1
+    EXPECT_EQ(shift_round_saturate(-1, 1, 8), 0);    // -0.5 ->  0
+    EXPECT_EQ(shift_round_saturate(3, 1, 8), 2);     //  1.5 ->  2
+    EXPECT_EQ(shift_round_saturate(-3, 1, 8), -1);   // -1.5 -> -1
+    EXPECT_EQ(shift_round_saturate(5, 1, 8), 3);     //  2.5 ->  3
+    EXPECT_EQ(shift_round_saturate(6, 2, 8), 2);     //  1.5 ->  2
+    EXPECT_EQ(shift_round_saturate(-6, 2, 8), -1);   // -1.5 -> -1
+}
+
+TEST(QFormat, ExtremesSurviveQuantizeDequantizeRoundTrip)
+{
+    // Regression for the double round-trip in QFormat::quantize: int8
+    // extremes and large-frac formats must come back bit-identical.
+    for (const int frac : {0, 4, 7, 20, 40, 200}) {
+        const QFormat f{8, frac};
+        for (const int64_t v : {INT64_C(-128), INT64_C(-127), INT64_C(-1),
+                                INT64_C(0), INT64_C(1), INT64_C(126),
+                                INT64_C(127)}) {
+            EXPECT_EQ(f.quantize(f.dequantize(v)), v)
+                << "frac=" << frac << " v=" << v;
+        }
+    }
+    for (const int frac : {0, 10, 31, 40}) {
+        const QFormat f{32, frac};
+        for (const int64_t v :
+             {static_cast<int64_t>(INT32_MIN), INT64_C(-1), INT64_C(0),
+              INT64_C(1), static_cast<int64_t>(INT32_MAX)}) {
+            EXPECT_EQ(f.quantize(f.dequantize(v)), v)
+                << "frac=" << frac << " v=" << v;
+        }
+    }
+}
+
+TEST(QFormat, HugeFracSaturatesInsteadOfOverflowing)
+{
+    // frac far beyond the double exponent range: the scaled value is
+    // infinite, where llround would be UB — quantize must saturate.
+    const QFormat f{8, 1000};
+    EXPECT_EQ(f.quantize(1.0), 127);
+    EXPECT_EQ(f.quantize(-1.0), -128);
+    EXPECT_EQ(f.quantize(0.0), 0);
+    // Format search over a subnormal magnitude must stay finite and
+    // still fit the value.
+    const QFormat g = QFormat::for_abs_max(1e-310, 8);
+    EXPECT_LE(g.quantize(1e-310), g.max_int());
+    EXPECT_GE(g.quantize(-1e-310), g.min_int());
+    EXPECT_EQ(g.quantize(g.dequantize(100)), 100);
+}
+
+TEST(SimdInt32Rows, MatchInt64ReferenceIncludingWrapAndTails)
+{
+    // Both int32 row kernels against an int64 reference reduced mod
+    // 2^32, over lengths that exercise the 8-wide AVX2 body and its
+    // scalar tail, with values at the int32 rim so the wrap semantics
+    // of the generic (uint32) and SIMD (mullo/add) builds are pinned
+    // to each other.
+    std::mt19937 rng(87);
+    std::uniform_int_distribution<int32_t> small(-128, 127);
+    const std::vector<int32_t> interesting = {
+        0, 1, -1, 127, -128, INT32_MAX, INT32_MIN, INT32_MAX - 1,
+    };
+    for (const int64_t len : {1, 7, 8, 9, 16, 31}) {
+        std::vector<int32_t> src(static_cast<size_t>(len));
+        std::vector<int32_t> dst(static_cast<size_t>(len));
+        for (int64_t i = 0; i < len; ++i) {
+            src[static_cast<size_t>(i)] =
+                (i % 3 == 0)
+                    ? interesting[static_cast<size_t>(i) %
+                                  interesting.size()]
+                    : small(rng);
+            dst[static_cast<size_t>(i)] = small(rng);
+        }
+        for (const int32_t a : {0, 1, -1, 127, -128, 77}) {
+            std::vector<int32_t> got = dst;
+            simd::axpy_i32(got.data(), src.data(), a, len);
+            for (int64_t i = 0; i < len; ++i) {
+                const uint64_t want =
+                    static_cast<uint32_t>(dst[static_cast<size_t>(i)]) +
+                    static_cast<uint32_t>(a) *
+                        static_cast<uint32_t>(src[static_cast<size_t>(i)]);
+                EXPECT_EQ(got[static_cast<size_t>(i)],
+                          static_cast<int32_t>(
+                              static_cast<uint32_t>(want)))
+                    << "axpy len=" << len << " a=" << a << " i=" << i;
+            }
+            simd::scale_i32(got.data(), src.data(), a, len);
+            for (int64_t i = 0; i < len; ++i) {
+                const uint32_t want =
+                    static_cast<uint32_t>(a) *
+                    static_cast<uint32_t>(src[static_cast<size_t>(i)]);
+                EXPECT_EQ(got[static_cast<size_t>(i)],
+                          static_cast<int32_t>(want))
+                    << "scale len=" << len << " a=" << a << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(QuantConvKernel, AccumulatorsAtInt32ExtremesMatchOracle)
+{
+    // One 1x1 conv whose accumulator touches INT32_MAX exactly and one
+    // that reaches INT32_MIN + 1: the int32 row kernels must preserve
+    // the rim values bit for bit against the int64 oracle.
+    const int co = 2, ci = 1, k = 1, h = 3, w = 5;
+    const std::vector<int32_t> wts = {-128, 127};  // [co][ci][1][1]
+    const std::vector<int64_t> bias = {
+        INT64_C(2147483647) - 128 * 128,   // + (-128)*(-128) == INT32_MAX
+        INT64_C(-2147483647) + 127 * 128,  // + 127*(-128) == INT32_MIN+1
+    };
+    const std::vector<int> out_frac = {7, 7};
+    const QuantConvKernel kern(co, ci, k, wts, bias, out_frac);
+    EXPECT_TRUE(kern.weights_fit());
+    EXPECT_TRUE(kern.int32_safe(8));
+
+    quant::QConvNode oracle;
+    oracle.co = co;
+    oracle.ci = ci;
+    oracle.k = k;
+    oracle.w = wts;
+    oracle.bias = bias;
+    oracle.out_frac = out_frac;
+
+    QAct in;
+    in.shape = {ci, h, w};
+    in.frac = {0};
+    in.v = {-128, 127, 0, -1, 1,  //
+            64,   -64, 2, -2, 127,
+            -128, -128, 127, 3, -3};
+    const QAct want = oracle.forward(in);
+
+    std::vector<int32_t> x32(in.v.begin(), in.v.end());
+    // Every row banding must agree with the whole-plane oracle.
+    for (const int band : {1, 2, 3}) {
+        for (int oc = 0; oc < co; ++oc) {
+            for (int y0 = 0; y0 < h; y0 += band) {
+                const int y1 = std::min(y0 + band, h);
+                std::vector<int32_t> rows(
+                    static_cast<size_t>(y1 - y0) * w, 0);
+                kern.conv_rows(x32.data(), h, w, oc, y0, y1, rows.data());
+                for (int y = y0; y < y1; ++y) {
+                    for (int xx = 0; xx < w; ++xx) {
+                        EXPECT_EQ(
+                            rows[static_cast<size_t>(y - y0) * w + xx],
+                            want.at(oc, y, xx))
+                            << "band=" << band << " oc=" << oc << " y=" << y
+                            << " x=" << xx;
+                    }
+                }
+            }
+        }
+    }
+    // Rim values really are hit.
+    EXPECT_EQ(want.at(0, 0, 0), INT32_MAX);
+    EXPECT_EQ(want.at(1, 0, 0), INT32_MIN + 1);
+
+    // A bound past the rim must be rejected for the engine path.
+    const std::vector<int64_t> hot_bias = {INT64_C(2147483647), 0};
+    const QuantConvKernel unsafe(co, ci, k, wts, hot_bias, out_frac);
+    EXPECT_FALSE(unsafe.int32_safe(8));
+}
+
+TEST(OnTheFlyDirRelu, ExtremeFracSpreadsAlignExactly)
+{
+    // frac widths that force align LEFT shifts (ny spread of 20 bits)
+    // and output shifts in BOTH directions (nx above and below
+    // fmax + log2 n). The independent straight-line reference below
+    // repeats the Fig. 8 pipeline in exact double arithmetic (all
+    // magnitudes < 2^53), so equality must be exact.
+    const int n = 4;
+    const std::vector<int> ny{0, 20, 5, 9};
+    const std::vector<int> nx{25, 2, 12, 30};
+    const std::vector<int64_t> y{3, -700000, 17, -250};
+    std::vector<int64_t> out;
+    onthefly_directional_relu(y, ny, nx, n, out, 32);
+
+    const int fmax = 20;
+    double t[4];
+    for (int i = 0; i < n; ++i) {
+        t[static_cast<size_t>(i)] = static_cast<double>(y[static_cast<size_t>(i)]) *
+            std::ldexp(1.0, fmax - ny[static_cast<size_t>(i)]);
+    }
+    auto butterfly = [&t]() {
+        const double a = t[0] + t[1], b = t[0] - t[1];
+        const double c = t[2] + t[3], d = t[2] - t[3];
+        t[0] = a + c;
+        t[1] = b + d;
+        t[2] = a - c;
+        t[3] = b - d;
+    };
+    butterfly();
+    for (double& v : t) v = v > 0.0 ? v : 0.0;
+    butterfly();
+    for (int i = 0; i < n; ++i) {
+        const int64_t expected = shift_round_saturate(
+            static_cast<int64_t>(t[static_cast<size_t>(i)]),
+            fmax + 2 - nx[static_cast<size_t>(i)], 32);
+        EXPECT_EQ(out[static_cast<size_t>(i)], expected) << "component " << i;
+    }
 }
 
 TEST(OnTheFlyDirRelu, MatchesFloatReference)
