@@ -7,8 +7,10 @@
  * per-ring engine micro-timings.
  *
  * Emits BENCH_model.json (img/s, ns/MAC, per-ring table, fp32-vs-fp64
- * max |Δ|) so the perf trajectory of the repo is recorded run over
- * run. `--smoke` shrinks sizes/reps for CI.
+ * max |Δ|, an `int8` engine row, and a `train_step` row comparing the
+ * scalar-reference training path against the SIMD-parallel one) so the
+ * perf trajectory of the repo is recorded run over run. `--smoke`
+ * shrinks sizes/reps for CI.
  *
  * Usage: perf_model [--smoke] [--out PATH]
  */
@@ -24,9 +26,12 @@
 
 #include "core/ring_conv_engine.h"
 #include "core/simd.h"
+#include "data/tasks.h"
+#include "nn/conv_kernels.h"
 #include "nn/executor.h"
 #include "nn/layer.h"
 #include "nn/model.h"
+#include "nn/trainer.h"
 #include "quant/quant_executor.h"
 #include "quant/quant_model.h"
 #include "tensor/image_ops.h"
@@ -128,6 +133,32 @@ struct RingRow
     double fp32_ns_per_mac = 0.0;
 };
 
+/**
+ * Milliseconds per optimizer step of train_on_task on a fresh copy of
+ * the bench backbone: the fixed per-run overhead (data generation,
+ * executor compile, final eval) is measured with a zero-step run and
+ * subtracted out.
+ */
+double
+train_ms_per_step(const nn::Model& proto, const data::ImagingTask& task,
+                  nn::TrainConfig cfg, int steps)
+{
+    cfg.steps = 0;
+    nn::Model warm(proto);
+    const double t0 = now_ms();
+    nn::train_on_task(warm, task, cfg);
+    const double overhead_ms = now_ms() - t0;
+
+    cfg.steps = steps;
+    nn::Model m(proto);
+    const double t1 = now_ms();
+    nn::train_on_task(m, task, cfg);
+    const double total_ms = now_ms() - t1;
+    // Floor keeps a noisy overhead estimate from producing 0 (and the
+    // callers' speedup divisions from producing inf in the JSON).
+    return std::max(1e-3, (total_ms - overhead_ms) / steps);
+}
+
 }  // namespace
 
 int
@@ -227,6 +258,58 @@ main(int argc, char** argv)
                 q_scalar_ms, q_eng_st_ms, q_st_speedup, q_eng_mt_ms,
                 q_mt_speedup, int8_bit_exact ? "yes" : "NO");
 
+    double train_scalar_ms = 0.0, train_simd_st_ms = 0.0,
+           train_simd_mt_ms = 0.0;
+    const int train_patch = smoke ? 24 : 48;
+    // ---- train_step: scalar reference vs SIMD-parallel training ----
+    // The ISSUE/ROADMAP acceptance row: one optimizer step of the same
+    // 3-layer n=4 backbone (48x48 patches, batch 8, denoising) on the
+    // seed scalar path (TrainKernelOptions::strict_reference) vs the
+    // SIMD row-kernel + data-parallel path at 1 and 8 workers.
+    {
+        const int patch = train_patch;
+        const int train_steps = smoke ? 3 : 5;
+        const data::DenoiseTask train_task(25.0f / 255.0f,
+                                           tuple_channels * ri4.n);
+        nn::Model proto = bench_backbone(ri4, tuple_channels, layers, 7);
+        nn::TrainConfig tc;
+        tc.batch_size = 8;
+        tc.patch = patch;
+        tc.eval_count = 1;
+        tc.eval_patch = 16;
+
+        nn::TrainKernelOptions& ko = nn::train_kernel_options();
+        const nn::TrainKernelOptions saved = ko;
+        ko.strict_reference = true;
+        const double scalar_ms =
+            train_ms_per_step(proto, train_task, tc, train_steps);
+        ko.strict_reference = false;
+        // Pin the kernels' channel-level threads too, so the st row is
+        // genuinely single-threaded on multi-core hosts (threads = 0
+        // would let the conv kernels fan out even with one batch
+        // worker).
+        ko.threads = 1;
+        tc.threads = 1;
+        const double simd_st_ms =
+            train_ms_per_step(proto, train_task, tc, train_steps);
+        ko.threads = 8;
+        tc.threads = 8;
+        const double simd_mt_ms =
+            train_ms_per_step(proto, train_task, tc, train_steps);
+        ko = saved;
+
+        const double tr_st_speedup = scalar_ms / simd_st_ms;
+        const double tr_mt_speedup = scalar_ms / simd_mt_ms;
+        std::printf("  train_step:    scalar %.2f ms  simd %.2f ms (%.2fx)  "
+                    "simd-8w %.2f ms (%.2fx)   [%dx%d patches, batch 8]\n",
+                    scalar_ms, simd_st_ms, tr_st_speedup, simd_mt_ms,
+                    tr_mt_speedup, patch, patch);
+
+        train_scalar_ms = scalar_ms;
+        train_simd_st_ms = simd_st_ms;
+        train_simd_mt_ms = simd_mt_ms;
+    }
+
     // ---- per-ring engine micro-timings ----
     std::vector<RingRow> rows;
     const std::vector<std::string> ring_names =
@@ -299,6 +382,16 @@ main(int argc, char** argv)
     std::fprintf(f, "    \"mt_speedup\": %.3f,\n", q_mt_speedup);
     std::fprintf(f, "    \"bit_exact\": %s\n",
                  int8_bit_exact ? "true" : "false");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"train_step\": {\n");
+    std::fprintf(f, "    \"patch\": %d, \"batch\": 8,\n", train_patch);
+    std::fprintf(f, "    \"scalar_ms\": %.4f,\n", train_scalar_ms);
+    std::fprintf(f, "    \"simd_st_ms\": %.4f,\n", train_simd_st_ms);
+    std::fprintf(f, "    \"st_speedup\": %.3f,\n",
+                 train_scalar_ms / train_simd_st_ms);
+    std::fprintf(f, "    \"simd_mt_ms\": %.4f,\n", train_simd_mt_ms);
+    std::fprintf(f, "    \"mt_speedup\": %.3f\n",
+                 train_scalar_ms / train_simd_mt_ms);
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"rings\": [\n");
     for (size_t i = 0; i < rows.size(); ++i) {

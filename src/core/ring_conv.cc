@@ -9,11 +9,19 @@ namespace ringcnn {
 Tensor
 expand_to_real(const Ring& ring, const RingConvWeights& w)
 {
+    Tensor out;
+    expand_to_real_into(ring, w, out);
+    return out;
+}
+
+void
+expand_to_real_into(const Ring& ring, const RingConvWeights& w, Tensor& out)
+{
     const int n = ring.n;
     RINGCNN_CHECK(w.n == n, "ring weights built for n=" +
                                 std::to_string(w.n) + " but ring '" +
                                 ring.name + "' has n=" + std::to_string(n));
-    Tensor out({w.co_t * n, w.ci_t * n, w.k, w.k});
+    out.reset({w.co_t * n, w.ci_t * n, w.k, w.k});
     for (int co = 0; co < w.co_t; ++co) {
         for (int ci = 0; ci < w.ci_t; ++ci) {
             for (int ky = 0; ky < w.k; ++ky) {
@@ -33,7 +41,6 @@ expand_to_real(const Ring& ring, const RingConvWeights& w)
             }
         }
     }
-    return out;
 }
 
 RingConvWeights
@@ -44,10 +51,27 @@ project_from_real_grad(const Ring& ring, const Tensor& real_grad)
                       real_grad.dim(1) % n == 0,
                   "real weight gradient must be [co_t*n][ci_t*n][k][k], got " +
                       real_grad.shape_str() + " for n=" + std::to_string(n));
-    const int co_t = real_grad.dim(0) / n;
-    const int ci_t = real_grad.dim(1) / n;
-    const int k = real_grad.dim(2);
-    RingConvWeights g(co_t, ci_t, k, n);
+    RingConvWeights g(real_grad.dim(0) / n, real_grad.dim(1) / n,
+                      real_grad.dim(2), n);
+    project_from_real_grad_accum(ring, real_grad, g);
+    return g;
+}
+
+void
+project_from_real_grad_accum(const Ring& ring, const Tensor& real_grad,
+                             RingConvWeights& out)
+{
+    const int n = ring.n;
+    RINGCNN_CHECK(real_grad.rank() == 4 &&
+                      real_grad.dim(0) == out.co_t * n &&
+                      real_grad.dim(1) == out.ci_t * n &&
+                      real_grad.dim(2) == out.k && out.n == n,
+                  "real weight gradient must be [co_t*n][ci_t*n][k][k] "
+                  "matching the accumulator, got " + real_grad.shape_str() +
+                      " for n=" + std::to_string(n));
+    const int co_t = out.co_t;
+    const int ci_t = out.ci_t;
+    const int k = out.k;
     for (int co = 0; co < co_t; ++co) {
         for (int ci = 0; ci < ci_t; ++ci) {
             for (int ky = 0; ky < k; ++ky) {
@@ -63,13 +87,13 @@ project_from_real_grad(const Ring& ring, const Tensor& real_grad)
                                 }
                             }
                         }
-                        g.at(co, ci, ky, kx, kk) = static_cast<float>(acc);
+                        out.at(co, ci, ky, kx, kk) +=
+                            static_cast<float>(acc);
                     }
                 }
             }
         }
     }
-    return g;
 }
 
 Tensor

@@ -55,12 +55,29 @@ struct RingConvWeights
 Tensor expand_to_real(const Ring& ring, const RingConvWeights& w);
 
 /**
+ * Allocation-free expand_to_real: writes the expansion into `out`,
+ * reshaping it in place (buffer capacity is reused once warm). The
+ * training forward pass calls this once per sample, so the per-call
+ * tensor allocation of the returning variant is worth hoisting.
+ */
+void expand_to_real_into(const Ring& ring, const RingConvWeights& w,
+                         Tensor& out);
+
+/**
  * Adjoint of expand_to_real: folds a gradient w.r.t. the expanded real
  * weights back onto the n ring degrees of freedom:
  * dL/dg_k = sum_{i,j} M[i][k][j] dL/dW[co*n+i][ci*n+j].
  */
 RingConvWeights project_from_real_grad(const Ring& ring,
                                        const Tensor& real_grad);
+
+/**
+ * Allocation-free adjoint: ACCUMULATES the folded gradient into `out`
+ * (which must already have the matching co_t/ci_t/k/n geometry) — the
+ * shape RingConv2d::backward needs, with no temporary RingConvWeights.
+ */
+void project_from_real_grad_accum(const Ring& ring, const Tensor& real_grad,
+                                  RingConvWeights& out);
 
 /**
  * RCONV via the isomorphism: expand to real weights and run the golden

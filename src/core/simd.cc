@@ -21,6 +21,43 @@ scale_generic(float* dst, const float* src, float a, int64_t len)
     for (int64_t i = 0; i < len; ++i) dst[i] = a * src[i];
 }
 
+// The reductions keep 8 independent lane accumulators and combine them
+// with a fixed tree (see simd.h); the AVX2 versions perform the exact
+// same additions on real lanes, so the two dispatch targets agree bit
+// for bit.
+float
+reduce8(const float* lanes)
+{
+    return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+           ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+}
+
+float
+dot_generic(const float* a, const float* b, int64_t len)
+{
+    float lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    int64_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+        for (int j = 0; j < 8; ++j) lanes[j] += a[i + j] * b[i + j];
+    }
+    float acc = reduce8(lanes);
+    for (; i < len; ++i) acc += a[i] * b[i];
+    return acc;
+}
+
+float
+sum_generic(const float* src, int64_t len)
+{
+    float lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    int64_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+        for (int j = 0; j < 8; ++j) lanes[j] += src[i + j];
+    }
+    float acc = reduce8(lanes);
+    for (; i < len; ++i) acc += src[i];
+    return acc;
+}
+
 // Integer rows compute through uint32 so overflow wraps mod 2^32 in
 // every build (signed overflow is UB), matching the AVX2 mullo/add
 // lanes bit for bit.
@@ -74,6 +111,41 @@ scale_avx2(float* dst, const float* src, float a, int64_t len)
     for (; i < len; ++i) dst[i] = a * src[i];
 }
 
+// The vector accumulator's 8 lanes are exactly the 8 generic lanes
+// (lane j holds elements j, j+8, ...); mul+add, no FMA, and the same
+// reduce8 tree on the extracted lanes keep the bits identical to the
+// generic build.
+__attribute__((target("avx2"))) float
+dot_avx2(const float* a, const float* b, int64_t len)
+{
+    __m256 vacc = _mm256_setzero_ps();
+    int64_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+        vacc = _mm256_add_ps(vacc, _mm256_mul_ps(_mm256_loadu_ps(a + i),
+                                                 _mm256_loadu_ps(b + i)));
+    }
+    float lanes[8];
+    _mm256_storeu_ps(lanes, vacc);
+    float acc = reduce8(lanes);
+    for (; i < len; ++i) acc += a[i] * b[i];
+    return acc;
+}
+
+__attribute__((target("avx2"))) float
+sum_avx2(const float* src, int64_t len)
+{
+    __m256 vacc = _mm256_setzero_ps();
+    int64_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+        vacc = _mm256_add_ps(vacc, _mm256_loadu_ps(src + i));
+    }
+    float lanes[8];
+    _mm256_storeu_ps(lanes, vacc);
+    float acc = reduce8(lanes);
+    for (; i < len; ++i) acc += src[i];
+    return acc;
+}
+
 __attribute__((target("avx2"))) void
 axpy_i32_avx2(int32_t* dst, const int32_t* src, int32_t a, int64_t len)
 {
@@ -115,6 +187,8 @@ have_avx2()
 
 using AxpyFn = void (*)(float*, const float*, float, int64_t);
 using ScaleFn = void (*)(float*, const float*, float, int64_t);
+using DotFn = float (*)(const float*, const float*, int64_t);
+using SumFn = float (*)(const float*, int64_t);
 using AxpyI32Fn = void (*)(int32_t*, const int32_t*, int32_t, int64_t);
 using ScaleI32Fn = void (*)(int32_t*, const int32_t*, int32_t, int64_t);
 
@@ -122,6 +196,8 @@ struct Dispatch
 {
     AxpyFn axpy = axpy_generic;
     ScaleFn scale = scale_generic;
+    DotFn dot = dot_generic;
+    SumFn sum = sum_generic;
     AxpyI32Fn axpy_i = axpy_i32_generic;
     ScaleI32Fn scale_i = scale_i32_generic;
     const char* isa = "generic";
@@ -132,6 +208,8 @@ struct Dispatch
         if (have_avx2()) {
             axpy = axpy_avx2;
             scale = scale_avx2;
+            dot = dot_avx2;
+            sum = sum_avx2;
             axpy_i = axpy_i32_avx2;
             scale_i = scale_i32_avx2;
             isa = "avx2";
@@ -149,17 +227,54 @@ dispatch()
 
 }  // namespace
 
+// ---- fp32 row-kernel resolvers (see simd.h) --------------------------------
+//
+// The atomics start at these resolver thunks; the first call per kernel
+// swaps in the dispatched implementation and forwards, so the steady
+// state is one relaxed load + indirect call with no init guard.
+
+namespace {
+
 void
-axpy_f32(float* dst, const float* src, float a, int64_t len)
+axpy_resolver(float* dst, const float* src, float a, int64_t len)
 {
-    dispatch().axpy(dst, src, a, len);
+    const AxpyFn f = dispatch().axpy;
+    detail::axpy_f32_impl.store(f, std::memory_order_relaxed);
+    f(dst, src, a, len);
 }
 
 void
-scale_f32(float* dst, const float* src, float a, int64_t len)
+scale_resolver(float* dst, const float* src, float a, int64_t len)
 {
-    dispatch().scale(dst, src, a, len);
+    const ScaleFn f = dispatch().scale;
+    detail::scale_f32_impl.store(f, std::memory_order_relaxed);
+    f(dst, src, a, len);
 }
+
+float
+dot_resolver(const float* a, const float* b, int64_t len)
+{
+    const DotFn f = dispatch().dot;
+    detail::dot_f32_impl.store(f, std::memory_order_relaxed);
+    return f(a, b, len);
+}
+
+float
+sum_resolver(const float* src, int64_t len)
+{
+    const SumFn f = dispatch().sum;
+    detail::sum_f32_impl.store(f, std::memory_order_relaxed);
+    return f(src, len);
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<AxpyFn> axpy_f32_impl{axpy_resolver};
+std::atomic<ScaleFn> scale_f32_impl{scale_resolver};
+std::atomic<DotFn> dot_f32_impl{dot_resolver};
+std::atomic<SumFn> sum_f32_impl{sum_resolver};
+}  // namespace detail
 
 void
 axpy_i32(int32_t* dst, const int32_t* src, int32_t a, int64_t len)

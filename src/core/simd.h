@@ -8,6 +8,12 @@
  *   axpy_f32:  dst[i] += a * src[i]     (conv taps, reconstruction)
  *   scale_f32: dst[i]  = a * src[i]     (first transform term)
  *
+ * The training backward passes add two row *reductions* with a fixed
+ * 8-lane accumulation contract (see dot_f32 below):
+ *
+ *   dot_f32:   sum_i a[i] * b[i]        (weight gradients)
+ *   sum_f32:   sum_i src[i]             (bias gradients)
+ *
  * The quantized (int8 weight / int32 accumulator) path uses the same
  * two row shapes over int32 lanes:
  *
@@ -38,15 +44,93 @@
 #ifndef RINGCNN_CORE_SIMD_H
 #define RINGCNN_CORE_SIMD_H
 
+#include <atomic>
 #include <cstdint>
 
 namespace ringcnn::simd {
 
+namespace detail {
+
+// The fp32 row kernels are wrapped by inline functions with two
+// properties the training kernels' short rows need:
+//  - rows below a small threshold run a plain inline loop — the
+//    per-row indirect call (and its code-gen barrier) costs more than
+//    the row itself on 8..16-pixel patches, and the arithmetic is
+//    element-wise, so every implementation produces identical bits;
+//  - longer rows go through a self-resolving atomic function pointer
+//    (relaxed loads compile to a plain move): the first call swaps in
+//    the dispatched AVX2/generic implementation, after which there is
+//    no static-init guard on the row path.
+using AxpyFn = void (*)(float*, const float*, float, int64_t);
+using ScaleFn = void (*)(float*, const float*, float, int64_t);
+using DotFn = float (*)(const float*, const float*, int64_t);
+using SumFn = float (*)(const float*, int64_t);
+extern std::atomic<AxpyFn> axpy_f32_impl;
+extern std::atomic<ScaleFn> scale_f32_impl;
+extern std::atomic<DotFn> dot_f32_impl;
+extern std::atomic<SumFn> sum_f32_impl;
+
+/** Rows shorter than this run inline (element-wise kernels only). */
+constexpr int64_t kInlineRow = 16;
+
+}  // namespace detail
+
 /** dst[i] += a * src[i] for i in [0, len). */
-void axpy_f32(float* dst, const float* src, float a, int64_t len);
+inline void axpy_f32(float* dst, const float* src, float a, int64_t len)
+{
+    if (len < detail::kInlineRow) {
+        for (int64_t i = 0; i < len; ++i) dst[i] += a * src[i];
+        return;
+    }
+    detail::axpy_f32_impl.load(std::memory_order_relaxed)(dst, src, a, len);
+}
 
 /** dst[i] = a * src[i] for i in [0, len). */
-void scale_f32(float* dst, const float* src, float a, int64_t len);
+inline void scale_f32(float* dst, const float* src, float a, int64_t len)
+{
+    if (len < detail::kInlineRow) {
+        for (int64_t i = 0; i < len; ++i) dst[i] = a * src[i];
+        return;
+    }
+    detail::scale_f32_impl.load(std::memory_order_relaxed)(dst, src, a, len);
+}
+
+/**
+ * Returns sum_i a[i] * b[i] for i in [0, len) — the shifted-row inner
+ * product of the training backward-weights pass.
+ *
+ * Reduction order is part of the contract: both dispatch targets keep 8
+ * independent lane accumulators over the stride-8 index grid (lane j
+ * sums elements j, j+8, j+16, ...), combine them with the fixed tree
+ * ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)), then fold the < 8 tail
+ * elements in sequentially. Identical bits on every backend, and under
+ * any row banding the callers keep fixed. (The inline len < 8 shortcut
+ * IS that contract: zero full blocks reduce to +0.0f, then the tail
+ * folds sequentially.)
+ */
+inline float dot_f32(const float* a, const float* b, int64_t len)
+{
+    if (len < 8) {
+        float acc = 0.0f;
+        for (int64_t i = 0; i < len; ++i) acc += a[i] * b[i];
+        return acc;
+    }
+    return detail::dot_f32_impl.load(std::memory_order_relaxed)(a, b, len);
+}
+
+/**
+ * Returns sum_i src[i] for i in [0, len) — the row-sum reduction of the
+ * bias gradient. Same 8-lane reduction contract as dot_f32.
+ */
+inline float sum_f32(const float* src, int64_t len)
+{
+    if (len < 8) {
+        float acc = 0.0f;
+        for (int64_t i = 0; i < len; ++i) acc += src[i];
+        return acc;
+    }
+    return detail::sum_f32_impl.load(std::memory_order_relaxed)(src, len);
+}
 
 /** dst[i] += a * src[i] for i in [0, len), wrapping int32. */
 void axpy_i32(int32_t* dst, const int32_t* src, int32_t a, int64_t len);

@@ -1,11 +1,28 @@
 /**
  * @file
- * Optimized dense convolution kernels ("same" padding, stride 1) used
- * by the training layers. The loops are organised plane-wise — for a
- * fixed (oc, ic, ky, kx) tap, a whole row of the output is updated from
- * a contiguous row of the input — so the compiler can vectorize the
- * inner loop. Correctness is pinned to tensor/image_ops.h conv2d by
- * unit tests.
+ * Dense convolution kernels ("same" padding, stride 1) used by the
+ * training layers — the fp32 hot path of every conv2d_forward /
+ * backward call `train_on_task` makes.
+ *
+ * The default path runs tap-ordered row kernels over core/simd.h
+ * (axpy_f32 rows for the forward and input-gradient passes, dot_f32 /
+ * sum_f32 reductions for the weight and bias gradients) and
+ * parallelizes across output (forward, weight-grad) or input
+ * (input-grad) channels on the persistent util::ThreadPool. Per-channel
+ * arithmetic order is fixed, so results are bit-identical under every
+ * thread count and dispatched ISA; the forward and input-gradient
+ * passes are additionally bit-identical to the scalar reference loops
+ * (same per-element multiply/add sequence, no FMA contraction). The
+ * weight/bias gradients reduce in float 8-lane order instead of the
+ * reference's scalar double accumulator, so they match the reference
+ * only to fp32 rounding — tests/test_train_kernels.cc pins both
+ * contracts.
+ *
+ * TrainKernelOptions::strict_reference keeps the original scalar loops
+ * selectable (mirroring RingConvEngineOptions::strict_fp64 on the
+ * inference side): set it to reproduce seed-era training bit for bit.
+ * Correctness of the reference is pinned to tensor/image_ops.h conv2d
+ * by unit tests; the SIMD path is pinned to the reference.
  */
 #ifndef RINGCNN_NN_CONV_KERNELS_H
 #define RINGCNN_NN_CONV_KERNELS_H
@@ -15,11 +32,40 @@
 namespace ringcnn::nn {
 
 /**
+ * Process-wide knobs for the training conv kernels. Free functions
+ * can't thread an options struct through the Layer API, so the flags
+ * live here; set them before entering a training/bench region (they
+ * are read at call time and are not synchronized against concurrent
+ * writers).
+ */
+struct TrainKernelOptions
+{
+    /**
+     * Run the original scalar loops (double-precision weight/bias
+     * gradient accumulation, single-threaded). nn::train_on_task also
+     * consults this flag and falls back to its sequential
+     * one-sample-at-a-time batch walk, so a strict run reproduces the
+     * seed trainer's per-step losses bit for bit.
+     */
+    bool strict_reference = false;
+    /** Worker threads for the channel-parallel kernels; 0 = auto
+     *  (RINGCNN_THREADS, then hardware concurrency). */
+    int threads = 0;
+};
+
+/** The mutable process-wide options instance. */
+TrainKernelOptions& train_kernel_options();
+
+/**
  * Forward convolution: out = conv(x, w) + bias, "same" padding.
  * @param out preallocated [Co][H][W]; overwritten.
+ * @param fuse_relu apply max(0, ·) to each output row while it is hot
+ *        (the executor's Conv2d+ReLU epilogue fusion). Applied on both
+ *        kernel paths.
  */
 void conv2d_forward(const Tensor& x, const Tensor& w,
-                    const std::vector<float>& bias, Tensor& out);
+                    const std::vector<float>& bias, Tensor& out,
+                    bool fuse_relu = false);
 
 /**
  * Input gradient: grad_x = conv^T(w, grad_out).
@@ -31,9 +77,19 @@ void conv2d_backward_input(const Tensor& w, const Tensor& grad_out,
 /**
  * Weight/bias gradients, ACCUMULATED into grad_w / grad_b.
  * Shapes: grad_w [Co][Ci][K][K], grad_b length Co (may be empty to skip).
+ *
+ * @param pair_mask optional [Co][Ci] row-major mask: channel pairs with
+ *        mask 0 are skipped entirely — their grad_w tap blocks are left
+ *        untouched. RingConv2d passes the ring's structural-sparsity
+ *        pattern here (the expansion of eq. (4) is identically zero at
+ *        1 - 1/n of the (i, j) block positions for the paper's RI
+ *        rings, so their real-weight gradients are never read by the
+ *        fold back onto the ring degrees of freedom). Pass nullptr for
+ *        a dense conv.
  */
 void conv2d_backward_weights(const Tensor& x, const Tensor& grad_out,
-                             Tensor& grad_w, std::vector<float>& grad_b);
+                             Tensor& grad_w, std::vector<float>& grad_b,
+                             const uint8_t* pair_mask = nullptr);
 
 }  // namespace ringcnn::nn
 

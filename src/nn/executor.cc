@@ -167,11 +167,46 @@ ModelExecutor::compile_ringconv(RingConv2d* rc, int in, Shape& shape,
 }
 
 int
+ModelExecutor::compile_conv2d(Conv2d* conv, int in, Shape& shape,
+                              bool fuse_relu)
+{
+    const int out = acquire_slot();
+    Shape out_shape = conv->out_shape(shape);
+    steps_.push_back([this, conv, in, out, out_shape, fuse_relu](int batch) {
+        for (int b = 0; b < batch; ++b) {
+            Tensor& dst =
+                slots_[static_cast<size_t>(out)][static_cast<size_t>(b)];
+            dst.reset(out_shape);
+            conv2d_forward(
+                slots_[static_cast<size_t>(in)][static_cast<size_t>(b)],
+                conv->weights(), conv->bias(), dst, fuse_relu);
+        }
+    });
+    if (fuse_relu) ++fused_real_convs_;
+    decref(in);
+    shape = out_shape;
+    return out;
+}
+
+int
 ModelExecutor::compile_sequential(Sequential* seq, int in, Shape& shape)
 {
     int cur = in;
     for (size_t i = 0; i < seq->size(); ++i) {
         Layer* l = &seq->at(i);
+        if (auto* conv = dynamic_cast<Conv2d*>(l)) {
+            // Real-algebra epilogue fusion: a ReLU right after a dense
+            // conv rectifies each output channel while it is hot
+            // instead of round-tripping the activation (the ring paths
+            // have fused this since PR 2; the n=1 baselines now match).
+            Layer* next = i + 1 < seq->size() ? &seq->at(i + 1) : nullptr;
+            const bool fuse = opt_.fuse_epilogues && !opt_.strict_fp64 &&
+                              next != nullptr &&
+                              dynamic_cast<ReLU*>(next) != nullptr;
+            cur = compile_conv2d(conv, cur, shape, fuse);
+            if (fuse) ++i;  // consumed the ReLU
+            continue;
+        }
         if (auto* rc = dynamic_cast<RingConv2d*>(l)) {
             // Epilogue fusion: fold an immediately-following ReLU or
             // (tuple-aligned) DirectionalReLU into the engine's band
@@ -249,21 +284,7 @@ ModelExecutor::compile(Layer* l, int in, Shape& shape)
         return main_out;
     }
     if (auto* conv = dynamic_cast<Conv2d*>(l)) {
-        const int out = acquire_slot();
-        Shape out_shape = conv->out_shape(shape);
-        steps_.push_back([this, conv, in, out, out_shape](int batch) {
-            for (int b = 0; b < batch; ++b) {
-                Tensor& dst =
-                    slots_[static_cast<size_t>(out)][static_cast<size_t>(b)];
-                dst.reset(out_shape);
-                conv2d_forward(
-                    slots_[static_cast<size_t>(in)][static_cast<size_t>(b)],
-                    conv->weights(), conv->bias(), dst);
-            }
-        });
-        decref(in);
-        shape = out_shape;
-        return out;
+        return compile_conv2d(conv, in, shape, /*fuse_relu=*/false);
     }
     if (dynamic_cast<ReLU*>(l) != nullptr) {
         // In place when this step is the input's only consumer.

@@ -13,7 +13,9 @@
  *    across calls;
  *  - a ReLU or DirectionalReLU that immediately follows a ring conv is
  *    fused into that engine's output pass (ConvEpilogue), so the
- *    activation never round-trips through memory;
+ *    activation never round-trips through memory; a ReLU after a dense
+ *    Conv2d is likewise folded into the conv step (the n=1 real-algebra
+ *    baselines rectify each output channel while it is hot);
  *  - all other supported layers (Conv2d, shuffles, pad/crop, residual
  *    and two-branch adds) become allocation-free steps over a slotted
  *    activation arena — a generalized ping-pong buffer set sized from
@@ -83,6 +85,9 @@ class ModelExecutor
     size_t step_count() const { return steps_.size(); }
     /** Activation-arena slot count (introspection for tests/benches). */
     int slot_count() const { return static_cast<int>(slots_.size()); }
+    /** Dense (real-algebra) convs whose following ReLU was fused into
+     *  the conv step (introspection for tests/benches). */
+    int fused_conv_relu_count() const { return fused_real_convs_; }
 
     /** Re-syncs cached engines with layer parameter versions. Called
      *  automatically by run(). */
@@ -116,6 +121,7 @@ class ModelExecutor
     void decref(int slot);
     int compile(Layer* l, int in, Shape& shape);
     int compile_sequential(Sequential* seq, int in, Shape& shape);
+    int compile_conv2d(Conv2d* conv, int in, Shape& shape, bool fuse_relu);
     int compile_ringconv(RingConv2d* rc, int in, Shape& shape,
                          ConvEpilogue epilogue, const Matd* u,
                          const Matd* v);
@@ -138,6 +144,7 @@ class ModelExecutor
     std::vector<std::function<void(int)>> steps_;
     std::vector<std::unique_ptr<EngineRec>> engines_;
     int batch_capacity_ = 0;
+    int fused_real_convs_ = 0;
 };
 
 }  // namespace ringcnn::nn

@@ -159,6 +159,21 @@ class RingConv2d : public Layer
     std::vector<float> b_, gb_;
     Tensor x_cache_;
     Tensor w_real_;  ///< cached expansion for the current forward pass
+    /** Backward-pass scratch, reused across samples/steps so the hot
+     *  training loop performs no per-call gradient-buffer allocations
+     *  (capacity persists through Tensor::reset / vector::assign). */
+    Tensor gw_real_scratch_;
+    std::vector<float> gb_scratch_;
+    /**
+     * [co_t*n][ci_t*n] structural-sparsity mask of the eq. (4)
+     * expansion: entry (i, j) of a block is 0 iff M[i][k][j] == 0 for
+     * every k — then the expanded weight is identically zero AND its
+     * real gradient is never read by the fold back onto the ring
+     * degrees of freedom, so the weight-gradient pass skips the whole
+     * channel pair. 1/n dense for the paper's RI rings (their
+     * algebraic sparsity), all-ones for dense rings like RH4/C.
+     */
+    std::vector<uint8_t> struct_mask_;
     std::shared_ptr<RingConvEngine> engine_;  ///< lazy inference cache
     uint64_t param_version_ = 1;   ///< bumped on every param write
     uint64_t engine_version_ = 0;  ///< param version the engine was built at

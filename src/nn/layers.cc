@@ -82,6 +82,31 @@ RingConv2d::RingConv2d(const Ring& ring, int ci_t, int co_t, int k,
         std::sqrt(2.0f / (static_cast<float>(ci_t) * ring.n * k * k));
     std::normal_distribution<float> dist(0.0f, stddev);
     for (auto& v : g_.w) v = dist(rng);
+
+    // Structural-sparsity mask of the real expansion (see layer.h):
+    // the (i, j) pattern of one n x n block, tiled over every tuple
+    // pair. Built once — it depends only on the ring.
+    const int n = ring.n;
+    std::vector<uint8_t> block(static_cast<size_t>(n) * n, 0);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            for (int kk = 0; kk < n; ++kk) {
+                if (ring.mult.at(i, kk, j) != 0) {
+                    block[static_cast<size_t>(i) * n + j] = 1;
+                    break;
+                }
+            }
+        }
+    }
+    struct_mask_.assign(
+        static_cast<size_t>(co_t) * n * ci_t * n, 0);
+    const size_t row = static_cast<size_t>(ci_t) * n;
+    for (int oc = 0; oc < co_t * n; ++oc) {
+        for (int ic = 0; ic < ci_t * n; ++ic) {
+            struct_mask_[static_cast<size_t>(oc) * row + ic] =
+                block[static_cast<size_t>(oc % n) * n + ic % n];
+        }
+    }
 }
 
 const RingConvEngine&
@@ -113,7 +138,7 @@ RingConv2d::forward(const Tensor& x, bool train)
     // through (Section IV-B).
     if (!train) return inference_engine().run(x);
     x_cache_ = x;
-    w_real_ = expand_to_real(*ring_, g_);
+    expand_to_real_into(*ring_, g_, w_real_);
     Tensor out({co_t_ * ring_->n, x.dim(1), x.dim(2)});
     conv2d_forward(x, w_real_, b_, out);
     return out;
@@ -122,12 +147,17 @@ RingConv2d::forward(const Tensor& x, bool train)
 Tensor
 RingConv2d::backward(const Tensor& grad_out)
 {
-    Tensor gw_real({co_t_ * ring_->n, ci_t_ * ring_->n, k_, k_});
-    std::vector<float> gb_local(b_.size(), 0.0f);
-    conv2d_backward_weights(x_cache_, grad_out, gw_real, gb_local);
-    for (size_t i = 0; i < gb_.size(); ++i) gb_[i] += gb_local[i];
-    const RingConvWeights gproj = project_from_real_grad(*ring_, gw_real);
-    for (size_t i = 0; i < gg_.w.size(); ++i) gg_.w[i] += gproj.w[i];
+    // Scratch reuse: gw_real_scratch_ keeps its capacity across
+    // samples, and the fold back onto the ring degrees of freedom
+    // accumulates straight into gg_ — the only per-call allocation left
+    // is the grad_x the Layer API returns by value.
+    gw_real_scratch_.reset({co_t_ * ring_->n, ci_t_ * ring_->n, k_, k_});
+    gw_real_scratch_.fill(0.0f);
+    gb_scratch_.assign(b_.size(), 0.0f);
+    conv2d_backward_weights(x_cache_, grad_out, gw_real_scratch_,
+                            gb_scratch_, struct_mask_.data());
+    for (size_t i = 0; i < gb_.size(); ++i) gb_[i] += gb_scratch_[i];
+    project_from_real_grad_accum(*ring_, gw_real_scratch_, gg_);
     Tensor grad_x({ci_t_ * ring_->n, grad_out.dim(1), grad_out.dim(2)});
     conv2d_backward_input(w_real_, grad_out, grad_x);
     return grad_x;
@@ -160,6 +190,8 @@ RingConv2d::clone() const
     auto c = std::make_unique<RingConv2d>(*this);
     c->x_cache_ = Tensor();
     c->w_real_ = Tensor();
+    c->gw_real_scratch_ = Tensor();
+    c->gb_scratch_.clear();
     c->engine_.reset();
     c->engine_version_ = 0;
     c->engine_fingerprint_ = 0;

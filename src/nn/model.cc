@@ -1,6 +1,7 @@
 #include "nn/model.h"
 
 #include "nn/executor.h"
+#include "util/check.h"
 
 namespace ringcnn::nn {
 
@@ -35,6 +36,21 @@ Model::operator=(const Model& o)
 Model::Model(Model&& o) noexcept = default;
 Model& Model::operator=(Model&& o) noexcept = default;
 Model::~Model() = default;
+
+void
+Model::copy_params_from(Model& src)
+{
+    const std::vector<ParamRef> mine = params();
+    const std::vector<ParamRef> theirs = src.params();
+    RINGCNN_CHECK(mine.size() == theirs.size(),
+                  "copy_params_from across mismatched model topologies");
+    for (size_t i = 0; i < mine.size(); ++i) {
+        RINGCNN_CHECK(mine[i].value->size() == theirs[i].value->size(),
+                      "copy_params_from across mismatched parameter sizes");
+        *mine[i].value = *theirs[i].value;
+        mine[i].mark_dirty();
+    }
+}
 
 ModelExecutor&
 Model::executor(const Shape& shape)

@@ -69,6 +69,14 @@ class Model
         return out;
     }
 
+    /**
+     * Copies parameter VALUES (not gradients) from `src`, which must
+     * have identical topology — the per-step weight sync of the
+     * data-parallel trainer's worker replicas. Bumps the destination
+     * layers' parameter versions so cached engines refresh.
+     */
+    void copy_params_from(Model& src);
+
     /** Total trainable scalars (the paper's weight-storage axis). */
     int64_t num_params()
     {

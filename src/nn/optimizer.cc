@@ -1,5 +1,7 @@
 #include "nn/optimizer.h"
 
+#include "util/check.h"
+
 namespace ringcnn::nn {
 
 Adam::Adam(std::vector<ParamRef> params, float lr, float beta1, float beta2,
@@ -51,6 +53,21 @@ Adam::clip_global_norm(float max_norm, float grad_scale)
     const float scale = static_cast<float>(max_norm / norm);
     for (auto& p : params_) {
         for (float& g : *p.grad) g *= scale;
+    }
+}
+
+void
+accumulate_gradients(const std::vector<ParamRef>& dst,
+                     const std::vector<ParamRef>& src)
+{
+    RINGCNN_CHECK(dst.size() == src.size(),
+                  "gradient reduction over mismatched parameter sets");
+    for (size_t pi = 0; pi < dst.size(); ++pi) {
+        auto& d = *dst[pi].grad;
+        const auto& s = *src[pi].grad;
+        RINGCNN_CHECK(d.size() == s.size(),
+                      "gradient reduction over mismatched parameter sizes");
+        for (size_t i = 0; i < d.size(); ++i) d[i] += s[i];
     }
 }
 

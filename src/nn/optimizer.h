@@ -40,6 +40,17 @@ class Adam
     int64_t t_ = 0;
 };
 
+/**
+ * Accumulates every gradient of `src` into the matching gradient of
+ * `dst` — the reduction hook of the data-parallel trainer. Both vectors
+ * must come from collect_params() over models with identical topology
+ * (same parameter order and sizes; checked). Call once per replica in a
+ * fixed order: float addition is not associative, so the call order IS
+ * the determinism contract for a given worker count.
+ */
+void accumulate_gradients(const std::vector<ParamRef>& dst,
+                          const std::vector<ParamRef>& src);
+
 /** Plain SGD, optionally with momentum. */
 class Sgd
 {

@@ -1,7 +1,9 @@
 #include "nn/trainer.h"
 
+#include <cassert>
 #include <cmath>
 
+#include "nn/conv_kernels.h"
 #include "nn/executor.h"
 #include "tensor/image_ops.h"
 #include "util/thread_pool.h"
@@ -35,6 +37,40 @@ train_on_task(Model& model, const data::ImagingTask& task,
     const int scale = task.scale();
     const int tgt_patch = cfg.patch - cfg.patch % scale;
 
+    // ---- data-parallel worker set -----------------------------------
+    // Worker 0 trains on the master model; workers 1..W-1 each own a
+    // full replica (weights AND gradient accumulators — backward() can
+    // then run concurrently with no shared ParamRef writes). Sample b
+    // goes to worker b % W, each worker walks its samples in increasing
+    // b, and the replica gradients reduce into the master in worker
+    // order — so a run is bit-deterministic for a given worker count.
+    // strict_reference forces W = 1, which (with the scalar kernels)
+    // reproduces the seed trainer's sequential per-step losses exactly.
+    // Inside a pool worker (e.g. a quality bench training several
+    // variants concurrently) nested parallelism runs inline, so worker
+    // replicas would only add weight-sync overhead: train sequentially.
+    const bool strict = train_kernel_options().strict_reference;
+    const bool nested = util::ThreadPool::in_worker();
+    const int workers =
+        strict || nested
+            ? 1
+            : std::max(1, std::min(util::resolve_threads(cfg.threads),
+                                   cfg.batch_size));
+    std::vector<Model> replicas;  // workers 1..W-1
+    replicas.reserve(static_cast<size_t>(workers - 1));
+    for (int w = 1; w < workers; ++w) replicas.emplace_back(model);
+    std::vector<std::vector<ParamRef>> replica_params;
+    for (auto& r : replicas) replica_params.push_back(r.params());
+
+    // Per-worker workspace, reused across samples and steps: the MSE
+    // gradient buffer (Tensor::reset keeps its capacity) and the
+    // drawn batch. Layer-internal backward scratch lives on the layers
+    // themselves (see RingConv2d::backward).
+    std::vector<Tensor> grad_bufs(static_cast<size_t>(workers));
+    std::vector<data::Sample> batch(static_cast<size_t>(cfg.batch_size));
+    std::vector<double> sample_loss(static_cast<size_t>(cfg.batch_size));
+    const std::vector<ParamRef> master_params = model.params();
+
     for (int step = 0; step < cfg.steps; ++step) {
         // Cosine decay from lr to lr * lr_final_frac.
         const double progress = static_cast<double>(step) / cfg.steps;
@@ -42,25 +78,55 @@ train_on_task(Model& model, const data::ImagingTask& task,
         opt.set_lr(static_cast<float>(
             cfg.lr * (cfg.lr_final_frac + (1.0 - cfg.lr_final_frac) * cosine)));
 
+        // Draw the whole batch from the shared stream first, so the
+        // data a given (seed, step, b) sees is identical under every
+        // worker count — and identical to the seed trainer's.
+        for (int b = 0; b < cfg.batch_size; ++b) {
+            batch[static_cast<size_t>(b)] =
+                task.make_pair(tgt_patch, tgt_patch, rng);
+        }
+
         model.zero_grad();
+        for (auto& r : replicas) r.zero_grad();
+
+        util::parallel_for(
+            workers,
+            [&](int64_t wi) {
+                const int w = static_cast<int>(wi);
+                Model& m =
+                    w == 0 ? model : replicas[static_cast<size_t>(w - 1)];
+                Tensor& grad = grad_bufs[static_cast<size_t>(w)];
+                for (int b = w; b < cfg.batch_size; b += workers) {
+                    const auto& [input, target] =
+                        batch[static_cast<size_t>(b)];
+                    const Tensor out = m.forward(input, true);
+                    assert(out.numel() == target.numel());
+                    // MSE loss; gradient = 2 (out - target) / numel.
+                    grad.reset(out.shape());
+                    double loss = 0.0;
+                    const float inv =
+                        2.0f / static_cast<float>(out.numel());
+                    for (int64_t i = 0; i < out.numel(); ++i) {
+                        const float d = out[i] - target[i];
+                        loss += 0.5 * static_cast<double>(d) * d;
+                        grad[i] = d * inv;
+                    }
+                    sample_loss[static_cast<size_t>(b)] =
+                        2.0 * loss / static_cast<double>(out.numel());
+                    m.backward(grad);
+                }
+            },
+            workers);
+
+        // Fixed-order reduction: worker 0 accumulated into the master
+        // already; fold the replicas in ascending worker order.
+        for (auto& rp : replica_params) {
+            accumulate_gradients(master_params, rp);
+        }
+
         double batch_loss = 0.0;
         for (int b = 0; b < cfg.batch_size; ++b) {
-            const auto [input, target] = task.make_pair(tgt_patch, tgt_patch,
-                                                        rng);
-            const Tensor out = model.forward(input, true);
-            assert(out.numel() == target.numel());
-            // MSE loss; gradient = 2 (out - target) / numel.
-            Tensor grad({out.shape()});
-            double loss = 0.0;
-            const float inv = 2.0f / static_cast<float>(out.numel());
-            for (int64_t i = 0; i < out.numel(); ++i) {
-                const float d = out[i] - target[i];
-                loss += 0.5 * static_cast<double>(d) * d;
-                grad[i] = d * inv;
-            }
-            loss = 2.0 * loss / static_cast<double>(out.numel());
-            batch_loss += loss;
-            model.backward(grad);
+            batch_loss += sample_loss[static_cast<size_t>(b)];
         }
         batch_loss /= cfg.batch_size;
         res.loss_curve.push_back(batch_loss);
@@ -71,6 +137,10 @@ train_on_task(Model& model, const data::ImagingTask& task,
         }
         opt.step(grad_scale);
         if (cfg.post_step) cfg.post_step(model);
+
+        // Weight sync: replicas pick up the post-step master values
+        // (and any post_step mutation, e.g. a re-applied pruning mask).
+        for (auto& r : replicas) r.copy_params_from(model);
     }
 
     const int tail = std::min<int>(10, static_cast<int>(res.loss_curve.size()));

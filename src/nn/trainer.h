@@ -32,6 +32,15 @@ struct TrainConfig
     unsigned seed = 1234;      ///< controls data stream AND evaluation set
     int eval_count = 8;        ///< eval images
     int eval_patch = 48;       ///< eval target size
+    /**
+     * Data-parallel workers for the batch (capped at batch_size);
+     * 0 = auto (RINGCNN_THREADS, then hardware concurrency). Results
+     * are bit-deterministic for a given worker count; different counts
+     * reduce gradients in different float orders and so may differ in
+     * the last bits. TrainKernelOptions::strict_reference forces the
+     * sequential seed path regardless of this value.
+     */
+    int threads = 0;
     /** Invoked after every optimizer step (e.g. to re-apply a pruning
      *  mask). May be empty. */
     std::function<void(Model&)> post_step;

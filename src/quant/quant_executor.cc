@@ -242,10 +242,16 @@ QuantExecutor::compile_conv(const QConvNode* conv, const QDirReluNode* dir,
                 // n-tuple of conv bands. The per-pixel arithmetic below
                 // mirrors onthefly_directional_relu / the QDirReluNode
                 // else-branch operation for operation, on stack tuples
-                // instead of heap vectors — keep them consistent.
+                // instead of heap vectors — keep them consistent. All
+                // per-task setup (alignment/output shift amounts,
+                // butterfly width, row pointers) and the pipeline
+                // branch are hoisted out of the pixel loop; the int64
+                // tuple math itself stays scalar — AVX2 lacks 64-bit
+                // arithmetic right shifts and saturation, so 4-wide
+                // epi64 lanes measured no faster than this form (see
+                // README "Training performance").
                 const int n = gn;
                 const int base = t.group * n;
-                int64_t z[kMaxTuple];
                 int ny[kMaxTuple] = {0}, nx[kMaxTuple] = {0};
                 for (int i = 0; i < n; ++i) {
                     ny[i] = K.out_frac()[static_cast<size_t>(base + i)];
@@ -254,23 +260,30 @@ QuantExecutor::compile_conv(const QConvNode* conv, const QDirReluNode* dir,
                 int fmax = ny[0];
                 for (int i = 1; i < n; ++i) fmax = std::max(fmax, ny[i]);
                 const int log2n = ceil_log2(n);
+                const int32_t* brows[kMaxTuple];
                 int32_t* orows[kMaxTuple];
                 for (int i = 0; i < n; ++i) {
+                    brows[i] = buf.data() + static_cast<int64_t>(i) * brow;
                     orows[i] = o.ch(base + i) +
                                static_cast<int64_t>(t.y0) * wd;
                 }
-                for (int64_t p = 0; p < brow; ++p) {
-                    if (dir->onthefly) {
-                        // Align left-shifts to the widest frac (unsigned
-                        // shift: same bits, no UB on negatives), two
-                        // butterflies around the rectifier, one final
-                        // per-component round/saturate.
+                if (dir->onthefly) {
+                    // Align left-shifts to the widest frac (unsigned
+                    // shift: same bits, no UB on negatives), two
+                    // butterflies around the rectifier, one final
+                    // per-component round/saturate.
+                    int lsh[kMaxTuple], rsh[kMaxTuple];
+                    for (int i = 0; i < n; ++i) {
+                        lsh[i] = fmax - ny[i];
+                        rsh[i] = fmax + log2n - nx[i];
+                    }
+                    for (int64_t p = 0; p < brow; ++p) {
                         int64_t tv[kMaxTuple];
                         for (int i = 0; i < n; ++i) {
                             tv[i] = static_cast<int64_t>(
                                 static_cast<uint64_t>(static_cast<int64_t>(
-                                    buf[static_cast<size_t>(i * brow + p)]))
-                                << (fmax - ny[i]));
+                                    brows[i][p]))
+                                << lsh[i]);
                         }
                         wht_inplace(tv, n);
                         for (int i = 0; i < n; ++i) {
@@ -278,43 +291,41 @@ QuantExecutor::compile_conv(const QConvNode* conv, const QDirReluNode* dir,
                         }
                         wht_inplace(tv, n);
                         for (int i = 0; i < n; ++i) {
-                            z[i] = shift_round_saturate(
-                                tv[i], fmax + log2n - nx[i], dir->bits);
+                            orows[i][p] =
+                                static_cast<int32_t>(shift_round_saturate(
+                                    tv[i], rsh[i], dir->bits));
                         }
-                    } else {
-                        // Quantize-first ablation, operation for
-                        // operation the QDirReluNode else-branch.
+                    }
+                } else {
+                    // Quantize-first ablation, operation for operation
+                    // the QDirReluNode else-branch.
+                    int qsh[kMaxTuple], msh[kMaxTuple], osh[kMaxTuple];
+                    for (int i = 0; i < n; ++i) {
+                        qsh[i] = ny[i] -
+                                 dir->pre_frac[static_cast<size_t>(base + i)];
+                        msh[i] = dir->pre_frac[static_cast<size_t>(base)] -
+                                 dir->mid_frac[static_cast<size_t>(base + i)];
+                        osh[i] = dir->mid_frac[static_cast<size_t>(base)] -
+                                 nx[i] + log2n;
+                    }
+                    for (int64_t p = 0; p < brow; ++p) {
                         int64_t yv[kMaxTuple];
                         for (int i = 0; i < n; ++i) {
-                            const int pf =
-                                dir->pre_frac[static_cast<size_t>(base + i)];
-                            yv[i] = shift_round_saturate(
-                                buf[static_cast<size_t>(i * brow + p)],
-                                ny[static_cast<size_t>(i)] - pf, dir->bits);
+                            yv[i] = shift_round_saturate(brows[i][p], qsh[i],
+                                                         dir->bits);
                         }
                         wht_inplace(yv, n);
                         for (int i = 0; i < n; ++i) {
-                            const int pf =
-                                dir->pre_frac[static_cast<size_t>(base)];
-                            const int mf =
-                                dir->mid_frac[static_cast<size_t>(base + i)];
-                            int64_t v = shift_round_saturate(
-                                yv[i], pf - mf, dir->bits);
+                            const int64_t v = shift_round_saturate(
+                                yv[i], msh[i], dir->bits);
                             yv[i] = v > 0 ? v : 0;
                         }
                         wht_inplace(yv, n);
                         for (int i = 0; i < n; ++i) {
-                            const int mf =
-                                dir->mid_frac[static_cast<size_t>(base)];
-                            z[static_cast<size_t>(i)] = shift_round_saturate(
-                                yv[i],
-                                mf - nx[static_cast<size_t>(i)] + log2n,
-                                dir->bits);
+                            orows[i][p] =
+                                static_cast<int32_t>(shift_round_saturate(
+                                    yv[i], osh[i], dir->bits));
                         }
-                    }
-                    for (int i = 0; i < n; ++i) {
-                        orows[i][p] = static_cast<int32_t>(
-                            z[static_cast<size_t>(i)]);
                     }
                 }
             },

@@ -56,19 +56,21 @@ Accelerator::Accelerator(const SimConfig& cfg, const hw::TechConstants& tc)
 }
 
 SimStats
-Accelerator::schedule_node(const quant::QNode* node, quant::QAct& act) const
+Accelerator::schedule_node(const quant::QNode* node, Shape& shape) const
 {
     using namespace quant;
     SimStats s;
+    const int64_t in_numel =
+        static_cast<int64_t>(shape[0]) * shape[1] * shape[2];
 
     if (const auto* seq = dynamic_cast<const QSeq*>(node)) {
         for (const auto& child : seq->nodes) {
-            s += schedule_node(child.get(), act);
+            s += schedule_node(child.get(), shape);
         }
         return s;
     }
     if (const auto* conv = dynamic_cast<const QConvNode*>(node)) {
-        const int h = act.shape[1], w = act.shape[2];
+        const int h = shape[1], w = shape[2];
         const int64_t tiles = ceil_div(w, cfg_.tile_w) * ceil_div(h, cfg_.tile_h);
         const int64_t co_passes = ceil_div(conv->co, cfg_.lanes);
         const int64_t ci_passes = ceil_div(conv->ci, cfg_.lanes);
@@ -88,38 +90,50 @@ Accelerator::schedule_node(const quant::QNode* node, quant::QAct& act) const
         s.wmem_bits += static_cast<uint64_t>(conv->co) * conv->ci * conv->k *
                        conv->k * 8 / cfg_.n;
         s.bb_bits += static_cast<uint64_t>(conv->ci + conv->co) * h * w * 8;
-        act = conv->forward(act);
+        shape = {conv->co, h, w};
         return s;
     }
     if (const auto* dr = dynamic_cast<const QDirReluNode*>(node)) {
-        const int h = act.shape[1], w = act.shape[2];
-        s.relu_tuple_ops += static_cast<uint64_t>(act.channels() / dr->n) *
-                            h * w;
+        s.relu_tuple_ops += static_cast<uint64_t>(shape[0] / dr->n) *
+                            shape[1] * shape[2];
         // On-the-fly: pipelined behind the accumulators, no extra cycles.
-        act = dr->forward(act);
         return s;
     }
     if (const auto* res = dynamic_cast<const QResidualNode*>(node)) {
-        quant::QAct saved = act;
-        s += schedule_node(res->body.get(), act);
+        s += schedule_node(res->body.get(), shape);
         // Datapath add; overlapped with engine compute.
-        s.datapath_ops += act.v.size();
-        quant::QAct sum = res->forward(saved);
-        act = std::move(sum);
+        s.datapath_ops += static_cast<uint64_t>(shape[0]) * shape[1] *
+                          shape[2];
         return s;
     }
     if (const auto* two = dynamic_cast<const QTwoBranchNode*>(node)) {
-        quant::QAct saved = act;
-        s += schedule_node(two->main.get(), act);
-        quant::QAct skip_out = saved;
-        s += schedule_node(two->skip.get(), skip_out);
-        s.datapath_ops += act.v.size();
-        act = two->forward(saved);
+        Shape skip_shape = shape;
+        s += schedule_node(two->main.get(), shape);
+        s += schedule_node(two->skip.get(), skip_shape);
+        s.datapath_ops += static_cast<uint64_t>(shape[0]) * shape[1] *
+                          shape[2];
         return s;
     }
     // Pure datapath ops: shuffles, pads, crops, requants, bilinear skip.
-    s.datapath_ops += act.v.size();
-    act = node->forward(act);
+    s.datapath_ops += static_cast<uint64_t>(in_numel);
+    if (const auto* ps = dynamic_cast<const QPixelShuffleNode*>(node)) {
+        shape = {shape[0] / (ps->r * ps->r), shape[1] * ps->r,
+                 shape[2] * ps->r};
+    } else if (const auto* pu =
+                   dynamic_cast<const QPixelUnshuffleNode*>(node)) {
+        shape = {shape[0] * pu->r * pu->r, shape[1] / pu->r,
+                 shape[2] / pu->r};
+    } else if (const auto* pad = dynamic_cast<const QPadNode*>(node)) {
+        shape = {static_cast<int>(ceil_div(shape[0], pad->multiple)) *
+                     pad->multiple,
+                 shape[1], shape[2]};
+    } else if (const auto* crop = dynamic_cast<const QCropNode*>(node)) {
+        shape = {crop->keep, shape[1], shape[2]};
+    } else if (const auto* up = dynamic_cast<const QBilinearNode*>(node)) {
+        shape = {shape[0], shape[1] * up->r, shape[2] * up->r};
+    }
+    // Requants (and any future shape-preserving datapath node) leave
+    // the shape unchanged.
     return s;
 }
 
@@ -127,19 +141,57 @@ SimStats
 Accelerator::run(const quant::QuantizedModel& qm, const Tensor& image,
                  Tensor* out) const
 {
-    quant::QAct act = qm.quantize_input(image);
-    SimStats s = schedule_node(qm.root(), act);
-    if (out != nullptr) *out = quant::QuantizedModel::dequantize(act);
+    // The schedule walk is shape-only; the numerics ride the quantized
+    // model's own inference (the compiled int8/int32 engine path by
+    // default), which is bit-exact with the scalar node walk the
+    // simulator used to drag along per node.
+    Shape shape = image.shape();
+    const SimStats s = schedule_node(qm.root(), shape);
+    if (out != nullptr) {
+        const quant::QAct r = qm.infer(qm.quantize_input(image));
+        *out = quant::QuantizedModel::dequantize(r);
+    }
     return s;
+}
+
+std::vector<SimStats>
+Accelerator::run(const quant::QuantizedModel& qm,
+                 const std::vector<Tensor>& images,
+                 std::vector<Tensor>* outs) const
+{
+    std::vector<SimStats> stats;
+    stats.reserve(images.size());
+    for (const Tensor& image : images) {
+        Shape shape = image.shape();
+        stats.push_back(schedule_node(qm.root(), shape));
+    }
+    if (outs != nullptr) {
+        // One batched engine pass for the whole schedule: every
+        // (image, band, row-band) conv task lands on one worker set.
+        std::vector<quant::QAct> ins;
+        ins.reserve(images.size());
+        for (const Tensor& image : images) {
+            ins.push_back(qm.quantize_input(image));
+        }
+        const std::vector<quant::QAct> rs = qm.infer(ins);
+        outs->clear();
+        outs->reserve(rs.size());
+        for (const quant::QAct& r : rs) {
+            outs->push_back(quant::QuantizedModel::dequantize(r));
+        }
+    }
+    return stats;
 }
 
 PixelCosts
 Accelerator::pixel_costs(const quant::QuantizedModel& qm,
                          const Tensor& image) const
 {
-    Tensor out;
-    const SimStats s = run(qm, image, &out);
-    const double pixels = static_cast<double>(out.dim(1)) * out.dim(2);
+    // Shape-only: the walk leaves the output shape behind, so no
+    // inference is needed just to count output pixels.
+    Shape shape = image.shape();
+    const SimStats s = schedule_node(qm.root(), shape);
+    const double pixels = static_cast<double>(shape[1]) * shape[2];
     PixelCosts pc;
     pc.cycles_per_pixel = static_cast<double>(s.cycles) / pixels;
     pc.nj_per_pixel = s.energy_joules(tc_, cost_) * 1e9 / pixels;

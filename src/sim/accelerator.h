@@ -9,11 +9,12 @@
  * (ceil(Co/32) * ceil(Ci/32) per tile). Directional-ReLU blocks sit
  * after the accumulators and process tuples on the fly.
  *
- * The datapath executes the SAME integer graph as quant::QuantizedModel
- * (shared code), so simulator outputs are bit-exact with the reference
- * by construction — and tests assert it. The scheduler walks the graph
- * and charges cycles/activity to the engines, weight memory, block
- * buffers and ReLU units; energy comes from the calibrated hw constants.
+ * The datapath output IS quant::QuantizedModel inference (the compiled
+ * int8/int32 engine path by default, batched for multi-image runs), so
+ * simulator outputs are bit-exact with the reference by construction —
+ * and tests assert it. The scheduler walks the graph shape-only and
+ * charges cycles/activity to the engines, weight memory, block buffers
+ * and ReLU units; energy comes from the calibrated hw constants.
  */
 #ifndef RINGCNN_SIM_ACCELERATOR_H
 #define RINGCNN_SIM_ACCELERATOR_H
@@ -78,18 +79,33 @@ class Accelerator
     const hw::AcceleratorCost& cost() const { return cost_; }
 
     /**
-     * Runs the quantized model on one image.
+     * Runs the quantized model on one image. The schedule walk charges
+     * cycles/activity from shapes alone; when `out` is requested the
+     * numerics come from QuantizedModel::infer — the compiled
+     * int8/int32 engine path, bit-exact with the scalar node walk the
+     * scheduler previously carried along per node.
      * @param out if non-null, receives the (bit-exact) float output.
      */
     SimStats run(const quant::QuantizedModel& qm, const Tensor& image,
                  Tensor* out = nullptr) const;
+
+    /**
+     * Batched variant: per-image stats in order; when `outs` is
+     * non-null the whole batch runs through ONE batched
+     * QuantizedModel::infer call (one engine worker set).
+     */
+    std::vector<SimStats> run(const quant::QuantizedModel& qm,
+                              const std::vector<Tensor>& images,
+                              std::vector<Tensor>* outs = nullptr) const;
 
     /** Per-output-pixel costs for a model on a given input size. */
     PixelCosts pixel_costs(const quant::QuantizedModel& qm,
                            const Tensor& image) const;
 
   private:
-    SimStats schedule_node(const quant::QNode* node, quant::QAct& act) const;
+    /** Shape-only scheduler: charges stats and advances `shape` through
+     *  the node without touching activation values. */
+    SimStats schedule_node(const quant::QNode* node, Shape& shape) const;
 
     SimConfig cfg_;
     hw::TechConstants tc_;

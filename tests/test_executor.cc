@@ -80,6 +80,40 @@ TEST(ModelExecutor, MatchesLayerWalkWithDirectionalFusion)
     EXPECT_LE(exec.slot_count(), 6);
 }
 
+TEST(ModelExecutor, FusesConv2dReluOnRealBaselines)
+{
+    // n=1 real-algebra models: every Conv2d followed by a ReLU must
+    // compile into one fused step, and fusion must not change a bit
+    // (the rectifier sees exactly the values the separate step saw).
+    nn::Model model =
+        models::build_dn_ernet_pu(models::Algebra::real(), small_cfg());
+
+    nn::ModelExecutor fused(model, {3, 16, 16});
+    EXPECT_GT(fused.fused_conv_relu_count(), 0);
+
+    nn::ExecutorOptions unfused_opt;
+    unfused_opt.fuse_epilogues = false;
+    nn::ModelExecutor unfused(model, {3, 16, 16}, unfused_opt);
+    EXPECT_EQ(unfused.fused_conv_relu_count(), 0);
+    EXPECT_GT(unfused.step_count(), fused.step_count());
+
+    std::mt19937 rng(48);
+    Tensor x({3, 16, 16});
+    x.rand_uniform(rng, 0.0f, 1.0f);
+    const Tensor want = unfused.run(x);
+    const Tensor got = fused.run(x);
+    ASSERT_EQ(got.shape(), want.shape());
+    for (int64_t i = 0; i < want.numel(); ++i) {
+        ASSERT_EQ(got[i], want[i]) << "flat " << i;
+    }
+
+    // And the fused plan still matches the layer-by-layer walk.
+    const Tensor ref = model.forward(x, false);
+    for (int64_t i = 0; i < ref.numel(); ++i) {
+        ASSERT_EQ(got[i], ref[i]) << "flat " << i;
+    }
+}
+
 TEST(ModelExecutor, StrictModeBitIdenticalToSeedChain)
 {
     // A pure conv chain in strict fp64 mode must reproduce the seed

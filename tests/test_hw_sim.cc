@@ -152,6 +152,41 @@ TEST_F(SimulatorTest, BitExactVsQuantizedReference)
     }
 }
 
+TEST_F(SimulatorTest, BatchedRunMatchesPerImageRuns)
+{
+    // The batched overload pushes the whole image set through ONE
+    // QuantizedModel::infer call; outputs and per-image stats must be
+    // identical to the one-image runs.
+    models::ErnetConfig mc;
+    mc.channels = 8;
+    mc.blocks = 1;
+    nn::Model m =
+        models::build_dn_ernet_pu(models::Algebra::with_fh("RI4"), mc);
+    quant::QuantizedModel qm(m, calib());
+    sim::SimConfig sc;
+    sc.n = 4;
+    sim::Accelerator acc(sc);
+
+    std::mt19937 rng(96);
+    std::vector<Tensor> images;
+    for (int i = 0; i < 3; ++i) {
+        images.push_back(data::synthetic_image(3, 16, 16, rng));
+    }
+    std::vector<Tensor> outs;
+    const auto stats = acc.run(qm, images, &outs);
+    ASSERT_EQ(stats.size(), images.size());
+    ASSERT_EQ(outs.size(), images.size());
+    for (size_t i = 0; i < images.size(); ++i) {
+        Tensor single_out;
+        const auto single = acc.run(qm, images[i], &single_out);
+        EXPECT_EQ(stats[i].cycles, single.cycles) << "image " << i;
+        EXPECT_EQ(stats[i].mac_ops, single.mac_ops) << "image " << i;
+        EXPECT_EQ(stats[i].datapath_ops, single.datapath_ops)
+            << "image " << i;
+        EXPECT_LT(mse(outs[i], single_out), 1e-15) << "image " << i;
+    }
+}
+
 TEST_F(SimulatorTest, CycleCountMatchesEngineGeometry)
 {
     // One 16->16 channel 3x3 ring conv layer on a 16x16 map with 4x2

@@ -1,0 +1,390 @@
+/**
+ * @file
+ * The SIMD training kernels (nn/conv_kernels.h) against the scalar
+ * reference path, and the data-parallel trainer's determinism
+ * contracts:
+ *
+ *  - forward and input-gradient passes are BIT-identical to the
+ *    reference (same per-element multiply/add order, no FMA) across
+ *    k in {1, 3}, odd/even sizes, bias on/off, and thread counts;
+ *  - weight/bias gradients (float 8-lane reductions vs the reference's
+ *    double accumulator) match to fp32 rounding and are bit-invariant
+ *    under thread count;
+ *  - train_on_task is bit-deterministic for a given worker count;
+ *  - strict_reference mode reproduces the seed trainer's sequential
+ *    per-step losses exactly (pinned against an inline replica of the
+ *    seed loop);
+ *  - the default SIMD-parallel path trains to the same quality as the
+ *    strict reference.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "data/tasks.h"
+#include "models/backbones.h"
+#include "nn/conv_kernels.h"
+#include "nn/trainer.h"
+#include "tensor/image_ops.h"
+
+namespace ringcnn::nn {
+namespace {
+
+/** RAII restore of the process-wide kernel options. */
+struct KernelOptsGuard
+{
+    TrainKernelOptions saved = train_kernel_options();
+    ~KernelOptsGuard() { train_kernel_options() = saved; }
+};
+
+struct Case
+{
+    int ci, co, h, w, k;
+    bool bias;
+};
+
+std::vector<Case>
+kernel_cases()
+{
+    // k in {1, 3}, odd/even heights and widths, with/without bias.
+    return {
+        {3, 4, 9, 7, 3, true},  {3, 4, 9, 7, 1, false},
+        {2, 5, 8, 8, 3, false}, {5, 2, 8, 8, 1, true},
+        {4, 4, 5, 12, 3, true}, {1, 6, 6, 5, 3, false},
+        {6, 1, 7, 4, 1, true},
+    };
+}
+
+TEST(TrainKernels, ForwardBitIdenticalToReference)
+{
+    KernelOptsGuard guard;
+    std::mt19937 rng(71);
+    for (const Case& c : kernel_cases()) {
+        Tensor x({c.ci, c.h, c.w});
+        x.randn(rng);
+        Tensor w({c.co, c.ci, c.k, c.k});
+        w.randn(rng);
+        std::vector<float> bias;
+        if (c.bias) {
+            bias.resize(static_cast<size_t>(c.co));
+            std::normal_distribution<float> d(0, 1);
+            for (auto& b : bias) b = d(rng);
+        }
+        train_kernel_options().strict_reference = true;
+        Tensor want({c.co, c.h, c.w});
+        conv2d_forward(x, w, bias, want);
+
+        train_kernel_options().strict_reference = false;
+        for (int threads : {1, 2, 7}) {
+            train_kernel_options().threads = threads;
+            Tensor got({c.co, c.h, c.w});
+            conv2d_forward(x, w, bias, got);
+            for (int64_t i = 0; i < want.numel(); ++i) {
+                ASSERT_EQ(got[i], want[i])
+                    << "k=" << c.k << " h=" << c.h << " w=" << c.w
+                    << " threads=" << threads << " flat " << i;
+            }
+        }
+    }
+}
+
+TEST(TrainKernels, BackwardInputBitIdenticalToReference)
+{
+    KernelOptsGuard guard;
+    std::mt19937 rng(72);
+    for (const Case& c : kernel_cases()) {
+        Tensor w({c.co, c.ci, c.k, c.k});
+        w.randn(rng);
+        Tensor go({c.co, c.h, c.w});
+        go.randn(rng);
+
+        train_kernel_options().strict_reference = true;
+        Tensor want({c.ci, c.h, c.w});
+        conv2d_backward_input(w, go, want);
+
+        train_kernel_options().strict_reference = false;
+        for (int threads : {1, 2, 7}) {
+            train_kernel_options().threads = threads;
+            Tensor got({c.ci, c.h, c.w});
+            conv2d_backward_input(w, go, got);
+            for (int64_t i = 0; i < want.numel(); ++i) {
+                ASSERT_EQ(got[i], want[i])
+                    << "k=" << c.k << " h=" << c.h << " w=" << c.w
+                    << " threads=" << threads << " flat " << i;
+            }
+        }
+    }
+}
+
+TEST(TrainKernels, BackwardWeightsMatchesReference)
+{
+    // The one deliberate numerics change: float 8-lane row reductions
+    // (double across rows) instead of the reference's all-double
+    // accumulator. Unit-scale inputs must agree to fp32 rounding.
+    KernelOptsGuard guard;
+    std::mt19937 rng(73);
+    for (const Case& c : kernel_cases()) {
+        Tensor x({c.ci, c.h, c.w});
+        x.randn(rng);
+        Tensor go({c.co, c.h, c.w});
+        go.randn(rng);
+
+        train_kernel_options().strict_reference = true;
+        Tensor gw_ref({c.co, c.ci, c.k, c.k});
+        std::vector<float> gb_ref(c.bias ? static_cast<size_t>(c.co) : 0,
+                                  0.0f);
+        conv2d_backward_weights(x, go, gw_ref, gb_ref);
+
+        train_kernel_options().strict_reference = false;
+        for (int threads : {1, 2, 7}) {
+            train_kernel_options().threads = threads;
+            Tensor gw({c.co, c.ci, c.k, c.k});
+            std::vector<float> gb(c.bias ? static_cast<size_t>(c.co) : 0,
+                                  0.0f);
+            conv2d_backward_weights(x, go, gw, gb);
+            for (int64_t i = 0; i < gw.numel(); ++i) {
+                const float tol =
+                    1e-4f * std::max(1.0f, std::fabs(gw_ref[i]));
+                ASSERT_NEAR(gw[i], gw_ref[i], tol)
+                    << "k=" << c.k << " threads=" << threads << " flat "
+                    << i;
+            }
+            for (size_t i = 0; i < gb.size(); ++i) {
+                const float tol =
+                    1e-4f * std::max(1.0f, std::fabs(gb_ref[i]));
+                ASSERT_NEAR(gb[i], gb_ref[i], tol) << "bias " << i;
+            }
+        }
+    }
+}
+
+TEST(TrainKernels, BackwardWeightsThreadCountInvariantBits)
+{
+    // Each task owns whole output channels with a fixed reduction
+    // order, so every thread count must produce the same bits.
+    KernelOptsGuard guard;
+    train_kernel_options().strict_reference = false;
+    std::mt19937 rng(74);
+    Tensor x({6, 17, 13});
+    x.randn(rng);
+    Tensor go({5, 17, 13});
+    go.randn(rng);
+
+    train_kernel_options().threads = 1;
+    Tensor gw1({5, 6, 3, 3});
+    std::vector<float> gb1(5, 0.0f);
+    conv2d_backward_weights(x, go, gw1, gb1);
+    for (int threads : {2, 7}) {
+        train_kernel_options().threads = threads;
+        Tensor gw({5, 6, 3, 3});
+        std::vector<float> gb(5, 0.0f);
+        conv2d_backward_weights(x, go, gw, gb);
+        for (int64_t i = 0; i < gw.numel(); ++i) {
+            ASSERT_EQ(gw[i], gw1[i]) << "threads=" << threads;
+        }
+        for (size_t i = 0; i < gb.size(); ++i) {
+            ASSERT_EQ(gb[i], gb1[i]) << "threads=" << threads;
+        }
+    }
+}
+
+TEST(TrainKernels, BackwardWeightsHonorsPairMask)
+{
+    // Masked channel pairs are skipped entirely (blocks untouched);
+    // unmasked pairs get exactly the dense result. RingConv2d relies on
+    // this to skip the structurally-zero blocks of the RI expansions.
+    KernelOptsGuard guard;
+    train_kernel_options().strict_reference = false;
+    train_kernel_options().threads = 2;
+    std::mt19937 rng(76);
+    Tensor x({4, 7, 9});
+    x.randn(rng);
+    Tensor go({3, 7, 9});
+    go.randn(rng);
+
+    Tensor dense({3, 4, 3, 3});
+    std::vector<float> gb_dense(3, 0.0f);
+    conv2d_backward_weights(x, go, dense, gb_dense);
+
+    std::vector<uint8_t> mask(12, 0);
+    for (size_t i = 0; i < mask.size(); i += 2) mask[i] = 1;  // odd out
+    Tensor masked({3, 4, 3, 3});
+    std::vector<float> gb_masked(3, 0.0f);
+    conv2d_backward_weights(x, go, masked, gb_masked, mask.data());
+
+    for (int oc = 0; oc < 3; ++oc) {
+        // Bias gradients are per-channel row sums, unaffected by the
+        // pair mask.
+        EXPECT_EQ(gb_masked[static_cast<size_t>(oc)],
+                  gb_dense[static_cast<size_t>(oc)]);
+        for (int ic = 0; ic < 4; ++ic) {
+            const bool keep = mask[static_cast<size_t>(oc) * 4 + ic] != 0;
+            for (int ky = 0; ky < 3; ++ky) {
+                for (int kx = 0; kx < 3; ++kx) {
+                    const float want =
+                        keep ? dense.at(oc, ic, ky, kx) : 0.0f;
+                    ASSERT_EQ(masked.at(oc, ic, ky, kx), want)
+                        << oc << "," << ic;
+                }
+            }
+        }
+    }
+}
+
+TEST(TrainKernels, BackwardWeightsAccumulates)
+{
+    KernelOptsGuard guard;
+    train_kernel_options().strict_reference = false;
+    train_kernel_options().threads = 2;
+    std::mt19937 rng(75);
+    Tensor x({1, 4, 4});
+    x.randn(rng);
+    Tensor r({1, 4, 4});
+    r.randn(rng);
+    Tensor gw({1, 1, 3, 3});
+    std::vector<float> gb(1, 0.0f);
+    conv2d_backward_weights(x, r, gw, gb);
+    const float first = gw.at(0, 0, 1, 1);
+    const float first_b = gb[0];
+    conv2d_backward_weights(x, r, gw, gb);
+    EXPECT_NEAR(gw.at(0, 0, 1, 1), 2.0f * first, 1e-4f);
+    EXPECT_NEAR(gb[0], 2.0f * first_b, 1e-4f);
+}
+
+nn::TrainConfig
+tiny_train_cfg()
+{
+    nn::TrainConfig cfg;
+    cfg.steps = 8;
+    cfg.batch_size = 5;
+    cfg.patch = 16;
+    cfg.eval_count = 2;
+    cfg.eval_patch = 16;
+    return cfg;
+}
+
+TEST(TrainKernels, TrainOnTaskDeterministicPerWorkerCount)
+{
+    // Same seed + same worker count => identical loss curve, for every
+    // worker count (including counts that do not divide the batch).
+    KernelOptsGuard guard;
+    train_kernel_options().strict_reference = false;
+    const data::DenoiseTask task;
+    models::ErnetConfig mc;
+    mc.channels = 8;
+    mc.blocks = 1;
+    for (int threads : {1, 2, 7}) {
+        nn::TrainConfig cfg = tiny_train_cfg();
+        cfg.threads = threads;
+        nn::Model m1 =
+            models::build_dn_ernet_pu(models::Algebra::with_fh("RI4"), mc);
+        nn::Model m2 =
+            models::build_dn_ernet_pu(models::Algebra::with_fh("RI4"), mc);
+        const auto r1 = nn::train_on_task(m1, task, cfg);
+        const auto r2 = nn::train_on_task(m2, task, cfg);
+        ASSERT_EQ(r1.loss_curve.size(), r2.loss_curve.size());
+        for (size_t i = 0; i < r1.loss_curve.size(); ++i) {
+            EXPECT_EQ(r1.loss_curve[i], r2.loss_curve[i])
+                << "threads=" << threads << " step " << i;
+        }
+        EXPECT_DOUBLE_EQ(r1.psnr_db, r2.psnr_db) << "threads=" << threads;
+    }
+}
+
+TEST(TrainKernels, StrictReferenceReproducesSeedTrainerLosses)
+{
+    // strict_reference must reproduce the seed trainer exactly: scalar
+    // kernels, one sample at a time, shared gradient accumulation. The
+    // oracle below is an inline replica of that loop.
+    KernelOptsGuard guard;
+    const data::DenoiseTask task;
+    models::ErnetConfig mc;
+    mc.channels = 8;
+    mc.blocks = 1;
+    const nn::TrainConfig cfg = tiny_train_cfg();
+
+    train_kernel_options().strict_reference = true;
+    nn::Model trained =
+        models::build_dn_ernet_pu(models::Algebra::with_fh("RI4"), mc);
+    const auto res = nn::train_on_task(trained, task, cfg);
+
+    // Seed-loop oracle (the pre-data-parallel train_on_task body).
+    nn::Model oracle =
+        models::build_dn_ernet_pu(models::Algebra::with_fh("RI4"), mc);
+    std::mt19937 rng(cfg.seed);
+    Adam opt(oracle.params(), cfg.lr);
+    std::vector<double> oracle_losses;
+    for (int step = 0; step < cfg.steps; ++step) {
+        const double progress = static_cast<double>(step) / cfg.steps;
+        const double cosine = 0.5 * (1.0 + std::cos(progress * 3.14159265));
+        opt.set_lr(static_cast<float>(
+            cfg.lr *
+            (cfg.lr_final_frac + (1.0 - cfg.lr_final_frac) * cosine)));
+        oracle.zero_grad();
+        double batch_loss = 0.0;
+        for (int b = 0; b < cfg.batch_size; ++b) {
+            const auto [input, target] =
+                task.make_pair(cfg.patch, cfg.patch, rng);
+            const Tensor out = oracle.forward(input, true);
+            Tensor grad({out.shape()});
+            double loss = 0.0;
+            const float inv = 2.0f / static_cast<float>(out.numel());
+            for (int64_t i = 0; i < out.numel(); ++i) {
+                const float d = out[i] - target[i];
+                loss += 0.5 * static_cast<double>(d) * d;
+                grad[i] = d * inv;
+            }
+            batch_loss += 2.0 * loss / static_cast<double>(out.numel());
+            oracle.backward(grad);
+        }
+        oracle_losses.push_back(batch_loss / cfg.batch_size);
+        const float gs = 1.0f / static_cast<float>(cfg.batch_size);
+        if (cfg.clip_norm > 0.0f) opt.clip_global_norm(cfg.clip_norm, gs);
+        opt.step(gs);
+    }
+
+    ASSERT_EQ(res.loss_curve.size(), oracle_losses.size());
+    for (size_t i = 0; i < oracle_losses.size(); ++i) {
+        EXPECT_DOUBLE_EQ(res.loss_curve[i], oracle_losses[i])
+            << "step " << i;
+    }
+}
+
+TEST(TrainKernels, DefaultPathTracksStrictReferenceQuality)
+{
+    // Default (SIMD kernels, data-parallel batch) vs strict reference
+    // on a two-conv-layer model: the forward pass is bit-identical, so
+    // step-0 losses agree exactly; after training, quality must agree
+    // within the acceptance band (0.05 dB).
+    KernelOptsGuard guard;
+    const data::DenoiseTask task;
+    models::ErnetConfig mc;
+    mc.channels = 8;
+    mc.blocks = 1;
+    nn::TrainConfig cfg = tiny_train_cfg();
+    cfg.steps = 40;
+
+    train_kernel_options().strict_reference = true;
+    nn::Model m_ref =
+        models::build_dn_ernet_pu(models::Algebra::with_fh("RI4"), mc);
+    const auto ref = nn::train_on_task(m_ref, task, cfg);
+
+    train_kernel_options().strict_reference = false;
+    cfg.threads = 2;
+    nn::Model m_simd =
+        models::build_dn_ernet_pu(models::Algebra::with_fh("RI4"), mc);
+    const auto simd = nn::train_on_task(m_simd, task, cfg);
+
+    ASSERT_EQ(ref.loss_curve.size(), simd.loss_curve.size());
+    EXPECT_DOUBLE_EQ(ref.loss_curve[0], simd.loss_curve[0]);
+    for (size_t i = 0; i < ref.loss_curve.size(); ++i) {
+        EXPECT_NEAR(simd.loss_curve[i], ref.loss_curve[i],
+                    1e-3 * std::max(1.0, std::fabs(ref.loss_curve[i])))
+            << "step " << i;
+    }
+    EXPECT_NEAR(simd.psnr_db, ref.psnr_db, 0.05);
+}
+
+}  // namespace
+}  // namespace ringcnn::nn
