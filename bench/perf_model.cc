@@ -22,6 +22,7 @@
 #include <memory>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/ring_conv_engine.h"
@@ -34,6 +35,7 @@
 #include "nn/trainer.h"
 #include "quant/quant_executor.h"
 #include "quant/quant_model.h"
+#include "serve/serve_server.h"
 #include "tensor/image_ops.h"
 
 namespace {
@@ -157,6 +159,61 @@ train_ms_per_step(const nn::Model& proto, const data::ImagingTask& task,
     // Floor keeps a noisy overhead estimate from producing 0 (and the
     // callers' speedup divisions from producing inf in the JSON).
     return std::max(1e-3, (total_ms - overhead_ms) / steps);
+}
+
+/** q-th percentile (0..1) of a latency sample, by sorting a copy. */
+double
+percentile_ms(std::vector<double> lat, double q)
+{
+    if (lat.empty()) return 0.0;
+    std::sort(lat.begin(), lat.end());
+    const size_t idx = static_cast<size_t>(
+        std::min<double>(static_cast<double>(lat.size()) - 1.0,
+                         q * (static_cast<double>(lat.size()) - 1.0)));
+    return lat[idx];
+}
+
+/** Closed-loop client latencies + wall time for one serving scenario. */
+struct ServeRun
+{
+    std::vector<double> lat_ms;  ///< one entry per request
+    double wall_ms = 0.0;
+    double img_per_s(int requests) const
+    {
+        return wall_ms > 0.0 ? 1000.0 * requests / wall_ms : 0.0;
+    }
+};
+
+/**
+ * Runs `clients` closed-loop client threads, each performing
+ * `per_client` requests through `request` (a callable taking the
+ * client index and returning when its response arrived).
+ */
+template <typename Fn>
+ServeRun
+closed_loop(int clients, int per_client, Fn&& request)
+{
+    ServeRun run;
+    std::vector<std::vector<double>> lats(static_cast<size_t>(clients));
+    std::vector<std::thread> threads;
+    const double t0 = now_ms();
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c]() {
+            auto& mine = lats[static_cast<size_t>(c)];
+            mine.reserve(static_cast<size_t>(per_client));
+            for (int i = 0; i < per_client; ++i) {
+                const double r0 = now_ms();
+                request(c);
+                mine.push_back(now_ms() - r0);
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    run.wall_ms = now_ms() - t0;
+    for (auto& l : lats) {
+        run.lat_ms.insert(run.lat_ms.end(), l.begin(), l.end());
+    }
+    return run;
 }
 
 }  // namespace
@@ -310,6 +367,116 @@ main(int argc, char** argv)
         train_simd_mt_ms = simd_mt_ms;
     }
 
+    // ---- serve: shape-bucketed batching vs per-request dispatch ----
+    // The ISSUE-5 acceptance row. 8 closed-loop clients on the same
+    // backbone/shape. Baseline: per-request dispatch as the repo stood
+    // before the serving layer — every client owns its own compiled
+    // executor (executor.h's documented pattern for concurrent
+    // callers) built on the PR-4 per-tap kernel schedule
+    // (tap_fused = false), one image per run. Serve: ServeServer
+    // coalescing up to 8 images per batch over the per-shape plan
+    // cache with the tap-fused kernels. A same-kernel per-request row
+    // (tap_fused executors, still unbatched) is recorded too, so the
+    // record separates the batching win from the kernel win.
+    const int serve_clients = 8;
+    const int serve_per_client = smoke ? 4 : 12;
+    const int serve_requests = serve_clients * serve_per_client;
+    double pr_img_s = 0.0, pr_fused_img_s = 0.0, srv_img_s = 0.0;
+    double pr_p50 = 0.0, pr_p99 = 0.0, srv_p50 = 0.0, srv_p99 = 0.0;
+    double srv_mean_batch = 0.0;
+    bool serve_bit_identical = true;
+    {
+        std::vector<Tensor> imgs;
+        for (int c = 0; c < serve_clients; ++c) {
+            Tensor t(in_shape);
+            t.randn(rng);
+            imgs.push_back(std::move(t));
+        }
+        std::vector<Tensor> refs;
+        for (const auto& img : imgs) refs.push_back(model.infer(img));
+
+        // Baseline: per-client executors, PR-4 kernels, no batching.
+        {
+            nn::ExecutorOptions po;
+            po.tap_fused = false;
+            std::vector<std::unique_ptr<nn::ModelExecutor>> per_client;
+            for (int c = 0; c < serve_clients; ++c) {
+                per_client.push_back(std::make_unique<nn::ModelExecutor>(
+                    model, in_shape, po));
+                per_client.back()->run_view(imgs[static_cast<size_t>(c)]);
+            }
+            const ServeRun r =
+                closed_loop(serve_clients, serve_per_client, [&](int c) {
+                    per_client[static_cast<size_t>(c)]->run(
+                        imgs[static_cast<size_t>(c)]);
+                });
+            pr_img_s = r.img_per_s(serve_requests);
+            pr_p50 = percentile_ms(r.lat_ms, 0.5);
+            pr_p99 = percentile_ms(r.lat_ms, 0.99);
+        }
+        // Same-kernel per-request row (isolates the batching win).
+        {
+            std::vector<std::unique_ptr<nn::ModelExecutor>> per_client;
+            for (int c = 0; c < serve_clients; ++c) {
+                per_client.push_back(std::make_unique<nn::ModelExecutor>(
+                    model, in_shape));
+                per_client.back()->run_view(imgs[static_cast<size_t>(c)]);
+            }
+            const ServeRun r =
+                closed_loop(serve_clients, serve_per_client, [&](int c) {
+                    per_client[static_cast<size_t>(c)]->run(
+                        imgs[static_cast<size_t>(c)]);
+                });
+            pr_fused_img_s = r.img_per_s(serve_requests);
+        }
+        // The serving layer: shape buckets, batch 8, plan cache. The
+        // throughput scenario gives the linger window real room — a
+        // closed-loop client takes a moment to resubmit after its
+        // response, and a batch amortizes far more than the wait
+        // costs.
+        {
+            serve::ServeOptions so;
+            so.linger_ms = 4.0;
+            serve::ServeServer server(model, so);
+            // Warm the plan and verify bit-identity to Model::infer.
+            for (int c = 0; c < serve_clients; ++c) {
+                const Tensor out =
+                    server.submit_view(imgs[static_cast<size_t>(c)])
+                        .get();
+                const Tensor& want = refs[static_cast<size_t>(c)];
+                if (out.shape() != want.shape()) {
+                    serve_bit_identical = false;
+                    continue;
+                }
+                for (int64_t i = 0; i < want.numel(); ++i) {
+                    if (out[i] != want[i]) {
+                        serve_bit_identical = false;
+                        break;
+                    }
+                }
+            }
+            server.drain();
+            const ServeRun r =
+                closed_loop(serve_clients, serve_per_client, [&](int c) {
+                    server.submit_view(imgs[static_cast<size_t>(c)])
+                        .get();
+                });
+            server.drain();
+            srv_img_s = r.img_per_s(serve_requests);
+            srv_p50 = percentile_ms(r.lat_ms, 0.5);
+            srv_p99 = percentile_ms(r.lat_ms, 0.99);
+            srv_mean_batch = server.stats().mean_batch();
+        }
+        std::printf(
+            "  serve:         per-request %.1f img/s (p50 %.1f p99 %.1f ms)"
+            "  batched %.1f img/s (p50 %.1f p99 %.1f ms)  %.2fx"
+            "  [batch %.1f, same-kernel per-request %.1f img/s, "
+            "bit-identical=%s]\n",
+            pr_img_s, pr_p50, pr_p99, srv_img_s, srv_p50, srv_p99,
+            pr_img_s > 0 ? srv_img_s / pr_img_s : 0.0, srv_mean_batch,
+            pr_fused_img_s, serve_bit_identical ? "yes" : "NO");
+    }
+
     // ---- per-ring engine micro-timings ----
     std::vector<RingRow> rows;
     const std::vector<std::string> ring_names =
@@ -392,6 +559,26 @@ main(int argc, char** argv)
     std::fprintf(f, "    \"simd_mt_ms\": %.4f,\n", train_simd_mt_ms);
     std::fprintf(f, "    \"mt_speedup\": %.3f\n",
                  train_scalar_ms / train_simd_mt_ms);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"serve\": {\n");
+    std::fprintf(f, "    \"clients\": %d, \"max_batch\": 8, "
+                 "\"requests\": %d,\n",
+                 serve_clients, serve_requests);
+    std::fprintf(f, "    \"per_request_img_per_s\": %.3f,\n", pr_img_s);
+    std::fprintf(f, "    \"per_request_p50_ms\": %.3f,\n", pr_p50);
+    std::fprintf(f, "    \"per_request_p99_ms\": %.3f,\n", pr_p99);
+    std::fprintf(f, "    \"per_request_fused_img_per_s\": %.3f,\n",
+                 pr_fused_img_s);
+    std::fprintf(f, "    \"serve_img_per_s\": %.3f,\n", srv_img_s);
+    std::fprintf(f, "    \"serve_p50_ms\": %.3f,\n", srv_p50);
+    std::fprintf(f, "    \"serve_p99_ms\": %.3f,\n", srv_p99);
+    std::fprintf(f, "    \"mean_batch\": %.2f,\n", srv_mean_batch);
+    std::fprintf(f, "    \"speedup\": %.3f,\n",
+                 pr_img_s > 0.0 ? srv_img_s / pr_img_s : 0.0);
+    std::fprintf(f, "    \"speedup_same_kernels\": %.3f,\n",
+                 pr_fused_img_s > 0.0 ? srv_img_s / pr_fused_img_s : 0.0);
+    std::fprintf(f, "    \"bit_identical\": %s\n",
+                 serve_bit_identical ? "true" : "false");
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"rings\": [\n");
     for (size_t i = 0; i < rows.size(); ++i) {

@@ -36,15 +36,33 @@ RingConvEngine::RingConvEngine(const Ring& ring, const RingConvWeights& w,
             }
         }
     }
+    tx_alias_.assign(static_cast<size_t>(m_), -1);
+    for (int r = 0; r < m_; ++r) {
+        const auto& nz = tx_nz_[static_cast<size_t>(r)];
+        if (nz.size() == 1 && nz[0].second == 1.0) {
+            tx_alias_[static_cast<size_t>(r)] = nz[0].first;
+        }
+    }
     const Matd& tz = ring.fast.tz;
     tz_.resize(static_cast<size_t>(n_) * m_);
     tz32_.resize(static_cast<size_t>(n_) * m_);
+    tz32_nz_.resize(static_cast<size_t>(n_));
     for (int i = 0; i < n_; ++i) {
         for (int r = 0; r < m_; ++r) {
             tz_[static_cast<size_t>(i) * m_ + r] = tz.at(i, r);
             tz32_[static_cast<size_t>(i) * m_ + r] =
                 static_cast<float>(tz.at(i, r));
+            if (tz.at(i, r) != 0.0) {
+                tz32_nz_[static_cast<size_t>(i)].emplace_back(
+                    r, static_cast<float>(tz.at(i, r)));
+            }
         }
+    }
+    identity_tz_ = m_ == n_;
+    for (int i = 0; i < n_ && identity_tz_; ++i) {
+        const auto& nz = tz32_nz_[static_cast<size_t>(i)];
+        identity_tz_ = nz.size() == 1 && nz[0].first == i &&
+                       nz[0].second == 1.0f;
     }
     set_weights(w, std::move(bias));
 }
@@ -97,9 +115,11 @@ RingConvEngine::set_weights(const RingConvWeights& w, std::vector<float> bias)
 
     bias_.assign(static_cast<size_t>(co_t_) * n_, 0.0);
     bias32_.assign(bias_.size(), 0.0f);
+    bias32_zero_ = true;
     for (size_t i = 0; i < bias.size(); ++i) {
         bias_[i] = bias[i];
         bias32_[i] = bias[i];
+        if (bias[i] != 0.0f) bias32_zero_ = false;
     }
 }
 
@@ -182,11 +202,25 @@ RingConvEngine::transform_plane_f32(const Tensor& x, int t, int r,
 {
     // Same sum in float, written as stride-1 row kernels: the first
     // nonzero term initializes the plane, the rest accumulate in place.
+    // On the tap_fused path the whole chain runs as one fused pass —
+    // identical per-element order, one write pass instead of |nz|.
     const int h = x.dim(1), wd = x.dim(2);
     const int64_t plane = static_cast<int64_t>(h) * wd;
     const auto& nz = tx32_nz_[static_cast<size_t>(r)];
     if (nz.empty()) {
         std::fill_n(dst, plane, 0.0f);
+        return;
+    }
+    if (opt_.tap_fused && nz.size() <= static_cast<size_t>(kMaxTuple)) {
+        const float* srcs[kMaxTuple];
+        float coeffs[kMaxTuple];
+        int cnt = 0;
+        for (const auto& [j, c] : nz) {
+            srcs[cnt] = x.data() + static_cast<int64_t>(t * n_ + j) * plane;
+            coeffs[cnt] = c;
+            ++cnt;
+        }
+        simd::matvec_rows_f32(dst, srcs, coeffs, cnt, plane);
         return;
     }
     bool first = true;
@@ -374,6 +408,242 @@ RingConvEngine::conv_band_f32(const float* xt, int h, int wd, int co,
     }
 }
 
+void
+RingConvEngine::conv_band_f32_fused(const float* const* planes, int h,
+                                    int wd, int co, int y0, int y1,
+                                    Tensor& out,
+                                    RingConvScratch::Worker& scratch) const
+{
+    const int pad = k_ / 2;
+    const int bh = y1 - y0;
+
+    // Same component-wise convolutions as conv_band_f32, restructured:
+    // per (r, output row) the valid nonzero taps are gathered into a
+    // table — in the unfused kernel's (ci, ky, kx) order, so every
+    // element accumulates its terms in the identical sequence — and the
+    // whole row is computed in ONE simd::matvec_rows_f32 pass instead
+    // of a zero fill plus one read-modify-write pass per tap. Boundary
+    // columns (where the outermost kx taps fall off the image) run a
+    // scalar loop over the same ordered table.
+    //
+    // When Tz is the identity (the RI rings), each component IS its
+    // output channel: rows are computed straight into the output
+    // tensor and the reconstruction pass reduces to the bias add (the
+    // operands of `bias + z` are the same either way, and IEEE float
+    // addition is commutative). Otherwise components accumulate into
+    // the scratch band and the nonzero Tz terms reconstruct as before.
+    float* z = nullptr;
+    if (!identity_tz_) {
+        const size_t zneed = static_cast<size_t>(m_) * bh * wd;
+        if (scratch.z32.size() < zneed) scratch.z32.resize(zneed);
+        z = scratch.z32.data();
+    }
+    const size_t max_taps = static_cast<size_t>(ci_t_) * k_ * k_;
+    if (scratch.tap_src.size() < max_taps) {
+        scratch.tap_src.resize(max_taps);
+        scratch.tap_w.resize(max_taps);
+        scratch.tap_lo.resize(max_taps);
+        scratch.tap_hi.resize(max_taps);
+    }
+    const float** tsrc = scratch.tap_src.data();
+    float* tw = scratch.tap_w.data();
+    int* tlo = scratch.tap_lo.data();
+    int* thi = scratch.tap_hi.data();
+
+    for (int r = 0; r < m_; ++r) {
+        float* zr = identity_tz_
+                        ? out.data() +
+                              (static_cast<int64_t>(co * n_ + r) * h + y0) *
+                                  wd
+                        : z + static_cast<size_t>(r) * bh * wd;
+
+        // One output row, tap table already built for it (pointers
+        // pre-shifted by +lx so the interior call needs no per-row
+        // pointer pass; boundary columns index back through -lx). The
+        // row is OVERWRITTEN — accumulation starts from the first term,
+        // exactly as a zero-initialized accumulator would round.
+        const auto run_row = [&](int y, int nt, int lx, int rx) {
+            float* zrow = zr + static_cast<size_t>(y - y0) * wd;
+            // Boundary columns: scalar walk over the ordered tap table,
+            // honoring each tap's valid range — the per-element add
+            // sequence the unfused kernel produces there.
+            for (int xx = 0; xx < std::min(lx, wd); ++xx) {
+                float acc = 0.0f;
+                for (int t = 0; t < nt; ++t) {
+                    if (xx >= tlo[t] && xx < thi[t]) {
+                        acc += tw[t] * tsrc[t][xx - lx];
+                    }
+                }
+                zrow[xx] = acc;
+            }
+            for (int xx = std::max(rx, lx); xx < wd; ++xx) {
+                float acc = 0.0f;
+                for (int t = 0; t < nt; ++t) {
+                    if (xx >= tlo[t] && xx < thi[t]) {
+                        acc += tw[t] * tsrc[t][xx - lx];
+                    }
+                }
+                zrow[xx] = acc;
+            }
+            if (rx > lx) {
+                if (nt == 0) {
+                    std::fill(zrow + lx, zrow + rx, 0.0f);
+                    return;
+                }
+                // Chunk long tap tables so each pass's source rows fit
+                // L1 (beyond ~100 rows the per-block working set
+                // thrashes and every block re-reads from L2). Chunks
+                // apply in order, so per-element accumulation order —
+                // and therefore every bit — is unchanged.
+                constexpr int kTapChunk = 96;
+                const int first = std::min(nt, kTapChunk);
+                simd::matvec_rows_f32(zrow + lx, tsrc, tw, first, rx - lx);
+                for (int t0 = first; t0 < nt; t0 += kTapChunk) {
+                    simd::axpy_rows_f32(zrow + lx, tsrc + t0, tw + t0,
+                                        std::min(kTapChunk, nt - t0),
+                                        rx - lx);
+                }
+            }
+        };
+
+        // Builds the tap table for output row y, pre-shifted by +lx.
+        const auto build_row = [&](int y, int& lx, int& rx) {
+            int nt = 0;
+            lx = 0;
+            rx = wd;
+            for (int ci = 0; ci < ci_t_; ++ci) {
+                const float* x_ch = planes[ci * m_ + r];
+                const float* g_tap =
+                    gt32_.data() +
+                    ((static_cast<size_t>(co) * m_ + r) * ci_t_ + ci) * k_ *
+                        k_;
+                for (int ky = 0; ky < k_; ++ky) {
+                    const int yy = y + ky - pad;
+                    if (yy < 0 || yy >= h) continue;
+                    for (int kx = 0; kx < k_; ++kx) {
+                        const float wv =
+                            g_tap[static_cast<size_t>(ky) * k_ + kx];
+                        if (wv == 0.0f) continue;
+                        tsrc[nt] = x_ch + static_cast<int64_t>(yy) * wd +
+                                   (kx - pad);
+                        tw[nt] = wv;
+                        tlo[nt] = std::max(0, pad - kx);
+                        thi[nt] = std::min(wd, wd + pad - kx);
+                        lx = std::max(lx, tlo[nt]);
+                        rx = std::min(rx, thi[nt]);
+                        ++nt;
+                    }
+                }
+            }
+            for (int t = 0; t < nt; ++t) tsrc[t] += lx;
+            return nt;
+        };
+
+        // Rows whose kernel footprint leaves the image (top/bottom pad
+        // rows) have per-row tap sets; every interior row shares ONE
+        // set whose source pointers just advance by wd — the table is
+        // built once per (r, band), not once per row.
+        const int yA = std::min(std::max(y0, pad), y1);
+        const int yB = std::max(std::min(y1, h - pad), yA);
+        int lx = 0, rx = wd;
+        for (int y = y0; y < yA; ++y) {
+            const int nt = build_row(y, lx, rx);
+            run_row(y, nt, lx, rx);
+        }
+        if (yA < yB) {
+            const int nt = build_row(yA, lx, rx);
+            for (int y = yA; y < yB; ++y) {
+                run_row(y, nt, lx, rx);
+                for (int t = 0; t < nt; ++t) tsrc[t] += wd;
+            }
+        }
+        for (int y = yB; y < y1; ++y) {
+            const int nt = build_row(y, lx, rx);
+            run_row(y, nt, lx, rx);
+        }
+    }
+
+    // Fused output pass, as in conv_band_f32 but with the per-r
+    // reconstruction chain and the directional n x n matmuls collapsed
+    // into single fused row passes (identical per-element order), and
+    // only the NONZERO Tz terms touched. (Like the zero filter-tap
+    // skip, dropping an exactly-zero coefficient only differs through
+    // non-finite activations.) With identity Tz the components already
+    // sit in the output rows: reconstruction is just the bias add —
+    // skipped entirely when every bias is exactly zero.
+    const float* srcs[kMaxTuple];
+    float cf[kMaxTuple];
+    const bool no_output_pass =
+        identity_tz_ && bias32_zero_ && epilogue_ == ConvEpilogue::kNone;
+    if (no_output_pass) return;
+    for (int y = 0; y < bh; ++y) {
+        if (identity_tz_) {
+            if (!bias32_zero_) {
+                for (int i = 0; i < n_; ++i) {
+                    float* orow = out.data() +
+                        (static_cast<int64_t>(co * n_ + i) * h + y0 + y) *
+                            wd;
+                    const float b = bias32_[static_cast<size_t>(co) * n_ + i];
+                    for (int xx = 0; xx < wd; ++xx) {
+                        orow[xx] = b + orow[xx];
+                    }
+                }
+            }
+        } else {
+            for (int i = 0; i < n_; ++i) {
+                float* orow = out.data() +
+                    (static_cast<int64_t>(co * n_ + i) * h + y0 + y) * wd;
+                std::fill_n(orow, wd,
+                            bias32_[static_cast<size_t>(co) * n_ + i]);
+                const auto& nz = tz32_nz_[static_cast<size_t>(i)];
+                int cnt = 0;
+                for (const auto& [r, c] : nz) {
+                    srcs[cnt] = z + (static_cast<size_t>(r) * bh + y) * wd;
+                    cf[cnt] = c;
+                    ++cnt;
+                }
+                simd::axpy_rows_f32(orow, srcs, cf, cnt, wd);
+            }
+        }
+        if (epilogue_ == ConvEpilogue::kRelu) {
+            for (int i = 0; i < n_; ++i) {
+                float* orow = out.data() +
+                    (static_cast<int64_t>(co * n_ + i) * h + y0 + y) * wd;
+                for (int xx = 0; xx < wd; ++xx) {
+                    orow[xx] = orow[xx] > 0.0f ? orow[xx] : 0.0f;
+                }
+            }
+        } else if (epilogue_ == ConvEpilogue::kDirectional) {
+            float* rows[kMaxTuple];
+            for (int i = 0; i < n_; ++i) {
+                rows[i] = out.data() +
+                    (static_cast<int64_t>(co * n_ + i) * h + y0 + y) * wd;
+            }
+            if (scratch.dir.size() < static_cast<size_t>(n_) * wd) {
+                scratch.dir.resize(static_cast<size_t>(n_) * wd);
+            }
+            for (int i = 0; i < n_; ++i) {
+                float* ti = scratch.dir.data() + static_cast<size_t>(i) * wd;
+                simd::matvec_rows_f32(
+                    ti, rows, v32_.data() + static_cast<size_t>(i) * n_, n_,
+                    wd);
+                for (int xx = 0; xx < wd; ++xx) {
+                    ti[xx] = ti[xx] > 0.0f ? ti[xx] : 0.0f;
+                }
+            }
+            for (int i = 0; i < n_; ++i) {
+                for (int j = 0; j < n_; ++j) {
+                    srcs[j] =
+                        scratch.dir.data() + static_cast<size_t>(j) * wd;
+                }
+                simd::matvec_rows_f32(
+                    rows[i], srcs,
+                    u32_.data() + static_cast<size_t>(i) * n_, n_, wd);
+            }
+        }
+    }
+}
+
 struct RingConvEngine::Task
 {
     int img, co, y0, y1;
@@ -406,45 +676,89 @@ RingConvEngine::run_into(const Tensor* const* xs, Tensor* outs, int count,
     }
 
     // Per-image transformed-input buffers; one flat (img, tuple,
-    // component) task per plane.
+    // component) task per plane. On the tap-fused path, components
+    // whose Tx row is a unit selector are never materialized — their
+    // plane-pointer table entry aliases the input tensor (for the RI
+    // rings that is EVERY component, so the transform stage and its
+    // 2x-image memory traffic vanish entirely).
+    const bool strict = opt_.strict_fp64;
+    const bool fused = !strict && opt_.tap_fused && m_ <= kMaxTuple;
+    bool needs_xt = !fused;
+    if (fused) {
+        for (int r = 0; r < m_; ++r) {
+            if (tx_alias_[static_cast<size_t>(r)] < 0) needs_xt = true;
+        }
+    }
     if (sc.xt.size() < static_cast<size_t>(count)) {
         sc.xt.resize(static_cast<size_t>(count));
     }
-    for (int b = 0; b < count; ++b) {
-        const int64_t plane =
-            static_cast<int64_t>(xs[b]->dim(1)) * xs[b]->dim(2);
-        const size_t need = static_cast<size_t>(ci_t_) * m_ * plane;
-        if (sc.xt[static_cast<size_t>(b)].size() < need) {
-            sc.xt[static_cast<size_t>(b)].resize(need);
+    if (needs_xt) {
+        for (int b = 0; b < count; ++b) {
+            const int64_t plane =
+                static_cast<int64_t>(xs[b]->dim(1)) * xs[b]->dim(2);
+            const size_t need = static_cast<size_t>(ci_t_) * m_ * plane;
+            if (sc.xt[static_cast<size_t>(b)].size() < need) {
+                sc.xt[static_cast<size_t>(b)].resize(need);
+            }
+        }
+        util::parallel_for_worker(
+            static_cast<int64_t>(count) * ci_t_ * m_,
+            [&](int worker, int64_t id) {
+                const int b = static_cast<int>(id / (ci_t_ * m_));
+                const int p = static_cast<int>(id % (ci_t_ * m_));
+                if (fused && tx_alias_[static_cast<size_t>(p % m_)] >= 0) {
+                    return;  // aliased in place, nothing to materialize
+                }
+                const Tensor& x = *xs[b];
+                const int64_t plane =
+                    static_cast<int64_t>(x.dim(1)) * x.dim(2);
+                float* dst =
+                    sc.xt[static_cast<size_t>(b)].data() + p * plane;
+                if (strict) {
+                    transform_plane_f64(
+                        x, p / m_, p % m_, dst,
+                        sc.workers[static_cast<size_t>(worker)].acc64);
+                } else {
+                    transform_plane_f32(x, p / m_, p % m_, dst);
+                }
+            },
+            threads);
+    }
+    if (fused) {
+        if (sc.xplanes.size() < static_cast<size_t>(count)) {
+            sc.xplanes.resize(static_cast<size_t>(count));
+        }
+        for (int b = 0; b < count; ++b) {
+            const int64_t plane =
+                static_cast<int64_t>(xs[b]->dim(1)) * xs[b]->dim(2);
+            auto& pl = sc.xplanes[static_cast<size_t>(b)];
+            pl.resize(static_cast<size_t>(ci_t_) * m_);
+            for (int t = 0; t < ci_t_; ++t) {
+                for (int r = 0; r < m_; ++r) {
+                    const int p = t * m_ + r;
+                    const int j = tx_alias_[static_cast<size_t>(r)];
+                    pl[static_cast<size_t>(p)] =
+                        j >= 0 ? xs[b]->data() +
+                                     static_cast<int64_t>(t * n_ + j) * plane
+                               : sc.xt[static_cast<size_t>(b)].data() +
+                                     p * plane;
+                }
+            }
         }
     }
-    const bool strict = opt_.strict_fp64;
-    util::parallel_for_worker(
-        static_cast<int64_t>(count) * ci_t_ * m_,
-        [&](int worker, int64_t id) {
-            const int b = static_cast<int>(id / (ci_t_ * m_));
-            const int p = static_cast<int>(id % (ci_t_ * m_));
-            const Tensor& x = *xs[b];
-            const int64_t plane = static_cast<int64_t>(x.dim(1)) * x.dim(2);
-            float* dst = sc.xt[static_cast<size_t>(b)].data() + p * plane;
-            if (strict) {
-                transform_plane_f64(
-                    x, p / m_, p % m_, dst,
-                    sc.workers[static_cast<size_t>(worker)].acc64);
-            } else {
-                transform_plane_f32(x, p / m_, p % m_, dst);
-            }
-        },
-        threads);
 
-    // One task per (image, output tuple, row band).
+    // One task per (image, output tuple, row band), band-major: all
+    // output tuples of one row band run before the next band, so the
+    // transformed-input rows the band reads stay cache-hot across the
+    // co_t tuple passes instead of being streamed co_t times. Pure
+    // scheduling — tasks are independent, results identical.
     std::vector<Task> tasks;
     for (int b = 0; b < count; ++b) {
         const int h = xs[b]->dim(1), wd = xs[b]->dim(2);
         outs[b].reset({co_t_ * n_, h, wd});
         const int bh = band_rows(h, threads);
-        for (int co = 0; co < co_t_; ++co) {
-            for (int y0 = 0; y0 < h; y0 += bh) {
+        for (int y0 = 0; y0 < h; y0 += bh) {
+            for (int co = 0; co < co_t_; ++co) {
                 tasks.push_back({b, co, y0, std::min(y0 + bh, h)});
             }
         }
@@ -459,6 +773,11 @@ RingConvEngine::run_into(const Tensor* const* xs, Tensor* outs, int count,
             if (strict) {
                 conv_band_f64(xt, xs[t.img]->dim(1), xs[t.img]->dim(2),
                               t.co, t.y0, t.y1, outs[t.img], ws);
+            } else if (fused) {
+                conv_band_f32_fused(
+                    sc.xplanes[static_cast<size_t>(t.img)].data(),
+                    xs[t.img]->dim(1), xs[t.img]->dim(2), t.co, t.y0, t.y1,
+                    outs[t.img], ws);
             } else {
                 conv_band_f32(xt, xs[t.img]->dim(1), xs[t.img]->dim(2),
                               t.co, t.y0, t.y1, outs[t.img], ws);

@@ -61,6 +61,19 @@ struct RingConvEngineOptions
      * Strict mode does not support fused epilogues.
      */
     bool strict_fp64 = false;
+    /**
+     * Accumulate every (ci, ky, kx) tap of an output row in one fused
+     * pass (simd::axpy_rows_f32) instead of one axpy_f32 row pass per
+     * tap, and likewise fuse the input-transform and reconstruction /
+     * directional-epilogue row chains. Per-element operation order is
+     * unchanged, so results are BIT-IDENTICAL to the unfused fp32 path
+     * (pinned in tests/test_ring_conv_engine.cc); the per-tap
+     * read-modify-write traffic over the accumulator band — most of the
+     * fp32 FRCONV time — collapses to one load/store per row. Off
+     * reproduces the PR-2/PR-4 kernel schedule (the serving bench's
+     * per-request baseline). Ignored on the strict fp64 path.
+     */
+    bool tap_fused = true;
 };
 
 /** Nonlinearity fused into the engine's output pass (fp32 path only). */
@@ -81,12 +94,21 @@ enum class ConvEpilogue
 struct RingConvScratch
 {
     std::vector<std::vector<float>> xt;
+    /** Tap-fused path: per-image (tuple, component) plane pointer
+     *  table — identity Tx components alias the input tensor directly
+     *  (no copy), the rest point into `xt`. */
+    std::vector<std::vector<const float*>> xplanes;
     struct Worker
     {
         std::vector<float> z32;    ///< fp32 per-band component planes
         std::vector<float> dir;    ///< directional-epilogue tuple rows
         std::vector<double> z64;   ///< strict-path per-band planes
         std::vector<double> acc64; ///< strict-path transform accumulator
+        /** Tap-fused path: per-row tap table (source row pointers,
+         *  coefficients, valid column ranges), rebuilt per output row. */
+        std::vector<const float*> tap_src;
+        std::vector<float> tap_w;
+        std::vector<int> tap_lo, tap_hi;
     };
     std::vector<Worker> workers;
 };
@@ -171,6 +193,13 @@ class RingConvEngine
     void conv_band_f32(const float* xt, int h, int w, int co, int y0,
                        int y1, Tensor& out,
                        RingConvScratch::Worker& scratch) const;
+    /** The tap_fused variant of conv_band_f32 (same values, fewer
+     *  accumulator passes; see RingConvEngineOptions::tap_fused).
+     *  `planes` maps (tuple, component) -> input plane (aliased or
+     *  transformed; see RingConvScratch::xplanes). */
+    void conv_band_f32_fused(const float* const* planes, int h, int w,
+                             int co, int y0, int y1, Tensor& out,
+                             RingConvScratch::Worker& scratch) const;
 
     const Ring* ring_;
     int co_t_, ci_t_, k_, n_, m_;
@@ -185,9 +214,29 @@ class RingConvEngine
     /** Nonzero (j, Tx[r][j]) entries per component r, ascending j. */
     std::vector<std::vector<std::pair<int, double>>> tx_nz_;
     std::vector<std::vector<std::pair<int, float>>> tx32_nz_;
+    /**
+     * tx_alias_[r] = j when Tx row r is the unit selector e_j (its only
+     * nonzero is a 1.0 at column j) — the tap-fused path then reads
+     * input planes in place instead of copying them into xt. The
+     * paper's RI rings have IDENTITY Tx/Tz (their fast algorithm is the
+     * algebraic sparsity of the multiplication tensor itself), so their
+     * whole transform stage disappears. -1 when the row really
+     * transforms.
+     */
+    std::vector<int> tx_alias_;
     /** Tz as a dense row-major [n][m] array. */
     std::vector<double> tz_;
     std::vector<float> tz32_;
+    /** Nonzero (r, Tz[i][r]) entries per output component i: the
+     *  tap-fused reconstruction only touches these (identical values
+     *  except through non-finite z, as with zero filter taps). */
+    std::vector<std::vector<std::pair<int, float>>> tz32_nz_;
+    /** Tz == I (and m == n): the tap-fused path then accumulates each
+     *  component directly into its output channel rows — no component
+     *  scratch band, no reconstruction pass. True for the RI rings. */
+    bool identity_tz_ = false;
+    /** Every bias entry is exactly zero (bias add pass skipped). */
+    bool bias32_zero_ = true;
     /** Fused epilogue state (row-major n x n, fp32 path only). */
     ConvEpilogue epilogue_ = ConvEpilogue::kNone;
     std::vector<float> u32_, v32_;

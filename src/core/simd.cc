@@ -58,6 +58,32 @@ sum_generic(const float* src, int64_t len)
     return acc;
 }
 
+// The fused multi-source kernels perform, per element, exactly the
+// operation sequence of the equivalent axpy/scale call chain (ascending
+// term order, mul then add, no FMA), so every build and dispatch target
+// produces identical bits — and identical bits to the unfused chain.
+void
+axpy_rows_generic(float* dst, const float* const* srcs, const float* coeffs,
+                  int ntaps, int64_t len)
+{
+    for (int64_t i = 0; i < len; ++i) {
+        float acc = dst[i];
+        for (int t = 0; t < ntaps; ++t) acc += coeffs[t] * srcs[t][i];
+        dst[i] = acc;
+    }
+}
+
+void
+matvec_rows_generic(float* dst, const float* const* srcs,
+                    const float* coeffs, int ntaps, int64_t len)
+{
+    for (int64_t i = 0; i < len; ++i) {
+        float acc = coeffs[0] * srcs[0][i];
+        for (int t = 1; t < ntaps; ++t) acc += coeffs[t] * srcs[t][i];
+        dst[i] = acc;
+    }
+}
+
 // Integer rows compute through uint32 so overflow wraps mod 2^32 in
 // every build (signed overflow is UB), matching the AVX2 mullo/add
 // lanes bit for bit.
@@ -146,6 +172,140 @@ sum_avx2(const float* src, int64_t len)
     return acc;
 }
 
+// 64 elements per iteration: each tap's broadcast is reused across 8
+// vectors, and the 8 independent accumulator chains cover the FP-add
+// latency (each chain sees one add per tap; with fewer chains the
+// serial add chain, not port throughput, bounds the loop). Same
+// elementwise mul+add sequence as the generic loop.
+__attribute__((target("avx2"))) void
+axpy_rows_avx2(float* dst, const float* const* srcs, const float* coeffs,
+               int ntaps, int64_t len)
+{
+    int64_t i = 0;
+    for (; i + 64 <= len; i += 64) {
+        __m256 a0 = _mm256_loadu_ps(dst + i);
+        __m256 a1 = _mm256_loadu_ps(dst + i + 8);
+        __m256 a2 = _mm256_loadu_ps(dst + i + 16);
+        __m256 a3 = _mm256_loadu_ps(dst + i + 24);
+        __m256 a4 = _mm256_loadu_ps(dst + i + 32);
+        __m256 a5 = _mm256_loadu_ps(dst + i + 40);
+        __m256 a6 = _mm256_loadu_ps(dst + i + 48);
+        __m256 a7 = _mm256_loadu_ps(dst + i + 56);
+        for (int t = 0; t < ntaps; ++t) {
+            const __m256 c = _mm256_set1_ps(coeffs[t]);
+            const float* s = srcs[t] + i;
+            a0 = _mm256_add_ps(a0, _mm256_mul_ps(c, _mm256_loadu_ps(s)));
+            a1 = _mm256_add_ps(a1, _mm256_mul_ps(c, _mm256_loadu_ps(s + 8)));
+            a2 = _mm256_add_ps(a2, _mm256_mul_ps(c, _mm256_loadu_ps(s + 16)));
+            a3 = _mm256_add_ps(a3, _mm256_mul_ps(c, _mm256_loadu_ps(s + 24)));
+            a4 = _mm256_add_ps(a4, _mm256_mul_ps(c, _mm256_loadu_ps(s + 32)));
+            a5 = _mm256_add_ps(a5, _mm256_mul_ps(c, _mm256_loadu_ps(s + 40)));
+            a6 = _mm256_add_ps(a6, _mm256_mul_ps(c, _mm256_loadu_ps(s + 48)));
+            a7 = _mm256_add_ps(a7, _mm256_mul_ps(c, _mm256_loadu_ps(s + 56)));
+        }
+        _mm256_storeu_ps(dst + i, a0);
+        _mm256_storeu_ps(dst + i + 8, a1);
+        _mm256_storeu_ps(dst + i + 16, a2);
+        _mm256_storeu_ps(dst + i + 24, a3);
+        _mm256_storeu_ps(dst + i + 32, a4);
+        _mm256_storeu_ps(dst + i + 40, a5);
+        _mm256_storeu_ps(dst + i + 48, a6);
+        _mm256_storeu_ps(dst + i + 56, a7);
+    }
+    for (; i + 32 <= len; i += 32) {
+        __m256 a0 = _mm256_loadu_ps(dst + i);
+        __m256 a1 = _mm256_loadu_ps(dst + i + 8);
+        __m256 a2 = _mm256_loadu_ps(dst + i + 16);
+        __m256 a3 = _mm256_loadu_ps(dst + i + 24);
+        for (int t = 0; t < ntaps; ++t) {
+            const __m256 c = _mm256_set1_ps(coeffs[t]);
+            const float* s = srcs[t] + i;
+            a0 = _mm256_add_ps(a0, _mm256_mul_ps(c, _mm256_loadu_ps(s)));
+            a1 = _mm256_add_ps(a1, _mm256_mul_ps(c, _mm256_loadu_ps(s + 8)));
+            a2 = _mm256_add_ps(a2, _mm256_mul_ps(c, _mm256_loadu_ps(s + 16)));
+            a3 = _mm256_add_ps(a3, _mm256_mul_ps(c, _mm256_loadu_ps(s + 24)));
+        }
+        _mm256_storeu_ps(dst + i, a0);
+        _mm256_storeu_ps(dst + i + 8, a1);
+        _mm256_storeu_ps(dst + i + 16, a2);
+        _mm256_storeu_ps(dst + i + 24, a3);
+    }
+    for (; i + 8 <= len; i += 8) {
+        __m256 acc = _mm256_loadu_ps(dst + i);
+        for (int t = 0; t < ntaps; ++t) {
+            acc = _mm256_add_ps(acc,
+                                _mm256_mul_ps(_mm256_set1_ps(coeffs[t]),
+                                              _mm256_loadu_ps(srcs[t] + i)));
+        }
+        _mm256_storeu_ps(dst + i, acc);
+    }
+    if (i < len) {
+        if (len >= 8) {
+            // Tail via ONE overlapping 8-wide block anchored at len-8:
+            // the lanes that were already accumulated by the main loop
+            // recompute garbage that is simply not stored; the true
+            // tail lanes see exactly the scalar op sequence. With many
+            // taps this replaces tail*ntaps scalar ops per row.
+            const int64_t base = len - 8;
+            __m256 acc = _mm256_loadu_ps(dst + base);
+            for (int t = 0; t < ntaps; ++t) {
+                acc = _mm256_add_ps(
+                    acc, _mm256_mul_ps(_mm256_set1_ps(coeffs[t]),
+                                       _mm256_loadu_ps(srcs[t] + base)));
+            }
+            float tmp[8];
+            _mm256_storeu_ps(tmp, acc);
+            for (; i < len; ++i) dst[i] = tmp[i - base];
+        } else {
+            for (; i < len; ++i) {
+                float acc = dst[i];
+                for (int t = 0; t < ntaps; ++t) acc += coeffs[t] * srcs[t][i];
+                dst[i] = acc;
+            }
+        }
+    }
+}
+
+__attribute__((target("avx2"))) void
+matvec_rows_avx2(float* dst, const float* const* srcs, const float* coeffs,
+                 int ntaps, int64_t len)
+{
+    int64_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+        __m256 acc = _mm256_mul_ps(_mm256_set1_ps(coeffs[0]),
+                                   _mm256_loadu_ps(srcs[0] + i));
+        for (int t = 1; t < ntaps; ++t) {
+            acc = _mm256_add_ps(acc,
+                                _mm256_mul_ps(_mm256_set1_ps(coeffs[t]),
+                                              _mm256_loadu_ps(srcs[t] + i)));
+        }
+        _mm256_storeu_ps(dst + i, acc);
+    }
+    if (i < len) {
+        if (len >= 8) {
+            // Overwrite semantics read no dst lanes, so the whole
+            // overlapping block at len-8 can simply be stored: the
+            // overlapped lanes recompute the exact values the main
+            // loop already wrote (a pure function of the sources).
+            const int64_t base = len - 8;
+            __m256 acc = _mm256_mul_ps(_mm256_set1_ps(coeffs[0]),
+                                       _mm256_loadu_ps(srcs[0] + base));
+            for (int t = 1; t < ntaps; ++t) {
+                acc = _mm256_add_ps(
+                    acc, _mm256_mul_ps(_mm256_set1_ps(coeffs[t]),
+                                       _mm256_loadu_ps(srcs[t] + base)));
+            }
+            _mm256_storeu_ps(dst + base, acc);
+        } else {
+            for (; i < len; ++i) {
+                float acc = coeffs[0] * srcs[0][i];
+                for (int t = 1; t < ntaps; ++t) acc += coeffs[t] * srcs[t][i];
+                dst[i] = acc;
+            }
+        }
+    }
+}
+
 __attribute__((target("avx2"))) void
 axpy_i32_avx2(int32_t* dst, const int32_t* src, int32_t a, int64_t len)
 {
@@ -191,6 +351,8 @@ using DotFn = float (*)(const float*, const float*, int64_t);
 using SumFn = float (*)(const float*, int64_t);
 using AxpyI32Fn = void (*)(int32_t*, const int32_t*, int32_t, int64_t);
 using ScaleI32Fn = void (*)(int32_t*, const int32_t*, int32_t, int64_t);
+using RowsFn = void (*)(float*, const float* const*, const float*, int,
+                        int64_t);
 
 struct Dispatch
 {
@@ -200,6 +362,8 @@ struct Dispatch
     SumFn sum = sum_generic;
     AxpyI32Fn axpy_i = axpy_i32_generic;
     ScaleI32Fn scale_i = scale_i32_generic;
+    RowsFn axpy_rows = axpy_rows_generic;
+    RowsFn matvec_rows = matvec_rows_generic;
     const char* isa = "generic";
 
     Dispatch()
@@ -212,6 +376,8 @@ struct Dispatch
             sum = sum_avx2;
             axpy_i = axpy_i32_avx2;
             scale_i = scale_i32_avx2;
+            axpy_rows = axpy_rows_avx2;
+            matvec_rows = matvec_rows_avx2;
             isa = "avx2";
         }
 #endif
@@ -275,6 +441,21 @@ std::atomic<ScaleFn> scale_f32_impl{scale_resolver};
 std::atomic<DotFn> dot_f32_impl{dot_resolver};
 std::atomic<SumFn> sum_f32_impl{sum_resolver};
 }  // namespace detail
+
+void
+axpy_rows_f32(float* dst, const float* const* srcs, const float* coeffs,
+              int ntaps, int64_t len)
+{
+    if (ntaps <= 0) return;
+    dispatch().axpy_rows(dst, srcs, coeffs, ntaps, len);
+}
+
+void
+matvec_rows_f32(float* dst, const float* const* srcs, const float* coeffs,
+                int ntaps, int64_t len)
+{
+    dispatch().matvec_rows(dst, srcs, coeffs, ntaps, len);
+}
 
 void
 axpy_i32(int32_t* dst, const int32_t* src, int32_t a, int64_t len)

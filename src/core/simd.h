@@ -132,6 +132,34 @@ inline float sum_f32(const float* src, int64_t len)
     return detail::sum_f32_impl.load(std::memory_order_relaxed)(src, len);
 }
 
+/**
+ * Fused multi-source accumulation: for each i in [0, len),
+ *
+ *   dst[i] = (...((dst[i] + c[0]*srcs[0][i]) + c[1]*srcs[1][i])...)
+ *
+ * with one multiply and one add per term, in ascending term order — the
+ * exact per-element operation sequence of `ntaps` successive axpy_f32
+ * calls, but in ONE pass over dst. The conv band kernels use this to
+ * accumulate every (ci, ky, kx) tap of an output row while the
+ * accumulator stays in registers: per-tap axpy traffic (load dst + store
+ * dst per tap) collapses to one load and one store per row, which is
+ * where most of the fp32 FRCONV time went. Bit-identical to the
+ * unfused call sequence on every dispatch target (elementwise mul+add,
+ * no FMA, no reassociation). ntaps == 0 is a no-op.
+ */
+void axpy_rows_f32(float* dst, const float* const* srcs,
+                   const float* coeffs, int ntaps, int64_t len);
+
+/**
+ * Overwriting variant: dst[i] = c[0]*srcs[0][i] + c[1]*srcs[1][i] + ...
+ * in ascending term order — the per-element sequence of one scale_f32
+ * followed by ntaps-1 axpy_f32 calls, fused into one pass. Requires
+ * ntaps >= 1. The engine's input transforms and the n x n directional
+ * epilogue matmuls use this shape.
+ */
+void matvec_rows_f32(float* dst, const float* const* srcs,
+                     const float* coeffs, int ntaps, int64_t len);
+
 /** dst[i] += a * src[i] for i in [0, len), wrapping int32. */
 void axpy_i32(int32_t* dst, const int32_t* src, int32_t a, int64_t len);
 

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "core/simd.h"
+#include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace ringcnn::nn {
@@ -385,6 +386,53 @@ conv2d_forward(const Tensor& x, const Tensor& w,
 }
 
 void
+depthwise_conv2d_forward(const Tensor& x, const Tensor& w,
+                         const std::vector<float>& bias, Tensor& out)
+{
+    assert(w.dim(0) == x.dim(0) && w.dim(1) == 1 &&
+           out.dim(0) == x.dim(0) && out.dim(1) == x.dim(1) &&
+           out.dim(2) == x.dim(2));
+    const int h = x.dim(1), wd = x.dim(2);
+    const int k = w.dim(2), pad = k / 2;
+    const int64_t plane = static_cast<int64_t>(h) * wd;
+    const TrainKernelOptions& opts = train_kernel_options();
+
+    // One task per channel; per channel the tap loop is the ci == 1
+    // case of forward_simd / forward_reference (which are bit-identical
+    // to each other), so this matches the layer's slice walk exactly.
+    util::parallel_for(
+        x.dim(0),
+        [&](int64_t c) {
+            float* out_ch = out.data() + static_cast<size_t>(c) * plane;
+            const float b =
+                bias.empty() ? 0.0f : bias[static_cast<size_t>(c)];
+            std::fill(out_ch, out_ch + plane, b);
+            const float* x_ch = x.data() + static_cast<size_t>(c) * plane;
+            const float* w_tap =
+                w.data() + static_cast<size_t>(c) * k * k;
+            for (int ky = 0; ky < k; ++ky) {
+                const int y_lo = std::max(0, pad - ky);
+                const int y_hi = std::min(h, h + pad - ky);
+                for (int kx = 0; kx < k; ++kx) {
+                    const float wv = w_tap[static_cast<size_t>(ky) * k + kx];
+                    if (wv == 0.0f) continue;
+                    const int x_lo = std::max(0, pad - kx);
+                    const int x_hi = std::min(wd, wd + pad - kx);
+                    const int shift_y = ky - pad, shift_x = kx - pad;
+                    for (int y = y_lo; y < y_hi; ++y) {
+                        simd::axpy_f32(
+                            out_ch + static_cast<size_t>(y) * wd + x_lo,
+                            x_ch + static_cast<size_t>(y + shift_y) * wd +
+                                shift_x + x_lo,
+                            wv, x_hi - x_lo);
+                    }
+                }
+            }
+        },
+        opts.threads);
+}
+
+void
 conv2d_backward_input(const Tensor& w, const Tensor& grad_out, Tensor& grad_x)
 {
     assert(grad_out.dim(0) == w.dim(0) && grad_x.dim(0) == w.dim(1));
@@ -417,6 +465,160 @@ conv2d_backward_weights(const Tensor& x, const Tensor& grad_out,
     }
     backward_weights_simd(x, grad_out, grad_w, grad_b, pair_mask,
                           opts.threads);
+}
+
+namespace {
+
+constexpr int kMaxTuple = 16;
+
+/** Float copies of the n x n transform and its transpose. */
+void
+to_float(const Matd& m, int n, float* dst, float* dst_t)
+{
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            dst[i * n + j] = static_cast<float>(m.at(i, j));
+            dst_t[i * n + j] = static_cast<float>(m.at(j, i));
+        }
+    }
+}
+
+}  // namespace
+
+void
+directional_relu_forward(const Tensor& x, const Matd& u, const Matd& v,
+                         Tensor& out, std::vector<uint8_t>* mask)
+{
+    // Per calling thread (see header): callers may run concurrently on
+    // distinct layers/images; the nested parallel_for_worker below
+    // captures THIS thread's buffer and bands it per worker.
+    static thread_local std::vector<float> tl_scratch;
+    std::vector<float>& scratch = tl_scratch;
+    const int n = v.cols();
+    const int c = x.dim(0), h = x.dim(1), w = x.dim(2);
+    RINGCNN_CHECK(n <= kMaxTuple && c % n == 0,
+                  "directional ReLU tuple mismatch");
+    out.reset(x.shape());
+    if (mask != nullptr) mask->assign(static_cast<size_t>(x.numel()), 0);
+    float uf[kMaxTuple * kMaxTuple], uft[kMaxTuple * kMaxTuple];
+    float vf[kMaxTuple * kMaxTuple], vft[kMaxTuple * kMaxTuple];
+    to_float(u, n, uf, uft);
+    to_float(v, n, vf, vft);
+
+    const TrainKernelOptions& opts = train_kernel_options();
+    const int workers = util::resolve_threads(opts.threads);
+    const size_t band = static_cast<size_t>(n) * w;
+    if (scratch.size() < static_cast<size_t>(workers) * band) {
+        scratch.resize(static_cast<size_t>(workers) * band);
+    }
+
+    // One task per tuple: V and U become n^2 fused row passes over the
+    // tuple's rows; the rectifier (and its training mask) applies to
+    // the V image while it is hot in the per-worker row band.
+    util::parallel_for_worker(
+        c / n,
+        [&](int worker, int64_t t) {
+            float* rows_v = scratch.data() + static_cast<size_t>(worker) * band;
+            const float* srcs[kMaxTuple];
+            const float* vsrcs[kMaxTuple];
+            for (int i = 0; i < n; ++i) {
+                vsrcs[i] = rows_v + static_cast<size_t>(i) * w;
+            }
+            for (int y = 0; y < h; ++y) {
+                for (int j = 0; j < n; ++j) {
+                    srcs[j] = x.data() +
+                              (static_cast<int64_t>(t * n + j) * h + y) * w;
+                }
+                for (int i = 0; i < n; ++i) {
+                    float* ti = rows_v + static_cast<size_t>(i) * w;
+                    simd::matvec_rows_f32(ti, srcs, vf + i * n, n, w);
+                    if (mask != nullptr) {
+                        uint8_t* mrow =
+                            mask->data() +
+                            (static_cast<int64_t>(t * n + i) * h + y) * w;
+                        for (int xx = 0; xx < w; ++xx) {
+                            const bool pos = ti[xx] > 0.0f;
+                            mrow[xx] = pos ? 1 : 0;
+                            if (!pos) ti[xx] = 0.0f;
+                        }
+                    } else {
+                        for (int xx = 0; xx < w; ++xx) {
+                            ti[xx] = ti[xx] > 0.0f ? ti[xx] : 0.0f;
+                        }
+                    }
+                }
+                for (int i = 0; i < n; ++i) {
+                    float* orow = out.data() +
+                        (static_cast<int64_t>(t * n + i) * h + y) * w;
+                    simd::matvec_rows_f32(orow, vsrcs, uf + i * n, n, w);
+                }
+            }
+        },
+        opts.threads);
+}
+
+void
+directional_relu_backward(const Tensor& grad_out, const Matd& u,
+                          const Matd& v, const std::vector<uint8_t>& mask,
+                          Tensor& grad)
+{
+    static thread_local std::vector<float> tl_scratch;
+    std::vector<float>& scratch = tl_scratch;
+    const int n = v.cols();
+    const int c = grad_out.dim(0), h = grad_out.dim(1), w = grad_out.dim(2);
+    RINGCNN_CHECK(n <= kMaxTuple && c % n == 0,
+                  "directional ReLU tuple mismatch");
+    RINGCNN_CHECK(mask.size() == static_cast<size_t>(grad_out.numel()),
+                  "directional ReLU backward needs the forward's mask");
+    grad.reset(grad_out.shape());
+    float uf[kMaxTuple * kMaxTuple], uft[kMaxTuple * kMaxTuple];
+    float vf[kMaxTuple * kMaxTuple], vft[kMaxTuple * kMaxTuple];
+    to_float(u, n, uf, uft);
+    to_float(v, n, vf, vft);
+
+    const TrainKernelOptions& opts = train_kernel_options();
+    const int workers = util::resolve_threads(opts.threads);
+    const size_t band = static_cast<size_t>(n) * w;
+    if (scratch.size() < static_cast<size_t>(workers) * band) {
+        scratch.resize(static_cast<size_t>(workers) * band);
+    }
+
+    // dL/dr = U^T dL/dz gated by the mask, then dL/dy = V^T (gated):
+    // the same fused row structure as the forward, with the transposed
+    // transforms. Computing the masked-out lanes and zeroing them gives
+    // exactly the seed's "skip the sum" value.
+    util::parallel_for_worker(
+        c / n,
+        [&](int worker, int64_t t) {
+            float* rows_r = scratch.data() + static_cast<size_t>(worker) * band;
+            const float* srcs[kMaxTuple];
+            const float* rsrcs[kMaxTuple];
+            for (int i = 0; i < n; ++i) {
+                rsrcs[i] = rows_r + static_cast<size_t>(i) * w;
+            }
+            for (int y = 0; y < h; ++y) {
+                for (int j = 0; j < n; ++j) {
+                    srcs[j] = grad_out.data() +
+                              (static_cast<int64_t>(t * n + j) * h + y) * w;
+                }
+                for (int i = 0; i < n; ++i) {
+                    float* gi = rows_r + static_cast<size_t>(i) * w;
+                    simd::matvec_rows_f32(gi, srcs, uft + i * n, n, w);
+                    const uint8_t* mrow =
+                        mask.data() +
+                        (static_cast<int64_t>(t * n + i) * h + y) * w;
+                    for (int xx = 0; xx < w; ++xx) {
+                        if (mrow[xx] == 0) gi[xx] = 0.0f;
+                    }
+                }
+                for (int i = 0; i < n; ++i) {
+                    float* grow = grad.data() +
+                        (static_cast<int64_t>(t * n + i) * h + y) * w;
+                    simd::matvec_rows_f32(grow, rsrcs, vft + i * n, n, w);
+                }
+            }
+        },
+        opts.threads);
 }
 
 }  // namespace ringcnn::nn

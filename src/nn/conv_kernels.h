@@ -27,6 +27,7 @@
 #ifndef RINGCNN_NN_CONV_KERNELS_H
 #define RINGCNN_NN_CONV_KERNELS_H
 
+#include "core/linalg.h"
 #include "tensor/tensor.h"
 
 namespace ringcnn::nn {
@@ -51,6 +52,16 @@ struct TrainKernelOptions
     /** Worker threads for the channel-parallel kernels; 0 = auto
      *  (RINGCNN_THREADS, then hardware concurrency). */
     int threads = 0;
+    /**
+     * Run the training-side DirectionalReLU forward/backward as the
+     * seed's per-pixel double-precision loops instead of the float row
+     * kernels below. Separate from strict_reference because — unlike
+     * the conv kernels — the float form CHANGES FORWARD BITS vs the
+     * seed (double accumulators per pixel vs float rows), so it needs
+     * its own escape hatch; strict_reference implies it regardless, so
+     * a strict run still reproduces seed losses exactly.
+     */
+    bool strict_directional = false;
 };
 
 /** The mutable process-wide options instance. */
@@ -66,6 +77,19 @@ TrainKernelOptions& train_kernel_options();
 void conv2d_forward(const Tensor& x, const Tensor& w,
                     const std::vector<float>& bias, Tensor& out,
                     bool fuse_relu = false);
+
+/**
+ * Depthwise ("per-channel") forward convolution, "same" padding:
+ * out[c] = conv(x[c], w[c]) + bias[c]. Weights are [C][1][K][K].
+ * Channel-parallel on the pool; per channel it performs exactly the
+ * operations of conv2d_forward on the single-channel slice, so it is
+ * bit-identical to DepthwiseConv2d's slice-by-slice Layer::forward —
+ * without that path's per-channel slice copies and allocations. The
+ * model executor's compiled DepthwiseConv2d step calls this.
+ * @param out preallocated [C][H][W]; overwritten.
+ */
+void depthwise_conv2d_forward(const Tensor& x, const Tensor& w,
+                              const std::vector<float>& bias, Tensor& out);
 
 /**
  * Input gradient: grad_x = conv^T(w, grad_out).
@@ -90,6 +114,42 @@ void conv2d_backward_input(const Tensor& w, const Tensor& grad_out,
 void conv2d_backward_weights(const Tensor& x, const Tensor& grad_out,
                              Tensor& grad_w, std::vector<float>& grad_b,
                              const uint8_t* pair_mask = nullptr);
+
+/**
+ * Training-side directional ReLU forward, y -> U fcw(V y) per n-tuple
+ * (Section III-E), as float row kernels: per tuple row, V and U become
+ * n^2 fused row passes (simd::matvec_rows_f32) instead of a per-pixel
+ * double-precision matvec pair — the inference-side engine-epilogue
+ * form, ported to the Layer training path (~1/3 of an RI4 train step
+ * ran through the scalar loops before). Tuple-parallel on the pool
+ * with a fixed per-element order, so results are bit-deterministic
+ * under every thread count; vs the seed path they differ by float
+ * rounding (see TrainKernelOptions::strict_directional).
+ *
+ * Row scratch lives in thread-local storage sized once per calling
+ * thread, so concurrent calls from independent threads (e.g. the
+ * executor's run_layer fanning a calibration batch across the pool)
+ * never share state; nested fan-out inside one call still hands each
+ * pool worker its own band of the caller's buffer.
+ *
+ * @param u,v   n x n transforms (n = v.cols()); C % n == 0.
+ * @param out   overwritten ([C][H][W], reset by the callee). May alias
+ *        x — rows are consumed before they are rewritten.
+ * @param mask  when non-null, resized to numel and set to 1 where the
+ *        rectifier passed (same flat layout the seed backward uses).
+ */
+void directional_relu_forward(const Tensor& x, const Matd& u, const Matd& v,
+                              Tensor& out, std::vector<uint8_t>* mask);
+
+/**
+ * Matching backward: grad = V^T masked(U^T grad_out) per n-tuple, as
+ * float row kernels over the forward's rectification mask. Same
+ * determinism and scratch contracts as the forward.
+ */
+void directional_relu_backward(const Tensor& grad_out, const Matd& u,
+                               const Matd& v,
+                               const std::vector<uint8_t>& mask,
+                               Tensor& grad);
 
 }  // namespace ringcnn::nn
 

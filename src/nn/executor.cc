@@ -27,50 +27,12 @@ relu_into(const Tensor& x, Tensor& out)
     }
 }
 
-/**
- * y -> U fcw(V y) per n-tuple, float arithmetic. Safe in place. This is
- * the unfused fallback for a DirectionalReLU the planner could not fold
- * into a conv epilogue; the band-fused form lives in
- * RingConvEngine::conv_band_f32 and the double-precision reference in
- * core/ring_conv.cc — keep the three consistent.
- */
-void
-directional_relu_into(const Tensor& x, const Matd& u, const Matd& v,
-                      Tensor& out)
-{
-    const int n = v.cols();
-    const int c = x.dim(0), h = x.dim(1), w = x.dim(2);
-    out.reset(x.shape());
-    constexpr int kMaxTuple = 16;
-    RINGCNN_CHECK(n <= kMaxTuple && c % n == 0,
-                  "directional ReLU tuple mismatch");
-    float uf[kMaxTuple * kMaxTuple], vf[kMaxTuple * kMaxTuple];
-    for (int i = 0; i < n; ++i) {
-        for (int j = 0; j < n; ++j) {
-            uf[i * n + j] = static_cast<float>(u.at(i, j));
-            vf[i * n + j] = static_cast<float>(v.at(i, j));
-        }
-    }
-    const int64_t plane = static_cast<int64_t>(h) * w;
-    for (int t = 0; t < c / n; ++t) {
-        const float* in0 = x.data() + static_cast<int64_t>(t) * n * plane;
-        float* out0 = out.data() + static_cast<int64_t>(t) * n * plane;
-        float yv[kMaxTuple], rv[kMaxTuple];
-        for (int64_t p = 0; p < plane; ++p) {
-            for (int i = 0; i < n; ++i) yv[i] = in0[i * plane + p];
-            for (int i = 0; i < n; ++i) {
-                float acc = 0.0f;
-                for (int j = 0; j < n; ++j) acc += vf[i * n + j] * yv[j];
-                rv[i] = acc > 0.0f ? acc : 0.0f;
-            }
-            for (int i = 0; i < n; ++i) {
-                float acc = 0.0f;
-                for (int j = 0; j < n; ++j) acc += uf[i * n + j] * rv[j];
-                out0[i * plane + p] = acc;
-            }
-        }
-    }
-}
+// The unfused DirectionalReLU fallback (a directional ReLU the planner
+// could not fold into a conv epilogue) runs the shared
+// nn::directional_relu_forward row kernels — the same per-element
+// ascending-j multiply/add order as the band-fused form in
+// RingConvEngine::conv_band_f32*, so fusion never changes a bit; the
+// double-precision reference lives in core/ring_conv.cc.
 
 }  // namespace
 
@@ -122,14 +84,35 @@ ModelExecutor::decref(int slot)
 
 ModelExecutor::ModelExecutor(Model& model, Shape in_shape,
                              ExecutorOptions opt)
-    : opt_(opt), in_shape_(std::move(in_shape))
+    : opt_(opt), model_(&model)
 {
-    RINGCNN_CHECK(in_shape_.size() == 3,
+    rebind(in_shape);
+}
+
+void
+ModelExecutor::rebind(const Shape& in_shape)
+{
+    RINGCNN_CHECK(in_shape.size() == 3,
                   "executor input must be a CHW shape");
-    macs_ = model.macs(in_shape_);
+    in_shape_ = in_shape;
+    // Reset the compiled plan but keep the arena: every existing slot
+    // returns to the free list with its Tensor buffers (and their
+    // capacity) intact, so recompiling for a new shape reuses the
+    // allocations of the old plan wherever they are big enough.
+    steps_.clear();
+    engines_.clear();
+    fused_real_convs_ = 0;
+    fallback_steps_ = 0;
+    refcount_.assign(slots_.size(), 0);
+    free_slots_.clear();
+    for (int s = static_cast<int>(slots_.size()) - 1; s >= 0; --s) {
+        free_slots_.push_back(s);
+    }
+    batch_capacity_ = 0;  // new slots start empty; ensure_batch regrows
+    macs_ = model_->macs(in_shape_);
     entry_slot_ = acquire_slot();
     Shape shape = in_shape_;
-    out_slot_ = compile(&model.root(), entry_slot_, shape);
+    out_slot_ = compile(&model_->root(), entry_slot_, shape);
     out_shape_ = shape;
 }
 
@@ -142,6 +125,7 @@ ModelExecutor::compile_ringconv(RingConv2d* rc, int in, Shape& shape,
     RingConvEngineOptions eo;
     eo.threads = opt_.threads;
     eo.strict_fp64 = opt_.strict_fp64;
+    eo.tap_fused = opt_.tap_fused;
     rec->engine = std::make_unique<RingConvEngine>(
         rc->ring(), rc->weights(), rc->bias(), eo);
     rec->engine->set_epilogue(epilogue, u, v);
@@ -305,10 +289,12 @@ ModelExecutor::compile(Layer* l, int in, Shape& shape)
         const int out = inplace ? in : acquire_slot();
         steps_.push_back([this, dr, in, out](int batch) {
             for (int b = 0; b < batch; ++b) {
-                directional_relu_into(
+                // Safe in place (rows are consumed before rewrite).
+                directional_relu_forward(
                     slots_[static_cast<size_t>(in)][static_cast<size_t>(b)],
                     dr->u(), dr->v(),
-                    slots_[static_cast<size_t>(out)][static_cast<size_t>(b)]);
+                    slots_[static_cast<size_t>(out)][static_cast<size_t>(b)],
+                    nullptr);
             }
         });
         if (!inplace) decref(in);
@@ -380,8 +366,42 @@ ModelExecutor::compile(Layer* l, int in, Shape& shape)
         shape = os;
         return out;
     }
-    // Fallback for layers without a compiled kernel (DepthwiseConv2d,
-    // UpsampleBilinearLayer, future additions): correct but allocating.
+    if (auto* dw = dynamic_cast<DepthwiseConv2d*>(l)) {
+        const int out = acquire_slot();
+        const Shape os = dw->out_shape(shape);
+        steps_.push_back([this, dw, in, out, os](int batch) {
+            for (int b = 0; b < batch; ++b) {
+                Tensor& dst =
+                    slots_[static_cast<size_t>(out)][static_cast<size_t>(b)];
+                dst.reset(os);
+                depthwise_conv2d_forward(
+                    slots_[static_cast<size_t>(in)][static_cast<size_t>(b)],
+                    dw->weights(), dw->bias(), dst);
+            }
+        });
+        decref(in);
+        shape = os;
+        return out;
+    }
+    if (auto* up = dynamic_cast<UpsampleBilinearLayer*>(l)) {
+        const int out = acquire_slot();
+        const Shape os = up->out_shape(shape);
+        const int r = up->factor();
+        steps_.push_back([this, in, out, r](int batch) {
+            for (int b = 0; b < batch; ++b) {
+                upsample_bilinear_into(
+                    slots_[static_cast<size_t>(in)][static_cast<size_t>(b)],
+                    r,
+                    slots_[static_cast<size_t>(out)][static_cast<size_t>(b)]);
+            }
+        });
+        decref(in);
+        shape = os;
+        return out;
+    }
+    // Fallback for layers without a compiled kernel (future additions):
+    // correct but allocating.
+    ++fallback_steps_;
     const int out = acquire_slot();
     steps_.push_back([this, l, in, out](int batch) {
         for (int b = 0; b < batch; ++b) {
@@ -415,9 +435,18 @@ void
 ModelExecutor::ensure_batch(int count)
 {
     if (count <= batch_capacity_) return;
-    for (auto& slot : slots_) slot.resize(static_cast<size_t>(count));
+    // Grow-only: after a rebind the capacity counter restarts at 0
+    // while some slot vectors may still be larger — never shrink them
+    // (their Tensor buffers are the recycled arena capacity).
+    for (auto& slot : slots_) {
+        if (slot.size() < static_cast<size_t>(count)) {
+            slot.resize(static_cast<size_t>(count));
+        }
+    }
     for (auto& rec : engines_) {
-        rec->in_ptrs.resize(static_cast<size_t>(count));
+        if (rec->in_ptrs.size() < static_cast<size_t>(count)) {
+            rec->in_ptrs.resize(static_cast<size_t>(count));
+        }
     }
     batch_capacity_ = count;
 }
@@ -467,6 +496,16 @@ ModelExecutor::run(const std::vector<Tensor>& xs)
     const auto& out = slots_[static_cast<size_t>(out_slot_)];
     return std::vector<Tensor>(out.begin(),
                                out.begin() + static_cast<int64_t>(xs.size()));
+}
+
+void
+ModelExecutor::run_into(const Tensor* const* xs, Tensor* outs, int count)
+{
+    exec(xs, count);
+    auto& slot = slots_[static_cast<size_t>(out_slot_)];
+    for (int b = 0; b < count; ++b) {
+        std::swap(outs[b], slot[static_cast<size_t>(b)]);
+    }
 }
 
 std::vector<Tensor>

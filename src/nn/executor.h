@@ -63,6 +63,9 @@ struct ExecutorOptions
     bool strict_fp64 = false;
     /** Fuse ReLU / DirectionalReLU into the preceding ring conv. */
     bool fuse_epilogues = true;
+    /** Tap-fused engine row kernels (see RingConvEngineOptions); off
+     *  reproduces the PR-4 per-tap kernel schedule, same values. */
+    bool tap_fused = true;
 };
 
 class ModelExecutor
@@ -88,15 +91,46 @@ class ModelExecutor
     /** Dense (real-algebra) convs whose following ReLU was fused into
      *  the conv step (introspection for tests/benches). */
     int fused_conv_relu_count() const { return fused_real_convs_; }
+    /** Steps that fell back to the allocating Layer::forward walk — 0
+     *  means every layer compiled to an allocation-free arena step
+     *  (introspection for tests/benches). */
+    int fallback_step_count() const { return fallback_steps_; }
 
     /** Re-syncs cached engines with layer parameter versions. Called
      *  automatically by run(). */
     void refresh();
 
+    /**
+     * Recompiles the plan for a new input shape IN PLACE, recycling the
+     * activation arena's buffer capacity (and the executor identity —
+     * callers holding a pointer keep it). The serving layer's per-shape
+     * plan cache rebinds its least-recently-used executor onto an
+     * incoming shape instead of paying allocation churn for a fresh
+     * compile on every eviction.
+     */
+    void rebind(const Shape& in_shape);
+
+    /**
+     * Re-points the executor at `model` WITHOUT recompiling — for
+     * Model's move operations, which hand their cached executors to
+     * the destination object. Only valid when `model` owns the exact
+     * layer tree this plan was compiled against (moves preserve layer
+     * addresses, so the compiled steps stay correct as-is).
+     */
+    void retarget(Model& model) { model_ = &model; }
+
     /** Runs one image; returns an owned copy of the output. */
     Tensor run(const Tensor& x);
     /** Runs a batch; returns owned copies of the outputs, in order. */
     std::vector<Tensor> run(const std::vector<Tensor>& xs);
+    /**
+     * Batch-into-existing-plan entry point: runs `count` images and
+     * MOVES each result into outs[b] (the output arena slot swaps
+     * buffers with the caller tensor — no copy; the slot inherits the
+     * caller buffer's capacity for the next run). The serving layer
+     * fulfills response futures through this.
+     */
+    void run_into(const Tensor* const* xs, Tensor* outs, int count);
     /**
      * Runs one image and returns a reference into the output arena —
      * the no-copy hot path. Valid until the next run on this executor.
@@ -130,6 +164,7 @@ class ModelExecutor
     void ensure_batch(int count);
 
     ExecutorOptions opt_;
+    Model* model_ = nullptr;  ///< compile target; must outlive us
     Shape in_shape_, out_shape_;
     int64_t macs_ = 0;
 
@@ -145,6 +180,7 @@ class ModelExecutor
     std::vector<std::unique_ptr<EngineRec>> engines_;
     int batch_capacity_ = 0;
     int fused_real_convs_ = 0;
+    int fallback_steps_ = 0;
 };
 
 }  // namespace ringcnn::nn

@@ -196,7 +196,12 @@ class ReLU : public Layer
     std::vector<uint8_t> mask_;
 };
 
-/** Directional ReLU (fdir, Section III-E): y -> U fcw(V y) per n-tuple. */
+/** Directional ReLU (fdir, Section III-E): y -> U fcw(V y) per n-tuple.
+ *
+ *  Forward/backward run as float row kernels (the inference-side
+ *  engine-epilogue form ported to the training path; see
+ *  nn/conv_kernels.h) unless TrainKernelOptions::strict_reference or
+ *  ::strict_directional asks for the seed's per-pixel double loops. */
 class DirectionalReLU : public Layer
 {
   public:
@@ -302,6 +307,9 @@ class UpsampleBilinearLayer : public Layer
     Tensor forward(const Tensor& x, bool train) override;
     Tensor backward(const Tensor& grad_out) override;
     Shape out_shape(const Shape& in) const override;
+    /** Integer upsampling factor (the executor's compiled step reads
+     *  it to plan the allocation-free upsample_bilinear_into call). */
+    int factor() const { return r_; }
     std::string name() const override { return "UpsampleBilinear"; }
     std::unique_ptr<Layer> clone() const override
     {
@@ -326,6 +334,9 @@ class DepthwiseConv2d : public Layer
     int64_t macs(const Shape& in) const override;
     std::string name() const override { return "DepthwiseConv2d"; }
     std::unique_ptr<Layer> clone() const override;
+
+    const Tensor& weights() const { return w_; }
+    const std::vector<float>& bias() const { return b_; }
 
   private:
     int c_, k_;

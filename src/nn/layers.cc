@@ -236,6 +236,12 @@ DirectionalReLU::DirectionalReLU(Matd u, Matd v)
 Tensor
 DirectionalReLU::forward(const Tensor& x, bool train)
 {
+    const TrainKernelOptions& ko = train_kernel_options();
+    if (!ko.strict_reference && !ko.strict_directional) {
+        Tensor out;
+        directional_relu_forward(x, u_, v_, out, train ? &mask_ : nullptr);
+        return out;
+    }
     const int c = x.dim(0), h = x.dim(1), w = x.dim(2);
     assert(c % n_ == 0);
     Tensor out({c, h, w});
@@ -276,6 +282,12 @@ DirectionalReLU::forward(const Tensor& x, bool train)
 Tensor
 DirectionalReLU::backward(const Tensor& grad_out)
 {
+    const TrainKernelOptions& ko = train_kernel_options();
+    if (!ko.strict_reference && !ko.strict_directional) {
+        Tensor grad;
+        directional_relu_backward(grad_out, u_, v_, mask_, grad);
+        return grad;
+    }
     const int c = grad_out.dim(0), h = grad_out.dim(1), w = grad_out.dim(2);
     Tensor grad({c, h, w});
     std::vector<double> gz(static_cast<size_t>(n_)), gr(static_cast<size_t>(n_));

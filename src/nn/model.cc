@@ -1,5 +1,7 @@
 #include "nn/model.h"
 
+#include <algorithm>
+
 #include "nn/executor.h"
 #include "util/check.h"
 
@@ -33,8 +35,28 @@ Model::operator=(const Model& o)
     return *this;
 }
 
-Model::Model(Model&& o) noexcept = default;
-Model& Model::operator=(Model&& o) noexcept = default;
+// Moves keep the cached executors (layer addresses are stable — the
+// layer tree travels by pointer), but each plan's Model back-pointer
+// (used by rebind()) must follow the object it now belongs to.
+Model::Model(Model&& o) noexcept
+    : name_(std::move(o.name_)), root_(std::move(o.root_)),
+      execs_(std::move(o.execs_))
+{
+    for (auto& e : execs_) e->retarget(*this);
+}
+
+Model&
+Model::operator=(Model&& o) noexcept
+{
+    if (this != &o) {
+        name_ = std::move(o.name_);
+        root_ = std::move(o.root_);
+        execs_ = std::move(o.execs_);
+        for (auto& e : execs_) e->retarget(*this);
+    }
+    return *this;
+}
+
 Model::~Model() = default;
 
 void
@@ -55,15 +77,31 @@ Model::copy_params_from(Model& src)
 ModelExecutor&
 Model::executor(const Shape& shape)
 {
-    for (auto& e : execs_) {
-        if (e->in_shape() == shape) return *e;
-    }
-    // Bounded FIFO of compiled plans: enough for train-patch +
-    // eval-patch alternation without unbounded growth on adversarial
-    // shape streams.
+    // LRU over compiled plans: hits move to the back, misses evict the
+    // front — a shape that alternates with others (train-patch /
+    // eval-patch loops) stays resident no matter where it sits, unlike
+    // the old FIFO which could evict the hottest plan. Eviction rebinds
+    // the oldest executor onto the new shape, recycling its activation
+    // arena instead of reallocating one.
     constexpr size_t kMaxPlans = 4;
-    if (execs_.size() >= kMaxPlans) execs_.erase(execs_.begin());
-    execs_.push_back(std::make_unique<ModelExecutor>(*this, shape));
+    for (size_t i = 0; i < execs_.size(); ++i) {
+        if (execs_[i]->in_shape() == shape) {
+            if (i + 1 != execs_.size()) {
+                std::rotate(execs_.begin() + static_cast<int64_t>(i),
+                            execs_.begin() + static_cast<int64_t>(i) + 1,
+                            execs_.end());
+            }
+            return *execs_.back();
+        }
+    }
+    if (execs_.size() >= kMaxPlans) {
+        std::unique_ptr<ModelExecutor> victim = std::move(execs_.front());
+        execs_.erase(execs_.begin());
+        victim->rebind(shape);
+        execs_.push_back(std::move(victim));
+    } else {
+        execs_.push_back(std::make_unique<ModelExecutor>(*this, shape));
+    }
     return *execs_.back();
 }
 

@@ -55,10 +55,12 @@ class Model
 
     /**
      * The cached executor for `shape`, building it if needed (a small
-     * per-shape plan cache, so mixed-shape eval loops don't recompile
-     * on every alternation). The returned reference is invalidated by
-     * later executor()/infer() calls with other shapes (the cache
-     * evicts oldest-first) — use it immediately, don't store it.
+     * per-shape LRU plan cache, so mixed-shape eval loops don't
+     * recompile on every alternation; evictions rebind the
+     * least-recently-used plan onto the new shape, recycling its
+     * activation arena). The returned reference is invalidated by
+     * later executor()/infer() calls with other shapes — use it
+     * immediately, don't store it.
      */
     ModelExecutor& executor(const Shape& shape);
 
@@ -103,7 +105,8 @@ class Model
   private:
     std::string name_;
     std::unique_ptr<Layer> root_;
-    /** Lazy inference plans, one per input shape (bounded FIFO). */
+    /** Lazy inference plans, one per input shape (bounded LRU; most
+     *  recently used at the back). */
     std::vector<std::unique_ptr<ModelExecutor>> execs_;
 };
 

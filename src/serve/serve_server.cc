@@ -1,0 +1,319 @@
+#include "serve/serve_server.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace ringcnn::serve {
+
+using Clock = std::chrono::steady_clock;
+
+ServeServer::ServeServer(nn::Model& model, ServeOptions opt)
+    : model_(model), opt_(opt)
+{
+    RINGCNN_CHECK(opt_.max_batch >= 1, "serve max_batch must be >= 1");
+    RINGCNN_CHECK(opt_.max_plans >= 1, "serve max_plans must be >= 1");
+    RINGCNN_CHECK(opt_.linger_ms >= 0.0, "serve linger_ms must be >= 0");
+    int workers = opt_.workers > 0
+                      ? opt_.workers
+                      : std::min(util::hardware_threads(), 8);
+    workers = std::max(1, workers);
+    threads_.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+        threads_.emplace_back([this]() { worker_loop(); });
+    }
+}
+
+ServeServer::~ServeServer()
+{
+    drain();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+}
+
+std::future<Tensor>
+ServeServer::submit(Tensor x)
+{
+    Request req;
+    const Shape shape = x.shape();
+    req.x = std::move(x);
+    return enqueue(std::move(req), shape);
+}
+
+std::future<Tensor>
+ServeServer::submit_view(const Tensor& x)
+{
+    Request req;
+    req.view = &x;
+    return enqueue(std::move(req), x.shape());
+}
+
+std::future<Tensor>
+ServeServer::enqueue(Request req, const Shape& shape)
+{
+    std::future<Tensor> fut = req.promise.get_future();
+    // Obviously malformed shapes fail fast, before they can claim (and
+    // on a full cache, rebind-and-lose) a plan slot. Channel-level
+    // mismatches still surface from the compile in the worker.
+    bool well_formed = shape.size() == 3;
+    for (const int d : shape) well_formed = well_formed && d > 0;
+    if (!well_formed) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.requests;
+            ++stats_.failed;
+        }
+        req.promise.set_exception(std::make_exception_ptr(
+            std::invalid_argument("ringcnn: serve request must be a "
+                                  "positive CHW tensor")));
+        return fut;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_) {
+            throw std::runtime_error(
+                "ringcnn: ServeServer::submit after shutdown");
+        }
+        Bucket& b = buckets_[shape];
+        if (b.q.empty()) b.oldest = Clock::now();
+        b.q.push_back(std::move(req));
+        ++stats_.requests;
+        ++pending_;
+        stats_.max_queue_depth = std::max(stats_.max_queue_depth, pending_);
+    }
+    work_cv_.notify_one();
+    return fut;
+}
+
+void
+ServeServer::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this]() { return pending_ == 0; });
+}
+
+ServeStats
+ServeServer::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+ServeServer::Bucket*
+ServeServer::pick_bucket(Clock::time_point now, Shape* shape)
+{
+    // Dispatchable: not already owned by a worker, and either full or
+    // lingering past the deadline. Among several, serve the bucket
+    // whose HEAD request has waited longest (arrival fairness).
+    Bucket* pick = nullptr;
+    const Shape* pick_shape = nullptr;
+    for (auto& [s, b] : buckets_) {
+        if (b.in_flight || b.q.empty()) continue;
+        const bool full =
+            b.q.size() >= static_cast<size_t>(opt_.max_batch);
+        const bool expired =
+            now >= b.oldest + std::chrono::duration_cast<Clock::duration>(
+                                  std::chrono::duration<double, std::milli>(
+                                      opt_.linger_ms));
+        if (!full && !expired) continue;
+        if (pick == nullptr || b.oldest < pick->oldest) {
+            pick = &b;
+            pick_shape = &s;
+        }
+    }
+    if (pick != nullptr) *shape = *pick_shape;
+    return pick;
+}
+
+ServeServer::Plan*
+ServeServer::claim_plan(const Shape& shape)
+{
+    // Cache hit: the bucket's in_flight flag guarantees one batch per
+    // shape at a time, so a plan for this shape is never busy here.
+    for (auto& p : plans_) {
+        if (!p->busy && p->exec != nullptr && p->exec->in_shape() == shape) {
+            p->busy = true;
+            p->stamp = ++plan_clock_;
+            ++stats_.plan_hits;
+            return p.get();
+        }
+    }
+    // LRU eviction: rebind the stalest idle plan onto the new shape,
+    // recycling its activation arena (done by the caller outside the
+    // lock). A fresh slot is reserved when the cache has room or every
+    // plan is busy (transient overflow; trimmed when idle).
+    if (plans_.size() >= static_cast<size_t>(opt_.max_plans)) {
+        Plan* victim = nullptr;
+        for (auto& p : plans_) {
+            if (p->busy || p->exec == nullptr) continue;
+            if (victim == nullptr || p->stamp < victim->stamp) {
+                victim = p.get();
+            }
+        }
+        if (victim != nullptr) {
+            victim->busy = true;
+            victim->stamp = ++plan_clock_;
+            victim->shape = shape;
+            ++stats_.plan_rebinds;
+            return victim;
+        }
+    }
+    plans_.push_back(std::make_unique<Plan>());
+    Plan* p = plans_.back().get();
+    p->busy = true;
+    p->stamp = ++plan_clock_;
+    p->shape = shape;
+    ++stats_.plan_compiles;
+    return p;
+}
+
+nn::ModelExecutor&
+ServeServer::prepare_plan(Plan& plan, const Shape& shape)
+{
+    if (plan.exec == nullptr) {
+        plan.exec =
+            std::make_unique<nn::ModelExecutor>(model_, shape, opt_.executor);
+    } else if (plan.exec->in_shape() != shape) {
+        plan.exec->rebind(shape);
+    }
+    return *plan.exec;
+}
+
+void
+ServeServer::worker_loop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        Shape shape;
+        Bucket* bucket = nullptr;
+        for (;;) {
+            if (stop_) return;
+            bucket = pick_bucket(Clock::now(), &shape);
+            if (bucket != nullptr) break;
+            // Sleep until the earliest linger deadline of a waiting
+            // bucket (or a submit/completion wakes us).
+            Clock::time_point deadline{};
+            bool have_deadline = false;
+            for (auto& [s, b] : buckets_) {
+                if (b.in_flight || b.q.empty()) continue;
+                const auto d =
+                    b.oldest + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double, std::milli>(
+                                       opt_.linger_ms));
+                if (!have_deadline || d < deadline) {
+                    deadline = d;
+                    have_deadline = true;
+                }
+            }
+            if (have_deadline) {
+                work_cv_.wait_until(lock, deadline);
+            } else {
+                work_cv_.wait(lock);
+            }
+        }
+
+        // Take up to max_batch requests, oldest first; the bucket stays
+        // claimed (in_flight) until the batch finishes so no second
+        // worker races this shape's executor.
+        bucket->in_flight = true;
+        const int n = static_cast<int>(
+            std::min<size_t>(bucket->q.size(),
+                             static_cast<size_t>(opt_.max_batch)));
+        std::vector<Request> batch;
+        batch.reserve(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            batch.push_back(std::move(bucket->q.front()));
+            bucket->q.pop_front();
+        }
+        if (!bucket->q.empty()) bucket->oldest = Clock::now();
+        Plan* plan = claim_plan(shape);
+        ++stats_.batches;
+        const bool solo = active_batches_ == 0;
+        ++active_batches_;
+        lock.unlock();
+
+        // Oversubscription policy: when several batches execute
+        // concurrently, each runs its kernels inline on its own worker
+        // (distinct cores, no contention for the shared pool's
+        // serialized submissions); a SOLO batch keeps the pool fan-out
+        // so one hot shape still uses the whole machine.
+        std::unique_ptr<util::InlineGuard> guard;
+        if (opt_.inline_kernels && !solo) {
+            guard = std::make_unique<util::InlineGuard>();
+        }
+
+        std::vector<const Tensor*> ptrs(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            ptrs[static_cast<size_t>(i)] =
+                &batch[static_cast<size_t>(i)].input();
+        }
+        std::vector<Tensor> outs(static_cast<size_t>(n));
+        bool ok = false;
+        std::exception_ptr err;
+        try {
+            nn::ModelExecutor& exec = prepare_plan(*plan, shape);
+            exec.run_into(ptrs.data(), outs.data(), n);
+            ok = true;
+        } catch (...) {
+            err = std::current_exception();
+        }
+        for (int i = 0; i < n; ++i) {
+            if (ok) {
+                batch[static_cast<size_t>(i)].promise.set_value(
+                    std::move(outs[static_cast<size_t>(i)]));
+            } else {
+                batch[static_cast<size_t>(i)].promise.set_exception(err);
+            }
+        }
+        batch.clear();  // release request inputs outside the lock
+        guard.reset();
+
+        lock.lock();
+        --active_batches_;
+        plan->busy = false;
+        if (!ok) plan->exec.reset();  // never cache a failed compile
+        bucket->in_flight = false;
+        if (bucket->q.empty()) {
+            buckets_.erase(shape);
+        } else {
+            // Requests that queued while the batch was in flight were
+            // not waiting on POLICY — restart the linger clock now
+            // that the shape is dispatchable again, so the next batch
+            // gets its full window to coalesce (a closed-loop client
+            // population needs a beat to resubmit). Added latency per
+            // dispatch stays bounded by linger_ms.
+            bucket->oldest = Clock::now();
+        }
+        // Trim transient plan overflow (all-busy burst) back to bound.
+        while (plans_.size() > static_cast<size_t>(opt_.max_plans)) {
+            size_t victim = plans_.size();
+            for (size_t i = 0; i < plans_.size(); ++i) {
+                if (plans_[i]->busy) continue;
+                if (victim == plans_.size() ||
+                    plans_[i]->stamp < plans_[victim]->stamp) {
+                    victim = i;
+                }
+            }
+            if (victim == plans_.size()) break;  // everything busy
+            plans_.erase(plans_.begin() + static_cast<int64_t>(victim));
+        }
+        if (ok) {
+            stats_.completed += static_cast<uint64_t>(n);
+        } else {
+            stats_.failed += static_cast<uint64_t>(n);
+        }
+        pending_ -= static_cast<uint64_t>(n);
+        if (pending_ == 0) idle_cv_.notify_all();
+        // More work may have queued behind this shape or others.
+        work_cv_.notify_one();
+    }
+}
+
+}  // namespace ringcnn::serve

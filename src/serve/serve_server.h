@@ -1,0 +1,200 @@
+/**
+ * @file
+ * ServeServer: a shape-bucketed batching front end over nn::Model.
+ *
+ * The executor stack made single images fast, but every caller still
+ * owned its own ModelExecutor and submitted one image at a time —
+ * under concurrent load nothing ever batched. This subsystem is the
+ * request-queue front end the ROADMAP's "millions of users" north star
+ * asks for:
+ *
+ *  - submit(image) -> std::future<Tensor> accepts requests from any
+ *    number of client threads;
+ *  - requests are bucketed by input shape and coalesced into batches
+ *    (up to ServeOptions::max_batch images, waiting at most
+ *    ServeOptions::linger_ms for a bucket to fill);
+ *  - each batch runs through a per-shape cache of arena-planned
+ *    ModelExecutors (LRU-bounded; an eviction REBINDS the oldest plan
+ *    onto the incoming shape, recycling its activation arena). Weight
+ *    updates are picked up without replanning through the layers'
+ *    ParamRef::version dirty counters, exactly as Model::infer does;
+ *  - batches execute on ServeOptions::workers server threads. By
+ *    default each worker runs its batch's kernels inline
+ *    (util::InlineGuard), so concurrent workers use distinct cores
+ *    instead of oversubscribing the shared pool.
+ *
+ * Determinism: the executor's batched kernels are batch-composition
+ * invariant, so every response is bit-identical to a single-request
+ * Model::infer of the same image with the same weights, no matter how
+ * submissions interleave (pinned in tests/test_serve.cc).
+ *
+ * Error handling: a request whose shape cannot be compiled (wrong
+ * rank/channels) fails its future with std::invalid_argument; other
+ * buckets are unaffected.
+ *
+ * Threading contract: the model must outlive the server, and its
+ * topology must not change while serving. Weight VALUES may be updated
+ * between batches (bump ParamRef::version via mark_dirty); do so while
+ * the server is drained or otherwise synchronized with submitters —
+ * in-flight batches may see either weight set, but never a stale plan.
+ */
+#ifndef RINGCNN_SERVE_SERVE_SERVER_H
+#define RINGCNN_SERVE_SERVE_SERVER_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "nn/executor.h"
+#include "nn/model.h"
+
+namespace ringcnn::serve {
+
+/** Batching and plan-cache knobs. */
+struct ServeOptions
+{
+    /** Images coalesced into one executor run (>= 1). */
+    int max_batch = 8;
+    /** How long a non-full bucket may wait for more requests before it
+     *  is dispatched anyway, in milliseconds. 0 dispatches eagerly. */
+    double linger_ms = 0.2;
+    /** Server execution threads; 0 = auto (hardware threads, capped at
+     *  8 — parallelism beyond concurrent shapes idles harmlessly). */
+    int workers = 0;
+    /** Compiled-plan (per-shape executor) cache bound (>= 1). */
+    int max_plans = 8;
+    /** When several batches execute concurrently, run each one's
+     *  kernels inline on its server worker (util::InlineGuard) instead
+     *  of all of them contending for the shared pool — the
+     *  anti-oversubscription policy. A SOLO batch always keeps the
+     *  pool fan-out, so a single hot shape still uses every core.
+     *  Disable to always fan out on the pool. */
+    bool inline_kernels = true;
+    /** Plan-compile knobs forwarded to every cached ModelExecutor. */
+    nn::ExecutorOptions executor;
+};
+
+/** Counters since construction; see ServeServer::stats(). */
+struct ServeStats
+{
+    uint64_t requests = 0;       ///< accepted submissions
+    uint64_t completed = 0;      ///< futures fulfilled with a Tensor
+    uint64_t failed = 0;         ///< futures failed with an exception
+    uint64_t batches = 0;        ///< executor runs dispatched
+    uint64_t plan_hits = 0;      ///< batch found its shape's plan cached
+    uint64_t plan_compiles = 0;  ///< fresh ModelExecutor compiles
+    uint64_t plan_rebinds = 0;   ///< LRU evictions recycled via rebind()
+    uint64_t max_queue_depth = 0;  ///< peak in-flight + queued requests
+
+    /** Mean images per dispatched batch (the batching win, measured). */
+    double mean_batch() const
+    {
+        return batches == 0
+                   ? 0.0
+                   : static_cast<double>(completed + failed) /
+                         static_cast<double>(batches);
+    }
+};
+
+class ServeServer
+{
+  public:
+    explicit ServeServer(nn::Model& model, ServeOptions opt = {});
+    /** Drains every accepted request, then stops the workers. */
+    ~ServeServer();
+    ServeServer(const ServeServer&) = delete;
+    ServeServer& operator=(const ServeServer&) = delete;
+
+    /**
+     * Enqueues one image (moved in) and returns the future of its
+     * output. Thread-safe. Throws std::runtime_error after shutdown
+     * has begun; per-request failures (uncompilable shapes) surface on
+     * the future instead.
+     */
+    std::future<Tensor> submit(Tensor x);
+
+    /**
+     * Zero-copy variant: the server reads *x in place instead of
+     * taking ownership — the caller MUST keep the tensor alive and
+     * unmodified until the returned future resolves. The hot path for
+     * pipelines whose input buffers already outlive the response.
+     */
+    std::future<Tensor> submit_view(const Tensor& x);
+
+    /** Blocks until every request accepted so far has completed. */
+    void drain();
+
+    /** Snapshot of the serving counters. */
+    ServeStats stats() const;
+
+    /** Actual server worker thread count. */
+    int worker_count() const { return static_cast<int>(threads_.size()); }
+
+  private:
+    struct Request
+    {
+        Tensor x;                    ///< owned input (submit)
+        const Tensor* view = nullptr;  ///< borrowed input (submit_view)
+        std::promise<Tensor> promise;
+
+        const Tensor& input() const { return view != nullptr ? *view : x; }
+    };
+    std::future<Tensor> enqueue(Request req, const Shape& shape);
+    /** Per-shape request queue. */
+    struct Bucket
+    {
+        std::deque<Request> q;
+        std::chrono::steady_clock::time_point oldest{};
+        bool in_flight = false;  ///< a worker owns this shape right now
+    };
+    /** One cached compiled plan. */
+    struct Plan
+    {
+        Shape shape;
+        std::unique_ptr<nn::ModelExecutor> exec;
+        bool busy = false;
+        uint64_t stamp = 0;  ///< LRU clock at last use
+    };
+
+    void worker_loop();
+    /** Picks the dispatchable bucket with the oldest head request;
+     *  null when none is ready. Requires mu_ held. */
+    Bucket* pick_bucket(std::chrono::steady_clock::time_point now,
+                        Shape* shape);
+    /**
+     * Claims the plan slot for `shape` (marking it busy) — a cache
+     * hit, a reserved fresh slot, or a reserved LRU victim to rebind.
+     * The caller compiles/rebinds OUTSIDE the lock via prepare_plan().
+     * Requires mu_ held.
+     */
+    Plan* claim_plan(const Shape& shape);
+    /** Compiles or rebinds a claimed plan outside the lock; returns
+     *  the ready executor. */
+    nn::ModelExecutor& prepare_plan(Plan& plan, const Shape& shape);
+
+    nn::Model& model_;
+    ServeOptions opt_;
+
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_;  ///< workers park here
+    std::condition_variable idle_cv_;  ///< drain()/dtor wait here
+    std::map<Shape, Bucket> buckets_;
+    std::vector<std::unique_ptr<Plan>> plans_;
+    uint64_t plan_clock_ = 0;
+    uint64_t pending_ = 0;  ///< accepted minus finished
+    int active_batches_ = 0;  ///< batches executing right now
+    bool stop_ = false;
+    ServeStats stats_;
+    std::vector<std::thread> threads_;
+};
+
+}  // namespace ringcnn::serve
+
+#endif  // RINGCNN_SERVE_SERVE_SERVER_H

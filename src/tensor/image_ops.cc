@@ -208,10 +208,18 @@ downsample_box(const Tensor& x, int r)
 Tensor
 upsample_bilinear(const Tensor& x, int r)
 {
+    Tensor out;
+    upsample_bilinear_into(x, r, out);
+    return out;
+}
+
+void
+upsample_bilinear_into(const Tensor& x, int r, Tensor& out)
+{
     assert(x.rank() == 3);
     const int c = x.dim(0), h = x.dim(1), w = x.dim(2);
     const int ho = h * r, wo = w * r;
-    Tensor out({c, ho, wo});
+    out.reset({c, ho, wo});
     const float scale = 1.0f / static_cast<float>(r);
     for (int ic = 0; ic < c; ++ic) {
         for (int oy = 0; oy < ho; ++oy) {
@@ -236,7 +244,6 @@ upsample_bilinear(const Tensor& x, int r)
             }
         }
     }
-    return out;
 }
 
 }  // namespace ringcnn

@@ -82,6 +82,11 @@ Tensor downsample_box(const Tensor& x, int r);
 /** Bilinear upsampling by integer factor r (align_corners = false). */
 Tensor upsample_bilinear(const Tensor& x, int r);
 
+/** Allocation-free upsample_bilinear into a caller buffer (reset() to
+ *  the output shape, capacity reused) — the model executor's compiled
+ *  UpsampleBilinearLayer step. The allocating version wraps this. */
+void upsample_bilinear_into(const Tensor& x, int r, Tensor& out);
+
 }  // namespace ringcnn
 
 #endif  // RINGCNN_TENSOR_IMAGE_OPS_H

@@ -177,6 +177,16 @@ ThreadPool::for_each(int64_t count, int participants,
     retract();
 }
 
+InlineGuard::InlineGuard() : prev_(t_in_job)
+{
+    t_in_job = true;
+}
+
+InlineGuard::~InlineGuard()
+{
+    t_in_job = prev_;
+}
+
 void
 parallel_for(int64_t count, const std::function<void(int64_t)>& fn,
              int threads)

@@ -92,6 +92,31 @@ class ThreadPool
 };
 
 /**
+ * Marks the calling thread as a kernel-inline region for its lifetime:
+ * any parallel_for / parallel_for_worker issued from the thread runs
+ * inline (worker id 0) instead of fanning out on the shared pool —
+ * exactly as if it were issued from inside a pool job.
+ *
+ * This is the anti-oversubscription hook for servers that run several
+ * requests concurrently on their own threads: each serving worker
+ * executes its batch's kernels on its own core while other workers do
+ * the same, instead of all of them contending for the one shared pool
+ * (whose top-level submissions serialize on a submit lock). Nests
+ * safely; the previous state is restored on destruction.
+ */
+class InlineGuard
+{
+  public:
+    InlineGuard();
+    ~InlineGuard();
+    InlineGuard(const InlineGuard&) = delete;
+    InlineGuard& operator=(const InlineGuard&) = delete;
+
+  private:
+    bool prev_;
+};
+
+/**
  * Runs fn(i) for every i in [0, count) on up to
  * resolve_threads(threads) pool threads (including the caller). Work
  * items must be independent; chunk boundaries are not observable, so

@@ -213,6 +213,122 @@ TEST(ModelExecutor, SupportsTwoBranchSuperResolutionModels)
     EXPECT_LT(max_abs_diff(got, want), 1e-4);
 }
 
+class ExecutorTapFusedAllRings : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ExecutorTapFusedAllRings, TapFusedMatchesPerTapKernels)
+{
+    // The tap-fused engine schedule (fused row passes, identity-Tx
+    // aliasing, nonzero-only reconstruction) must reproduce the PR-4
+    // per-tap schedule exactly — same values on every element — for
+    // every ring, on a real backbone with fused epilogues.
+    const Ring& ring = get_ring(GetParam());
+    const models::Algebra alg = models::Algebra::with_fcw(ring.name);
+    nn::Model model = models::build_dn_ernet_pu(alg, small_cfg());
+
+    std::mt19937 rng(47);
+    Tensor x({3, 16, 16});
+    x.rand_uniform(rng, 0.0f, 1.0f);
+
+    nn::ExecutorOptions fused_opt;  // tap_fused defaults on
+    nn::ModelExecutor fused(model, {3, 16, 16}, fused_opt);
+    nn::ExecutorOptions unfused_opt;
+    unfused_opt.tap_fused = false;
+    nn::ModelExecutor unfused(model, {3, 16, 16}, unfused_opt);
+
+    const Tensor want = unfused.run(x);
+    const Tensor got = fused.run(x);
+    ASSERT_EQ(got.shape(), want.shape());
+    for (int64_t i = 0; i < want.numel(); ++i) {
+        ASSERT_EQ(got[i], want[i]) << ring.name << " flat " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRings, ExecutorTapFusedAllRings,
+                         ::testing::ValuesIn(all_ring_names()),
+                         [](const auto& info) {
+                             std::string n = info.param;
+                             for (char& c : n) {
+                                 if (c == '-') c = '_';
+                             }
+                             return n;
+                         });
+
+TEST(ModelExecutor, CompilesDepthwiseAndUpsampleSteps)
+{
+    // DepthwiseConv2d and UpsampleBilinearLayer previously fell through
+    // the allocating Layer::forward fallback; they must now compile to
+    // arena steps (no fallbacks left) and match the layer walk bit for
+    // bit.
+    std::mt19937 rng(49);
+    auto seq = std::make_unique<nn::Sequential>();
+    seq->add(std::make_unique<nn::DepthwiseConv2d>(6, 3, rng));
+    seq->add(std::make_unique<nn::UpsampleBilinearLayer>(2));
+    seq->add(std::make_unique<nn::DepthwiseConv2d>(6, 3, rng));
+    nn::Model model("dw-up", std::move(seq));
+
+    nn::ModelExecutor exec(model, {6, 9, 7});
+    EXPECT_EQ(exec.fallback_step_count(), 0);
+
+    Tensor x({6, 9, 7});
+    x.randn(rng);
+    const Tensor want = model.forward(x, false);
+    const Tensor got = exec.run(x);
+    ASSERT_EQ(got.shape(), want.shape());
+    EXPECT_EQ(got.shape(), (Shape{6, 18, 14}));
+    for (int64_t i = 0; i < want.numel(); ++i) {
+        ASSERT_EQ(got[i], want[i]) << "flat " << i;
+    }
+
+    // Repeat runs reuse the plan (steady state) and stay identical.
+    const Tensor again = exec.run(x);
+    for (int64_t i = 0; i < want.numel(); ++i) {
+        ASSERT_EQ(again[i], want[i]) << "rerun flat " << i;
+    }
+}
+
+TEST(ModelExecutor, RebindRecompilesForNewShapeInPlace)
+{
+    const models::Algebra alg = models::Algebra::with_fh("RI4");
+    nn::Model model = models::build_dn_ernet_pu(alg, small_cfg());
+
+    std::mt19937 rng(50);
+    nn::ModelExecutor exec(model, {3, 16, 16});
+    Tensor a({3, 16, 16});
+    a.rand_uniform(rng, 0.0f, 1.0f);
+    const Tensor want_a = exec.run(a);
+
+    // Rebind to a different spatial size: same executor object, new
+    // plan, results identical to a fresh compile.
+    exec.rebind({3, 12, 20});
+    EXPECT_EQ(exec.in_shape(), (Shape{3, 12, 20}));
+    Tensor b({3, 12, 20});
+    b.rand_uniform(rng, 0.0f, 1.0f);
+    const Tensor got_b = exec.run(b);
+    nn::ModelExecutor fresh(model, {3, 12, 20});
+    const Tensor want_b = fresh.run(b);
+    ASSERT_EQ(got_b.shape(), want_b.shape());
+    for (int64_t i = 0; i < want_b.numel(); ++i) {
+        ASSERT_EQ(got_b[i], want_b[i]) << "flat " << i;
+    }
+
+    // And back: the old shape still computes the old answer.
+    exec.rebind({3, 16, 16});
+    const Tensor again_a = exec.run(a);
+    for (int64_t i = 0; i < want_a.numel(); ++i) {
+        ASSERT_EQ(again_a[i], want_a[i]) << "flat " << i;
+    }
+
+    // The batch-into entry point moves results out without copies.
+    const Tensor* px = &a;
+    Tensor out;
+    exec.run_into(&px, &out, 1);
+    for (int64_t i = 0; i < want_a.numel(); ++i) {
+        ASSERT_EQ(out[i], want_a[i]) << "run_into flat " << i;
+    }
+}
+
 TEST(ModelExecutor, RejectsWrongInputShape)
 {
     const models::Algebra alg = models::Algebra::with_fcw("RI4");

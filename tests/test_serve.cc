@@ -1,0 +1,346 @@
+/**
+ * @file
+ * ServeServer tests: the shape-bucketed batching front end must be a
+ * drop-in for per-request Model::infer —
+ *
+ *  - responses are BIT-identical to the single-request executor path,
+ *    for every submission interleaving and batch composition;
+ *  - mixed-shape storms exercise the per-shape plan cache's LRU
+ *    rebind/evict machinery without ever mixing results up;
+ *  - weight bumps between drains are picked up through the
+ *    ParamRef::version counters (no stale-plan outputs, no recompiles);
+ *  - partial batches flush after the linger deadline; malformed
+ *    requests fail their own future and nothing else.
+ *
+ * The threaded queue + futures machinery is exactly where the CI
+ * ASan/TSan-style checks earn their keep; keep sizes small so the
+ * suite stays fast under sanitizers.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "models/backbones.h"
+#include "serve/serve_server.h"
+#include "tensor/image_ops.h"
+
+namespace ringcnn {
+namespace {
+
+models::ErnetConfig
+small_cfg()
+{
+    models::ErnetConfig cfg;
+    cfg.channels = 8;
+    cfg.blocks = 1;
+    cfg.pump_ratio = 2;
+    cfg.extra_pump = 0;
+    return cfg;
+}
+
+nn::Model
+small_model()
+{
+    return models::build_dn_ernet_pu(models::Algebra::with_fh("RI4"),
+                                     small_cfg());
+}
+
+void
+expect_bit_equal(const Tensor& got, const Tensor& want, const char* what)
+{
+    ASSERT_EQ(got.shape(), want.shape()) << what;
+    for (int64_t i = 0; i < want.numel(); ++i) {
+        ASSERT_EQ(got[i], want[i]) << what << " flat " << i;
+    }
+}
+
+TEST(ServeServer, ConcurrentClientsBitIdenticalToModelInfer)
+{
+    nn::Model model = small_model();
+    std::mt19937 rng(51);
+    constexpr int kClients = 4, kPerClient = 6;
+    constexpr int kTotal = kClients * kPerClient;
+
+    std::vector<Tensor> inputs;
+    std::vector<Tensor> refs;
+    for (int i = 0; i < kTotal; ++i) {
+        Tensor x({3, 16, 16});
+        x.rand_uniform(rng, 0.0f, 1.0f);
+        refs.push_back(model.infer(x));
+        inputs.push_back(std::move(x));
+    }
+
+    serve::ServeServer server(model);
+    std::vector<std::future<Tensor>> futs(kTotal);
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c]() {
+            for (int i = c; i < kTotal; i += kClients) {
+                futs[static_cast<size_t>(i)] =
+                    server.submit(Tensor(inputs[static_cast<size_t>(i)]));
+            }
+        });
+    }
+    for (auto& t : clients) t.join();
+    for (int i = 0; i < kTotal; ++i) {
+        expect_bit_equal(futs[static_cast<size_t>(i)].get(),
+                         refs[static_cast<size_t>(i)], "request");
+    }
+
+    server.drain();
+    const serve::ServeStats st = server.stats();
+    EXPECT_EQ(st.requests, static_cast<uint64_t>(kTotal));
+    EXPECT_EQ(st.completed, static_cast<uint64_t>(kTotal));
+    EXPECT_EQ(st.failed, 0u);
+    EXPECT_GE(st.batches, 1u);
+    // Coalescing actually happened: fewer dispatches than requests.
+    EXPECT_LT(st.batches, static_cast<uint64_t>(kTotal));
+    EXPECT_GT(st.mean_batch(), 1.0);
+    // One shape -> one compiled plan, reused across batches.
+    EXPECT_EQ(st.plan_compiles, 1u);
+    EXPECT_EQ(st.plan_rebinds, 0u);
+}
+
+TEST(ServeServer, MixedShapeStormKeepsResultsStraight)
+{
+    nn::Model model = small_model();
+    std::mt19937 rng(52);
+    const std::vector<Shape> shapes{
+        {3, 16, 16}, {3, 12, 20}, {3, 8, 8}, {3, 20, 12}, {3, 24, 8}};
+
+    // Cache bound BELOW the live shape count: the LRU must rebind plans
+    // mid-storm and still never cross results between shapes.
+    serve::ServeOptions opt;
+    opt.max_plans = 2;
+    opt.max_batch = 4;
+    opt.workers = 1;  // deterministic plan accounting (no all-busy
+                      // overflow compiles on many-core hosts)
+    serve::ServeServer server(model, opt);
+
+    constexpr int kRounds = 3;
+    const int kTotal = static_cast<int>(shapes.size()) * kRounds * 2;
+    std::vector<Tensor> inputs;
+    std::vector<Tensor> refs;
+    for (int i = 0; i < kTotal; ++i) {
+        Tensor x(shapes[static_cast<size_t>(i) % shapes.size()]);
+        x.rand_uniform(rng, 0.0f, 1.0f);
+        refs.push_back(model.infer(x));
+        inputs.push_back(std::move(x));
+    }
+
+    std::vector<std::future<Tensor>> futs(static_cast<size_t>(kTotal));
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 2; ++c) {
+        clients.emplace_back([&, c]() {
+            for (int i = c; i < kTotal; i += 2) {
+                futs[static_cast<size_t>(i)] =
+                    server.submit(Tensor(inputs[static_cast<size_t>(i)]));
+            }
+        });
+    }
+    for (auto& t : clients) t.join();
+    for (int i = 0; i < kTotal; ++i) {
+        expect_bit_equal(futs[static_cast<size_t>(i)].get(),
+                         refs[static_cast<size_t>(i)], "storm request");
+    }
+
+    server.drain();
+    const serve::ServeStats st = server.stats();
+    EXPECT_EQ(st.completed, static_cast<uint64_t>(kTotal));
+    EXPECT_EQ(st.failed, 0u);
+    // 5 live shapes through a 2-plan cache: evictions (rebinds) MUST
+    // have happened, and beyond the first fills every further shape
+    // switch recycles an arena instead of compiling from scratch.
+    EXPECT_EQ(st.plan_compiles, 2u);
+    EXPECT_GE(st.plan_rebinds, 3u);
+}
+
+TEST(ServeServer, WeightBumpsBetweenDrainsArePickedUp)
+{
+    nn::Model model = small_model();
+    std::mt19937 rng(53);
+    Tensor x({3, 16, 16});
+    x.rand_uniform(rng, 0.0f, 1.0f);
+
+    serve::ServeServer server(model);
+    const Tensor before = server.submit(Tensor(x)).get();
+    server.drain();
+
+    // Optimizer-style in-place update through ParamRef.
+    for (auto& p : model.params()) {
+        for (auto& v : *p.value) v += 0.03125f;
+        p.mark_dirty();
+    }
+
+    const Tensor after = server.submit(Tensor(x)).get();
+    server.drain();
+    EXPECT_GT(mse(before, after), 0.0) << "stale plan: bump ignored";
+
+    // The refreshed plan must agree with a freshly compiled executor —
+    // and must NOT have been recompiled (version counters, not plans).
+    nn::ModelExecutor fresh(model, {3, 16, 16});
+    expect_bit_equal(after, fresh.run(x), "post-bump");
+    const serve::ServeStats st = server.stats();
+    EXPECT_EQ(st.plan_compiles, 1u);
+    EXPECT_EQ(st.plan_rebinds, 0u);
+}
+
+TEST(ServeServer, PartialBatchFlushesAfterLinger)
+{
+    nn::Model model = small_model();
+    std::mt19937 rng(54);
+    Tensor x({3, 16, 16});
+    x.rand_uniform(rng, 0.0f, 1.0f);
+
+    serve::ServeOptions opt;
+    opt.max_batch = 64;  // never fills
+    opt.linger_ms = 0.5;
+    serve::ServeServer server(model, opt);
+
+    // A single request must complete (within the linger, not hang).
+    std::future<Tensor> fut = server.submit(Tensor(x));
+    EXPECT_EQ(fut.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+    expect_bit_equal(fut.get(), model.infer(x), "lone request");
+}
+
+TEST(ServeServer, MalformedRequestFailsOnlyItsFuture)
+{
+    nn::Model model = small_model();
+    std::mt19937 rng(55);
+    Tensor good({3, 16, 16});
+    good.rand_uniform(rng, 0.0f, 1.0f);
+    const Tensor want = model.infer(good);
+
+    serve::ServeServer server(model);
+    std::future<Tensor> ok1 = server.submit(Tensor(good));
+    // Wrong channel count: compiles fail in the worker, surfaced on
+    // the future. Wrong rank: rejected up front, before it can claim
+    // (and on a full cache, waste) a plan slot.
+    std::future<Tensor> bad = server.submit(Tensor({5, 16, 16}));
+    std::future<Tensor> bad_rank = server.submit(Tensor({16, 16}));
+    std::future<Tensor> ok2 = server.submit(Tensor(good));
+
+    EXPECT_THROW(bad.get(), std::invalid_argument);
+    EXPECT_THROW(bad_rank.get(), std::invalid_argument);
+    expect_bit_equal(ok1.get(), want, "before bad");
+    expect_bit_equal(ok2.get(), want, "after bad");
+
+    server.drain();
+    const serve::ServeStats st = server.stats();
+    EXPECT_EQ(st.completed, 2u);
+    EXPECT_EQ(st.failed, 2u);
+}
+
+TEST(ServeServer, SubmitViewIsZeroCopyAndBitIdentical)
+{
+    // The borrowed-input path must produce the same bits as the owning
+    // path; the caller keeps the tensor alive until the future
+    // resolves.
+    nn::Model model = small_model();
+    std::mt19937 rng(58);
+    std::vector<Tensor> inputs;
+    for (int i = 0; i < 6; ++i) {
+        Tensor x({3, 16, 16});
+        x.rand_uniform(rng, 0.0f, 1.0f);
+        inputs.push_back(std::move(x));
+    }
+
+    serve::ServeServer server(model);
+    std::vector<std::future<Tensor>> futs;
+    for (auto& x : inputs) futs.push_back(server.submit_view(x));
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        expect_bit_equal(futs[i].get(), model.infer(inputs[i]), "view");
+    }
+}
+
+TEST(ServeServer, DeterministicUnderDifferentInterleavings)
+{
+    // The same request set submitted in two different orders (and
+    // therefore batched differently) produces identical bits.
+    nn::Model model = small_model();
+    std::mt19937 rng(56);
+    constexpr int kTotal = 10;
+    std::vector<Tensor> inputs;
+    for (int i = 0; i < kTotal; ++i) {
+        Tensor x({3, 16, 16});
+        x.rand_uniform(rng, 0.0f, 1.0f);
+        inputs.push_back(std::move(x));
+    }
+
+    serve::ServeOptions opt;
+    opt.max_batch = 3;
+    auto run_order = [&](const std::vector<int>& order) {
+        serve::ServeServer server(model, opt);
+        std::vector<std::future<Tensor>> futs(kTotal);
+        for (int i : order) {
+            futs[static_cast<size_t>(i)] =
+                server.submit(Tensor(inputs[static_cast<size_t>(i)]));
+        }
+        std::vector<Tensor> outs;
+        for (auto& f : futs) outs.push_back(f.get());
+        return outs;
+    };
+
+    std::vector<int> fwd(kTotal), rev(kTotal);
+    for (int i = 0; i < kTotal; ++i) {
+        fwd[static_cast<size_t>(i)] = i;
+        rev[static_cast<size_t>(i)] = kTotal - 1 - i;
+    }
+    const std::vector<Tensor> a = run_order(fwd);
+    const std::vector<Tensor> b = run_order(rev);
+    for (int i = 0; i < kTotal; ++i) {
+        expect_bit_equal(a[static_cast<size_t>(i)],
+                         b[static_cast<size_t>(i)], "interleaving");
+    }
+}
+
+TEST(ServeServer, ManyWorkersManyShapesUnderSanitizers)
+{
+    // Several server workers + several shapes in flight: the lock,
+    // linger timing, and plan hand-off paths all race here — the
+    // sanitizer job is the real assertion, bit-equality the functional
+    // one.
+    nn::Model model = small_model();
+    std::mt19937 rng(57);
+    const std::vector<Shape> shapes{{3, 16, 16}, {3, 8, 8}, {3, 12, 12}};
+
+    serve::ServeOptions opt;
+    opt.workers = 3;
+    opt.max_batch = 2;
+    opt.linger_ms = 0.05;
+    serve::ServeServer server(model, opt);
+
+    constexpr int kTotal = 30;
+    std::vector<Tensor> inputs;
+    std::vector<Tensor> refs;
+    for (int i = 0; i < kTotal; ++i) {
+        Tensor x(shapes[static_cast<size_t>(i) % shapes.size()]);
+        x.rand_uniform(rng, 0.0f, 1.0f);
+        refs.push_back(model.infer(x));
+        inputs.push_back(std::move(x));
+    }
+    std::vector<std::future<Tensor>> futs(kTotal);
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 3; ++c) {
+        clients.emplace_back([&, c]() {
+            for (int i = c; i < kTotal; i += 3) {
+                futs[static_cast<size_t>(i)] =
+                    server.submit(Tensor(inputs[static_cast<size_t>(i)]));
+            }
+        });
+    }
+    for (auto& t : clients) t.join();
+    for (int i = 0; i < kTotal; ++i) {
+        expect_bit_equal(futs[static_cast<size_t>(i)].get(),
+                         refs[static_cast<size_t>(i)], "mt request");
+    }
+    EXPECT_EQ(server.worker_count(), 3);
+}
+
+}  // namespace
+}  // namespace ringcnn

@@ -19,12 +19,15 @@
  */
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <random>
 
+#include "core/ring_conv.h"
 #include "data/tasks.h"
 #include "models/backbones.h"
 #include "nn/conv_kernels.h"
+#include "nn/layer.h"
 #include "nn/trainer.h"
 #include "tensor/image_ops.h"
 
@@ -353,10 +356,13 @@ TEST(TrainKernels, StrictReferenceReproducesSeedTrainerLosses)
 
 TEST(TrainKernels, DefaultPathTracksStrictReferenceQuality)
 {
-    // Default (SIMD kernels, data-parallel batch) vs strict reference
-    // on a two-conv-layer model: the forward pass is bit-identical, so
-    // step-0 losses agree exactly; after training, quality must agree
-    // within the acceptance band (0.05 dB).
+    // SIMD conv kernels + data-parallel batch vs strict reference on a
+    // two-conv-layer model: the conv forward pass is bit-identical, so
+    // (with the directional ReLU pinned to its seed form — the float
+    // row form deliberately changes forward bits and is covered by
+    // DirectionalFastPathTracksQuality below) step-0 losses agree
+    // exactly; after training, quality must agree within the
+    // acceptance band (0.05 dB).
     KernelOptsGuard guard;
     const data::DenoiseTask task;
     models::ErnetConfig mc;
@@ -371,6 +377,7 @@ TEST(TrainKernels, DefaultPathTracksStrictReferenceQuality)
     const auto ref = nn::train_on_task(m_ref, task, cfg);
 
     train_kernel_options().strict_reference = false;
+    train_kernel_options().strict_directional = true;
     cfg.threads = 2;
     nn::Model m_simd =
         models::build_dn_ernet_pu(models::Algebra::with_fh("RI4"), mc);
@@ -384,6 +391,112 @@ TEST(TrainKernels, DefaultPathTracksStrictReferenceQuality)
             << "step " << i;
     }
     EXPECT_NEAR(simd.psnr_db, ref.psnr_db, 0.05);
+}
+
+TEST(TrainKernels, DirectionalForwardTracksSeedAndIsThreadInvariant)
+{
+    // The float row-kernel DirectionalReLU forward vs the seed
+    // per-pixel double path: values agree to fp32 rounding, the
+    // rectification mask matches away from exact-zero crossings, and
+    // the bits are invariant under thread count.
+    KernelOptsGuard guard;
+    std::mt19937 rng(81);
+    const auto [u, v] = fh_transforms(4);
+    for (const auto& [c, h, w] : std::vector<std::array<int, 3>>{
+             {8, 9, 7}, {4, 8, 8}, {12, 5, 12}}) {
+        Tensor x({c, h, w});
+        x.randn(rng);
+
+        train_kernel_options().strict_directional = true;
+        nn::DirectionalReLU seed_layer(u, v);
+        const Tensor want = seed_layer.forward(x, true);
+
+        train_kernel_options().strict_directional = false;
+        Tensor first;
+        for (int threads : {1, 2, 7}) {
+            train_kernel_options().threads = threads;
+            nn::DirectionalReLU fast_layer(u, v);
+            const Tensor got = fast_layer.forward(x, true);
+            ASSERT_EQ(got.shape(), want.shape());
+            for (int64_t i = 0; i < want.numel(); ++i) {
+                ASSERT_NEAR(got[i], want[i],
+                            1e-5f * std::max(1.0f, std::fabs(want[i])))
+                    << "flat " << i << " threads " << threads;
+            }
+            if (threads == 1) {
+                first = got;
+            } else {
+                for (int64_t i = 0; i < want.numel(); ++i) {
+                    ASSERT_EQ(got[i], first[i])
+                        << "thread variance at flat " << i;
+                }
+            }
+        }
+    }
+}
+
+TEST(TrainKernels, DirectionalBackwardMatchesSeed)
+{
+    // Same gradient to fp32 rounding: run the seed forward/backward,
+    // then the fast forward/backward, on identical inputs.
+    KernelOptsGuard guard;
+    std::mt19937 rng(82);
+    const auto [u, v] = fh_transforms(4);
+    Tensor x({8, 7, 9});
+    x.randn(rng);
+    // Keep V y away from 0 so both paths agree on every mask bit and
+    // the comparison is purely numerical.
+    Tensor go({8, 7, 9});
+    go.randn(rng);
+
+    train_kernel_options().strict_directional = true;
+    nn::DirectionalReLU seed_layer(u, v);
+    seed_layer.forward(x, true);
+    const Tensor gref = seed_layer.backward(go);
+
+    train_kernel_options().strict_directional = false;
+    for (int threads : {1, 2}) {
+        train_kernel_options().threads = threads;
+        nn::DirectionalReLU fast_layer(u, v);
+        fast_layer.forward(x, true);
+        const Tensor got = fast_layer.backward(go);
+        for (int64_t i = 0; i < gref.numel(); ++i) {
+            ASSERT_NEAR(got[i], gref[i],
+                        1e-4f * std::max(1.0f, std::fabs(gref[i])))
+                << "flat " << i;
+        }
+    }
+}
+
+TEST(TrainKernels, DirectionalFastPathTracksQuality)
+{
+    // Training with the float directional kernels must reach the same
+    // quality as the seed directional path (the conv kernels are
+    // identical bits either way).
+    KernelOptsGuard guard;
+    const data::DenoiseTask task;
+    models::ErnetConfig mc;
+    mc.channels = 8;
+    mc.blocks = 1;
+    nn::TrainConfig cfg = tiny_train_cfg();
+    cfg.steps = 40;
+
+    train_kernel_options().strict_directional = true;
+    nn::Model m_seed =
+        models::build_dn_ernet_pu(models::Algebra::with_fh("RI4"), mc);
+    const auto seed = nn::train_on_task(m_seed, task, cfg);
+
+    train_kernel_options().strict_directional = false;
+    nn::Model m_fast =
+        models::build_dn_ernet_pu(models::Algebra::with_fh("RI4"), mc);
+    const auto fast = nn::train_on_task(m_fast, task, cfg);
+
+    // Step-0 losses agree to float rounding (forward bits differ only
+    // in the directional layers); end quality within the band.
+    ASSERT_EQ(seed.loss_curve.size(), fast.loss_curve.size());
+    EXPECT_NEAR(fast.loss_curve[0], seed.loss_curve[0],
+                1e-4 * std::max(1.0, std::fabs(seed.loss_curve[0])));
+    EXPECT_NEAR(fast.psnr_db, seed.psnr_db, 0.05);
 }
 
 }  // namespace
