@@ -477,6 +477,30 @@ main(int argc, char** argv)
             pr_fused_img_s, serve_bit_identical ? "yes" : "NO");
     }
 
+    // ---- plan_compile: shared-pipeline compile + rebind latency ----
+    // Fresh = linearize + fuse + arena-plan + backend lowering (engine
+    // construction included) for the 3-layer RI4 backbone; rebind =
+    // recompile in place onto a different spatial size, recycling the
+    // activation arena — the serving layer's eviction path.
+    double plan_fresh_ms = 0.0, plan_rebind_ms = 0.0;
+    {
+        nn::Model proto = bench_backbone(ri4, tuple_channels, layers, 7);
+        const Shape shape_a{tuple_channels * ri4.n, hw, hw};
+        const Shape shape_b{tuple_channels * ri4.n, hw / 2, hw / 2};
+        plan_fresh_ms = time_ms(reps, [&]() {
+            nn::ModelExecutor e(proto, shape_a);
+            (void)e;
+        });
+        nn::ModelExecutor e(proto, shape_a);
+        plan_rebind_ms = time_ms(reps, [&]() {
+                             e.rebind(shape_b);
+                             e.rebind(shape_a);
+                         }) /
+                         2.0;
+        std::printf("  plan_compile:  fresh %.4f ms   rebind %.4f ms\n",
+                    plan_fresh_ms, plan_rebind_ms);
+    }
+
     // ---- per-ring engine micro-timings ----
     std::vector<RingRow> rows;
     const std::vector<std::string> ring_names =
@@ -579,6 +603,10 @@ main(int argc, char** argv)
                  pr_fused_img_s > 0.0 ? srv_img_s / pr_fused_img_s : 0.0);
     std::fprintf(f, "    \"bit_identical\": %s\n",
                  serve_bit_identical ? "true" : "false");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"plan_compile\": {\n");
+    std::fprintf(f, "    \"fresh_ms\": %.4f,\n", plan_fresh_ms);
+    std::fprintf(f, "    \"rebind_ms\": %.4f\n", plan_rebind_ms);
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"rings\": [\n");
     for (size_t i = 0; i < rows.size(); ++i) {

@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "nn/conv_kernels.h"
+#include "plan/arena_planner.h"
+#include "plan/fusion_pass.h"
 #include "tensor/image_ops.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -27,12 +29,21 @@ relu_into(const Tensor& x, Tensor& out)
     }
 }
 
-// The unfused DirectionalReLU fallback (a directional ReLU the planner
-// could not fold into a conv epilogue) runs the shared
+// The unfused DirectionalReLU fallback (a directional ReLU the fusion
+// pass could not fold into a conv epilogue) runs the shared
 // nn::directional_relu_forward row kernels — the same per-element
 // ascending-j multiply/add order as the band-fused form in
 // RingConvEngine::conv_band_f32*, so fusion never changes a bit; the
 // double-precision reference lives in core/ring_conv.cc.
+
+/** IR ops carry the originating layer as const void* (the IR never
+ *  dereferences it); the fp32 lowering is the owner-side cast back. */
+template <class L>
+L*
+layer_of(const plan::OpIR& op)
+{
+    return static_cast<L*>(const_cast<void*>(op.node));
+}
 
 }  // namespace
 
@@ -50,36 +61,6 @@ struct ModelExecutor::EngineRec
 
 ModelExecutor::~ModelExecutor() = default;
 
-// ---- compile-time slot (arena) management ----------------------------------
-
-int
-ModelExecutor::acquire_slot()
-{
-    if (!free_slots_.empty()) {
-        const int s = free_slots_.back();
-        free_slots_.pop_back();
-        refcount_[static_cast<size_t>(s)] = 1;
-        return s;
-    }
-    slots_.emplace_back();
-    refcount_.push_back(1);
-    return static_cast<int>(slots_.size()) - 1;
-}
-
-void
-ModelExecutor::addref(int slot)
-{
-    ++refcount_[static_cast<size_t>(slot)];
-}
-
-void
-ModelExecutor::decref(int slot)
-{
-    if (--refcount_[static_cast<size_t>(slot)] == 0) {
-        free_slots_.push_back(slot);
-    }
-}
-
 // ---- compilation -----------------------------------------------------------
 
 ModelExecutor::ModelExecutor(Model& model, Shape in_shape,
@@ -95,32 +76,56 @@ ModelExecutor::rebind(const Shape& in_shape)
     RINGCNN_CHECK(in_shape.size() == 3,
                   "executor input must be a CHW shape");
     in_shape_ = in_shape;
-    // Reset the compiled plan but keep the arena: every existing slot
-    // returns to the free list with its Tensor buffers (and their
-    // capacity) intact, so recompiling for a new shape reuses the
-    // allocations of the old plan wherever they are big enough.
     steps_.clear();
     engines_.clear();
     fused_real_convs_ = 0;
     fallback_steps_ = 0;
-    refcount_.assign(slots_.size(), 0);
-    free_slots_.clear();
-    for (int s = static_cast<int>(slots_.size()) - 1; s >= 0; --s) {
-        free_slots_.push_back(s);
-    }
     batch_capacity_ = 0;  // new slots start empty; ensure_batch regrows
     macs_ = model_->macs(in_shape_);
-    entry_slot_ = acquire_slot();
-    Shape shape = in_shape_;
-    out_slot_ = compile(&model_->root(), entry_slot_, shape);
-    out_shape_ = shape;
+
+    // The shared compile pipeline (src/plan): linearize the layer tree,
+    // attach conv epilogues per the executor's fusion policy, assign
+    // refcounted arena slots. Lowering below maps each IR op onto the
+    // fp32 kernels.
+    plan_ = plan::linearize(model_->root(), in_shape_);
+    plan::FusionOptions fo;
+    fo.fuse_relu = opt_.fuse_epilogues && !opt_.strict_fp64;
+    fo.fuse_dir_relu = fo.fuse_relu;
+    fo.fuse_requant = false;  // no requant ops in a float graph
+    fo.require_tuple_match = true;
+    plan::fuse_epilogues(plan_, fo);
+    plan::plan_arena(plan_);
+
+    // Keep the arena across rebinds: existing slot Tensors (and their
+    // buffer capacity) are reassigned to the new plan's slot ids, so
+    // recompiling for a new shape reuses the allocations of the old
+    // plan wherever they are big enough.
+    if (static_cast<int>(slots_.size()) < plan_.num_slots) {
+        slots_.resize(static_cast<size_t>(plan_.num_slots));
+    }
+    entry_slot_ = plan_.entry_slot;
+    out_slot_ = plan_.out_slot;
+    out_shape_ = plan_.out_shape;
+    lower();
 }
 
-int
-ModelExecutor::compile_ringconv(RingConv2d* rc, int in, Shape& shape,
-                                ConvEpilogue epilogue, const Matd* u,
-                                const Matd* v)
+void
+ModelExecutor::lower_ringconv(const plan::OpIR& op)
 {
+    auto* rc = layer_of<RingConv2d>(op);
+    ConvEpilogue ep = ConvEpilogue::kNone;
+    const Matd* u = nullptr;
+    const Matd* v = nullptr;
+    if (op.epilogue == plan::Epilogue::kRelu) {
+        ep = ConvEpilogue::kRelu;
+    } else if (op.epilogue == plan::Epilogue::kDirRelu) {
+        auto* dr = static_cast<DirectionalReLU*>(
+            const_cast<void*>(op.epilogue_node));
+        ep = ConvEpilogue::kDirectional;
+        u = &dr->u();
+        v = &dr->v();
+    }
+
     auto rec = std::make_unique<EngineRec>();
     RingConvEngineOptions eo;
     eo.threads = opt_.threads;
@@ -128,13 +133,14 @@ ModelExecutor::compile_ringconv(RingConv2d* rc, int in, Shape& shape,
     eo.tap_fused = opt_.tap_fused;
     rec->engine = std::make_unique<RingConvEngine>(
         rc->ring(), rc->weights(), rc->bias(), eo);
-    rec->engine->set_epilogue(epilogue, u, v);
+    rec->engine->set_epilogue(ep, u, v);
     rec->layer = rc;
     rec->seen_version = rc->param_version();
     const size_t rec_idx = engines_.size();
     engines_.push_back(std::move(rec));
 
-    const int out = acquire_slot();
+    const int in = op.in0_slot;
+    const int out = op.out_slot;
     steps_.push_back([this, rec_idx, in, out](int batch) {
         EngineRec& r = *engines_[rec_idx];
         for (int b = 0; b < batch; ++b) {
@@ -145,17 +151,16 @@ ModelExecutor::compile_ringconv(RingConv2d* rc, int in, Shape& shape,
                            slots_[static_cast<size_t>(out)].data(), batch,
                            &r.scratch);
     });
-    decref(in);
-    shape = rc->out_shape(shape);
-    return out;
 }
 
-int
-ModelExecutor::compile_conv2d(Conv2d* conv, int in, Shape& shape,
-                              bool fuse_relu)
+void
+ModelExecutor::lower_conv2d(const plan::OpIR& op)
 {
-    const int out = acquire_slot();
-    Shape out_shape = conv->out_shape(shape);
+    auto* conv = layer_of<Conv2d>(op);
+    const bool fuse_relu = op.epilogue == plan::Epilogue::kRelu;
+    const int in = op.in0_slot;
+    const int out = op.out_slot;
+    const Shape out_shape = op.out_shape;
     steps_.push_back([this, conv, in, out, out_shape, fuse_relu](int batch) {
         for (int b = 0; b < batch; ++b) {
             Tensor& dst =
@@ -167,253 +172,184 @@ ModelExecutor::compile_conv2d(Conv2d* conv, int in, Shape& shape,
         }
     });
     if (fuse_relu) ++fused_real_convs_;
-    decref(in);
-    shape = out_shape;
-    return out;
 }
 
-int
-ModelExecutor::compile_sequential(Sequential* seq, int in, Shape& shape)
+void
+ModelExecutor::lower()
 {
-    int cur = in;
-    for (size_t i = 0; i < seq->size(); ++i) {
-        Layer* l = &seq->at(i);
-        if (auto* conv = dynamic_cast<Conv2d*>(l)) {
-            // Real-algebra epilogue fusion: a ReLU right after a dense
-            // conv rectifies each output channel while it is hot
-            // instead of round-tripping the activation (the ring paths
-            // have fused this since PR 2; the n=1 baselines now match).
-            Layer* next = i + 1 < seq->size() ? &seq->at(i + 1) : nullptr;
-            const bool fuse = opt_.fuse_epilogues && !opt_.strict_fp64 &&
-                              next != nullptr &&
-                              dynamic_cast<ReLU*>(next) != nullptr;
-            cur = compile_conv2d(conv, cur, shape, fuse);
-            if (fuse) ++i;  // consumed the ReLU
-            continue;
-        }
-        if (auto* rc = dynamic_cast<RingConv2d*>(l)) {
-            // Epilogue fusion: fold an immediately-following ReLU or
-            // (tuple-aligned) DirectionalReLU into the engine's band
-            // pass.
-            Layer* next = i + 1 < seq->size() ? &seq->at(i + 1) : nullptr;
-            ConvEpilogue ep = ConvEpilogue::kNone;
-            const Matd* u = nullptr;
-            const Matd* v = nullptr;
-            if (opt_.fuse_epilogues && !opt_.strict_fp64 &&
-                next != nullptr) {
-                if (dynamic_cast<ReLU*>(next) != nullptr) {
-                    ep = ConvEpilogue::kRelu;
-                } else if (auto* dr =
-                               dynamic_cast<DirectionalReLU*>(next)) {
-                    if (dr->v().cols() == rc->ring().n) {
-                        ep = ConvEpilogue::kDirectional;
-                        u = &dr->u();
-                        v = &dr->v();
+    using plan::OpKind;
+    for (const plan::OpIR& op : plan_.ops) {
+        if (op.fused) continue;  // absorbed into its conv's epilogue
+        const int in = op.in0_slot;
+        const int out = op.out_slot;
+        switch (op.kind) {
+        case OpKind::kRingConv:
+            lower_ringconv(op);
+            break;
+        case OpKind::kDenseConv:
+            lower_conv2d(op);
+            break;
+        case OpKind::kResidualAdd:
+        case OpKind::kBranchAdd: {
+            const int addend = op.in1_slot;
+            if (out == in) {
+                // The accumulate side dies here: add into it in place.
+                steps_.push_back([this, out, addend](int batch) {
+                    for (int b = 0; b < batch; ++b) {
+                        slots_[static_cast<size_t>(out)]
+                              [static_cast<size_t>(b)] +=
+                            slots_[static_cast<size_t>(addend)]
+                                  [static_cast<size_t>(b)];
                     }
+                });
+            } else {
+                // Copy-then-add is bitwise the in-place sum (IEEE adds
+                // of the same operands); taken only on degenerate
+                // graphs whose accumulate side stays live.
+                steps_.push_back([this, in, out, addend](int batch) {
+                    for (int b = 0; b < batch; ++b) {
+                        Tensor& dst = slots_[static_cast<size_t>(out)]
+                                            [static_cast<size_t>(b)];
+                        dst = slots_[static_cast<size_t>(in)]
+                                    [static_cast<size_t>(b)];
+                        dst += slots_[static_cast<size_t>(addend)]
+                                     [static_cast<size_t>(b)];
+                    }
+                });
+            }
+            break;
+        }
+        case OpKind::kRelu:
+            steps_.push_back([this, in, out](int batch) {
+                for (int b = 0; b < batch; ++b) {
+                    relu_into(
+                        slots_[static_cast<size_t>(in)]
+                              [static_cast<size_t>(b)],
+                        slots_[static_cast<size_t>(out)]
+                              [static_cast<size_t>(b)]);
                 }
-            }
-            cur = compile_ringconv(rc, cur, shape, ep, u, v);
-            if (ep != ConvEpilogue::kNone) ++i;  // consumed the nonlin
-            continue;
+            });
+            break;
+        case OpKind::kDirRelu: {
+            auto* dr = layer_of<DirectionalReLU>(op);
+            steps_.push_back([this, dr, in, out](int batch) {
+                for (int b = 0; b < batch; ++b) {
+                    // Safe in place (rows are consumed before rewrite).
+                    directional_relu_forward(
+                        slots_[static_cast<size_t>(in)]
+                              [static_cast<size_t>(b)],
+                        dr->u(), dr->v(),
+                        slots_[static_cast<size_t>(out)]
+                              [static_cast<size_t>(b)],
+                        nullptr);
+                }
+            });
+            break;
         }
-        cur = compile(l, cur, shape);
-    }
-    return cur;
-}
-
-int
-ModelExecutor::compile(Layer* l, int in, Shape& shape)
-{
-    if (auto* seq = dynamic_cast<Sequential*>(l)) {
-        return compile_sequential(seq, in, shape);
-    }
-    if (auto* rc = dynamic_cast<RingConv2d*>(l)) {
-        return compile_ringconv(rc, in, shape, ConvEpilogue::kNone, nullptr,
-                                nullptr);
-    }
-    if (auto* res = dynamic_cast<Residual*>(l)) {
-        addref(in);  // the skip connection reads it after the body runs
-        Shape body_shape = shape;
-        const int body_out = compile(&res->body(), in, body_shape);
-        RINGCNN_CHECK(body_shape == shape,
-                      "residual body must preserve the shape");
-        steps_.push_back([this, body_out, in](int batch) {
-            for (int b = 0; b < batch; ++b) {
-                slots_[static_cast<size_t>(body_out)]
-                      [static_cast<size_t>(b)] +=
-                    slots_[static_cast<size_t>(in)][static_cast<size_t>(b)];
-            }
-        });
-        decref(in);
-        return body_out;
-    }
-    if (auto* two = dynamic_cast<TwoBranchAdd*>(l)) {
-        addref(in);  // both branches read the same input
-        Shape main_shape = shape;
-        const int main_out = compile(&two->main(), in, main_shape);
-        Shape skip_shape = shape;
-        const int skip_out = compile(&two->skip(), in, skip_shape);
-        RINGCNN_CHECK(main_shape == skip_shape,
-                      "two-branch outputs must agree");
-        steps_.push_back([this, main_out, skip_out](int batch) {
-            for (int b = 0; b < batch; ++b) {
-                slots_[static_cast<size_t>(main_out)]
-                      [static_cast<size_t>(b)] +=
-                    slots_[static_cast<size_t>(skip_out)]
-                          [static_cast<size_t>(b)];
-            }
-        });
-        decref(skip_out);
-        shape = main_shape;
-        return main_out;
-    }
-    if (auto* conv = dynamic_cast<Conv2d*>(l)) {
-        return compile_conv2d(conv, in, shape, /*fuse_relu=*/false);
-    }
-    if (dynamic_cast<ReLU*>(l) != nullptr) {
-        // In place when this step is the input's only consumer.
-        const bool inplace = refcount_[static_cast<size_t>(in)] == 1;
-        const int out = inplace ? in : acquire_slot();
-        steps_.push_back([this, in, out](int batch) {
-            for (int b = 0; b < batch; ++b) {
-                relu_into(
-                    slots_[static_cast<size_t>(in)][static_cast<size_t>(b)],
-                    slots_[static_cast<size_t>(out)][static_cast<size_t>(b)]);
-            }
-        });
-        if (!inplace) decref(in);
-        return out;
-    }
-    if (auto* dr = dynamic_cast<DirectionalReLU*>(l)) {
-        const bool inplace = refcount_[static_cast<size_t>(in)] == 1;
-        const int out = inplace ? in : acquire_slot();
-        steps_.push_back([this, dr, in, out](int batch) {
-            for (int b = 0; b < batch; ++b) {
-                // Safe in place (rows are consumed before rewrite).
-                directional_relu_forward(
-                    slots_[static_cast<size_t>(in)][static_cast<size_t>(b)],
-                    dr->u(), dr->v(),
-                    slots_[static_cast<size_t>(out)][static_cast<size_t>(b)],
-                    nullptr);
-            }
-        });
-        if (!inplace) decref(in);
-        return out;
-    }
-    if (auto* ps = dynamic_cast<PixelShuffle*>(l)) {
-        const int out = acquire_slot();
-        const Shape os = ps->out_shape(shape);
-        const int r = os[1] / shape[1];
-        steps_.push_back([this, in, out, r](int batch) {
-            for (int b = 0; b < batch; ++b) {
-                pixel_shuffle_into(
-                    slots_[static_cast<size_t>(in)][static_cast<size_t>(b)],
-                    r,
-                    slots_[static_cast<size_t>(out)][static_cast<size_t>(b)]);
-            }
-        });
-        decref(in);
-        shape = os;
-        return out;
-    }
-    if (auto* pu = dynamic_cast<PixelUnshuffle*>(l)) {
-        const int out = acquire_slot();
-        const Shape os = pu->out_shape(shape);
-        const int r = shape[1] / os[1];
-        steps_.push_back([this, in, out, r](int batch) {
-            for (int b = 0; b < batch; ++b) {
-                pixel_unshuffle_into(
-                    slots_[static_cast<size_t>(in)][static_cast<size_t>(b)],
-                    r,
-                    slots_[static_cast<size_t>(out)][static_cast<size_t>(b)]);
-            }
-        });
-        decref(in);
-        shape = os;
-        return out;
-    }
-    if (auto* pad = dynamic_cast<ChannelPad*>(l)) {
-        const Shape os = pad->out_shape(shape);
-        if (os[0] == shape[0]) return in;  // no-op pad
-        const int out = acquire_slot();
-        const int want = os[0];
-        steps_.push_back([this, in, out, want](int batch) {
-            for (int b = 0; b < batch; ++b) {
-                channel_pad_into(
-                    slots_[static_cast<size_t>(in)][static_cast<size_t>(b)],
-                    want,
-                    slots_[static_cast<size_t>(out)][static_cast<size_t>(b)]);
-            }
-        });
-        decref(in);
-        shape = os;
-        return out;
-    }
-    if (auto* crop = dynamic_cast<CropChannels*>(l)) {
-        const Shape os = crop->out_shape(shape);
-        if (os[0] == shape[0]) return in;  // no-op crop
-        const int out = acquire_slot();
-        const int keep = os[0];
-        steps_.push_back([this, in, out, keep](int batch) {
-            for (int b = 0; b < batch; ++b) {
-                crop_channels_into(
-                    slots_[static_cast<size_t>(in)][static_cast<size_t>(b)],
-                    keep,
-                    slots_[static_cast<size_t>(out)][static_cast<size_t>(b)]);
-            }
-        });
-        decref(in);
-        shape = os;
-        return out;
-    }
-    if (auto* dw = dynamic_cast<DepthwiseConv2d*>(l)) {
-        const int out = acquire_slot();
-        const Shape os = dw->out_shape(shape);
-        steps_.push_back([this, dw, in, out, os](int batch) {
-            for (int b = 0; b < batch; ++b) {
-                Tensor& dst =
-                    slots_[static_cast<size_t>(out)][static_cast<size_t>(b)];
-                dst.reset(os);
-                depthwise_conv2d_forward(
-                    slots_[static_cast<size_t>(in)][static_cast<size_t>(b)],
-                    dw->weights(), dw->bias(), dst);
-            }
-        });
-        decref(in);
-        shape = os;
-        return out;
-    }
-    if (auto* up = dynamic_cast<UpsampleBilinearLayer*>(l)) {
-        const int out = acquire_slot();
-        const Shape os = up->out_shape(shape);
-        const int r = up->factor();
-        steps_.push_back([this, in, out, r](int batch) {
-            for (int b = 0; b < batch; ++b) {
-                upsample_bilinear_into(
-                    slots_[static_cast<size_t>(in)][static_cast<size_t>(b)],
-                    r,
-                    slots_[static_cast<size_t>(out)][static_cast<size_t>(b)]);
-            }
-        });
-        decref(in);
-        shape = os;
-        return out;
-    }
-    // Fallback for layers without a compiled kernel (future additions):
-    // correct but allocating.
-    ++fallback_steps_;
-    const int out = acquire_slot();
-    steps_.push_back([this, l, in, out](int batch) {
-        for (int b = 0; b < batch; ++b) {
-            slots_[static_cast<size_t>(out)][static_cast<size_t>(b)] =
-                l->forward(
-                    slots_[static_cast<size_t>(in)][static_cast<size_t>(b)],
-                    false);
+        case OpKind::kPixelShuffle: {
+            const int r = op.arg;
+            steps_.push_back([this, in, out, r](int batch) {
+                for (int b = 0; b < batch; ++b) {
+                    pixel_shuffle_into(
+                        slots_[static_cast<size_t>(in)]
+                              [static_cast<size_t>(b)],
+                        r,
+                        slots_[static_cast<size_t>(out)]
+                              [static_cast<size_t>(b)]);
+                }
+            });
+            break;
         }
-    });
-    decref(in);
-    shape = l->out_shape(shape);
-    return out;
+        case OpKind::kPixelUnshuffle: {
+            const int r = op.arg;
+            steps_.push_back([this, in, out, r](int batch) {
+                for (int b = 0; b < batch; ++b) {
+                    pixel_unshuffle_into(
+                        slots_[static_cast<size_t>(in)]
+                              [static_cast<size_t>(b)],
+                        r,
+                        slots_[static_cast<size_t>(out)]
+                              [static_cast<size_t>(b)]);
+                }
+            });
+            break;
+        }
+        case OpKind::kChannelPad: {
+            const int want = op.arg;
+            steps_.push_back([this, in, out, want](int batch) {
+                for (int b = 0; b < batch; ++b) {
+                    channel_pad_into(
+                        slots_[static_cast<size_t>(in)]
+                              [static_cast<size_t>(b)],
+                        want,
+                        slots_[static_cast<size_t>(out)]
+                              [static_cast<size_t>(b)]);
+                }
+            });
+            break;
+        }
+        case OpKind::kCropChannels: {
+            const int keep = op.arg;
+            steps_.push_back([this, in, out, keep](int batch) {
+                for (int b = 0; b < batch; ++b) {
+                    crop_channels_into(
+                        slots_[static_cast<size_t>(in)]
+                              [static_cast<size_t>(b)],
+                        keep,
+                        slots_[static_cast<size_t>(out)]
+                              [static_cast<size_t>(b)]);
+                }
+            });
+            break;
+        }
+        case OpKind::kDepthwiseConv: {
+            auto* dw = layer_of<DepthwiseConv2d>(op);
+            const Shape os = op.out_shape;
+            steps_.push_back([this, dw, in, out, os](int batch) {
+                for (int b = 0; b < batch; ++b) {
+                    Tensor& dst = slots_[static_cast<size_t>(out)]
+                                        [static_cast<size_t>(b)];
+                    dst.reset(os);
+                    depthwise_conv2d_forward(
+                        slots_[static_cast<size_t>(in)]
+                              [static_cast<size_t>(b)],
+                        dw->weights(), dw->bias(), dst);
+                }
+            });
+            break;
+        }
+        case OpKind::kUpsample: {
+            const int r = op.arg;
+            steps_.push_back([this, in, out, r](int batch) {
+                for (int b = 0; b < batch; ++b) {
+                    upsample_bilinear_into(
+                        slots_[static_cast<size_t>(in)]
+                              [static_cast<size_t>(b)],
+                        r,
+                        slots_[static_cast<size_t>(out)]
+                              [static_cast<size_t>(b)]);
+                }
+            });
+            break;
+        }
+        default: {
+            // Fallback for layers without a compiled kernel (future
+            // additions): correct but allocating.
+            auto* l = layer_of<Layer>(op);
+            ++fallback_steps_;
+            steps_.push_back([this, l, in, out](int batch) {
+                for (int b = 0; b < batch; ++b) {
+                    slots_[static_cast<size_t>(out)]
+                          [static_cast<size_t>(b)] =
+                        l->forward(slots_[static_cast<size_t>(in)]
+                                         [static_cast<size_t>(b)],
+                                   false);
+                }
+            });
+            break;
+        }
+        }
+    }
 }
 
 // ---- execution -------------------------------------------------------------

@@ -4,24 +4,25 @@
  *
  * Layer::forward-based inference walks the layer graph allocating a
  * fresh activation tensor per layer and rebuilding nothing across
- * calls. The executor instead walks the graph ONCE at construction
- * and compiles it into a linear step plan:
+ * calls. The executor instead compiles the graph ONCE through the
+ * shared plan pipeline (src/plan: linearize -> fuse epilogues -> arena
+ * assignment) and lowers the resulting IR to fp32 kernels:
  *
  *  - every RingConv2d gets its own RingConvEngine (fp32 SIMD kernels
  *    by default) with a per-step RingConvScratch owned by the plan,
  *    so transform buffers and per-worker band accumulators are reused
  *    across calls;
- *  - a ReLU or DirectionalReLU that immediately follows a ring conv is
- *    fused into that engine's output pass (ConvEpilogue), so the
+ *  - a ReLU or DirectionalReLU the fusion pass attached to a ring conv
+ *    runs in that engine's output pass (ConvEpilogue), so the
  *    activation never round-trips through memory; a ReLU after a dense
  *    Conv2d is likewise folded into the conv step (the n=1 real-algebra
  *    baselines rectify each output channel while it is hot);
  *  - all other supported layers (Conv2d, shuffles, pad/crop, residual
  *    and two-branch adds) become allocation-free steps over a slotted
  *    activation arena — a generalized ping-pong buffer set sized from
- *    out_shape() at compile time, with slots recycled by compile-time
- *    liveness (reference counts). After the first run the steady state
- *    performs no heap allocations;
+ *    out_shape() at compile time, with slots recycled by the arena
+ *    planner's compile-time liveness. After the first run the steady
+ *    state performs no heap allocations;
  *  - unrecognized layers fall back to Layer::forward (correct, but
  *    allocating) so any model stays runnable.
  *
@@ -50,6 +51,7 @@
 
 #include "core/ring_conv_engine.h"
 #include "nn/model.h"
+#include "plan/graph_ir.h"
 
 namespace ringcnn::nn {
 
@@ -95,6 +97,9 @@ class ModelExecutor
      *  means every layer compiled to an allocation-free arena step
      *  (introspection for tests/benches). */
     int fallback_step_count() const { return fallback_steps_; }
+    /** The backend-neutral plan this executor lowered (introspection
+     *  for tests/benches; valid until the next rebind). */
+    const plan::GraphPlan& plan() const { return plan_; }
 
     /** Re-syncs cached engines with layer parameter versions. Called
      *  automatically by run(). */
@@ -149,16 +154,10 @@ class ModelExecutor
   private:
     struct EngineRec;
 
-    // ---- compile-time helpers (see executor.cc) ----
-    int acquire_slot();
-    void addref(int slot);
-    void decref(int slot);
-    int compile(Layer* l, int in, Shape& shape);
-    int compile_sequential(Sequential* seq, int in, Shape& shape);
-    int compile_conv2d(Conv2d* conv, int in, Shape& shape, bool fuse_relu);
-    int compile_ringconv(RingConv2d* rc, int in, Shape& shape,
-                         ConvEpilogue epilogue, const Matd* u,
-                         const Matd* v);
+    // ---- backend lowering of the shared plan (see executor.cc) ----
+    void lower();
+    void lower_ringconv(const plan::OpIR& op);
+    void lower_conv2d(const plan::OpIR& op);
 
     void exec(const Tensor* const* xs, int count);
     void ensure_batch(int count);
@@ -168,11 +167,12 @@ class ModelExecutor
     Shape in_shape_, out_shape_;
     int64_t macs_ = 0;
 
+    /** The shared-pipeline plan the steps below lower. */
+    plan::GraphPlan plan_;
+
     /** Activation arena: slots_[slot][image]. Buffers keep their
      *  capacity across runs; batch dimension grows on demand. */
     std::vector<std::vector<Tensor>> slots_;
-    std::vector<int> refcount_;  ///< compile-time liveness only
-    std::vector<int> free_slots_;
     int entry_slot_ = -1, out_slot_ = -1;
 
     /** Linear plan; each step processes the whole current batch. */

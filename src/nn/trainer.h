@@ -82,8 +82,8 @@ TrainResult train_on_task(Model& model, const data::ImagingTask& task,
 /**
  * Runs jobs concurrently on up to `max_threads` std::threads. Used by
  * the quality benches to train many algebra variants in parallel.
- * Forwards to util::run_parallel (util/parallel.h), where the shared
- * threading primitives now live.
+ * Forwards to util::run_parallel (util/thread_pool.h), where the
+ * shared threading primitives live.
  */
 void run_parallel(std::vector<std::function<void()>> jobs,
                   int max_threads = 0);

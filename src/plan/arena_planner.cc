@@ -1,0 +1,83 @@
+#include "plan/arena_planner.h"
+
+#include <vector>
+
+namespace ringcnn::plan
+{
+
+namespace
+{
+
+/** Ops that may write over their first input's slot when it dies with
+ *  this op: the pointwise family (row consumed before rewrite) and the
+ *  adds (the accumulate side is read exactly once per element). Convs
+ *  never alias — every output pixel reads a neighborhood of inputs. */
+bool
+can_run_in_place(OpKind k)
+{
+    switch (k) {
+        case OpKind::kRelu:
+        case OpKind::kDirRelu:
+        case OpKind::kRequant:
+        case OpKind::kResidualAdd:
+        case OpKind::kBranchAdd:
+            return true;
+        default:
+            return false;
+    }
+}
+
+}  // namespace
+
+void
+plan_arena(GraphPlan& plan)
+{
+    std::vector<int> remaining(static_cast<size_t>(plan.num_values), 0);
+    for (const OpIR& op : plan.ops) {
+        if (op.fused) continue;
+        ++remaining[static_cast<size_t>(op.in0)];
+        if (op.in1 >= 0) ++remaining[static_cast<size_t>(op.in1)];
+    }
+    // The graph output stays live past the last op.
+    ++remaining[static_cast<size_t>(plan.out_value)];
+
+    std::vector<int> slot(static_cast<size_t>(plan.num_values), -1);
+    std::vector<int> free_slots;
+    int num_slots = 0;
+    auto acquire = [&]() {
+        if (!free_slots.empty()) {
+            const int s = free_slots.back();
+            free_slots.pop_back();
+            return s;
+        }
+        return num_slots++;
+    };
+
+    plan.entry_slot = acquire();
+    slot[static_cast<size_t>(plan.entry_value)] = plan.entry_slot;
+
+    for (OpIR& op : plan.ops) {
+        if (op.fused) continue;
+        op.in0_slot = slot[static_cast<size_t>(op.in0)];
+        op.in1_slot = op.in1 >= 0 ? slot[static_cast<size_t>(op.in1)] : -1;
+        const bool inplace = can_run_in_place(op.kind) &&
+                             remaining[static_cast<size_t>(op.in0)] == 1 &&
+                             op.in0 != op.in1;
+        op.out_slot = inplace ? op.in0_slot : acquire();
+        slot[static_cast<size_t>(op.out)] = op.out_slot;
+        // Release inputs in order; an in-place-consumed slot lives on
+        // as the output and must not return to the free list.
+        if (--remaining[static_cast<size_t>(op.in0)] == 0 && !inplace) {
+            free_slots.push_back(op.in0_slot);
+        }
+        if (op.in1 >= 0 &&
+            --remaining[static_cast<size_t>(op.in1)] == 0) {
+            free_slots.push_back(op.in1_slot);
+        }
+    }
+
+    plan.num_slots = num_slots;
+    plan.out_slot = slot[static_cast<size_t>(plan.out_value)];
+}
+
+}  // namespace ringcnn::plan

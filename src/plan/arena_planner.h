@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Refcounted arena assignment over the plan IR — the slot-recycling
+ * logic the fp32 and int8 executors used to duplicate, now computed
+ * once on the backend-neutral plan.
+ *
+ * The planner replays the executors' historical protocol exactly:
+ * acquire the output slot BEFORE releasing the inputs (a conv never
+ * aliases its own input), recycle freed slots LIFO, and run pointwise
+ * ops and the residual/branch adds in place when the op is its first
+ * input's last consumer. Slot assignment never changes numerics —
+ * liveness guarantees no live value is overwritten — it only bounds
+ * the arena footprint.
+ */
+#ifndef RINGCNN_PLAN_ARENA_PLANNER_H
+#define RINGCNN_PLAN_ARENA_PLANNER_H
+
+#include "plan/graph_ir.h"
+
+namespace ringcnn::plan
+{
+
+/** Fills every op's in/out slots and plan.num_slots / entry_slot /
+ *  out_slot. Run AFTER fuse_epilogues — fused ops occupy no slot. */
+void plan_arena(GraphPlan& plan);
+
+}  // namespace ringcnn::plan
+
+#endif  // RINGCNN_PLAN_ARENA_PLANNER_H

@@ -1,0 +1,437 @@
+#include "plan/graph_ir.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "nn/layer.h"
+#include "quant/quant_model.h"
+#include "util/check.h"
+
+namespace ringcnn::plan
+{
+
+const char*
+op_kind_name(OpKind k)
+{
+    switch (k) {
+        case OpKind::kRingConv: return "ringconv";
+        case OpKind::kDenseConv: return "conv2d";
+        case OpKind::kDepthwiseConv: return "dwconv";
+        case OpKind::kRelu: return "relu";
+        case OpKind::kDirRelu: return "dirrelu";
+        case OpKind::kRequant: return "requant";
+        case OpKind::kResidualAdd: return "resadd";
+        case OpKind::kBranchAdd: return "branchadd";
+        case OpKind::kPixelShuffle: return "pshuffle";
+        case OpKind::kPixelUnshuffle: return "punshuffle";
+        case OpKind::kChannelPad: return "pad";
+        case OpKind::kCropChannels: return "crop";
+        case OpKind::kUpsample: return "upsample";
+        case OpKind::kFallback: return "fallback";
+    }
+    return "?";
+}
+
+namespace
+{
+
+const char*
+epilogue_name(Epilogue e)
+{
+    switch (e) {
+        case Epilogue::kNone: return "none";
+        case Epilogue::kRelu: return "relu";
+        case Epilogue::kDirRelu: return "dir";
+        case Epilogue::kRequant: return "requant";
+    }
+    return "?";
+}
+
+int64_t
+ceil_div(int64_t a, int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+}  // namespace
+
+std::string
+GraphPlan::dump() const
+{
+    std::ostringstream os;
+    os << "plan values=" << num_values << " slots=" << num_slots
+       << " entry=v" << entry_value << "/s" << entry_slot << " out=v"
+       << out_value << "/s" << out_slot << "\n";
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const OpIR& op = ops[i];
+        os << "  " << i << ": " << op_kind_name(op.kind) << " v" << op.out
+           << "<-v" << op.in0;
+        if (op.in1 >= 0) os << ",v" << op.in1;
+        if (op.fused) {
+            os << " [fused]";
+        } else {
+            os << " s" << op.out_slot << "<-s" << op.in0_slot;
+            if (op.in1 >= 0) os << ",s" << op.in1_slot;
+        }
+        if (op.epilogue != Epilogue::kNone) {
+            os << " epi=" << epilogue_name(op.epilogue);
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+GraphPlan::signature() const
+{
+    // Normalizations (see the header): fused ops vanish, values are
+    // densely renumbered in definition order, conv flavors collapse,
+    // pointwise scalar ops (float ReLU <-> int8 requant) collapse, and
+    // every scalar epilogue class — none, fused ReLU, fused requant —
+    // prints as the bare conv (an int8 graph always terminates a conv
+    // with a requant where the float graph may have nothing).
+    auto kind_class = [](OpKind k) -> const char* {
+        switch (k) {
+            case OpKind::kRingConv:
+            case OpKind::kDenseConv: return "conv";
+            case OpKind::kRelu:
+            case OpKind::kRequant: return "pw";
+            default: return op_kind_name(k);
+        }
+    };
+    std::unordered_map<int, int> renum;
+    renum[entry_value] = 0;
+    int next = 1;
+    std::ostringstream os;
+    for (const OpIR& op : ops) {
+        if (op.fused) continue;
+        os << kind_class(op.kind);
+        if (op.epilogue == Epilogue::kDirRelu) os << "+dir";
+        const int out = next++;
+        renum[op.out] = out;
+        os << " r" << out << "<-r" << renum.at(op.in0);
+        if (op.in1 >= 0) os << ",r" << renum.at(op.in1);
+        os << " s" << op.out_slot << "<-s" << op.in0_slot;
+        if (op.in1 >= 0) os << ",s" << op.in1_slot;
+        os << "\n";
+    }
+    return os.str();
+}
+
+// ---- float layer tree ------------------------------------------------------
+
+namespace
+{
+
+/** Recursive walker mirroring the executor's historical compile order:
+ *  one op per layer, depth-first through the containers, no fusion. */
+struct F32Linearizer
+{
+    GraphPlan p;
+    const LinearizeOptions& opt;
+
+    explicit F32Linearizer(const LinearizeOptions& o) : opt(o) {}
+
+    OpIR& emit(OpKind kind, const void* node, int in0, const Shape& in_shape,
+               const Shape& out_shape, int in1 = -1)
+    {
+        OpIR op;
+        op.kind = kind;
+        op.node = node;
+        op.in0 = in0;
+        op.in1 = in1;
+        op.out = p.num_values++;
+        op.in_shape = in_shape;
+        op.out_shape = out_shape;
+        p.ops.push_back(op);
+        return p.ops.back();
+    }
+
+    int walk(nn::Layer* l, int in, Shape& shape)
+    {
+        using namespace nn;
+        if (auto* seq = dynamic_cast<Sequential*>(l)) {
+            int cur = in;
+            for (size_t i = 0; i < seq->size(); ++i) {
+                cur = walk(&seq->at(i), cur, shape);
+            }
+            return cur;
+        }
+        if (auto* rc = dynamic_cast<RingConv2d*>(l)) {
+            const Shape os = rc->out_shape(shape);
+            OpIR& op = emit(OpKind::kRingConv, rc, in, shape, os);
+            op.tuple = rc->ring().n;
+            op.co = os[0];
+            shape = os;
+            return op.out;
+        }
+        if (auto* res = dynamic_cast<Residual*>(l)) {
+            Shape body_shape = shape;
+            const int body_out = walk(&res->body(), in, body_shape);
+            RINGCNN_CHECK(body_shape == shape,
+                          "residual body must preserve the shape");
+            return emit(OpKind::kResidualAdd, res, body_out, shape, shape, in)
+                .out;
+        }
+        if (auto* two = dynamic_cast<TwoBranchAdd*>(l)) {
+            Shape main_shape = shape;
+            const int main_out = walk(&two->main(), in, main_shape);
+            Shape skip_shape = shape;
+            const int skip_out = walk(&two->skip(), in, skip_shape);
+            RINGCNN_CHECK(main_shape == skip_shape,
+                          "two-branch outputs must agree");
+            shape = main_shape;
+            return emit(OpKind::kBranchAdd, two, main_out, shape, shape,
+                        skip_out)
+                .out;
+        }
+        if (auto* conv = dynamic_cast<Conv2d*>(l)) {
+            const Shape os = conv->out_shape(shape);
+            OpIR& op = emit(OpKind::kDenseConv, conv, in, shape, os);
+            op.tuple = 1;
+            op.co = os[0];
+            shape = os;
+            return op.out;
+        }
+        if (auto* relu = dynamic_cast<ReLU*>(l)) {
+            return emit(OpKind::kRelu, relu, in, shape, shape).out;
+        }
+        if (auto* dr = dynamic_cast<DirectionalReLU*>(l)) {
+            OpIR& op = emit(OpKind::kDirRelu, dr, in, shape, shape);
+            op.tuple = static_cast<int>(dr->v().cols());
+            return op.out;
+        }
+        if (auto* ps = dynamic_cast<PixelShuffle*>(l)) {
+            const Shape os = ps->out_shape(shape);
+            OpIR& op = emit(OpKind::kPixelShuffle, ps, in, shape, os);
+            op.arg = os[1] / shape[1];
+            shape = os;
+            return op.out;
+        }
+        if (auto* pu = dynamic_cast<PixelUnshuffle*>(l)) {
+            const Shape os = pu->out_shape(shape);
+            OpIR& op = emit(OpKind::kPixelUnshuffle, pu, in, shape, os);
+            op.arg = shape[1] / os[1];
+            shape = os;
+            return op.out;
+        }
+        if (auto* pad = dynamic_cast<ChannelPad*>(l)) {
+            const Shape os = pad->out_shape(shape);
+            if (opt.elide_noop_channel_ops && os[0] == shape[0]) {
+                return in;  // no-op pad
+            }
+            OpIR& op = emit(OpKind::kChannelPad, pad, in, shape, os);
+            op.arg = os[0];
+            shape = os;
+            return op.out;
+        }
+        if (auto* crop = dynamic_cast<CropChannels*>(l)) {
+            const Shape os = crop->out_shape(shape);
+            if (opt.elide_noop_channel_ops && os[0] == shape[0]) {
+                return in;  // no-op crop
+            }
+            OpIR& op = emit(OpKind::kCropChannels, crop, in, shape, os);
+            op.arg = os[0];
+            shape = os;
+            return op.out;
+        }
+        if (auto* dw = dynamic_cast<DepthwiseConv2d*>(l)) {
+            const Shape os = dw->out_shape(shape);
+            OpIR& op = emit(OpKind::kDepthwiseConv, dw, in, shape, os);
+            op.co = os[0];
+            shape = os;
+            return op.out;
+        }
+        if (auto* up = dynamic_cast<UpsampleBilinearLayer*>(l)) {
+            const Shape os = up->out_shape(shape);
+            OpIR& op = emit(OpKind::kUpsample, up, in, shape, os);
+            op.arg = up->factor();
+            shape = os;
+            return op.out;
+        }
+        // Layers without a compiled kernel keep the allocating
+        // Layer::forward fallback.
+        const Shape os = l->out_shape(shape);
+        OpIR& op = emit(OpKind::kFallback, l, in, shape, os);
+        shape = os;
+        return op.out;
+    }
+};
+
+}  // namespace
+
+GraphPlan
+linearize(nn::Layer& root, const Shape& in_shape, const LinearizeOptions& opt)
+{
+    RINGCNN_CHECK(in_shape.size() == 3,
+                  "executor input must be a CHW shape");
+    F32Linearizer lin(opt);
+    lin.p.in_shape = in_shape;
+    Shape shape = in_shape;
+    lin.p.out_value = lin.walk(&root, lin.p.entry_value, shape);
+    lin.p.out_shape = shape;
+    return lin.p;
+}
+
+// ---- quantized node graph --------------------------------------------------
+
+namespace
+{
+
+/** Shape-free walker over the QNode graph; mirrors the quant
+ *  executor's historical compile order and its accumulator-width
+ *  threading (each op records the feature bits live at its input). */
+struct I8Linearizer
+{
+    GraphPlan p;
+
+    OpIR& emit(OpKind kind, const void* node, int in0, int bits, int in1 = -1)
+    {
+        OpIR op;
+        op.kind = kind;
+        op.node = node;
+        op.in0 = in0;
+        op.in1 = in1;
+        op.out = p.num_values++;
+        op.in_bits = bits;
+        p.ops.push_back(op);
+        return p.ops.back();
+    }
+
+    int walk(const quant::QNode* n, int in, int& bits)
+    {
+        using namespace quant;
+        if (const auto* seq = dynamic_cast<const QSeq*>(n)) {
+            int cur = in;
+            for (const auto& child : seq->nodes) {
+                cur = walk(child.get(), cur, bits);
+            }
+            return cur;
+        }
+        if (const auto* conv = dynamic_cast<const QConvNode*>(n)) {
+            OpIR& op = emit(OpKind::kRingConv, conv, in, bits);
+            op.co = conv->co;
+            bits = 32;  // raw accumulators until a requant/dir narrows
+            return op.out;
+        }
+        if (const auto* req = dynamic_cast<const QRequantNode*>(n)) {
+            OpIR& op = emit(OpKind::kRequant, req, in, bits);
+            bits = req->bits;
+            return op.out;
+        }
+        if (const auto* dir = dynamic_cast<const QDirReluNode*>(n)) {
+            OpIR& op = emit(OpKind::kDirRelu, dir, in, bits);
+            op.tuple = dir->n;
+            bits = dir->bits;
+            return op.out;
+        }
+        if (const auto* ps = dynamic_cast<const QPixelShuffleNode*>(n)) {
+            OpIR& op = emit(OpKind::kPixelShuffle, ps, in, bits);
+            op.arg = ps->r;
+            return op.out;
+        }
+        if (const auto* pu = dynamic_cast<const QPixelUnshuffleNode*>(n)) {
+            OpIR& op = emit(OpKind::kPixelUnshuffle, pu, in, bits);
+            op.arg = pu->r;
+            return op.out;
+        }
+        if (const auto* pad = dynamic_cast<const QPadNode*>(n)) {
+            OpIR& op = emit(OpKind::kChannelPad, pad, in, bits);
+            op.arg = pad->multiple;
+            return op.out;
+        }
+        if (const auto* crop = dynamic_cast<const QCropNode*>(n)) {
+            OpIR& op = emit(OpKind::kCropChannels, crop, in, bits);
+            op.arg = crop->keep;
+            return op.out;
+        }
+        if (const auto* res = dynamic_cast<const QResidualNode*>(n)) {
+            int body_bits = bits;
+            const int body_out = walk(res->body.get(), in, body_bits);
+            OpIR& op = emit(OpKind::kResidualAdd, res, body_out, body_bits,
+                            in);
+            bits = res->bits;
+            return op.out;
+        }
+        if (const auto* two = dynamic_cast<const QTwoBranchNode*>(n)) {
+            int mb = bits, sb = bits;
+            const int main_out = walk(two->main.get(), in, mb);
+            const int skip_out = walk(two->skip.get(), in, sb);
+            OpIR& op = emit(OpKind::kBranchAdd, two, main_out, mb, skip_out);
+            bits = two->bits;
+            return op.out;
+        }
+        if (const auto* up = dynamic_cast<const QBilinearNode*>(n)) {
+            OpIR& op = emit(OpKind::kUpsample, up, in, bits);
+            op.arg = up->r;
+            bits = up->bits;
+            return op.out;
+        }
+        // Unknown node: oracle walk, pessimistic width downstream.
+        OpIR& op = emit(OpKind::kFallback, n, in, bits);
+        bits = 32;
+        return op.out;
+    }
+};
+
+}  // namespace
+
+GraphPlan
+linearize(const quant::QNode& root, int feature_bits)
+{
+    I8Linearizer lin;
+    int bits = feature_bits;
+    lin.p.out_value = lin.walk(&root, lin.p.entry_value, bits);
+    return lin.p;
+}
+
+// ---- shape propagation -----------------------------------------------------
+
+void
+annotate_shapes(GraphPlan& plan, const Shape& in_shape)
+{
+    RINGCNN_CHECK(in_shape.size() == 3,
+                  "plan shape annotation needs a CHW input");
+    std::vector<Shape> val(static_cast<size_t>(plan.num_values));
+    val[static_cast<size_t>(plan.entry_value)] = in_shape;
+    plan.in_shape = in_shape;
+    for (OpIR& op : plan.ops) {
+        if (op.fused) continue;
+        const Shape& in = val[static_cast<size_t>(op.in0)];
+        op.in_shape = in;
+        Shape out = in;
+        switch (op.kind) {
+            case OpKind::kRingConv:
+            case OpKind::kDenseConv:
+            case OpKind::kDepthwiseConv:
+                out = {op.co, in[1], in[2]};
+                break;
+            case OpKind::kPixelShuffle:
+                out = {in[0] / (op.arg * op.arg), in[1] * op.arg,
+                       in[2] * op.arg};
+                break;
+            case OpKind::kPixelUnshuffle:
+                out = {in[0] * op.arg * op.arg, in[1] / op.arg,
+                       in[2] / op.arg};
+                break;
+            case OpKind::kChannelPad:
+                out = {static_cast<int>(ceil_div(in[0], op.arg)) * op.arg,
+                       in[1], in[2]};
+                break;
+            case OpKind::kCropChannels:
+                out = {op.arg, in[1], in[2]};
+                break;
+            case OpKind::kUpsample:
+                out = {in[0], in[1] * op.arg, in[2] * op.arg};
+                break;
+            default:
+                // Pointwise, adds, fallback: shape-preserving.
+                break;
+        }
+        op.out_shape = out;
+        val[static_cast<size_t>(op.out)] = out;
+    }
+    plan.out_shape = val[static_cast<size_t>(plan.out_value)];
+}
+
+}  // namespace ringcnn::plan

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Backend-neutral plan IR: the shared front half of the compile
+ * pipeline used by the fp32 executor, the int8 executor, and the
+ * accelerator simulator.
+ *
+ * The pipeline has four stages; the first three live in src/plan and
+ * are backend-agnostic, the last is owned by each backend:
+ *
+ *   1. linearize   — walk the layer graph (Sequential / Residual /
+ *                    TwoBranchAdd and their quantized counterparts)
+ *                    into a linear op list in SSA form: every op reads
+ *                    value ids and defines exactly one new value id.
+ *   2. fuse        — attach ReLU / DirectionalReLU / requant epilogues
+ *                    to the producing conv as IR annotations
+ *                    (fusion_pass.h). Fused ops stay in the list,
+ *                    marked `fused`, so dumps show the decision.
+ *   3. plan_arena  — refcounted slot assignment over values
+ *                    (arena_planner.h): compile-time liveness recycles
+ *                    activation buffers, in-place ops alias their
+ *                    input slot.
+ *   4. lower       — per backend: fp32 RingConvEngine kernels, int8
+ *                    QuantConvKernel kernels, or sim cost events.
+ *
+ * Ops reference the originating layer/node via an opaque pointer; the
+ * model must outlive the plan. The IR itself never dereferences it —
+ * only backend lowerings cast it back to the concrete type.
+ */
+#ifndef RINGCNN_PLAN_GRAPH_IR_H
+#define RINGCNN_PLAN_GRAPH_IR_H
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ringcnn::nn
+{
+class Layer;
+}
+namespace ringcnn::quant
+{
+struct QNode;
+}
+
+namespace ringcnn::plan
+{
+
+/** What an op computes. One kind per supported layer/node family;
+ *  both the float layer and its quantized counterpart map to the same
+ *  kind so cross-backend plans are comparable. */
+enum class OpKind
+{
+    kRingConv,       // nn::RingConv2d / quant::QConvNode
+    kDenseConv,      // nn::Conv2d (n=1 real baseline; no int8 form)
+    kDepthwiseConv,  // nn::DepthwiseConv2d
+    kRelu,           // nn::ReLU (float only; int8 folds it into requant)
+    kDirRelu,        // nn::DirectionalReLU / quant::QDirReluNode
+    kRequant,        // quant::QRequantNode (int8 only)
+    kResidualAdd,    // the `+ x` tail of Residual
+    kBranchAdd,      // the `main + skip` tail of TwoBranchAdd
+    kPixelShuffle,
+    kPixelUnshuffle,
+    kChannelPad,
+    kCropChannels,
+    kUpsample,  // nn::UpsampleBilinearLayer / quant::QBilinearNode
+    kFallback,  // anything else: lowered to Layer::forward / QNode::forward
+};
+
+/** Epilogue fused into a conv op by the fusion pass. */
+enum class Epilogue
+{
+    kNone,
+    kRelu,
+    kDirRelu,
+    kRequant,
+};
+
+const char* op_kind_name(OpKind k);
+
+/** One op of the linear plan. Values are SSA ids: `out` is defined by
+ *  this op, `in0`/`in1` were defined earlier (in1 == -1 for unary
+ *  ops). Slots are filled in by plan_arena(). */
+struct OpIR
+{
+    OpKind kind = OpKind::kFallback;
+    int in0 = -1;
+    int in1 = -1;  // second operand of the add kinds
+    int out = -1;
+
+    /** Originating layer (fp32 plans) or QNode (int8/sim plans). */
+    const void* node = nullptr;
+
+    /** Fusion annotations (set by fuse_epilogues). On a conv op,
+     *  `epilogue` names the attached tail and `epilogue_node` is its
+     *  layer/QNode; on the absorbed tail op, `fused` is true and the
+     *  op must be skipped by lowering. */
+    Epilogue epilogue = Epilogue::kNone;
+    const void* epilogue_node = nullptr;
+    bool fused = false;
+
+    /** Tuple size: ring n for convs (fp32), dir tuple n for kDirRelu. */
+    int tuple = 0;
+    /** Kind-specific scalar: shuffle factor r, pad target channels,
+     *  crop keep count, upsample factor. */
+    int arg = 0;
+    /** Conv output channels (for shape propagation without the node). */
+    int co = 0;
+    /** Accumulator feature bits at this op's input (int8 plans). */
+    int in_bits = 0;
+
+    /** Per-image activation shapes. Filled by the fp32 linearizer;
+     *  int8 plans are shape-free until annotate_shapes(). */
+    Shape in_shape;
+    Shape out_shape;
+
+    /** Arena slots (set by plan_arena). out_slot == in0_slot means the
+     *  op runs in place. */
+    int in0_slot = -1;
+    int in1_slot = -1;
+    int out_slot = -1;
+};
+
+struct LinearizeOptions
+{
+    /** Drop ChannelPad/CropChannels ops whose output shape equals the
+     *  input (the fp32 executor elides them; the int8 graph has no
+     *  no-op pads — conversion emits them only when needed). */
+    bool elide_noop_channel_ops = true;
+};
+
+/** A compiled, backend-neutral plan. */
+struct GraphPlan
+{
+    std::vector<OpIR> ops;
+    int num_values = 1;   // value 0 is the graph input
+    int entry_value = 0;
+    int out_value = 0;
+
+    /** Filled by plan_arena(). */
+    int num_slots = 0;
+    int entry_slot = -1;
+    int out_slot = -1;
+
+    /** Per-image input/output shapes (fp32 plans and annotated plans). */
+    Shape in_shape;
+    Shape out_shape;
+
+    /** Deterministic one-line-per-op listing (values, fusion, slots) —
+     *  the golden-regression format. No pointers, stable across runs. */
+    std::string dump() const;
+
+    /** Backend-normalized form for cross-backend equivalence checks:
+     *  fused ops are dropped, values are densely renumbered, conv
+     *  kinds collapse to "conv", float ReLU and int8 requant collapse
+     *  to the same pointwise class (an int8 graph represents every
+     *  float ReLU as a relu-first requant), and scalar epilogues
+     *  (none / ReLU / requant) normalize to one token. Two backends
+     *  lowering the same model must produce equal signatures. */
+    std::string signature() const;
+};
+
+/** Linearizes a float layer tree. Carries the executor's shape
+ *  validation: throws std::invalid_argument (via RINGCNN_CHECK) on a
+ *  non-CHW input shape or mismatched residual/branch shapes. */
+GraphPlan linearize(nn::Layer& root, const Shape& in_shape,
+                    const LinearizeOptions& opt = {});
+
+/** Linearizes a quantized node graph. Shape-free; threads the
+ *  accumulator bit width so each op records the feature bits live at
+ *  its input (conv lowering picks fast vs scalar kernels from it). */
+GraphPlan linearize(const quant::QNode& root, int feature_bits);
+
+/** Propagates per-image shapes through a shape-free (int8/sim) plan
+ *  for the given input, filling op in/out shapes and plan.out_shape. */
+void annotate_shapes(GraphPlan& plan, const Shape& in_shape);
+
+}  // namespace ringcnn::plan
+
+#endif  // RINGCNN_PLAN_GRAPH_IR_H

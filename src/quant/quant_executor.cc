@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "plan/arena_planner.h"
+#include "plan/fusion_pass.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -15,42 +17,6 @@ constexpr int kMaxTuple = 16;
 
 // The integer butterfly (wht_inplace) and ceil_log2 come from
 // quant/qformat.h — one definition shared with the scalar oracle.
-
-}  // namespace
-
-// ---- compile-time slot (arena) management ----------------------------------
-
-int
-QuantExecutor::acquire_slot()
-{
-    if (!free_slots_.empty()) {
-        const int s = free_slots_.back();
-        free_slots_.pop_back();
-        refcount_[static_cast<size_t>(s)] = 1;
-        return s;
-    }
-    slots_.emplace_back();
-    refcount_.push_back(1);
-    return static_cast<int>(slots_.size()) - 1;
-}
-
-void
-QuantExecutor::addref(int slot)
-{
-    ++refcount_[static_cast<size_t>(slot)];
-}
-
-void
-QuantExecutor::decref(int slot)
-{
-    if (--refcount_[static_cast<size_t>(slot)] == 0) {
-        free_slots_.push_back(slot);
-    }
-}
-
-// ---- QAct <-> arena conversion ---------------------------------------------
-
-namespace {
 
 QAct
 to_qact(const Shape& shape, const std::vector<int32_t>& v,
@@ -74,9 +40,18 @@ QuantExecutor::QuantExecutor(const QuantizedModel& qm, QuantExecOptions opt)
     RINGCNN_CHECK(qopt_.feature_bits >= 2 && qopt_.feature_bits <= 30,
                   "quantized executor supports feature widths of 2..30 "
                   "bits, got " + std::to_string(qopt_.feature_bits));
-    entry_slot_ = acquire_slot();
-    int bits = qopt_.feature_bits;
-    out_slot_ = compile(root_, entry_slot_, bits);
+    // The shared compile pipeline (src/plan) with the int8 policy:
+    // requant/directional fusion is unconditional — the quantized graph
+    // always terminates a conv with its requant/dir node and even the
+    // scalar-oracle lowering chains the pair in one step so the wide
+    // int64 intermediate never has to fit the int32 arena.
+    plan_ = plan::linearize(*root_, qopt_.feature_bits);
+    plan::fuse_epilogues(plan_, plan::FusionOptions{});
+    plan::plan_arena(plan_);
+    slots_.resize(static_cast<size_t>(plan_.num_slots));
+    entry_slot_ = plan_.entry_slot;
+    out_slot_ = plan_.out_slot;
+    lower();
 }
 
 QuantExecutor::~QuantExecutor() = default;
@@ -93,39 +68,29 @@ QuantExecutor::band_rows(int h, int groups_total) const
     return std::min(bh, h);
 }
 
-int
-QuantExecutor::compile_seq(const QSeq* seq, int in, int& bits)
+void
+QuantExecutor::lower_conv(const plan::OpIR& op)
 {
-    int cur = in;
-    for (size_t i = 0; i < seq->nodes.size(); ++i) {
-        const QNode* n = seq->nodes[i].get();
-        if (const auto* conv = dynamic_cast<const QConvNode*>(n)) {
-            const QNode* next =
-                i + 1 < seq->nodes.size() ? seq->nodes[i + 1].get() : nullptr;
-            const auto* dir = dynamic_cast<const QDirReluNode*>(next);
-            const auto* req = dynamic_cast<const QRequantNode*>(next);
-            cur = compile_conv(conv, dir, req, cur, bits);
-            if (dir != nullptr || req != nullptr) ++i;  // consumed
-            continue;
-        }
-        cur = compile(n, cur, bits);
+    const auto* conv = static_cast<const QConvNode*>(op.node);
+    const QDirReluNode* dir = nullptr;
+    const QRequantNode* req = nullptr;
+    if (op.epilogue == plan::Epilogue::kDirRelu) {
+        dir = static_cast<const QDirReluNode*>(op.epilogue_node);
+    } else if (op.epilogue == plan::Epilogue::kRequant) {
+        req = static_cast<const QRequantNode*>(op.epilogue_node);
     }
-    return cur;
-}
 
-int
-QuantExecutor::compile_conv(const QConvNode* conv, const QDirReluNode* dir,
-                            const QRequantNode* req, int in, int& bits)
-{
     auto kernel = std::make_unique<QuantConvKernel>(
         conv->co, conv->ci, conv->k, conv->w, conv->bias, conv->out_frac);
     const bool dir_ok =
         dir == nullptr ||
         (dir->n >= 1 && dir->n <= kMaxTuple && conv->co % dir->n == 0);
-    const bool fast = kernel->int32_safe(bits) && dir_ok &&
-                      (dir == nullptr || req == nullptr);
+    // op.in_bits is the feature width live at the conv input (threaded
+    // through the plan by the linearizer).
+    const bool fast = kernel->int32_safe(op.in_bits) && dir_ok;
 
-    const int out = acquire_slot();
+    const int in = op.in0_slot;
+    const int out = op.out_slot;
     if (!fast) {
         // Scalar oracle walk for this conv AND its epilogue, chained in
         // one step so the wide int64 intermediate never has to fit the
@@ -151,9 +116,7 @@ QuantExecutor::compile_conv(const QConvNode* conv, const QDirReluNode* dir,
                 }
             }
         });
-        decref(in);
-        bits = dir != nullptr ? dir->bits : (req != nullptr ? req->bits : 32);
-        return out;
+        return;
     }
 
     ++fast_convs_;
@@ -331,15 +294,11 @@ QuantExecutor::compile_conv(const QConvNode* conv, const QDirReluNode* dir,
             },
             threads_);
     });
-    decref(in);
-    bits = dir != nullptr ? dir->bits : (req != nullptr ? req->bits : 32);
-    return out;
 }
 
-int
-QuantExecutor::compile_fallback(const QNode* node, int in)
+void
+QuantExecutor::lower_fallback(const QNode* node, int in, int out)
 {
-    const int out = acquire_slot();
     steps_.push_back([this, node, in, out](int batch) {
         auto& ins = slots_[static_cast<size_t>(in)];
         auto& outs = slots_[static_cast<size_t>(out)];
@@ -357,336 +316,325 @@ QuantExecutor::compile_fallback(const QNode* node, int in)
             }
         }
     });
-    decref(in);
-    return out;
 }
 
-int
-QuantExecutor::compile(const QNode* node, int in, int& bits)
+void
+QuantExecutor::lower()
 {
-    if (const auto* seq = dynamic_cast<const QSeq*>(node)) {
-        return compile_seq(seq, in, bits);
-    }
-    if (const auto* conv = dynamic_cast<const QConvNode*>(node)) {
-        return compile_conv(conv, nullptr, nullptr, in, bits);
-    }
-    if (const auto* req = dynamic_cast<const QRequantNode*>(node)) {
-        const bool inplace = refcount_[static_cast<size_t>(in)] == 1;
-        const int out = inplace ? in : acquire_slot();
-        steps_.push_back([this, req, in, out](int batch) {
-            auto& ins = slots_[static_cast<size_t>(in)];
-            auto& outs = slots_[static_cast<size_t>(out)];
-            for (int b = 0; b < batch; ++b) {
-                IAct& x = ins[static_cast<size_t>(b)];
-                IAct& o = outs[static_cast<size_t>(b)];
-                const int c = x.shape[0];
-                const int64_t plane = x.plane();
-                const Shape shape = x.shape;
-                std::vector<int> shifts(static_cast<size_t>(c));
-                for (int ch = 0; ch < c; ++ch) {
-                    shifts[static_cast<size_t>(ch)] =
-                        x.frac[static_cast<size_t>(ch)] -
-                        req->target[static_cast<size_t>(ch)];
-                }
-                o.reset(shape);  // no-op when in place
-                o.frac = req->target;
-                for (int ch = 0; ch < c; ++ch) {
-                    const int shift = shifts[static_cast<size_t>(ch)];
-                    const int32_t* src = x.ch(ch);
-                    int32_t* dst = o.ch(ch);
-                    for (int64_t p = 0; p < plane; ++p) {
-                        int64_t v = src[p];
-                        if (req->relu_first && v < 0) v = 0;
-                        dst[p] = static_cast<int32_t>(
-                            shift_round_saturate(v, shift, req->bits));
+    using plan::OpKind;
+    for (const plan::OpIR& op : plan_.ops) {
+        if (op.fused) continue;  // absorbed into its conv's epilogue
+        const int in = op.in0_slot;
+        const int out = op.out_slot;
+        switch (op.kind) {
+        case OpKind::kRingConv:
+            lower_conv(op);
+            break;
+        case OpKind::kRequant: {
+            // In place when the plan made this its input's last use.
+            const auto* req = static_cast<const QRequantNode*>(op.node);
+            steps_.push_back([this, req, in, out](int batch) {
+                auto& ins = slots_[static_cast<size_t>(in)];
+                auto& outs = slots_[static_cast<size_t>(out)];
+                for (int b = 0; b < batch; ++b) {
+                    IAct& x = ins[static_cast<size_t>(b)];
+                    IAct& o = outs[static_cast<size_t>(b)];
+                    const int c = x.shape[0];
+                    const int64_t plane = x.plane();
+                    const Shape shape = x.shape;
+                    std::vector<int> shifts(static_cast<size_t>(c));
+                    for (int ch = 0; ch < c; ++ch) {
+                        shifts[static_cast<size_t>(ch)] =
+                            x.frac[static_cast<size_t>(ch)] -
+                            req->target[static_cast<size_t>(ch)];
+                    }
+                    o.reset(shape);  // no-op when in place
+                    o.frac = req->target;
+                    for (int ch = 0; ch < c; ++ch) {
+                        const int shift = shifts[static_cast<size_t>(ch)];
+                        const int32_t* src = x.ch(ch);
+                        int32_t* dst = o.ch(ch);
+                        for (int64_t p = 0; p < plane; ++p) {
+                            int64_t v = src[p];
+                            if (req->relu_first && v < 0) v = 0;
+                            dst[p] = static_cast<int32_t>(
+                                shift_round_saturate(v, shift, req->bits));
+                        }
                     }
                 }
-            }
-        });
-        if (!inplace) decref(in);
-        bits = req->bits;
-        return out;
-    }
-    if (const auto* dir = dynamic_cast<const QDirReluNode*>(node)) {
-        // A directional ReLU is always fused behind its conv by
-        // compile_seq; a standalone one (defensive) takes the oracle.
-        const int out = compile_fallback(dir, in);
-        bits = dir->bits;
-        return out;
-    }
-    if (const auto* ps = dynamic_cast<const QPixelShuffleNode*>(node)) {
-        const int out = acquire_slot();
-        const int r = ps->r;
-        steps_.push_back([this, in, out, r](int batch) {
-            auto& ins = slots_[static_cast<size_t>(in)];
-            auto& outs = slots_[static_cast<size_t>(out)];
-            for (int b = 0; b < batch; ++b) {
-                IAct& x = ins[static_cast<size_t>(b)];
-                IAct& o = outs[static_cast<size_t>(b)];
-                const int c = x.shape[0] / (r * r);
-                const int h = x.shape[1], w = x.shape[2];
-                o.reset({c, h * r, w * r});
-                o.frac.resize(static_cast<size_t>(c));
-                for (int oc = 0; oc < c; ++oc) {
-                    o.frac[static_cast<size_t>(oc)] =
-                        x.frac[static_cast<size_t>(oc * r * r)];
-                    for (int dy = 0; dy < r; ++dy) {
-                        for (int dx = 0; dx < r; ++dx) {
-                            const int ic = (oc * r + dy) * r + dx;
-                            const int32_t* src = x.ch(ic);
-                            int32_t* dst = o.ch(oc);
-                            for (int y = 0; y < h; ++y) {
-                                for (int xx = 0; xx < w; ++xx) {
-                                    dst[(static_cast<int64_t>(y) * r + dy) *
-                                            (w * r) +
-                                        xx * r + dx] =
-                                        src[static_cast<int64_t>(y) * w + xx];
+            });
+            break;
+        }
+        case OpKind::kDirRelu:
+            // A directional ReLU is always fused behind its conv by the
+            // fusion pass; a standalone one (defensive) takes the
+            // oracle.
+            lower_fallback(static_cast<const QNode*>(op.node), in, out);
+            break;
+        case OpKind::kPixelShuffle: {
+            const int r = op.arg;
+            steps_.push_back([this, in, out, r](int batch) {
+                auto& ins = slots_[static_cast<size_t>(in)];
+                auto& outs = slots_[static_cast<size_t>(out)];
+                for (int b = 0; b < batch; ++b) {
+                    IAct& x = ins[static_cast<size_t>(b)];
+                    IAct& o = outs[static_cast<size_t>(b)];
+                    const int c = x.shape[0] / (r * r);
+                    const int h = x.shape[1], w = x.shape[2];
+                    o.reset({c, h * r, w * r});
+                    o.frac.resize(static_cast<size_t>(c));
+                    for (int oc = 0; oc < c; ++oc) {
+                        o.frac[static_cast<size_t>(oc)] =
+                            x.frac[static_cast<size_t>(oc * r * r)];
+                        for (int dy = 0; dy < r; ++dy) {
+                            for (int dx = 0; dx < r; ++dx) {
+                                const int ic = (oc * r + dy) * r + dx;
+                                const int32_t* src = x.ch(ic);
+                                int32_t* dst = o.ch(oc);
+                                for (int y = 0; y < h; ++y) {
+                                    for (int xx = 0; xx < w; ++xx) {
+                                        dst[(static_cast<int64_t>(y) * r +
+                                             dy) *
+                                                (w * r) +
+                                            xx * r + dx] =
+                                            src[static_cast<int64_t>(y) * w +
+                                                xx];
+                                    }
                                 }
                             }
                         }
                     }
                 }
-            }
-        });
-        decref(in);
-        return out;
-    }
-    if (const auto* pu = dynamic_cast<const QPixelUnshuffleNode*>(node)) {
-        const int out = acquire_slot();
-        const int r = pu->r;
-        steps_.push_back([this, in, out, r](int batch) {
-            auto& ins = slots_[static_cast<size_t>(in)];
-            auto& outs = slots_[static_cast<size_t>(out)];
-            for (int b = 0; b < batch; ++b) {
-                IAct& x = ins[static_cast<size_t>(b)];
-                IAct& o = outs[static_cast<size_t>(b)];
-                const int c = x.shape[0];
-                const int h = x.shape[1] / r, w = x.shape[2] / r;
-                o.reset({c * r * r, h, w});
-                o.frac.resize(static_cast<size_t>(c) * r * r);
-                for (int ic = 0; ic < c; ++ic) {
-                    for (int dy = 0; dy < r; ++dy) {
-                        for (int dx = 0; dx < r; ++dx) {
-                            const int oc = (ic * r + dy) * r + dx;
-                            o.frac[static_cast<size_t>(oc)] =
-                                x.frac[static_cast<size_t>(ic)];
-                            const int32_t* src = x.ch(ic);
-                            int32_t* dst = o.ch(oc);
-                            for (int y = 0; y < h; ++y) {
-                                for (int xx = 0; xx < w; ++xx) {
-                                    dst[static_cast<int64_t>(y) * w + xx] =
-                                        src[(static_cast<int64_t>(y) * r +
-                                             dy) * (w * r) + xx * r + dx];
+            });
+            break;
+        }
+        case OpKind::kPixelUnshuffle: {
+            const int r = op.arg;
+            steps_.push_back([this, in, out, r](int batch) {
+                auto& ins = slots_[static_cast<size_t>(in)];
+                auto& outs = slots_[static_cast<size_t>(out)];
+                for (int b = 0; b < batch; ++b) {
+                    IAct& x = ins[static_cast<size_t>(b)];
+                    IAct& o = outs[static_cast<size_t>(b)];
+                    const int c = x.shape[0];
+                    const int h = x.shape[1] / r, w = x.shape[2] / r;
+                    o.reset({c * r * r, h, w});
+                    o.frac.resize(static_cast<size_t>(c) * r * r);
+                    for (int ic = 0; ic < c; ++ic) {
+                        for (int dy = 0; dy < r; ++dy) {
+                            for (int dx = 0; dx < r; ++dx) {
+                                const int oc = (ic * r + dy) * r + dx;
+                                o.frac[static_cast<size_t>(oc)] =
+                                    x.frac[static_cast<size_t>(ic)];
+                                const int32_t* src = x.ch(ic);
+                                int32_t* dst = o.ch(oc);
+                                for (int y = 0; y < h; ++y) {
+                                    for (int xx = 0; xx < w; ++xx) {
+                                        dst[static_cast<int64_t>(y) * w +
+                                            xx] =
+                                            src[(static_cast<int64_t>(y) * r +
+                                                 dy) * (w * r) + xx * r + dx];
+                                    }
                                 }
                             }
                         }
                     }
                 }
-            }
-        });
-        decref(in);
-        return out;
-    }
-    if (const auto* pad = dynamic_cast<const QPadNode*>(node)) {
-        const int out = acquire_slot();
-        const int multiple = pad->multiple;
-        steps_.push_back([this, in, out, multiple](int batch) {
-            auto& ins = slots_[static_cast<size_t>(in)];
-            auto& outs = slots_[static_cast<size_t>(out)];
-            for (int b = 0; b < batch; ++b) {
-                IAct& x = ins[static_cast<size_t>(b)];
-                IAct& o = outs[static_cast<size_t>(b)];
-                const int c = x.shape[0];
-                const int want = (c + multiple - 1) / multiple * multiple;
-                o.reset({want, x.shape[1], x.shape[2]});
-                o.frac.assign(static_cast<size_t>(want), x.frac[0]);
-                for (int ch = 0; ch < c; ++ch) {
-                    o.frac[static_cast<size_t>(ch)] =
-                        x.frac[static_cast<size_t>(ch)];
-                }
-                std::memcpy(o.v.data(), x.v.data(),
-                            x.v.size() * sizeof(int32_t));
-                std::fill(o.v.begin() + static_cast<int64_t>(x.v.size()),
-                          o.v.end(), 0);
-            }
-        });
-        decref(in);
-        return out;
-    }
-    if (const auto* crop = dynamic_cast<const QCropNode*>(node)) {
-        const int out = acquire_slot();
-        const int keep = crop->keep;
-        steps_.push_back([this, in, out, keep](int batch) {
-            auto& ins = slots_[static_cast<size_t>(in)];
-            auto& outs = slots_[static_cast<size_t>(out)];
-            for (int b = 0; b < batch; ++b) {
-                IAct& x = ins[static_cast<size_t>(b)];
-                IAct& o = outs[static_cast<size_t>(b)];
-                o.reset({keep, x.shape[1], x.shape[2]});
-                o.frac.assign(x.frac.begin(), x.frac.begin() + keep);
-                std::memcpy(o.v.data(), x.v.data(),
-                            o.v.size() * sizeof(int32_t));
-            }
-        });
-        decref(in);
-        return out;
-    }
-    if (const auto* res = dynamic_cast<const QResidualNode*>(node)) {
-        addref(in);  // the skip connection reads it after the body runs
-        int body_bits = bits;
-        const int body_out = compile(res->body.get(), in, body_bits);
-        const bool inplace =
-            body_out != in && refcount_[static_cast<size_t>(body_out)] == 1;
-        const int out = inplace ? body_out : acquire_slot();
-        steps_.push_back([this, res, in, body_out, out](int batch) {
-            auto& as = slots_[static_cast<size_t>(in)];
-            auto& bs = slots_[static_cast<size_t>(body_out)];
-            auto& outs = slots_[static_cast<size_t>(out)];
-            for (int b = 0; b < batch; ++b) {
-                IAct& A = as[static_cast<size_t>(b)];
-                IAct& B = bs[static_cast<size_t>(b)];
-                IAct& O = outs[static_cast<size_t>(b)];
-                const int c = A.shape[0];
-                const int64_t plane = A.plane();
-                const Shape shape = A.shape;
-                for (int ch = 0; ch < c; ++ch) {
-                    // Shifts read before O.frac overwrites an alias.
-                    const int target =
-                        res->out_frac[static_cast<size_t>(ch)];
-                    const int sa =
-                        A.frac[static_cast<size_t>(ch)] - target;
-                    const int sb =
-                        B.frac[static_cast<size_t>(ch)] - target;
-                    const int32_t* pa = A.ch(ch);
-                    const int32_t* pb = B.ch(ch);
-                    if (ch == 0) O.reset(shape);  // no-op when aliased
-                    int32_t* po = O.ch(ch);
-                    for (int64_t p = 0; p < plane; ++p) {
-                        const int64_t va = shift_round_saturate(
-                            pa[p], sa, res->bits + 2);
-                        const int64_t vb = shift_round_saturate(
-                            pb[p], sb, res->bits + 2);
-                        po[p] = static_cast<int32_t>(
-                            shift_round_saturate(va + vb, 0, res->bits));
+            });
+            break;
+        }
+        case OpKind::kChannelPad: {
+            const int multiple = op.arg;
+            steps_.push_back([this, in, out, multiple](int batch) {
+                auto& ins = slots_[static_cast<size_t>(in)];
+                auto& outs = slots_[static_cast<size_t>(out)];
+                for (int b = 0; b < batch; ++b) {
+                    IAct& x = ins[static_cast<size_t>(b)];
+                    IAct& o = outs[static_cast<size_t>(b)];
+                    const int c = x.shape[0];
+                    const int want =
+                        (c + multiple - 1) / multiple * multiple;
+                    o.reset({want, x.shape[1], x.shape[2]});
+                    o.frac.assign(static_cast<size_t>(want), x.frac[0]);
+                    for (int ch = 0; ch < c; ++ch) {
+                        o.frac[static_cast<size_t>(ch)] =
+                            x.frac[static_cast<size_t>(ch)];
                     }
+                    std::memcpy(o.v.data(), x.v.data(),
+                                x.v.size() * sizeof(int32_t));
+                    std::fill(o.v.begin() + static_cast<int64_t>(x.v.size()),
+                              o.v.end(), 0);
                 }
-                O.frac = res->out_frac;
-            }
-        });
-        if (!inplace) decref(body_out);
-        decref(in);
-        bits = res->bits;
-        return out;
-    }
-    if (const auto* two = dynamic_cast<const QTwoBranchNode*>(node)) {
-        addref(in);  // both branches read the same input
-        int mb = bits, sb = bits;
-        const int main_out = compile(two->main.get(), in, mb);
-        const int skip_out = compile(two->skip.get(), in, sb);
-        const bool inplace = refcount_[static_cast<size_t>(main_out)] == 1;
-        const int out = inplace ? main_out : acquire_slot();
-        steps_.push_back([this, two, main_out, skip_out, out](int batch) {
-            auto& as = slots_[static_cast<size_t>(main_out)];
-            auto& bs = slots_[static_cast<size_t>(skip_out)];
-            auto& outs = slots_[static_cast<size_t>(out)];
-            for (int b = 0; b < batch; ++b) {
-                IAct& A = as[static_cast<size_t>(b)];
-                IAct& B = bs[static_cast<size_t>(b)];
-                IAct& O = outs[static_cast<size_t>(b)];
-                const int c = A.shape[0];
-                const int64_t plane = A.plane();
-                const Shape shape = A.shape;
-                for (int ch = 0; ch < c; ++ch) {
-                    const int target =
-                        two->out_frac[static_cast<size_t>(ch)];
-                    const int sa =
-                        A.frac[static_cast<size_t>(ch)] - target;
-                    const int sb2 =
-                        B.frac[static_cast<size_t>(ch)] - target;
-                    const int32_t* pa = A.ch(ch);
-                    const int32_t* pb = B.ch(ch);
-                    if (ch == 0) O.reset(shape);
-                    int32_t* po = O.ch(ch);
-                    for (int64_t p = 0; p < plane; ++p) {
-                        const int64_t va = shift_round_saturate(
-                            pa[p], sa, two->bits + 2);
-                        const int64_t vb = shift_round_saturate(
-                            pb[p], sb2, two->bits + 2);
-                        po[p] = static_cast<int32_t>(
-                            shift_round_saturate(va + vb, 0, two->bits));
+            });
+            break;
+        }
+        case OpKind::kCropChannels: {
+            const int keep = op.arg;
+            steps_.push_back([this, in, out, keep](int batch) {
+                auto& ins = slots_[static_cast<size_t>(in)];
+                auto& outs = slots_[static_cast<size_t>(out)];
+                for (int b = 0; b < batch; ++b) {
+                    IAct& x = ins[static_cast<size_t>(b)];
+                    IAct& o = outs[static_cast<size_t>(b)];
+                    o.reset({keep, x.shape[1], x.shape[2]});
+                    o.frac.assign(x.frac.begin(), x.frac.begin() + keep);
+                    std::memcpy(o.v.data(), x.v.data(),
+                                o.v.size() * sizeof(int32_t));
+                }
+            });
+            break;
+        }
+        case OpKind::kResidualAdd: {
+            // in0 is the body result, in1 the skip input; the aligned
+            // add shifts both onto the node's output format. In place
+            // over the body slot when the plan allows it.
+            const auto* res = static_cast<const QResidualNode*>(op.node);
+            const int body_out = op.in0_slot;
+            const int skip = op.in1_slot;
+            steps_.push_back([this, res, skip, body_out, out](int batch) {
+                auto& as = slots_[static_cast<size_t>(skip)];
+                auto& bs = slots_[static_cast<size_t>(body_out)];
+                auto& outs = slots_[static_cast<size_t>(out)];
+                for (int b = 0; b < batch; ++b) {
+                    IAct& A = as[static_cast<size_t>(b)];
+                    IAct& B = bs[static_cast<size_t>(b)];
+                    IAct& O = outs[static_cast<size_t>(b)];
+                    const int c = A.shape[0];
+                    const int64_t plane = A.plane();
+                    const Shape shape = A.shape;
+                    for (int ch = 0; ch < c; ++ch) {
+                        // Shifts read before O.frac overwrites an alias.
+                        const int target =
+                            res->out_frac[static_cast<size_t>(ch)];
+                        const int sa =
+                            A.frac[static_cast<size_t>(ch)] - target;
+                        const int sb =
+                            B.frac[static_cast<size_t>(ch)] - target;
+                        const int32_t* pa = A.ch(ch);
+                        const int32_t* pb = B.ch(ch);
+                        if (ch == 0) O.reset(shape);  // no-op when aliased
+                        int32_t* po = O.ch(ch);
+                        for (int64_t p = 0; p < plane; ++p) {
+                            const int64_t va = shift_round_saturate(
+                                pa[p], sa, res->bits + 2);
+                            const int64_t vb = shift_round_saturate(
+                                pb[p], sb, res->bits + 2);
+                            po[p] = static_cast<int32_t>(
+                                shift_round_saturate(va + vb, 0, res->bits));
+                        }
                     }
+                    O.frac = res->out_frac;
                 }
-                O.frac = two->out_frac;
-            }
-        });
-        if (out != main_out) decref(main_out);
-        decref(skip_out);
-        // No decref(in): the caller's reference and the addref above
-        // were consumed one-per-branch by the two compiles; releasing
-        // again would free a slot an outer node may still hold.
-        bits = two->bits;
-        return out;
-    }
-    if (const auto* up = dynamic_cast<const QBilinearNode*>(node)) {
-        const int out = acquire_slot();
-        steps_.push_back([this, up, in, out](int batch) {
-            auto& ins = slots_[static_cast<size_t>(in)];
-            auto& outs = slots_[static_cast<size_t>(out)];
-            const int r = up->r;
-            const int wbits = 2 * ceil_log2(2 * r);
-            for (int b = 0; b < batch; ++b) {
-                IAct& x = ins[static_cast<size_t>(b)];
-                IAct& o = outs[static_cast<size_t>(b)];
-                const int c = x.shape[0], h = x.shape[1], w = x.shape[2];
-                const int ho = h * r, wo = w * r;
-                o.reset({c, ho, wo});
-                o.frac = up->target;
-                for (int ic = 0; ic < c; ++ic) {
-                    const int shift = x.frac[static_cast<size_t>(ic)] +
-                                      wbits -
-                                      up->target[static_cast<size_t>(ic)];
-                    const int32_t* src = x.ch(ic);
-                    int32_t* dst = o.ch(ic);
-                    for (int oy = 0; oy < ho; ++oy) {
-                        int num_y = 2 * oy + 1 - r;
-                        num_y = std::max(0, std::min(num_y,
-                                                     2 * r * (h - 1)));
-                        const int y0 = num_y / (2 * r);
-                        const int wy = num_y - 2 * r * y0;
-                        const int y1 = std::min(y0 + 1, h - 1);
-                        for (int ox = 0; ox < wo; ++ox) {
-                            int num_x = 2 * ox + 1 - r;
-                            num_x = std::max(
-                                0, std::min(num_x, 2 * r * (w - 1)));
-                            const int x0 = num_x / (2 * r);
-                            const int wx = num_x - 2 * r * x0;
-                            const int x1 = std::min(x0 + 1, w - 1);
-                            const int64_t acc =
-                                static_cast<int64_t>(2 * r - wy) *
-                                    (2 * r - wx) *
-                                    src[static_cast<int64_t>(y0) * w + x0] +
-                                static_cast<int64_t>(2 * r - wy) * wx *
-                                    src[static_cast<int64_t>(y0) * w + x1] +
-                                static_cast<int64_t>(wy) * (2 * r - wx) *
-                                    src[static_cast<int64_t>(y1) * w + x0] +
-                                static_cast<int64_t>(wy) * wx *
-                                    src[static_cast<int64_t>(y1) * w + x1];
-                            dst[static_cast<int64_t>(oy) * wo + ox] =
-                                static_cast<int32_t>(shift_round_saturate(
-                                    acc, shift, up->bits));
+            });
+            break;
+        }
+        case OpKind::kBranchAdd: {
+            // in0 is the main branch, in1 the skip branch.
+            const auto* two = static_cast<const QTwoBranchNode*>(op.node);
+            const int main_out = op.in0_slot;
+            const int skip_out = op.in1_slot;
+            steps_.push_back([this, two, main_out, skip_out, out](int batch) {
+                auto& as = slots_[static_cast<size_t>(main_out)];
+                auto& bs = slots_[static_cast<size_t>(skip_out)];
+                auto& outs = slots_[static_cast<size_t>(out)];
+                for (int b = 0; b < batch; ++b) {
+                    IAct& A = as[static_cast<size_t>(b)];
+                    IAct& B = bs[static_cast<size_t>(b)];
+                    IAct& O = outs[static_cast<size_t>(b)];
+                    const int c = A.shape[0];
+                    const int64_t plane = A.plane();
+                    const Shape shape = A.shape;
+                    for (int ch = 0; ch < c; ++ch) {
+                        const int target =
+                            two->out_frac[static_cast<size_t>(ch)];
+                        const int sa =
+                            A.frac[static_cast<size_t>(ch)] - target;
+                        const int sb2 =
+                            B.frac[static_cast<size_t>(ch)] - target;
+                        const int32_t* pa = A.ch(ch);
+                        const int32_t* pb = B.ch(ch);
+                        if (ch == 0) O.reset(shape);
+                        int32_t* po = O.ch(ch);
+                        for (int64_t p = 0; p < plane; ++p) {
+                            const int64_t va = shift_round_saturate(
+                                pa[p], sa, two->bits + 2);
+                            const int64_t vb = shift_round_saturate(
+                                pb[p], sb2, two->bits + 2);
+                            po[p] = static_cast<int32_t>(
+                                shift_round_saturate(va + vb, 0, two->bits));
+                        }
+                    }
+                    O.frac = two->out_frac;
+                }
+            });
+            break;
+        }
+        case OpKind::kUpsample: {
+            const auto* up = static_cast<const QBilinearNode*>(op.node);
+            steps_.push_back([this, up, in, out](int batch) {
+                auto& ins = slots_[static_cast<size_t>(in)];
+                auto& outs = slots_[static_cast<size_t>(out)];
+                const int r = up->r;
+                const int wbits = 2 * ceil_log2(2 * r);
+                for (int b = 0; b < batch; ++b) {
+                    IAct& x = ins[static_cast<size_t>(b)];
+                    IAct& o = outs[static_cast<size_t>(b)];
+                    const int c = x.shape[0], h = x.shape[1],
+                              w = x.shape[2];
+                    const int ho = h * r, wo = w * r;
+                    o.reset({c, ho, wo});
+                    o.frac = up->target;
+                    for (int ic = 0; ic < c; ++ic) {
+                        const int shift = x.frac[static_cast<size_t>(ic)] +
+                                          wbits -
+                                          up->target[static_cast<size_t>(ic)];
+                        const int32_t* src = x.ch(ic);
+                        int32_t* dst = o.ch(ic);
+                        for (int oy = 0; oy < ho; ++oy) {
+                            int num_y = 2 * oy + 1 - r;
+                            num_y = std::max(0, std::min(num_y,
+                                                         2 * r * (h - 1)));
+                            const int y0 = num_y / (2 * r);
+                            const int wy = num_y - 2 * r * y0;
+                            const int y1 = std::min(y0 + 1, h - 1);
+                            for (int ox = 0; ox < wo; ++ox) {
+                                int num_x = 2 * ox + 1 - r;
+                                num_x = std::max(
+                                    0, std::min(num_x, 2 * r * (w - 1)));
+                                const int x0 = num_x / (2 * r);
+                                const int wx = num_x - 2 * r * x0;
+                                const int x1 = std::min(x0 + 1, w - 1);
+                                const int64_t acc =
+                                    static_cast<int64_t>(2 * r - wy) *
+                                        (2 * r - wx) *
+                                        src[static_cast<int64_t>(y0) * w +
+                                            x0] +
+                                    static_cast<int64_t>(2 * r - wy) * wx *
+                                        src[static_cast<int64_t>(y0) * w +
+                                            x1] +
+                                    static_cast<int64_t>(wy) * (2 * r - wx) *
+                                        src[static_cast<int64_t>(y1) * w +
+                                            x0] +
+                                    static_cast<int64_t>(wy) * wx *
+                                        src[static_cast<int64_t>(y1) * w +
+                                            x1];
+                                dst[static_cast<int64_t>(oy) * wo + ox] =
+                                    static_cast<int32_t>(
+                                        shift_round_saturate(acc, shift,
+                                                             up->bits));
+                            }
                         }
                     }
                 }
-            }
-        });
-        decref(in);
-        bits = up->bits;
-        return out;
+            });
+            break;
+        }
+        default:
+            // Unknown node type: oracle walk.
+            lower_fallback(static_cast<const QNode*>(op.node), in, out);
+            break;
+        }
     }
-    // Unknown node type: oracle walk, pessimistic width downstream.
-    const int out = compile_fallback(node, in);
-    bits = 32;
-    return out;
 }
 
 // ---- execution -------------------------------------------------------------
@@ -786,6 +734,30 @@ QuantExecutor::forward(const std::vector<Tensor>& xs)
         res.push_back(QuantizedModel::dequantize(o));
     }
     return res;
+}
+
+void
+QuantExecutor::forward_into(const Tensor* const* xs, Tensor* outs, int count)
+{
+    std::vector<QAct> ins(static_cast<size_t>(count));
+    std::vector<const QAct*> ptrs(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        const Tensor& x = *xs[i];
+        QAct& q = ins[static_cast<size_t>(i)];
+        q.shape = x.shape();
+        q.v.resize(static_cast<size_t>(x.numel()));
+        q.frac.assign(static_cast<size_t>(x.dim(0)), input_fmt_.frac);
+        for (int64_t j = 0; j < x.numel(); ++j) {
+            q.v[static_cast<size_t>(j)] = input_fmt_.quantize(x[j]);
+        }
+        ptrs[static_cast<size_t>(i)] = &q;
+    }
+    exec(ptrs.data(), count);
+    for (int b = 0; b < count; ++b) {
+        IAct& o = slots_[static_cast<size_t>(out_slot_)]
+                        [static_cast<size_t>(b)];
+        outs[b] = QuantizedModel::dequantize(to_qact(o.shape, o.v, o.frac));
+    }
 }
 
 }  // namespace ringcnn::quant

@@ -5,23 +5,24 @@
  *
  * QNode::forward walks pixels scalar through int64 element accessors
  * and allocates a fresh activation per node. The executor compiles the
- * graph ONCE into a linear step plan, the way nn::ModelExecutor
- * compiles the float model:
+ * graph ONCE through the shared plan pipeline (src/plan: linearize ->
+ * fuse epilogues -> arena assignment) and lowers the IR to integer
+ * kernels, the way nn::ModelExecutor lowers the float model:
  *
  *  - every QConvNode becomes a core::QuantConvKernel — pre-quantized
  *    int8 weights in band-contiguous tap order, int32 bias, int32
  *    accumulation through the simd::axpy_i32 row kernels — and the
- *    QDirReluNode / QRequantNode that always follows it in the graph
- *    is fused into the band pass as an integer epilogue: align shifts,
- *    Hadamard butterfly, rectify, butterfly, per-component
- *    round/saturate (the Fig. 8 on-the-fly pipeline), or the
- *    quantize-first ablation sequence, in one pass per output band
- *    while the accumulators are hot;
+ *    QDirReluNode / QRequantNode the fusion pass attached to it (one
+ *    always follows a conv in the graph) runs in the band pass as an
+ *    integer epilogue: align shifts, Hadamard butterfly, rectify,
+ *    butterfly, per-component round/saturate (the Fig. 8 on-the-fly
+ *    pipeline), or the quantize-first ablation sequence, in one pass
+ *    per output band while the accumulators are hot;
  *  - all other nodes (shuffles, pad/crop, residual and two-branch
  *    aligned adds, the fixed-point bilinear upsampler) become
  *    allocation-free steps over a slotted int32 activation arena
- *    recycled by compile-time liveness — after the first run the
- *    steady state performs no heap allocations;
+ *    recycled by the arena planner's compile-time liveness — after the
+ *    first run the steady state performs no heap allocations;
  *  - conv work parallelizes across (image, output band, row band)
  *    tasks on the persistent util::ThreadPool.
  *
@@ -29,8 +30,9 @@
  * the scalar QNode oracle. Integer addition is exact and
  * order-independent, so the reordered row-kernel conv is bit-identical
  * to the int64 reference whenever the true accumulator fits in int32;
- * the planner proves that bound statically per conv
- * (QuantConvKernel::int32_safe) and compiles any conv that fails it —
+ * the plan records the feature bits live at each conv's input and the
+ * lowering proves that bound statically per conv
+ * (QuantConvKernel::int32_safe), compiling any conv that fails it —
  * or whose weights exceed int8 — onto the scalar oracle node instead.
  * tests/test_quant_executor.cc pins the equivalence raw-integer by
  * raw-integer across rings, shapes, options, and thread counts.
@@ -48,6 +50,7 @@
 #include <vector>
 
 #include "core/ring_conv_engine.h"
+#include "plan/graph_ir.h"
 #include "quant/quant_model.h"
 
 namespace ringcnn::quant {
@@ -80,6 +83,13 @@ class QuantExecutor
      *  Bit-identical (hence float-identical) to the scalar walk. */
     Tensor forward(const Tensor& x);
     std::vector<Tensor> forward(const std::vector<Tensor>& xs);
+    /**
+     * Batch-into-existing-buffers float forward: quantizes `count`
+     * images, runs the integer graph once, dequantizes into outs[b].
+     * The serving layer's int8 mode fulfills response futures through
+     * this; bit-identical to per-image forward().
+     */
+    void forward_into(const Tensor* const* xs, Tensor* outs, int count);
 
     /** Compiled step count (introspection for tests/benches). */
     size_t step_count() const { return steps_.size(); }
@@ -90,6 +100,9 @@ class QuantExecutor
     /** Convs that fell back to the scalar oracle node (overflow-unsafe
      *  bound or weights beyond int8). */
     int scalar_conv_count() const { return scalar_convs_; }
+    /** The backend-neutral plan this executor lowered (introspection
+     *  for tests/benches). */
+    const plan::GraphPlan& plan() const { return plan_; }
 
   private:
     /** Arena activation: int32 CHW planes + per-channel frac. Every
@@ -121,19 +134,12 @@ class QuantExecutor
 
     using Step = std::function<void(int)>;  ///< arg: batch size
 
-    // compile-time slot (arena) management, ModelExecutor-style
-    int acquire_slot();
-    void addref(int slot);
-    void decref(int slot);
-
-    int compile(const QNode* node, int in, int& bits);
-    int compile_seq(const QSeq* seq, int in, int& bits);
-    /** Conv plus its (always-present) requant/dir-relu successor; pass
-     *  at most one of dir/req non-null. */
-    int compile_conv(const QConvNode* conv, const QDirReluNode* dir,
-                     const QRequantNode* req, int in, int& bits);
+    // ---- backend lowering of the shared plan (see quant_executor.cc)
+    void lower();
+    /** Conv with its fused requant/dir-relu epilogue annotation. */
+    void lower_conv(const plan::OpIR& op);
     /** Correct-but-allocating fallback through QNode::forward. */
-    int compile_fallback(const QNode* node, int in);
+    void lower_fallback(const QNode* node, int in, int out);
 
     int band_rows(int h, int groups_total) const;
     void ensure_batch(int count);
@@ -144,9 +150,10 @@ class QuantExecutor
     QFormat input_fmt_;
     const QNode* root_;
 
+    /** The shared-pipeline plan the steps below lower. */
+    plan::GraphPlan plan_;
+
     std::vector<std::vector<IAct>> slots_;  ///< [slot][image]
-    std::vector<int> refcount_;             ///< compile-time liveness
-    std::vector<int> free_slots_;
     int entry_slot_ = -1, out_slot_ = -1;
 
     std::vector<Step> steps_;

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * PlanCache: the serving layer's shape-keyed LRU cache of compiled
+ * executor plans, backend-agnostic.
+ *
+ * Both serving backends hold compiled lowerings of the shared plan
+ * pipeline (src/plan): nn::ModelExecutor for fp32 and the quantized
+ * engine path for int8. The cache policy is identical either way —
+ * bounded slots, LRU stamps, and evictions that RECYCLE the victim
+ * in place (rebind) instead of paying allocation churn for a fresh
+ * compile — so it lives here once, templated over the executor type.
+ *
+ * Exec requirements:
+ *  - `const Shape& in_shape() const` — the shape the plan is bound to
+ *    (used for cache hits).
+ * Compiling and rebinding stay with the caller: they are the expensive
+ * steps and must run OUTSIDE the server lock, and their signatures are
+ * backend-specific.
+ *
+ * Threading: claim()/release()/trim() mutate shared state and require
+ * the caller's lock; an Entry marked busy is owned by exactly one
+ * worker, which may touch its `exec` without the lock until release.
+ */
+#ifndef RINGCNN_SERVE_PLAN_CACHE_H
+#define RINGCNN_SERVE_PLAN_CACHE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ringcnn::serve {
+
+template <class Exec>
+class PlanCache
+{
+  public:
+    /** How a claim was satisfied (the server's stats counters). */
+    enum class Outcome
+    {
+        kHit,     ///< an idle plan already bound to this shape
+        kFresh,   ///< a new slot was reserved; exec is null
+        kRebind,  ///< an LRU victim was reserved for recycling
+    };
+
+    /** One cached compiled plan. */
+    struct Entry
+    {
+        Shape shape;                 ///< shape this slot is claimed for
+        std::unique_ptr<Exec> exec;  ///< null until first prepared
+        bool busy = false;
+        uint64_t stamp = 0;  ///< LRU clock at last use
+    };
+
+    explicit PlanCache(int max_plans) : max_plans_(max_plans) {}
+
+    /**
+     * Claims the plan slot for `shape`, marking it busy: a cache hit,
+     * a reserved LRU victim to rebind, or a reserved fresh slot. The
+     * caller compiles/rebinds outside the lock. Never returns null.
+     */
+    Entry* claim(const Shape& shape, Outcome* outcome)
+    {
+        // Hit: the server dispatches one batch per shape at a time, so
+        // a plan bound to this shape is never busy here.
+        for (auto& e : entries_) {
+            if (!e->busy && e->exec != nullptr &&
+                e->exec->in_shape() == shape) {
+                e->busy = true;
+                e->stamp = ++clock_;
+                *outcome = Outcome::kHit;
+                return e.get();
+            }
+        }
+        // LRU eviction: recycle the stalest idle plan. A fresh slot is
+        // reserved when the cache has room or every plan is busy
+        // (transient overflow; trimmed when idle).
+        if (entries_.size() >= static_cast<size_t>(max_plans_)) {
+            Entry* victim = nullptr;
+            for (auto& e : entries_) {
+                if (e->busy || e->exec == nullptr) continue;
+                if (victim == nullptr || e->stamp < victim->stamp) {
+                    victim = e.get();
+                }
+            }
+            if (victim != nullptr) {
+                victim->busy = true;
+                victim->stamp = ++clock_;
+                victim->shape = shape;
+                *outcome = Outcome::kRebind;
+                return victim;
+            }
+        }
+        entries_.push_back(std::make_unique<Entry>());
+        Entry* e = entries_.back().get();
+        e->busy = true;
+        e->stamp = ++clock_;
+        e->shape = shape;
+        *outcome = Outcome::kFresh;
+        return e;
+    }
+
+    /** Returns a claimed entry; a failed prepare/run drops the plan so
+     *  a broken compile is never served from cache. */
+    void release(Entry* e, bool ok)
+    {
+        e->busy = false;
+        if (!ok) e->exec.reset();
+    }
+
+    /** Trims transient overflow (all-busy burst) back to the bound,
+     *  evicting stalest-idle first. */
+    void trim()
+    {
+        while (entries_.size() > static_cast<size_t>(max_plans_)) {
+            size_t victim = entries_.size();
+            for (size_t i = 0; i < entries_.size(); ++i) {
+                if (entries_[i]->busy) continue;
+                if (victim == entries_.size() ||
+                    entries_[i]->stamp < entries_[victim]->stamp) {
+                    victim = i;
+                }
+            }
+            if (victim == entries_.size()) break;  // everything busy
+            entries_.erase(entries_.begin() + static_cast<int64_t>(victim));
+        }
+    }
+
+    size_t size() const { return entries_.size(); }
+
+  private:
+    int max_plans_;
+    uint64_t clock_ = 0;
+    std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace ringcnn::serve
+
+#endif  // RINGCNN_SERVE_PLAN_CACHE_H

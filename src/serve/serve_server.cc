@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "quant/quant_executor.h"
+#include "serve/plan_cache.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -11,8 +13,177 @@ namespace ringcnn::serve {
 
 using Clock = std::chrono::steady_clock;
 
-ServeServer::ServeServer(nn::Model& model, ServeOptions opt)
-    : model_(model), opt_(opt)
+/**
+ * The backend seam: the queueing/batching machinery above is identical
+ * for fp32 and int8 serving; only the executor type (and what
+ * "prepare" means for it) differs. Each backend instantiates the
+ * shared PlanCache over its executor.
+ */
+struct ServeServer::Backend
+{
+    virtual ~Backend() = default;
+    /** Claims the plan slot for `shape` (marks it busy) and bumps the
+     *  matching stats counter. Requires the server lock. */
+    virtual void* claim(const Shape& shape, ServeStats& stats) = 0;
+    /** Prepares (compiles or rebinds) the claimed plan and runs the
+     *  batch through it. Called OUTSIDE the lock. */
+    virtual void run(void* plan, const Shape& shape,
+                     const Tensor* const* xs, Tensor* outs, int n) = 0;
+    /** Releases a claimed plan; a failed prepare/run drops it so a
+     *  broken compile is never served from cache. Requires the lock. */
+    virtual void release(void* plan, bool ok) = 0;
+    /** Trims transient cache overflow. Requires the lock. */
+    virtual void trim() = 0;
+};
+
+namespace {
+
+template <class Exec>
+void
+count_outcome(typename PlanCache<Exec>::Outcome oc, ServeStats& stats)
+{
+    switch (oc) {
+        case PlanCache<Exec>::Outcome::kHit:
+            ++stats.plan_hits;
+            break;
+        case PlanCache<Exec>::Outcome::kFresh:
+            ++stats.plan_compiles;
+            break;
+        case PlanCache<Exec>::Outcome::kRebind:
+            ++stats.plan_rebinds;
+            break;
+    }
+}
+
+/** fp32: one arena-planned ModelExecutor per shape; an eviction
+ *  rebinds the victim's plan in place, recycling its arena. */
+class Fp32Backend final : public ServeServer::Backend
+{
+  public:
+    Fp32Backend(nn::Model& model, const ServeOptions& opt)
+        : model_(model), opt_(opt), cache_(opt.max_plans)
+    {
+    }
+
+    void* claim(const Shape& shape, ServeStats& stats) override
+    {
+        typename Cache::Outcome oc;
+        auto* e = cache_.claim(shape, &oc);
+        count_outcome<nn::ModelExecutor>(oc, stats);
+        return e;
+    }
+
+    void run(void* plan, const Shape& shape, const Tensor* const* xs,
+             Tensor* outs, int n) override
+    {
+        auto* e = static_cast<typename Cache::Entry*>(plan);
+        if (e->exec == nullptr) {
+            e->exec = std::make_unique<nn::ModelExecutor>(model_, shape,
+                                                          opt_.executor);
+        } else if (e->exec->in_shape() != shape) {
+            e->exec->rebind(shape);
+        }
+        e->exec->run_into(xs, outs, n);
+    }
+
+    void release(void* plan, bool ok) override
+    {
+        cache_.release(static_cast<typename Cache::Entry*>(plan), ok);
+    }
+
+    void trim() override { cache_.trim(); }
+
+  private:
+    using Cache = PlanCache<nn::ModelExecutor>;
+    nn::Model& model_;
+    ServeOptions opt_;
+    Cache cache_;
+};
+
+/**
+ * int8: the quantized engine path. Its plan is shape-agnostic (the
+ * integer graph fixes channel counts; spatial dims flow through), so
+ * one compiled QuantExecutor serves every shape and a cache "rebind"
+ * only re-keys the slot. The PlanCache still bounds live arenas: each
+ * cached entry owns its own activation arena sized by the shapes it
+ * has seen, and distinct entries let distinct shapes run without
+ * re-growing one shared arena.
+ */
+class Int8Backend final : public ServeServer::Backend
+{
+  public:
+    /** Shape-keyed adapter satisfying the PlanCache Exec contract. */
+    struct QuantPlanExec
+    {
+        QuantPlanExec(const quant::QuantizedModel& qm, const Shape& shape,
+                      quant::QuantExecOptions qopt)
+            : shape_(shape), exec_(qm, qopt)
+        {
+        }
+        const Shape& in_shape() const { return shape_; }
+
+        Shape shape_;
+        quant::QuantExecutor exec_;
+    };
+
+    Int8Backend(const quant::QuantizedModel& model, const ServeOptions& opt)
+        : model_(model), cache_(opt.max_plans)
+    {
+        qopt_.threads = opt.executor.threads;
+    }
+
+    void* claim(const Shape& shape, ServeStats& stats) override
+    {
+        typename Cache::Outcome oc;
+        auto* e = cache_.claim(shape, &oc);
+        count_outcome<QuantPlanExec>(oc, stats);
+        return e;
+    }
+
+    void run(void* plan, const Shape& shape, const Tensor* const* xs,
+             Tensor* outs, int n) override
+    {
+        auto* e = static_cast<typename Cache::Entry*>(plan);
+        if (e->exec == nullptr) {
+            e->exec =
+                std::make_unique<QuantPlanExec>(model_, shape, qopt_);
+        } else {
+            e->exec->shape_ = shape;  // plan is shape-agnostic
+        }
+        e->exec->exec_.forward_into(xs, outs, n);
+    }
+
+    void release(void* plan, bool ok) override
+    {
+        cache_.release(static_cast<typename Cache::Entry*>(plan), ok);
+    }
+
+    void trim() override { cache_.trim(); }
+
+  private:
+    using Cache = PlanCache<QuantPlanExec>;
+    const quant::QuantizedModel& model_;
+    quant::QuantExecOptions qopt_;
+    Cache cache_;
+};
+
+}  // namespace
+
+ServeServer::ServeServer(nn::Model& model, ServeOptions opt) : opt_(opt)
+{
+    backend_ = std::make_unique<Fp32Backend>(model, opt_);
+    start_workers();
+}
+
+ServeServer::ServeServer(const quant::QuantizedModel& model, ServeOptions opt)
+    : opt_(opt)
+{
+    backend_ = std::make_unique<Int8Backend>(model, opt_);
+    start_workers();
+}
+
+void
+ServeServer::start_workers()
 {
     RINGCNN_CHECK(opt_.max_batch >= 1, "serve max_batch must be >= 1");
     RINGCNN_CHECK(opt_.max_plans >= 1, "serve max_plans must be >= 1");
@@ -132,60 +303,6 @@ ServeServer::pick_bucket(Clock::time_point now, Shape* shape)
     return pick;
 }
 
-ServeServer::Plan*
-ServeServer::claim_plan(const Shape& shape)
-{
-    // Cache hit: the bucket's in_flight flag guarantees one batch per
-    // shape at a time, so a plan for this shape is never busy here.
-    for (auto& p : plans_) {
-        if (!p->busy && p->exec != nullptr && p->exec->in_shape() == shape) {
-            p->busy = true;
-            p->stamp = ++plan_clock_;
-            ++stats_.plan_hits;
-            return p.get();
-        }
-    }
-    // LRU eviction: rebind the stalest idle plan onto the new shape,
-    // recycling its activation arena (done by the caller outside the
-    // lock). A fresh slot is reserved when the cache has room or every
-    // plan is busy (transient overflow; trimmed when idle).
-    if (plans_.size() >= static_cast<size_t>(opt_.max_plans)) {
-        Plan* victim = nullptr;
-        for (auto& p : plans_) {
-            if (p->busy || p->exec == nullptr) continue;
-            if (victim == nullptr || p->stamp < victim->stamp) {
-                victim = p.get();
-            }
-        }
-        if (victim != nullptr) {
-            victim->busy = true;
-            victim->stamp = ++plan_clock_;
-            victim->shape = shape;
-            ++stats_.plan_rebinds;
-            return victim;
-        }
-    }
-    plans_.push_back(std::make_unique<Plan>());
-    Plan* p = plans_.back().get();
-    p->busy = true;
-    p->stamp = ++plan_clock_;
-    p->shape = shape;
-    ++stats_.plan_compiles;
-    return p;
-}
-
-nn::ModelExecutor&
-ServeServer::prepare_plan(Plan& plan, const Shape& shape)
-{
-    if (plan.exec == nullptr) {
-        plan.exec =
-            std::make_unique<nn::ModelExecutor>(model_, shape, opt_.executor);
-    } else if (plan.exec->in_shape() != shape) {
-        plan.exec->rebind(shape);
-    }
-    return *plan.exec;
-}
-
 void
 ServeServer::worker_loop()
 {
@@ -233,7 +350,7 @@ ServeServer::worker_loop()
             bucket->q.pop_front();
         }
         if (!bucket->q.empty()) bucket->oldest = Clock::now();
-        Plan* plan = claim_plan(shape);
+        void* plan = backend_->claim(shape, stats_);
         ++stats_.batches;
         const bool solo = active_batches_ == 0;
         ++active_batches_;
@@ -258,8 +375,7 @@ ServeServer::worker_loop()
         bool ok = false;
         std::exception_ptr err;
         try {
-            nn::ModelExecutor& exec = prepare_plan(*plan, shape);
-            exec.run_into(ptrs.data(), outs.data(), n);
+            backend_->run(plan, shape, ptrs.data(), outs.data(), n);
             ok = true;
         } catch (...) {
             err = std::current_exception();
@@ -277,8 +393,7 @@ ServeServer::worker_loop()
 
         lock.lock();
         --active_batches_;
-        plan->busy = false;
-        if (!ok) plan->exec.reset();  // never cache a failed compile
+        backend_->release(plan, ok);
         bucket->in_flight = false;
         if (bucket->q.empty()) {
             buckets_.erase(shape);
@@ -292,18 +407,7 @@ ServeServer::worker_loop()
             bucket->oldest = Clock::now();
         }
         // Trim transient plan overflow (all-busy burst) back to bound.
-        while (plans_.size() > static_cast<size_t>(opt_.max_plans)) {
-            size_t victim = plans_.size();
-            for (size_t i = 0; i < plans_.size(); ++i) {
-                if (plans_[i]->busy) continue;
-                if (victim == plans_.size() ||
-                    plans_[i]->stamp < plans_[victim]->stamp) {
-                    victim = i;
-                }
-            }
-            if (victim == plans_.size()) break;  // everything busy
-            plans_.erase(plans_.begin() + static_cast<int64_t>(victim));
-        }
+        backend_->trim();
         if (ok) {
             stats_.completed += static_cast<uint64_t>(n);
         } else {

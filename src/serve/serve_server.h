@@ -1,10 +1,10 @@
 /**
  * @file
- * ServeServer: a shape-bucketed batching front end over nn::Model.
+ * ServeServer: a shape-bucketed batching front end over a model.
  *
  * The executor stack made single images fast, but every caller still
- * owned its own ModelExecutor and submitted one image at a time —
- * under concurrent load nothing ever batched. This subsystem is the
+ * owned its own executor and submitted one image at a time — under
+ * concurrent load nothing ever batched. This subsystem is the
  * request-queue front end the ROADMAP's "millions of users" north star
  * asks for:
  *
@@ -13,30 +13,39 @@
  *  - requests are bucketed by input shape and coalesced into batches
  *    (up to ServeOptions::max_batch images, waiting at most
  *    ServeOptions::linger_ms for a bucket to fill);
- *  - each batch runs through a per-shape cache of arena-planned
- *    ModelExecutors (LRU-bounded; an eviction REBINDS the oldest plan
- *    onto the incoming shape, recycling its activation arena). Weight
- *    updates are picked up without replanning through the layers'
- *    ParamRef::version dirty counters, exactly as Model::infer does;
+ *  - each batch runs through a per-shape PlanCache (see plan_cache.h)
+ *    of compiled plans — LRU-bounded; an eviction REBINDS the oldest
+ *    plan onto the incoming shape instead of recompiling from scratch;
  *  - batches execute on ServeOptions::workers server threads. By
  *    default each worker runs its batch's kernels inline
  *    (util::InlineGuard), so concurrent workers use distinct cores
  *    instead of oversubscribing the shared pool.
  *
- * Determinism: the executor's batched kernels are batch-composition
- * invariant, so every response is bit-identical to a single-request
- * Model::infer of the same image with the same weights, no matter how
- * submissions interleave (pinned in tests/test_serve.cc).
+ * Two backends instantiate the same queue/cache machinery over the
+ * shared compile pipeline's lowerings (src/plan):
+ *  - fp32: nn::ModelExecutor per shape. Weight updates are picked up
+ *    without replanning through the layers' ParamRef::version dirty
+ *    counters, exactly as Model::infer does.
+ *  - int8: the quantized engine path (quant::QuantExecutor). The
+ *    integer plan is shape-agnostic, so a "rebind" only re-keys the
+ *    cache slot; the compiled kernels are reused as-is.
  *
- * Error handling: a request whose shape cannot be compiled (wrong
- * rank/channels) fails its future with std::invalid_argument; other
- * buckets are unaffected.
+ * Determinism: both executors' batched kernels are batch-composition
+ * invariant, so every response is bit-identical to a single-request
+ * Model::infer / QuantizedModel inference of the same image with the
+ * same weights, no matter how submissions interleave (pinned in
+ * tests/test_serve.cc).
+ *
+ * Error handling: a request whose shape cannot be compiled or run
+ * (wrong rank/channels) fails its future with std::invalid_argument;
+ * other buckets are unaffected.
  *
  * Threading contract: the model must outlive the server, and its
- * topology must not change while serving. Weight VALUES may be updated
- * between batches (bump ParamRef::version via mark_dirty); do so while
- * the server is drained or otherwise synchronized with submitters —
- * in-flight batches may see either weight set, but never a stale plan.
+ * topology must not change while serving. fp32 weight VALUES may be
+ * updated between batches (bump ParamRef::version via mark_dirty); do
+ * so while the server is drained or otherwise synchronized with
+ * submitters — in-flight batches may see either weight set, but never
+ * a stale plan. A quantized model is immutable while served.
  */
 #ifndef RINGCNN_SERVE_SERVE_SERVER_H
 #define RINGCNN_SERVE_SERVE_SERVER_H
@@ -54,6 +63,10 @@
 
 #include "nn/executor.h"
 #include "nn/model.h"
+
+namespace ringcnn::quant {
+class QuantizedModel;
+}
 
 namespace ringcnn::serve {
 
@@ -77,7 +90,8 @@ struct ServeOptions
      *  pool fan-out, so a single hot shape still uses every core.
      *  Disable to always fan out on the pool. */
     bool inline_kernels = true;
-    /** Plan-compile knobs forwarded to every cached ModelExecutor. */
+    /** Plan-compile knobs forwarded to every cached ModelExecutor
+     *  (fp32 backend; the int8 backend maps `executor.threads`). */
     nn::ExecutorOptions executor;
 };
 
@@ -89,8 +103,8 @@ struct ServeStats
     uint64_t failed = 0;         ///< futures failed with an exception
     uint64_t batches = 0;        ///< executor runs dispatched
     uint64_t plan_hits = 0;      ///< batch found its shape's plan cached
-    uint64_t plan_compiles = 0;  ///< fresh ModelExecutor compiles
-    uint64_t plan_rebinds = 0;   ///< LRU evictions recycled via rebind()
+    uint64_t plan_compiles = 0;  ///< fresh executor compiles
+    uint64_t plan_rebinds = 0;   ///< LRU evictions recycled via rebind
     uint64_t max_queue_depth = 0;  ///< peak in-flight + queued requests
 
     /** Mean images per dispatched batch (the batching win, measured). */
@@ -106,7 +120,13 @@ struct ServeStats
 class ServeServer
 {
   public:
+    /** Serves fp32 inference of `model` (nn::ModelExecutor plans). */
     explicit ServeServer(nn::Model& model, ServeOptions opt = {});
+    /** Serves quantized inference of `model` (the compiled int8/int32
+     *  engine path); responses are bit-identical to
+     *  QuantizedModel::forward of the same image. */
+    explicit ServeServer(const quant::QuantizedModel& model,
+                         ServeOptions opt = {});
     /** Drains every accepted request, then stops the workers. */
     ~ServeServer();
     ServeServer(const ServeServer&) = delete;
@@ -137,6 +157,14 @@ class ServeServer
     /** Actual server worker thread count. */
     int worker_count() const { return static_cast<int>(threads_.size()); }
 
+    /**
+     * Backend seam: one PlanCache instantiation per executor type (see
+     * serve_server.cc). claim/release/trim run under the server lock;
+     * run() prepares (compiles/rebinds) and executes OUTSIDE it, on a
+     * claimed entry no other worker can touch.
+     */
+    struct Backend;
+
   private:
     struct Request
     {
@@ -154,40 +182,21 @@ class ServeServer
         std::chrono::steady_clock::time_point oldest{};
         bool in_flight = false;  ///< a worker owns this shape right now
     };
-    /** One cached compiled plan. */
-    struct Plan
-    {
-        Shape shape;
-        std::unique_ptr<nn::ModelExecutor> exec;
-        bool busy = false;
-        uint64_t stamp = 0;  ///< LRU clock at last use
-    };
 
+    void start_workers();
     void worker_loop();
     /** Picks the dispatchable bucket with the oldest head request;
      *  null when none is ready. Requires mu_ held. */
     Bucket* pick_bucket(std::chrono::steady_clock::time_point now,
                         Shape* shape);
-    /**
-     * Claims the plan slot for `shape` (marking it busy) — a cache
-     * hit, a reserved fresh slot, or a reserved LRU victim to rebind.
-     * The caller compiles/rebinds OUTSIDE the lock via prepare_plan().
-     * Requires mu_ held.
-     */
-    Plan* claim_plan(const Shape& shape);
-    /** Compiles or rebinds a claimed plan outside the lock; returns
-     *  the ready executor. */
-    nn::ModelExecutor& prepare_plan(Plan& plan, const Shape& shape);
 
-    nn::Model& model_;
     ServeOptions opt_;
+    std::unique_ptr<Backend> backend_;
 
     mutable std::mutex mu_;
     std::condition_variable work_cv_;  ///< workers park here
     std::condition_variable idle_cv_;  ///< drain()/dtor wait here
     std::map<Shape, Bucket> buckets_;
-    std::vector<std::unique_ptr<Plan>> plans_;
-    uint64_t plan_clock_ = 0;
     uint64_t pending_ = 0;  ///< accepted minus finished
     int active_batches_ = 0;  ///< batches executing right now
     bool stop_ = false;

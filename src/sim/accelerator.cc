@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "plan/arena_planner.h"
+#include "plan/fusion_pass.h"
+
 namespace ringcnn::sim {
 
 namespace {
@@ -55,85 +58,95 @@ Accelerator::Accelerator(const SimConfig& cfg, const hw::TechConstants& tc)
 {
 }
 
-SimStats
-Accelerator::schedule_node(const quant::QNode* node, Shape& shape) const
+plan::GraphPlan
+Accelerator::compile_plan(const quant::QuantizedModel& qm) const
 {
-    using namespace quant;
-    SimStats s;
-    const int64_t in_numel =
-        static_cast<int64_t>(shape[0]) * shape[1] * shape[2];
+    // Identical pipeline and fusion policy to QuantExecutor: requant
+    // and directional fusion are unconditional on this machine — the
+    // requant applies in the engine's accumulate pass and the
+    // directional-ReLU blocks sit pipelined behind the accumulators.
+    plan::GraphPlan p =
+        plan::linearize(*qm.root(), qm.options().feature_bits);
+    plan::fuse_epilogues(p, plan::FusionOptions{});
+    plan::plan_arena(p);
+    return p;
+}
 
-    if (const auto* seq = dynamic_cast<const QSeq*>(node)) {
-        for (const auto& child : seq->nodes) {
-            s += schedule_node(child.get(), shape);
+SimStats
+Accelerator::price_plan(plan::GraphPlan& plan, const Shape& in_shape) const
+{
+    using plan::Epilogue;
+    using plan::OpKind;
+    plan::annotate_shapes(plan, in_shape);
+    SimStats s;
+    for (const plan::OpIR& op : plan.ops) {
+        if (op.fused) continue;  // priced with its conv's epilogue
+        const int64_t in_numel = static_cast<int64_t>(op.in_shape[0]) *
+                                 op.in_shape[1] * op.in_shape[2];
+        switch (op.kind) {
+        case OpKind::kRingConv: {
+            const auto* conv =
+                static_cast<const quant::QConvNode*>(op.node);
+            const int h = op.in_shape[1], w = op.in_shape[2];
+            const int64_t tiles =
+                ceil_div(w, cfg_.tile_w) * ceil_div(h, cfg_.tile_h);
+            const int64_t co_passes = ceil_div(conv->co, cfg_.lanes);
+            const int64_t ci_passes = ceil_div(conv->ci, cfg_.lanes);
+            const int64_t cyc =
+                tiles * co_passes * ci_passes + cfg_.pipeline_latency;
+            s.cycles += cyc;
+            if (conv->k == 1) {
+                s.conv1_cycles += cyc;
+            } else {
+                s.conv3_cycles += cyc;
+            }
+            // Physical MACs: the n-tuple granularity removes the
+            // (n-1)/n redundant multipliers — exactly co*ci*k^2/n
+            // products per pixel.
+            s.mac_ops += static_cast<uint64_t>(conv->co) * conv->ci *
+                         conv->k * conv->k * h * w / cfg_.n;
+            // Ring weights carry co*ci*k^2*8/n bits; fetched once per
+            // block.
+            s.wmem_bits += static_cast<uint64_t>(conv->co) * conv->ci *
+                           conv->k * conv->k * 8 / cfg_.n;
+            s.bb_bits +=
+                static_cast<uint64_t>(conv->ci + conv->co) * h * w * 8;
+            // The fused epilogue prices with the pass, not after it: a
+            // requant applies in the accumulate pass (free — charging
+            // a datapath sweep here would double-count the machine's
+            // one pass), a directional ReLU is pipelined behind the
+            // accumulators and charges only its tuple evaluations.
+            if (op.epilogue == Epilogue::kDirRelu) {
+                const auto* dir = static_cast<const quant::QDirReluNode*>(
+                    op.epilogue_node);
+                s.relu_tuple_ops += static_cast<uint64_t>(conv->co /
+                                                          dir->n) *
+                                    h * w;
+            }
+            break;
         }
-        return s;
-    }
-    if (const auto* conv = dynamic_cast<const QConvNode*>(node)) {
-        const int h = shape[1], w = shape[2];
-        const int64_t tiles = ceil_div(w, cfg_.tile_w) * ceil_div(h, cfg_.tile_h);
-        const int64_t co_passes = ceil_div(conv->co, cfg_.lanes);
-        const int64_t ci_passes = ceil_div(conv->ci, cfg_.lanes);
-        const int64_t cyc = tiles * co_passes * ci_passes +
-                            cfg_.pipeline_latency;
-        s.cycles += cyc;
-        if (conv->k == 1) {
-            s.conv1_cycles += cyc;
-        } else {
-            s.conv3_cycles += cyc;
+        case OpKind::kDirRelu: {
+            // Standalone (defensive — the fusion pass attaches these).
+            const auto* dir =
+                static_cast<const quant::QDirReluNode*>(op.node);
+            s.relu_tuple_ops += static_cast<uint64_t>(op.in_shape[0] /
+                                                      dir->n) *
+                                op.in_shape[1] * op.in_shape[2];
+            break;
         }
-        // Physical MACs: the n-tuple granularity removes the (n-1)/n
-        // redundant multipliers — exactly co*ci*k^2/n products per pixel.
-        s.mac_ops += static_cast<uint64_t>(conv->co) * conv->ci * conv->k *
-                     conv->k * h * w / cfg_.n;
-        // Ring weights carry co*ci*k^2*8/n bits; fetched once per block.
-        s.wmem_bits += static_cast<uint64_t>(conv->co) * conv->ci * conv->k *
-                       conv->k * 8 / cfg_.n;
-        s.bb_bits += static_cast<uint64_t>(conv->ci + conv->co) * h * w * 8;
-        shape = {conv->co, h, w};
-        return s;
+        case OpKind::kResidualAdd:
+        case OpKind::kBranchAdd:
+            // Datapath add; overlapped with engine compute.
+            s.datapath_ops += static_cast<uint64_t>(op.out_shape[0]) *
+                              op.out_shape[1] * op.out_shape[2];
+            break;
+        default:
+            // Pure datapath ops: shuffles, pads, crops, standalone
+            // requants, bilinear skip, fallbacks.
+            s.datapath_ops += static_cast<uint64_t>(in_numel);
+            break;
+        }
     }
-    if (const auto* dr = dynamic_cast<const QDirReluNode*>(node)) {
-        s.relu_tuple_ops += static_cast<uint64_t>(shape[0] / dr->n) *
-                            shape[1] * shape[2];
-        // On-the-fly: pipelined behind the accumulators, no extra cycles.
-        return s;
-    }
-    if (const auto* res = dynamic_cast<const QResidualNode*>(node)) {
-        s += schedule_node(res->body.get(), shape);
-        // Datapath add; overlapped with engine compute.
-        s.datapath_ops += static_cast<uint64_t>(shape[0]) * shape[1] *
-                          shape[2];
-        return s;
-    }
-    if (const auto* two = dynamic_cast<const QTwoBranchNode*>(node)) {
-        Shape skip_shape = shape;
-        s += schedule_node(two->main.get(), shape);
-        s += schedule_node(two->skip.get(), skip_shape);
-        s.datapath_ops += static_cast<uint64_t>(shape[0]) * shape[1] *
-                          shape[2];
-        return s;
-    }
-    // Pure datapath ops: shuffles, pads, crops, requants, bilinear skip.
-    s.datapath_ops += static_cast<uint64_t>(in_numel);
-    if (const auto* ps = dynamic_cast<const QPixelShuffleNode*>(node)) {
-        shape = {shape[0] / (ps->r * ps->r), shape[1] * ps->r,
-                 shape[2] * ps->r};
-    } else if (const auto* pu =
-                   dynamic_cast<const QPixelUnshuffleNode*>(node)) {
-        shape = {shape[0] * pu->r * pu->r, shape[1] / pu->r,
-                 shape[2] / pu->r};
-    } else if (const auto* pad = dynamic_cast<const QPadNode*>(node)) {
-        shape = {static_cast<int>(ceil_div(shape[0], pad->multiple)) *
-                     pad->multiple,
-                 shape[1], shape[2]};
-    } else if (const auto* crop = dynamic_cast<const QCropNode*>(node)) {
-        shape = {crop->keep, shape[1], shape[2]};
-    } else if (const auto* up = dynamic_cast<const QBilinearNode*>(node)) {
-        shape = {shape[0], shape[1] * up->r, shape[2] * up->r};
-    }
-    // Requants (and any future shape-preserving datapath node) leave
-    // the shape unchanged.
     return s;
 }
 
@@ -141,12 +154,12 @@ SimStats
 Accelerator::run(const quant::QuantizedModel& qm, const Tensor& image,
                  Tensor* out) const
 {
-    // The schedule walk is shape-only; the numerics ride the quantized
-    // model's own inference (the compiled int8/int32 engine path by
-    // default), which is bit-exact with the scalar node walk the
-    // simulator used to drag along per node.
-    Shape shape = image.shape();
-    const SimStats s = schedule_node(qm.root(), shape);
+    // The schedule is shape-only over the shared plan; the numerics
+    // ride the quantized model's own inference (the compiled
+    // int8/int32 engine path by default), which is bit-exact with the
+    // scalar node walk the simulator used to drag along per node.
+    plan::GraphPlan p = compile_plan(qm);
+    const SimStats s = price_plan(p, image.shape());
     if (out != nullptr) {
         const quant::QAct r = qm.infer(qm.quantize_input(image));
         *out = quant::QuantizedModel::dequantize(r);
@@ -161,9 +174,9 @@ Accelerator::run(const quant::QuantizedModel& qm,
 {
     std::vector<SimStats> stats;
     stats.reserve(images.size());
+    plan::GraphPlan p = compile_plan(qm);
     for (const Tensor& image : images) {
-        Shape shape = image.shape();
-        stats.push_back(schedule_node(qm.root(), shape));
+        stats.push_back(price_plan(p, image.shape()));
     }
     if (outs != nullptr) {
         // One batched engine pass for the whole schedule: every
@@ -187,11 +200,12 @@ PixelCosts
 Accelerator::pixel_costs(const quant::QuantizedModel& qm,
                          const Tensor& image) const
 {
-    // Shape-only: the walk leaves the output shape behind, so no
+    // Shape-only: the annotated plan carries the output shape, so no
     // inference is needed just to count output pixels.
-    Shape shape = image.shape();
-    const SimStats s = schedule_node(qm.root(), shape);
-    const double pixels = static_cast<double>(shape[1]) * shape[2];
+    plan::GraphPlan p = compile_plan(qm);
+    const SimStats s = price_plan(p, image.shape());
+    const double pixels =
+        static_cast<double>(p.out_shape[1]) * p.out_shape[2];
     PixelCosts pc;
     pc.cycles_per_pixel = static_cast<double>(s.cycles) / pixels;
     pc.nj_per_pixel = s.energy_joules(tc_, cost_) * 1e9 / pixels;

@@ -12,9 +12,15 @@
  * The datapath output IS quant::QuantizedModel inference (the compiled
  * int8/int32 engine path by default, batched for multi-image runs), so
  * simulator outputs are bit-exact with the reference by construction —
- * and tests assert it. The scheduler walks the graph shape-only and
- * charges cycles/activity to the engines, weight memory, block buffers
- * and ReLU units; energy comes from the calibrated hw constants.
+ * and tests assert it. The scheduler prices the SAME backend-neutral
+ * plan the executors lower (src/plan: linearize -> fuse epilogues ->
+ * arena assignment), charging cycles/activity to the engines, weight
+ * memory, block buffers and ReLU units from shapes alone; energy comes
+ * from the calibrated hw constants. Pricing the fused plan keeps the
+ * cost model honest about the machine: a requant the engine applies in
+ * the accumulate pass, or a directional ReLU pipelined behind the
+ * accumulators, is one conv pass — not a conv plus a separate datapath
+ * sweep over the activation.
  */
 #ifndef RINGCNN_SIM_ACCELERATOR_H
 #define RINGCNN_SIM_ACCELERATOR_H
@@ -22,6 +28,7 @@
 #include <cstdint>
 
 #include "hw/cost_model.h"
+#include "plan/graph_ir.h"
 #include "quant/quant_model.h"
 
 namespace ringcnn::sim {
@@ -102,10 +109,20 @@ class Accelerator
     PixelCosts pixel_costs(const quant::QuantizedModel& qm,
                            const Tensor& image) const;
 
+    /**
+     * The backend-neutral plan this simulator prices for `qm` — the
+     * same pipeline (and the same epilogue-fusion policy) the
+     * quantized executor lowers, exposed so tests can assert the
+     * schedule and the engine agree step for step.
+     */
+    plan::GraphPlan compile_plan(const quant::QuantizedModel& qm) const;
+
   private:
-    /** Shape-only scheduler: charges stats and advances `shape` through
-     *  the node without touching activation values. */
-    SimStats schedule_node(const quant::QNode* node, Shape& shape) const;
+    /** Shape-only scheduler: annotates the plan's value shapes for
+     *  `in_shape` and charges stats per (non-fused) op. A conv's fused
+     *  requant is free — it runs in the accumulate pass — and a fused
+     *  directional ReLU charges only its pipelined tuple evaluations. */
+    SimStats price_plan(plan::GraphPlan& plan, const Shape& in_shape) const;
 
     SimConfig cfg_;
     hw::TechConstants tc_;

@@ -187,6 +187,55 @@ TEST_F(SimulatorTest, BatchedRunMatchesPerImageRuns)
     }
 }
 
+TEST_F(SimulatorTest, FusedConvEpilogueIsPricedAsOnePass)
+{
+    // The simulator prices the SAME fused plan the quantized executor
+    // lowers. Every conv in the converted graph carries its epilogue
+    // (requant or directional ReLU) as an annotation, so a conv+requant
+    // pair is ONE engine pass: the requant applies in the accumulate
+    // pass and must not also be charged as a datapath sweep, and the
+    // directional ReLU charges only its pipelined tuple evaluations.
+    const models::Algebra alg = models::Algebra::with_fh("RI4");
+    const int c = alg.pad_channels(8);
+    std::mt19937 rng(97);
+    auto seq = std::make_unique<nn::Sequential>();
+    seq->add(alg.make_conv(c, c, 3, rng));
+    seq->add(alg.make_nonlin());
+    seq->add(alg.make_conv(c, c, 3, rng));
+    nn::Model m("fused_price", std::move(seq));
+
+    std::vector<Tensor> cal;
+    for (int i = 0; i < 2; ++i) {
+        cal.push_back(data::synthetic_image(c, 16, 16, rng));
+    }
+    quant::QuantizedModel qm(m, cal);
+
+    sim::SimConfig sc;
+    sc.n = 4;
+    sim::Accelerator acc(sc);
+
+    // conv+dir and conv+requant: both epilogues fused into their conv.
+    const plan::GraphPlan p = acc.compile_plan(qm);
+    int fused = 0, convs = 0;
+    for (const auto& op : p.ops) {
+        fused += op.fused ? 1 : 0;
+        convs += op.kind == plan::OpKind::kRingConv && !op.fused ? 1 : 0;
+    }
+    EXPECT_EQ(convs, 2);
+    EXPECT_EQ(fused, 2);
+
+    const Tensor x = data::synthetic_image(c, 16, 16, rng);
+    const auto stats = acc.run(qm, x);
+    // No standalone datapath step survives fusion in this graph.
+    EXPECT_EQ(stats.datapath_ops, 0u);
+    // The fused directional ReLU still meters its tuple evaluations.
+    EXPECT_EQ(stats.relu_tuple_ops,
+              static_cast<uint64_t>(c / 4) * 16 * 16);
+    // Two conv passes, nothing more.
+    EXPECT_EQ(stats.cycles,
+              2 * (static_cast<uint64_t>(4 * 8) + sc.pipeline_latency));
+}
+
 TEST_F(SimulatorTest, CycleCountMatchesEngineGeometry)
 {
     // One 16->16 channel 3x3 ring conv layer on a 16x16 map with 4x2

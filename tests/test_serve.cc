@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "models/backbones.h"
+#include "quant/quant_model.h"
 #include "serve/serve_server.h"
 #include "tensor/image_ops.h"
 
@@ -157,6 +158,55 @@ TEST(ServeServer, MixedShapeStormKeepsResultsStraight)
     // switch recycles an arena instead of compiling from scratch.
     EXPECT_EQ(st.plan_compiles, 2u);
     EXPECT_GE(st.plan_rebinds, 3u);
+}
+
+TEST(ServeServer, Int8ModeBitIdenticalToQuantizedForward)
+{
+    // The int8 serving mode instantiates the same queue + PlanCache
+    // machinery over the quantized engine path; every response must be
+    // bit-identical to a single-request QuantizedModel forward. The
+    // integer plan is shape-agnostic, so mixed spatial sizes serve
+    // from recycled cache slots without recompiling kernels.
+    nn::Model model = small_model();
+    std::mt19937 rng(57);
+    std::vector<Tensor> calib;
+    for (int i = 0; i < 2; ++i) {
+        Tensor c({3, 16, 16});
+        c.rand_uniform(rng, 0.0f, 1.0f);
+        calib.push_back(std::move(c));
+    }
+    const quant::QuantizedModel qm(model, calib);
+
+    const std::vector<Shape> shapes{{3, 16, 16}, {3, 8, 8}, {3, 12, 20}};
+    constexpr int kTotal = 12;
+    std::vector<Tensor> inputs;
+    std::vector<Tensor> refs;
+    for (int i = 0; i < kTotal; ++i) {
+        Tensor x(shapes[static_cast<size_t>(i) % shapes.size()]);
+        x.rand_uniform(rng, 0.0f, 1.0f);
+        refs.push_back(qm.forward(x));
+        inputs.push_back(std::move(x));
+    }
+
+    serve::ServeOptions opt;
+    opt.max_batch = 4;
+    opt.max_plans = 2;  // below the live shape count: rebinds happen
+    opt.workers = 1;    // deterministic plan accounting
+    serve::ServeServer server(qm, opt);
+    std::vector<std::future<Tensor>> futs;
+    futs.reserve(static_cast<size_t>(kTotal));
+    for (int i = 0; i < kTotal; ++i) {
+        futs.push_back(server.submit(Tensor(inputs[static_cast<size_t>(i)])));
+    }
+    for (int i = 0; i < kTotal; ++i) {
+        expect_bit_equal(futs[static_cast<size_t>(i)].get(),
+                         refs[static_cast<size_t>(i)], "int8 request");
+    }
+    server.drain();
+    const serve::ServeStats st = server.stats();
+    EXPECT_EQ(st.completed, static_cast<uint64_t>(kTotal));
+    EXPECT_EQ(st.failed, 0u);
+    EXPECT_EQ(st.plan_compiles, 2u);
 }
 
 TEST(ServeServer, WeightBumpsBetweenDrainsArePickedUp)
