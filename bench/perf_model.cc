@@ -7,10 +7,12 @@
  * per-ring engine micro-timings.
  *
  * Emits BENCH_model.json (img/s, ns/MAC, per-ring table, fp32-vs-fp64
- * max |Δ|, an `int8` engine row, and a `train_step` row comparing the
- * scalar-reference training path against the SIMD-parallel one) so the
- * perf trajectory of the repo is recorded run over run. `--smoke`
- * shrinks sizes/reps for CI.
+ * max |Δ|, an `int8` engine row, a `train_step` row comparing the
+ * scalar-reference training path against the SIMD-parallel one, and a
+ * `sparse` row timing ring-DOF-pruned backbones through the compiled
+ * nonzero-tap tables at 0%/50%/75% sparsity) so the perf trajectory of
+ * the repo is recorded run over run. `--smoke` shrinks sizes/reps for
+ * CI.
  *
  * Usage: perf_model [--smoke] [--out PATH]
  */
@@ -25,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "baselines/pruning.h"
 #include "core/ring_conv_engine.h"
 #include "core/simd.h"
 #include "data/tasks.h"
@@ -36,6 +39,7 @@
 #include "quant/quant_executor.h"
 #include "quant/quant_model.h"
 #include "serve/serve_server.h"
+#include "sim/accelerator.h"
 #include "tensor/image_ops.h"
 
 namespace {
@@ -501,6 +505,94 @@ main(int argc, char** argv)
                     plan_fresh_ms, plan_rebind_ms);
     }
 
+    // ---- sparse: ring-DOF-pruned weights through compiled tap tables ----
+    // The ISSUE-7 acceptance row: the same 3-layer RI4 backbone pruned
+    // in ring space at 0%/50%/75% tuple sparsity and run through the
+    // default (sparse tap-table) executors, single-threaded. Pruned
+    // tuples never enter the compiled tables, so ms/img falls with
+    // density; speedup_75 is the 75%-pruned run against the dense
+    // (0%-pruned) tap-fused schedule. bit_exact per row pins the
+    // sparse schedule against the dense tap-fused schedule on the SAME
+    // pruned weights (fp32, memcmp) and the scalar quantized oracle
+    // (int8). fp32_dense_ms runs the pruned weights through the
+    // sparse_taps=false schedule, separating the compiled-table win
+    // from the per-row zero-skip the dense schedule already does.
+    struct SparseRow
+    {
+        double sparsity = 0.0;
+        double fp32_ms = 0.0;
+        double fp32_dense_ms = 0.0;
+        double int8_ms = 0.0;
+        long long fp32_skips = 0;
+        long long int8_skips = 0;
+        unsigned long long sim_macs = 0;
+        bool bit_exact = true;
+    };
+    std::vector<SparseRow> sparse_rows;
+    double sparse_speedup_75 = 0.0;
+    bool sparse_bit_exact = true;
+    {
+        sim::SimConfig sc;
+        sc.n = ri4.n;
+        const sim::Accelerator acc(sc);
+        for (const double sparsity : {0.0, 0.5, 0.75}) {
+            nn::Model sm = bench_backbone(ri4, tuple_channels, layers, 7);
+            if (sparsity > 0.0) baselines::ring_dof_prune(sm, sparsity);
+
+            SparseRow row;
+            row.sparsity = sparsity;
+
+            nn::ExecutorOptions so;
+            so.threads = 1;
+            nn::ModelExecutor sexec(sm, in_shape, so);
+            nn::ExecutorOptions dopt = so;
+            dopt.sparse_taps = false;
+            nn::ModelExecutor dexec(sm, in_shape, dopt);
+            const Tensor ys = sexec.run(x);
+            const Tensor yd = dexec.run(x);
+            row.bit_exact =
+                ys.shape() == yd.shape() &&
+                std::memcmp(ys.data(), yd.data(),
+                            static_cast<size_t>(ys.numel()) *
+                                sizeof(float)) == 0;
+            row.fp32_ms = time_ms(reps, [&]() { sexec.run_view(x); });
+            row.fp32_dense_ms = time_ms(reps, [&]() { dexec.run_view(x); });
+            row.fp32_skips = sexec.sparse_tap_skip_count();
+
+            quant::QuantizedModel sqm(sm, {x});
+            const quant::QAct sqin = sqm.quantize_input(x);
+            quant::QuantExecOptions sqo;
+            sqo.threads = 1;
+            quant::QuantExecutor sqex(sqm, sqo);
+            const quant::QAct sq_eng = sqex.run(sqin);
+            const quant::QAct sq_ref = sqm.root()->forward(sqin);
+            row.bit_exact = row.bit_exact && sq_ref.shape == sq_eng.shape &&
+                            sq_ref.frac == sq_eng.frac &&
+                            sq_ref.v == sq_eng.v;
+            row.int8_ms = time_ms(reps, [&]() { sqex.run(sqin); });
+            row.int8_skips = sqex.sparse_tap_skip_count();
+            row.sim_macs = acc.run(sqm, x).mac_ops;
+
+            sparse_bit_exact = sparse_bit_exact && row.bit_exact;
+            sparse_rows.push_back(row);
+        }
+        sparse_speedup_75 =
+            sparse_rows[2].fp32_ms > 0.0
+                ? sparse_rows[0].fp32_ms / sparse_rows[2].fp32_ms
+                : 0.0;
+        for (const SparseRow& r : sparse_rows) {
+            std::printf(
+                "  sparse %3.0f%%:   fp32 %.2f ms (dense-sched %.2f ms)  "
+                "int8 %.2f ms  skipped taps %lld/%lld  sim MACs %llu  "
+                "bit-exact=%s\n",
+                r.sparsity * 100.0, r.fp32_ms, r.fp32_dense_ms, r.int8_ms,
+                r.fp32_skips, r.int8_skips, r.sim_macs,
+                r.bit_exact ? "yes" : "NO");
+        }
+        std::printf("  sparse:        75%% vs dense %.2fx\n",
+                    sparse_speedup_75);
+    }
+
     // ---- per-ring engine micro-timings ----
     std::vector<RingRow> rows;
     const std::vector<std::string> ring_names =
@@ -607,6 +699,26 @@ main(int argc, char** argv)
     std::fprintf(f, "  \"plan_compile\": {\n");
     std::fprintf(f, "    \"fresh_ms\": %.4f,\n", plan_fresh_ms);
     std::fprintf(f, "    \"rebind_ms\": %.4f\n", plan_rebind_ms);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"sparse\": {\n");
+    std::fprintf(f, "    \"rows\": [\n");
+    for (size_t i = 0; i < sparse_rows.size(); ++i) {
+        const SparseRow& r = sparse_rows[i];
+        std::fprintf(
+            f,
+            "      {\"sparsity\": %.2f, \"fp32_ms\": %.4f, "
+            "\"fp32_dense_sched_ms\": %.4f, \"int8_ms\": %.4f, "
+            "\"fp32_skipped_taps\": %lld, \"int8_skipped_taps\": %lld, "
+            "\"sim_mac_ops\": %llu, \"bit_exact\": %s}%s\n",
+            r.sparsity, r.fp32_ms, r.fp32_dense_ms, r.int8_ms,
+            r.fp32_skips, r.int8_skips, r.sim_macs,
+            r.bit_exact ? "true" : "false",
+            i + 1 < sparse_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "    ],\n");
+    std::fprintf(f, "    \"speedup_75\": %.3f,\n", sparse_speedup_75);
+    std::fprintf(f, "    \"bit_exact\": %s\n",
+                 sparse_bit_exact ? "true" : "false");
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"rings\": [\n");
     for (size_t i = 0; i < rows.size(); ++i) {

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <unordered_map>
+
+#include "nn/layer.h"
 
 namespace ringcnn::baselines {
 
@@ -15,6 +18,37 @@ prunable(const nn::ParamRef& p)
 {
     return p.name.find(".w") != std::string::npos ||
            p.name.find(".g") != std::string::npos;
+}
+
+/** Maps each ring weight vector (the storage behind a "ringconv.g"
+ *  param group) to its layer, so ring_dof_prune can recover the tuple
+ *  size n from the flat params() view. Walks the same containers the
+ *  plan linearizer does. */
+void
+collect_ring_convs(
+    nn::Layer* l,
+    std::unordered_map<const std::vector<float>*, nn::RingConv2d*>& out)
+{
+    using namespace nn;
+    if (auto* rc = dynamic_cast<RingConv2d*>(l)) {
+        out[&rc->weights().w] = rc;
+        return;
+    }
+    if (auto* seq = dynamic_cast<Sequential*>(l)) {
+        for (size_t i = 0; i < seq->size(); ++i) {
+            collect_ring_convs(&seq->at(i), out);
+        }
+        return;
+    }
+    if (auto* res = dynamic_cast<Residual*>(l)) {
+        collect_ring_convs(&res->body(), out);
+        return;
+    }
+    if (auto* two = dynamic_cast<TwoBranchAdd*>(l)) {
+        collect_ring_convs(&two->main(), out);
+        collect_ring_convs(&two->skip(), out);
+        return;
+    }
 }
 
 }  // namespace
@@ -68,6 +102,83 @@ magnitude_prune(nn::Model& model, double sparsity)
     return mask;
 }
 
+PruneMask
+ring_dof_prune(nn::Model& model, double sparsity)
+{
+    std::unordered_map<const std::vector<float>*, nn::RingConv2d*> rings;
+    collect_ring_convs(&model.root(), rings);
+    auto params = model.params();
+
+    // Score every ring tap tuple (the n components are stored
+    // contiguously: RingConvWeights::at puts comp innermost) by its L2
+    // norm. One entry per tuple: (score, param group, tuple index).
+    struct Tuple
+    {
+        double score;
+        size_t group;
+        size_t idx;  ///< tuple index within the group (n scalars each)
+    };
+    std::vector<Tuple> tuples;
+    std::vector<int> tuple_n(params.size(), 0);
+    for (size_t g = 0; g < params.size(); ++g) {
+        const auto it = rings.find(params[g].value);
+        if (it == rings.end() || !prunable(params[g])) continue;
+        const int n = it->second->ring().n;
+        tuple_n[g] = n;
+        const auto& vals = *params[g].value;
+        assert(vals.size() % static_cast<size_t>(n) == 0);
+        for (size_t t = 0; t < vals.size() / static_cast<size_t>(n); ++t) {
+            double s = 0.0;
+            for (int c = 0; c < n; ++c) {
+                const double v = vals[t * static_cast<size_t>(n) +
+                                      static_cast<size_t>(c)];
+                s += v * v;
+            }
+            tuples.push_back({s, g, t});
+        }
+    }
+
+    // Prune exactly floor(sparsity * tuples): globally-smallest scores,
+    // ties broken by position so the mask is deterministic.
+    const size_t kth = static_cast<size_t>(
+        std::min<double>(static_cast<double>(tuples.size()),
+                         std::max(0.0, sparsity) *
+                             static_cast<double>(tuples.size())));
+    std::vector<size_t> order(tuples.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (tuples[a].score != tuples[b].score) {
+            return tuples[a].score < tuples[b].score;
+        }
+        return a < b;
+    });
+
+    PruneMask mask;
+    for (auto& p : params) {
+        mask.keep.emplace_back(p.value->size(), 1);
+    }
+    for (size_t i = 0; i < kth; ++i) {
+        const Tuple& t = tuples[order[i]];
+        const int n = tuple_n[t.group];
+        auto& vals = *params[t.group].value;
+        auto& keep = mask.keep[t.group];
+        for (int c = 0; c < n; ++c) {
+            const size_t at =
+                t.idx * static_cast<size_t>(n) + static_cast<size_t>(c);
+            keep[at] = 0;
+            vals[at] = 0.0f;
+        }
+    }
+    if (kth > 0) {
+        std::vector<uint8_t> dirty(params.size(), 0);
+        for (size_t i = 0; i < kth; ++i) dirty[tuples[order[i]].group] = 1;
+        for (size_t g = 0; g < params.size(); ++g) {
+            if (dirty[g]) params[g].mark_dirty();
+        }
+    }
+    return mask;
+}
+
 void
 apply_mask(nn::Model& model, const PruneMask& mask)
 {
@@ -76,20 +187,30 @@ apply_mask(nn::Model& model, const PruneMask& mask)
     for (size_t g = 0; g < params.size(); ++g) {
         auto& vals = *params[g].value;
         const auto& keep = mask.keep[g];
+        bool changed = false;
         for (size_t i = 0; i < vals.size(); ++i) {
-            if (!keep[i]) vals[i] = 0.0f;
+            if (!keep[i] && vals[i] != 0.0f) {
+                vals[i] = 0.0f;
+                changed = true;
+            }
         }
-        params[g].mark_dirty();
+        // Bump the version only when a value actually moved: a fully
+        // masked group stays at its seen version, so cached executor
+        // engines (and the serving layer's warm plans) are not
+        // invalidated by every fine-tune step.
+        if (changed) params[g].mark_dirty();
     }
 }
 
 nn::TrainResult
 prune_and_finetune(nn::Model& model, const data::ImagingTask& task,
                    nn::TrainConfig pretrain_cfg, nn::TrainConfig finetune_cfg,
-                   double sparsity)
+                   double sparsity, PruneGranularity granularity)
 {
     nn::train_on_task(model, task, pretrain_cfg);
-    const PruneMask mask = magnitude_prune(model, sparsity);
+    const PruneMask mask = granularity == PruneGranularity::kRingDof
+                               ? ring_dof_prune(model, sparsity)
+                               : magnitude_prune(model, sparsity);
     finetune_cfg.post_step = [&mask](nn::Model& m) { apply_mask(m, mask); };
     return nn::train_on_task(model, task, finetune_cfg);
 }

@@ -1,9 +1,22 @@
 /**
  * @file
- * Unstructured magnitude-based weight pruning — the natural-sparsity
- * baseline of Figs. 1 and 11. Pipeline mirrors the paper: pre-train a
- * real-valued model, prune the globally-smallest weights to the target
- * compression, then fine-tune with the mask held fixed.
+ * Weight pruning, two granularities:
+ *
+ *  - magnitude_prune: unstructured scalar pruning — the
+ *    natural-sparsity baseline of Figs. 1 and 11. Pipeline mirrors the
+ *    paper: pre-train a real-valued model, prune the globally-smallest
+ *    weights to the target compression, then fine-tune with the mask
+ *    held fixed.
+ *  - ring_dof_prune: ring-space STRUCTURED pruning at ring-DOF
+ *    granularity — the prune unit is the whole n-tuple of one
+ *    (co, ci, ky, kx) ring tap. Because the transformed filter is
+ *    linear in the tuple (g~_r = sum_k Tg[r][k] g_k, eq. (6)), a
+ *    pruned tuple zeroes that tap in EVERY band r, so the ring algebra
+ *    stays intact and the engines' compiled nonzero-tap tables skip
+ *    the tap in every component pass. This is the compound
+ *    ring x sparsity compression axis: pruned weights don't just
+ *    shrink the accuracy table, they compile away
+ *    (core/ring_conv_engine.h).
  */
 #ifndef RINGCNN_BASELINES_PRUNING_H
 #define RINGCNN_BASELINES_PRUNING_H
@@ -29,18 +42,43 @@ struct PruneMask
  */
 PruneMask magnitude_prune(nn::Model& model, double sparsity);
 
-/** Re-applies the mask (used after each fine-tuning step). */
+/**
+ * Ring-space structured pruning: zeroes the `sparsity` fraction of
+ * ring tap TUPLES (all n degrees of freedom of a (co, ci, ky, kx) tap
+ * together) with the globally-smallest L2 norm, across every
+ * RingConv2d in the model. Exactly floor(sparsity * tuples) tuples are
+ * pruned (deterministic tie-break by position), so the resulting tap
+ * density is exact — the engines' sparse_tap_skip_count() and the
+ * simulator's density-scaled MAC pricing follow from it directly.
+ * Non-ring weight groups (dense Conv2d, depthwise, biases) are left
+ * dense: this axis composes with the ring algebra, it does not replace
+ * the scalar baseline.
+ */
+PruneMask ring_dof_prune(nn::Model& model, double sparsity);
+
+/** Re-applies the mask (used after each fine-tuning step). Parameter
+ *  groups whose masked entries are already zero are left untouched —
+ *  no write, no ParamRef::version bump — so steady fine-tuning doesn't
+ *  invalidate cached executor plans on groups the optimizer didn't
+ *  perturb. */
 void apply_mask(nn::Model& model, const PruneMask& mask);
+
+/** Which pruner prune_and_finetune applies after pretraining. */
+enum class PruneGranularity
+{
+    kScalar,  ///< magnitude_prune (unstructured baseline)
+    kRingDof  ///< ring_dof_prune (structured, compiles away)
+};
 
 /**
  * Full pruning experiment: train dense, prune to `sparsity`, fine-tune
  * with the mask. Returns the fine-tuned PSNR.
  */
-nn::TrainResult prune_and_finetune(nn::Model& model,
-                                   const data::ImagingTask& task,
-                                   nn::TrainConfig pretrain_cfg,
-                                   nn::TrainConfig finetune_cfg,
-                                   double sparsity);
+nn::TrainResult prune_and_finetune(
+    nn::Model& model, const data::ImagingTask& task,
+    nn::TrainConfig pretrain_cfg, nn::TrainConfig finetune_cfg,
+    double sparsity,
+    PruneGranularity granularity = PruneGranularity::kScalar);
 
 }  // namespace ringcnn::baselines
 

@@ -121,6 +121,40 @@ RingConvEngine::set_weights(const RingConvWeights& w, std::vector<float> bias)
         bias32_[i] = bias[i];
         if (bias[i] != 0.0f) bias32_zero_ = false;
     }
+
+    // Sparsity compilation: pack the nonzero taps of g~ into compact
+    // per-(co, r) lists, in the dense scan's (ci, ky, kx) order so the
+    // fused band pass builds byte-identical tap tables from them. A
+    // ring tuple pruned in weight space zeroes its tap in EVERY band
+    // (g~ is linear in the tuple), so pruned taps never enter the
+    // lists — they are compiled away rather than skipped per build.
+    sp_taps_.clear();
+    sp_off_.assign(static_cast<size_t>(co_t_) * m_ + 1, 0);
+    sparse_skip_ = 0;
+    if (opt_.sparse_taps) {
+        for (int co = 0; co < co_t_; ++co) {
+            for (int r = 0; r < m_; ++r) {
+                for (int ci = 0; ci < ci_t_; ++ci) {
+                    const float* g_tap =
+                        gt32_.data() +
+                        ((static_cast<size_t>(co) * m_ + r) * ci_t_ + ci) *
+                            k_ * k_;
+                    for (int ky = 0; ky < k_; ++ky) {
+                        for (int kx = 0; kx < k_; ++kx) {
+                            const float wv =
+                                g_tap[static_cast<size_t>(ky) * k_ + kx];
+                            if (wv == 0.0f) continue;
+                            sp_taps_.push_back({ci, ky, kx, wv});
+                        }
+                    }
+                }
+                sp_off_[static_cast<size_t>(co) * m_ + r + 1] =
+                    static_cast<int64_t>(sp_taps_.size());
+            }
+        }
+        sparse_skip_ = static_cast<int64_t>(gt32_.size()) -
+                       static_cast<int64_t>(sp_taps_.size());
+    }
 }
 
 void
@@ -507,31 +541,46 @@ RingConvEngine::conv_band_f32_fused(const float* const* planes, int h,
         };
 
         // Builds the tap table for output row y, pre-shifted by +lx.
+        // With sparse_taps the compiled nonzero-tap list replaces the
+        // dense ci_t*k*k scan; both walks visit the surviving taps in
+        // the same (ci, ky, kx) order, so the tables — and every
+        // accumulated bit — are identical.
         const auto build_row = [&](int y, int& lx, int& rx) {
             int nt = 0;
             lx = 0;
             rx = wd;
-            for (int ci = 0; ci < ci_t_; ++ci) {
-                const float* x_ch = planes[ci * m_ + r];
-                const float* g_tap =
-                    gt32_.data() +
-                    ((static_cast<size_t>(co) * m_ + r) * ci_t_ + ci) * k_ *
-                        k_;
-                for (int ky = 0; ky < k_; ++ky) {
-                    const int yy = y + ky - pad;
-                    if (yy < 0 || yy >= h) continue;
-                    for (int kx = 0; kx < k_; ++kx) {
-                        const float wv =
-                            g_tap[static_cast<size_t>(ky) * k_ + kx];
-                        if (wv == 0.0f) continue;
-                        tsrc[nt] = x_ch + static_cast<int64_t>(yy) * wd +
-                                   (kx - pad);
-                        tw[nt] = wv;
-                        tlo[nt] = std::max(0, pad - kx);
-                        thi[nt] = std::min(wd, wd + pad - kx);
-                        lx = std::max(lx, tlo[nt]);
-                        rx = std::min(rx, thi[nt]);
-                        ++nt;
+            const auto add_tap = [&](int ci, int ky, int kx, float wv) {
+                const int yy = y + ky - pad;
+                if (yy < 0 || yy >= h) return;
+                tsrc[nt] = planes[ci * m_ + r] +
+                           static_cast<int64_t>(yy) * wd + (kx - pad);
+                tw[nt] = wv;
+                tlo[nt] = std::max(0, pad - kx);
+                thi[nt] = std::min(wd, wd + pad - kx);
+                lx = std::max(lx, tlo[nt]);
+                rx = std::min(rx, thi[nt]);
+                ++nt;
+            };
+            if (opt_.sparse_taps) {
+                const size_t slot = static_cast<size_t>(co) * m_ + r;
+                const int64_t t0 = sp_off_[slot], t1 = sp_off_[slot + 1];
+                for (int64_t t = t0; t < t1; ++t) {
+                    const SparseTap& st = sp_taps_[static_cast<size_t>(t)];
+                    add_tap(st.ci, st.ky, st.kx, st.w);
+                }
+            } else {
+                for (int ci = 0; ci < ci_t_; ++ci) {
+                    const float* g_tap =
+                        gt32_.data() +
+                        ((static_cast<size_t>(co) * m_ + r) * ci_t_ + ci) *
+                            k_ * k_;
+                    for (int ky = 0; ky < k_; ++ky) {
+                        for (int kx = 0; kx < k_; ++kx) {
+                            const float wv =
+                                g_tap[static_cast<size_t>(ky) * k_ + kx];
+                            if (wv == 0.0f) continue;
+                            add_tap(ci, ky, kx, wv);
+                        }
                     }
                 }
             }
@@ -843,6 +892,27 @@ QuantConvKernel::QuantConvKernel(int co, int ci, int k,
         abs_sum_[static_cast<size_t>(oc)] =
             s - std::abs(static_cast<double>(b));
     }
+
+    // Compiled nonzero-tap lists, in the dense scan's (ic, ky, kx)
+    // order per output channel. A pruned ring tuple expands to an
+    // all-zero n x n weight block, so its taps never enter the lists.
+    tap_off_.assign(static_cast<size_t>(co) + 1, 0);
+    for (int oc = 0; oc < co; ++oc) {
+        const int8_t* wt =
+            w8_.data() + static_cast<size_t>(oc) * ci * k * k;
+        for (int ic = 0; ic < ci; ++ic) {
+            for (int ky = 0; ky < k; ++ky) {
+                for (int kx = 0; kx < k; ++kx) {
+                    const int32_t wv =
+                        wt[(static_cast<size_t>(ic) * k + ky) * k + kx];
+                    if (wv == 0) continue;
+                    taps_.push_back({ic, ky, kx, wv});
+                }
+            }
+        }
+        tap_off_[static_cast<size_t>(oc) + 1] =
+            static_cast<int64_t>(taps_.size());
+    }
 }
 
 double
@@ -871,26 +941,41 @@ QuantConvKernel::conv_rows(const int32_t* x, int h, int wd, int oc, int y0,
     const int64_t plane = static_cast<int64_t>(h) * wd;
     std::fill_n(dst, static_cast<size_t>(bh) * wd,
                 bias_[static_cast<size_t>(oc)]);
+    // Per-tap row accumulation, shared by both schedules. Integer
+    // addition is exact, so the dense scan (zero taps skipped — adding
+    // zero is value-neutral) and the compiled nonzero-tap list produce
+    // identical accumulators.
+    const auto acc_tap = [&](int ic, int ky, int kx, int32_t wv) {
+        const int32_t* x_ch = x + static_cast<int64_t>(ic) * plane;
+        const int yy_lo = std::max(y0, pad - ky);
+        const int yy_hi = std::min(y1, h + pad - ky);
+        const int x_lo = std::max(0, pad - kx);
+        const int x_hi = std::min(wd, wd + pad - kx);
+        const int shift_y = ky - pad, shift_x = kx - pad;
+        for (int y = yy_lo; y < yy_hi; ++y) {
+            int32_t* drow = dst + static_cast<size_t>(y - y0) * wd;
+            const int32_t* irow =
+                x_ch + static_cast<int64_t>(y + shift_y) * wd + shift_x;
+            simd::axpy_i32(drow + x_lo, irow + x_lo, wv, x_hi - x_lo);
+        }
+    };
+    if (sparse_taps_) {
+        const int64_t t0 = tap_off_[static_cast<size_t>(oc)];
+        const int64_t t1 = tap_off_[static_cast<size_t>(oc) + 1];
+        for (int64_t t = t0; t < t1; ++t) {
+            const QTap& qt = taps_[static_cast<size_t>(t)];
+            acc_tap(qt.ic, qt.ky, qt.kx, qt.w);
+        }
+        return;
+    }
     const int8_t* wt = w8_.data() + static_cast<size_t>(oc) * ci_ * k_ * k_;
     for (int ic = 0; ic < ci_; ++ic) {
-        const int32_t* x_ch = x + static_cast<int64_t>(ic) * plane;
         for (int ky = 0; ky < k_; ++ky) {
-            const int yy_lo = std::max(y0, pad - ky);
-            const int yy_hi = std::min(y1, h + pad - ky);
             for (int kx = 0; kx < k_; ++kx) {
                 const int32_t wv =
                     wt[(static_cast<size_t>(ic) * k_ + ky) * k_ + kx];
                 if (wv == 0) continue;  // value-neutral: adds zero
-                const int x_lo = std::max(0, pad - kx);
-                const int x_hi = std::min(wd, wd + pad - kx);
-                const int shift_y = ky - pad, shift_x = kx - pad;
-                for (int y = yy_lo; y < yy_hi; ++y) {
-                    int32_t* drow = dst + static_cast<size_t>(y - y0) * wd;
-                    const int32_t* irow = x_ch +
-                        static_cast<int64_t>(y + shift_y) * wd + shift_x;
-                    simd::axpy_i32(drow + x_lo, irow + x_lo, wv,
-                                   x_hi - x_lo);
-                }
+                acc_tap(ic, ky, kx, wv);
             }
         }
     }

@@ -67,13 +67,34 @@ struct RingConvEngineOptions
      * tap, and likewise fuse the input-transform and reconstruction /
      * directional-epilogue row chains. Per-element operation order is
      * unchanged, so results are BIT-IDENTICAL to the unfused fp32 path
-     * (pinned in tests/test_ring_conv_engine.cc); the per-tap
+     * (pinned in tests/test_ring_conv_engine.cc) up to the sign of
+     * exact zeros: the fused accumulator starts from its first term
+     * where the unfused one starts from +0.0, so an element whose
+     * every term is -0.0 (exact-zero activations behind a ReLU hitting
+     * negative taps) comes out -0.0 instead of +0.0 — the same value
+     * class as the zero-tap skip caveat; the per-tap
      * read-modify-write traffic over the accumulator band — most of the
      * fp32 FRCONV time — collapses to one load/store per row. Off
      * reproduces the PR-2/PR-4 kernel schedule (the serving bench's
      * per-request baseline). Ignored on the strict fp64 path.
      */
     bool tap_fused = true;
+    /**
+     * Compile the per-(output tuple, component) NONZERO taps of g~ into
+     * compact tap lists at set_weights() time, so the tap-fused band
+     * pass iterates only live taps instead of scanning the dense
+     * ci_t*k*k grid for zeros on every table (re)build. The compact
+     * lists preserve the dense scan's (ci, ky, kx) tap order, so every
+     * output element accumulates its terms in the identical sequence —
+     * results are BIT-IDENTICAL to the dense schedule with the same
+     * weights zeroed (pinned in tests/test_sparse_kernels.cc). This is
+     * how ring-DOF pruning (baselines/pruning.h) compiles away: a
+     * pruned tuple zeroes its tap in every band, so it simply never
+     * enters the compiled tables. Off keeps the dense per-build scan —
+     * the A/B baseline the sparse bench row compares against. Ignored
+     * on the strict fp64 and unfused paths (both keep dense scans).
+     */
+    bool sparse_taps = true;
 };
 
 /** Nonlinearity fused into the engine's output pass (fp32 path only). */
@@ -175,6 +196,16 @@ class RingConvEngine
         return static_cast<int64_t>(co_t_) * ci_t_ * k_ * k_ * m_ * h * w;
     }
 
+    /**
+     * Zero transformed-filter taps excluded from the compiled tap
+     * lists: co_t*m*ci_t*k^2 minus the nonzero count. 0 when
+     * sparse_taps is off (nothing was compiled away). Pruning a ring
+     * tuple at sparsity s drops ~s of all taps here, in every band —
+     * the executor sums this across engines for its
+     * sparse_tap_skip_count() introspection.
+     */
+    int64_t sparse_tap_skip_count() const { return sparse_skip_; }
+
   private:
     struct Task;  // one (image, output tuple, row band) work item
 
@@ -240,6 +271,17 @@ class RingConvEngine
     /** Fused epilogue state (row-major n x n, fp32 path only). */
     ConvEpilogue epilogue_ = ConvEpilogue::kNone;
     std::vector<float> u32_, v32_;
+    /** Compiled nonzero-tap lists (sparse_taps): for each (co, r) the
+     *  live taps of g~ in the dense scan's (ci, ky, kx) order.
+     *  sp_off_[co*m+r] .. sp_off_[co*m+r+1] index sp_taps_. */
+    struct SparseTap
+    {
+        int ci, ky, kx;
+        float w;
+    };
+    std::vector<SparseTap> sp_taps_;
+    std::vector<int64_t> sp_off_;
+    int64_t sparse_skip_ = 0;
 };
 
 /**
@@ -272,6 +314,26 @@ class QuantConvKernel
     QuantConvKernel(int co, int ci, int k, const std::vector<int32_t>& w,
                     const std::vector<int64_t>& bias,
                     std::vector<int> out_frac);
+
+    /**
+     * Iterate the compiled per-channel nonzero-tap lists in conv_rows
+     * instead of scanning the dense ci*k^2 grid (on by default). The
+     * lists keep the dense scan's (ic, ky, kx) order and integer
+     * addition is exact, so the accumulators are bit-identical either
+     * way; off is the A/B dense-schedule baseline.
+     */
+    void set_sparse_taps(bool on) { sparse_taps_ = on; }
+    bool sparse_taps() const { return sparse_taps_; }
+
+    /** Zero weights excluded from the compiled tap lists (co*ci*k^2
+     *  minus the nonzero count); 0 when sparse_taps is off. */
+    int64_t sparse_tap_skip_count() const
+    {
+        return sparse_taps_
+                   ? static_cast<int64_t>(w8_.size()) -
+                         static_cast<int64_t>(taps_.size())
+                   : 0;
+    }
 
     int co() const { return co_; }
     int ci() const { return ci_; }
@@ -308,6 +370,16 @@ class QuantConvKernel
     std::vector<int> out_frac_;   ///< align-shift metadata per band
     std::vector<double> abs_sum_; ///< sum |w| per output channel
     bool fits_ = true;
+    /** Compiled nonzero taps per output channel, (ic, ky, kx) order;
+     *  tap_off_[oc] .. tap_off_[oc+1] index taps_. */
+    struct QTap
+    {
+        int ic, ky, kx;
+        int32_t w;
+    };
+    std::vector<QTap> taps_;
+    std::vector<int64_t> tap_off_;
+    bool sparse_taps_ = true;
 };
 
 /**

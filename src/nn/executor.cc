@@ -131,6 +131,7 @@ ModelExecutor::lower_ringconv(const plan::OpIR& op)
     eo.threads = opt_.threads;
     eo.strict_fp64 = opt_.strict_fp64;
     eo.tap_fused = opt_.tap_fused;
+    eo.sparse_taps = opt_.sparse_taps;
     rec->engine = std::make_unique<RingConvEngine>(
         rc->ring(), rc->weights(), rc->bias(), eo);
     rec->engine->set_epilogue(ep, u, v);
@@ -350,6 +351,16 @@ ModelExecutor::lower()
         }
         }
     }
+}
+
+int64_t
+ModelExecutor::sparse_tap_skip_count() const
+{
+    int64_t skipped = 0;
+    for (const auto& rec : engines_) {
+        skipped += rec->engine->sparse_tap_skip_count();
+    }
+    return skipped;
 }
 
 // ---- execution -------------------------------------------------------------

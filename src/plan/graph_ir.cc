@@ -76,6 +76,9 @@ GraphPlan::dump() const
         if (op.epilogue != Epilogue::kNone) {
             os << " epi=" << epilogue_name(op.epilogue);
         }
+        if (op.total_taps > 0) {
+            os << " nz=" << op.nz_taps << "/" << op.total_taps;
+        }
         os << "\n";
     }
     return os.str();
@@ -123,6 +126,36 @@ GraphPlan::signature() const
 namespace
 {
 
+/** Nonzero tap tuples of a ring weight set: the n DOFs of one
+ *  (co, ci, ky, kx) tap are contiguous (comp innermost), so each
+ *  consecutive n-run is one tuple. */
+void
+annotate_ring_sparsity(OpIR& op, const RingConvWeights& w)
+{
+    const size_t n = static_cast<size_t>(w.n);
+    op.total_taps = static_cast<int64_t>(w.w.size() / n);
+    op.nz_taps = 0;
+    for (size_t t = 0; t < w.w.size(); t += n) {
+        for (size_t c = 0; c < n; ++c) {
+            if (w.w[t + c] != 0.0f) {
+                ++op.nz_taps;
+                break;
+            }
+        }
+    }
+}
+
+/** Scalar-granularity count for the real-algebra (n=1) convs. */
+void
+annotate_dense_sparsity(OpIR& op, const Tensor& w)
+{
+    op.total_taps = w.numel();
+    op.nz_taps = 0;
+    for (int64_t i = 0; i < w.numel(); ++i) {
+        if (w[i] != 0.0f) ++op.nz_taps;
+    }
+}
+
 /** Recursive walker mirroring the executor's historical compile order:
  *  one op per layer, depth-first through the containers, no fusion. */
 struct F32Linearizer
@@ -162,6 +195,7 @@ struct F32Linearizer
             OpIR& op = emit(OpKind::kRingConv, rc, in, shape, os);
             op.tuple = rc->ring().n;
             op.co = os[0];
+            annotate_ring_sparsity(op, rc->weights());
             shape = os;
             return op.out;
         }
@@ -190,6 +224,7 @@ struct F32Linearizer
             OpIR& op = emit(OpKind::kDenseConv, conv, in, shape, os);
             op.tuple = 1;
             op.co = os[0];
+            annotate_dense_sparsity(op, conv->weights());
             shape = os;
             return op.out;
         }
@@ -239,6 +274,7 @@ struct F32Linearizer
             const Shape os = dw->out_shape(shape);
             OpIR& op = emit(OpKind::kDepthwiseConv, dw, in, shape, os);
             op.co = os[0];
+            annotate_dense_sparsity(op, dw->weights());
             shape = os;
             return op.out;
         }
@@ -278,6 +314,47 @@ linearize(nn::Layer& root, const Shape& in_shape, const LinearizeOptions& opt)
 namespace
 {
 
+/** Nonzero tap tuples of an expanded integer conv. The expanded
+ *  [co][ci][k][k] weights decompose into n x n blocks — block
+ *  (cot, cit, ky, kx) is the image of one ring tap tuple under
+ *  expand_to_real, so it is all-zero exactly when the tuple was
+ *  pruned. Counting nonzero blocks therefore reproduces the fp32
+ *  plan's tuple-granularity counts (same totals, same nz on the same
+ *  model). n == 1 degenerates to the scalar count for dense convs. */
+void
+annotate_qconv_sparsity(OpIR& op, const quant::QConvNode& conv)
+{
+    const int n = conv.n > 0 ? conv.n : 1;
+    const int co_t = conv.co / n, ci_t = conv.ci / n;
+    op.total_taps =
+        static_cast<int64_t>(co_t) * ci_t * conv.k * conv.k;
+    op.nz_taps = 0;
+    const auto at = [&](int oc, int ic, int ky, int kx) {
+        return conv.w[((static_cast<size_t>(oc) * conv.ci + ic) * conv.k +
+                       ky) *
+                          conv.k +
+                      kx];
+    };
+    for (int cot = 0; cot < co_t; ++cot) {
+        for (int cit = 0; cit < ci_t; ++cit) {
+            for (int ky = 0; ky < conv.k; ++ky) {
+                for (int kx = 0; kx < conv.k; ++kx) {
+                    bool nz = false;
+                    for (int a = 0; a < n && !nz; ++a) {
+                        for (int b = 0; b < n; ++b) {
+                            if (at(cot * n + a, cit * n + b, ky, kx) != 0) {
+                                nz = true;
+                                break;
+                            }
+                        }
+                    }
+                    if (nz) ++op.nz_taps;
+                }
+            }
+        }
+    }
+}
+
 /** Shape-free walker over the QNode graph; mirrors the quant
  *  executor's historical compile order and its accumulator-width
  *  threading (each op records the feature bits live at its input). */
@@ -311,6 +388,8 @@ struct I8Linearizer
         if (const auto* conv = dynamic_cast<const QConvNode*>(n)) {
             OpIR& op = emit(OpKind::kRingConv, conv, in, bits);
             op.co = conv->co;
+            op.tuple = conv->n;
+            annotate_qconv_sparsity(op, *conv);
             bits = 32;  // raw accumulators until a requant/dir narrows
             return op.out;
         }

@@ -109,6 +109,19 @@ struct OpIR
     /** Accumulator feature bits at this op's input (int8 plans). */
     int in_bits = 0;
 
+    /** Sparsity annotation (conv ops), counted from the live weights
+     *  at linearize time, at ring-tap-TUPLE granularity: a tap tuple
+     *  (co, ci, ky, kx) counts as nonzero when any of its n degrees of
+     *  freedom is nonzero — the unit ring_dof_prune removes and the
+     *  unit the engines' compiled nonzero-tap tables skip in every
+     *  band. total_taps == 0 on non-conv ops (no annotation). The
+     *  fusion pass annotates ops in place, so these survive
+     *  fuse_epilogues; backends price/introspect the sparse schedule
+     *  from them (sim::Accelerator scales MAC and weight-fetch costs
+     *  by nz_taps / total_taps). */
+    int64_t nz_taps = 0;
+    int64_t total_taps = 0;
+
     /** Per-image activation shapes. Filled by the fp32 linearizer;
      *  int8 plans are shape-free until annotate_shapes(). */
     Shape in_shape;

@@ -63,6 +63,11 @@ struct QuantExecOptions
     /** Output rows per conv task; 0 = auto. Any value produces
      *  identical bits — this only shapes the parallel grain. */
     int row_band = 0;
+    /** Iterate each kernel's compiled nonzero-tap lists instead of
+     *  scanning the dense weight grid (QuantConvKernel::sparse_taps).
+     *  Integer addition is exact, so the bits are identical either
+     *  way; off is the dense A/B baseline. */
+    bool sparse_taps = true;
 };
 
 class QuantExecutor
@@ -100,6 +105,16 @@ class QuantExecutor
     /** Convs that fell back to the scalar oracle node (overflow-unsafe
      *  bound or weights beyond int8). */
     int scalar_conv_count() const { return scalar_convs_; }
+    /** Zero weights the compiled kernels excluded from their tap
+     *  lists, summed over the fast convs (the quantized mirror of
+     *  nn::ModelExecutor::sparse_tap_skip_count). 0 when sparse_taps
+     *  is off. */
+    int64_t sparse_tap_skip_count() const
+    {
+        int64_t skipped = 0;
+        for (const auto& k : kernels_) skipped += k->sparse_tap_skip_count();
+        return skipped;
+    }
     /** The backend-neutral plan this executor lowered (introspection
      *  for tests/benches). */
     const plan::GraphPlan& plan() const { return plan_; }

@@ -409,6 +409,7 @@ make_qconv(nn::Layer* l, Ctx& ctx)
         node->co = wreal.dim(0);
         node->ci = wreal.dim(1);
         node->k = wreal.dim(2);
+        node->n = rc->ring().n;
         node->wfrac = wfmt.frac;
         node->w.resize(static_cast<size_t>(wreal.numel()));
         for (int64_t i = 0; i < wreal.numel(); ++i) {

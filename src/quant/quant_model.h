@@ -93,6 +93,11 @@ class QConvNode : public QNode
 {
   public:
     int co = 0, ci = 0, k = 0;
+    /** Ring tuple size of the originating conv (1 for a real-algebra
+     *  Conv2d): the expanded weights decompose into n x n blocks, one
+     *  per ring tap tuple — the granularity of the plan's sparsity
+     *  annotation and of ring-DOF pruning. */
+    int n = 1;
     std::vector<int32_t> w;     ///< [co][ci][k][k] integer weights
     int wfrac = 0;
     std::vector<int64_t> bias;  ///< at out_frac[oc]

@@ -102,13 +102,28 @@ Accelerator::price_plan(plan::GraphPlan& plan, const Shape& in_shape) const
             }
             // Physical MACs: the n-tuple granularity removes the
             // (n-1)/n redundant multipliers — exactly co*ci*k^2/n
-            // products per pixel.
-            s.mac_ops += static_cast<uint64_t>(conv->co) * conv->ci *
-                         conv->k * conv->k * h * w / cfg_.n;
-            // Ring weights carry co*ci*k^2*8/n bits; fetched once per
-            // block.
-            s.wmem_bits += static_cast<uint64_t>(conv->co) * conv->ci *
-                           conv->k * conv->k * 8 / cfg_.n;
+            // products per pixel. The plan's sparsity annotation
+            // (OpIR::nz_taps, ring-tuple granularity) scales this
+            // further: a pruned tuple's taps never enter the engines'
+            // compiled tap lists, so the machine fires no MACs — and
+            // fetches no weights — for them.
+            const uint64_t dense_macs = static_cast<uint64_t>(conv->co) *
+                                        conv->ci * conv->k * conv->k * h *
+                                        w / cfg_.n;
+            const uint64_t dense_wbits = static_cast<uint64_t>(conv->co) *
+                                         conv->ci * conv->k * conv->k * 8 /
+                                         cfg_.n;
+            if (op.total_taps > 0) {
+                s.mac_ops += dense_macs *
+                             static_cast<uint64_t>(op.nz_taps) /
+                             static_cast<uint64_t>(op.total_taps);
+                s.wmem_bits += dense_wbits *
+                               static_cast<uint64_t>(op.nz_taps) /
+                               static_cast<uint64_t>(op.total_taps);
+            } else {
+                s.mac_ops += dense_macs;
+                s.wmem_bits += dense_wbits;
+            }
             s.bb_bits +=
                 static_cast<uint64_t>(conv->ci + conv->co) * h * w * 8;
             // The fused epilogue prices with the pass, not after it: a

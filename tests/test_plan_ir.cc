@@ -214,13 +214,16 @@ TEST(PlanIR, GoldenDumpRI4Residual)
     std::mt19937 rng(63);
     nn::Model model = make_model(alg, Topology::kResidual, c, rng);
     nn::ModelExecutor fexec(model, {c, 8, 8});
+    // Each conv carries its sparsity annotation: nz/total nonzero ring
+    // tap tuples (co_t * ci_t * k^2 = 2*2*9 = 36 here; random init has
+    // no zero tuples, so nz == total).
     const std::string golden =
         "plan values=6 slots=3 entry=v0/s0 out=v5/s0\n"
-        "  0: ringconv v2<-v0 s1<-s0 epi=dir\n"
+        "  0: ringconv v2<-v0 s1<-s0 epi=dir nz=36/36\n"
         "  1: dirrelu v2<-v1 [fused]\n"
-        "  2: ringconv v3<-v2 s2<-s1\n"
+        "  2: ringconv v3<-v2 s2<-s1 nz=36/36\n"
         "  3: resadd v4<-v3,v0 s2<-s2,s0\n"
-        "  4: ringconv v5<-v4 s0<-s2\n";
+        "  4: ringconv v5<-v4 s0<-s2 nz=36/36\n";
     EXPECT_EQ(fexec.plan().dump(), golden);
 }
 
