@@ -17,6 +17,7 @@
  * Usage: perf_model [--smoke] [--out PATH]
  */
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -481,6 +482,136 @@ main(int argc, char** argv)
             pr_fused_img_s, serve_bit_identical ? "yes" : "NO");
     }
 
+    // ---- serve_overload: open-loop arrival rate >> capacity ----
+    // The ISSUE-8 acceptance row. The closed-loop serve row above never
+    // stresses admission — each client waits for its response before
+    // submitting again, so the queue is self-limiting. Real camera
+    // pipelines are OPEN loop: frames arrive on a clock whether or not
+    // the server kept up. At 2x the measured serve capacity, an
+    // unbounded queue grows linearly and EVERY request's latency
+    // diverges; with ServeOptions::max_queue + kShed admission the
+    // server sheds the excess and the admitted requests' p99 stays
+    // bounded by queue_bound/capacity — while every admitted response
+    // remains bit-identical to single-request Model::infer (shedding
+    // never perturbs surviving batches).
+    double ov_arrival_img_s = 0.0, ov_capacity_img_s = 0.0;
+    double ov_unbounded_p99 = 0.0, ov_shed_p50 = 0.0, ov_shed_p99 = 0.0,
+           ov_shed_p999 = 0.0, ov_shed_rate = 0.0, ov_p99_ratio = 0.0;
+    int ov_offered = 0;
+    uint64_t ov_max_queue = 0;
+    bool ov_bit_identical = true;
+    {
+        ov_capacity_img_s = std::max(1.0, srv_img_s);
+        ov_arrival_img_s = 2.0 * ov_capacity_img_s;
+        ov_offered = smoke ? 160 : 320;
+        ov_max_queue = 16;  // 2x max_batch: ~2 batches of headroom
+
+        std::vector<Tensor> imgs;
+        std::vector<Tensor> refs;
+        for (int i = 0; i < 4; ++i) {
+            Tensor t(in_shape);
+            t.randn(rng);
+            refs.push_back(model.infer(t));
+            imgs.push_back(std::move(t));
+        }
+
+        // One open-loop generator submits on a fixed clock; a
+        // concurrent collector waits the futures in order (one shape
+        // => FIFO completion) so each latency is stamped when the
+        // response actually lands, not after the arrival ramp ends.
+        struct OverloadRun
+        {
+            std::vector<double> lat_ms;  ///< admitted requests only
+            int shed = 0;
+            bool bits_ok = true;
+        };
+        auto open_loop_overload = [&](serve::ServeServer& server) {
+            OverloadRun run;
+            const double interval_ms = 1000.0 / ov_arrival_img_s;
+            std::vector<std::future<Tensor>> futs(
+                static_cast<size_t>(ov_offered));
+            std::vector<double> t_sub(static_cast<size_t>(ov_offered), 0.0);
+            std::atomic<int> produced{0};
+            std::thread collector([&]() {
+                for (int i = 0; i < ov_offered; ++i) {
+                    while (produced.load(std::memory_order_acquire) <= i) {
+                        std::this_thread::yield();
+                    }
+                    const size_t si = static_cast<size_t>(i);
+                    try {
+                        const Tensor out = futs[si].get();
+                        run.lat_ms.push_back(now_ms() - t_sub[si]);
+                        const Tensor& want =
+                            refs[si % imgs.size()];
+                        if (out.shape() != want.shape()) {
+                            run.bits_ok = false;
+                            continue;
+                        }
+                        for (int64_t k = 0; k < want.numel(); ++k) {
+                            if (out[k] != want[k]) {
+                                run.bits_ok = false;
+                                break;
+                            }
+                        }
+                    } catch (const serve::OverloadError&) {
+                        ++run.shed;
+                    }
+                }
+            });
+            const auto t0 = std::chrono::steady_clock::now();
+            for (int i = 0; i < ov_offered; ++i) {
+                std::this_thread::sleep_until(
+                    t0 + std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double, std::milli>(
+                                 i * interval_ms)));
+                const size_t si = static_cast<size_t>(i);
+                t_sub[si] = now_ms();
+                futs[si] = server.submit_view(imgs[si % imgs.size()]);
+                produced.store(i + 1, std::memory_order_release);
+            }
+            collector.join();
+            server.drain();
+            return run;
+        };
+
+        serve::ServeOptions base;
+        base.linger_ms = 4.0;
+
+        double unb_p999 = 0.0;
+        {
+            serve::ServeServer server(model, base);  // unbounded queue
+            const OverloadRun r = open_loop_overload(server);
+            ov_unbounded_p99 = percentile_ms(r.lat_ms, 0.99);
+            unb_p999 = percentile_ms(r.lat_ms, 0.999);
+            ov_bit_identical = ov_bit_identical && r.bits_ok;
+        }
+        {
+            serve::ServeOptions so = base;
+            so.max_queue = ov_max_queue;
+            so.admission = serve::Admission::kShed;
+            serve::ServeServer server(model, so);
+            const OverloadRun r = open_loop_overload(server);
+            ov_shed_p50 = percentile_ms(r.lat_ms, 0.5);
+            ov_shed_p99 = percentile_ms(r.lat_ms, 0.99);
+            ov_shed_p999 = percentile_ms(r.lat_ms, 0.999);
+            ov_shed_rate =
+                static_cast<double>(r.shed) / static_cast<double>(ov_offered);
+            ov_bit_identical = ov_bit_identical && r.bits_ok;
+        }
+        ov_p99_ratio = ov_unbounded_p99 > 0.0
+                           ? ov_shed_p99 / ov_unbounded_p99
+                           : 0.0;
+        std::printf(
+            "  serve_overload: %.0f img/s offered (2x capacity %.0f)  "
+            "unbounded p99/p999 %.0f/%.0f ms  shed p50/p99/p999 "
+            "%.0f/%.0f/%.0f ms  shed_rate %.2f  p99 ratio %.2fx  "
+            "bit-identical=%s\n",
+            ov_arrival_img_s, ov_capacity_img_s, ov_unbounded_p99, unb_p999,
+            ov_shed_p50, ov_shed_p99, ov_shed_p999, ov_shed_rate,
+            ov_p99_ratio, ov_bit_identical ? "yes" : "NO");
+    }
+
     // ---- plan_compile: shared-pipeline compile + rebind latency ----
     // Fresh = linearize + fuse + arena-plan + backend lowering (engine
     // construction included) for the 3-layer RI4 backbone; rebind =
@@ -695,6 +826,22 @@ main(int argc, char** argv)
                  pr_fused_img_s > 0.0 ? srv_img_s / pr_fused_img_s : 0.0);
     std::fprintf(f, "    \"bit_identical\": %s\n",
                  serve_bit_identical ? "true" : "false");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"serve_overload\": {\n");
+    std::fprintf(f, "    \"offered\": %d, \"max_queue\": %llu,\n",
+                 ov_offered,
+                 static_cast<unsigned long long>(ov_max_queue));
+    std::fprintf(f, "    \"capacity_img_per_s\": %.3f,\n",
+                 ov_capacity_img_s);
+    std::fprintf(f, "    \"arrival_img_per_s\": %.3f,\n", ov_arrival_img_s);
+    std::fprintf(f, "    \"unbounded_p99_ms\": %.3f,\n", ov_unbounded_p99);
+    std::fprintf(f, "    \"shed_p50_ms\": %.3f,\n", ov_shed_p50);
+    std::fprintf(f, "    \"shed_p99_ms\": %.3f,\n", ov_shed_p99);
+    std::fprintf(f, "    \"p999_ms\": %.3f,\n", ov_shed_p999);
+    std::fprintf(f, "    \"shed_rate\": %.4f,\n", ov_shed_rate);
+    std::fprintf(f, "    \"p99_vs_unbounded\": %.4f,\n", ov_p99_ratio);
+    std::fprintf(f, "    \"bit_identical\": %s\n",
+                 ov_bit_identical ? "true" : "false");
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"plan_compile\": {\n");
     std::fprintf(f, "    \"fresh_ms\": %.4f,\n", plan_fresh_ms);

@@ -73,6 +73,19 @@ class PlanCache
                 return e.get();
             }
         }
+        // Dead-slot revival: release(ok=false) drops a broken exec but
+        // keeps its slot; reuse an idle null-exec slot for the fresh
+        // compile FIRST — otherwise the cache silently shrinks by one
+        // live plan per failure while still holding max_plans_ slots
+        // (and overflows past the bound with brand-new entries).
+        for (auto& e : entries_) {
+            if (e->busy || e->exec != nullptr) continue;
+            e->busy = true;
+            e->stamp = ++clock_;
+            e->shape = shape;
+            *outcome = Outcome::kFresh;
+            return e.get();
+        }
         // LRU eviction: recycle the stalest idle plan. A fresh slot is
         // reserved when the cache has room or every plan is busy
         // (transient overflow; trimmed when idle).

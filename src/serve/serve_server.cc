@@ -200,29 +200,66 @@ ServeServer::start_workers()
 
 ServeServer::~ServeServer()
 {
-    drain();
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        stop_ = true;
-    }
-    work_cv_.notify_all();
+    stop(StopMode::kDrain);
     for (auto& t : threads_) t.join();
 }
 
+void
+ServeServer::stop(StopMode mode)
+{
+    std::vector<Request> abandon;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        // Closing admission and sweeping the queue happen under ONE
+        // critical section: any submit that saw stop_ == false has
+        // already pushed its request, so it is either swept here
+        // (kAbort) or drained below (kDrain) — an accepted future is
+        // never left unresolved. (The old destructor drained FIRST and
+        // closed admission after, abandoning anything accepted in
+        // between.)
+        const bool first = !stop_;
+        stop_ = true;
+        if (first && mode == StopMode::kAbort) {
+            for (auto& [s, b] : buckets_) {
+                for (auto& r : b.q) abandon.push_back(std::move(r));
+                b.q.clear();
+            }
+            stats_.aborted += static_cast<uint64_t>(abandon.size());
+            stats_.failed += static_cast<uint64_t>(abandon.size());
+            pending_ -= static_cast<uint64_t>(abandon.size());
+            if (pending_ == 0) idle_cv_.notify_all();
+        }
+    }
+    // Wake every parked worker (they re-check stop_ and either drain
+    // the queue or exit) and every submitter blocked on admission
+    // (they observe stop_ and throw ShutdownError).
+    work_cv_.notify_all();
+    admit_cv_.notify_all();
+    if (!abandon.empty()) {
+        auto err = std::make_exception_ptr(ShutdownError(
+            "ringcnn: ServeServer stopped (kAbort) before this request "
+            "was dispatched"));
+        for (auto& r : abandon) r.promise.set_exception(err);
+    }
+    drain();
+}
+
 std::future<Tensor>
-ServeServer::submit(Tensor x)
+ServeServer::submit(Tensor x, Deadline deadline)
 {
     Request req;
     const Shape shape = x.shape();
     req.x = std::move(x);
+    req.deadline = deadline;
     return enqueue(std::move(req), shape);
 }
 
 std::future<Tensor>
-ServeServer::submit_view(const Tensor& x)
+ServeServer::submit_view(const Tensor& x, Deadline deadline)
 {
     Request req;
     req.view = &x;
+    req.deadline = deadline;
     return enqueue(std::move(req), x.shape());
 }
 
@@ -247,10 +284,33 @@ ServeServer::enqueue(Request req, const Shape& shape)
         return fut;
     }
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        std::unique_lock<std::mutex> lock(mu_);
         if (stop_) {
-            throw std::runtime_error(
+            throw ShutdownError(
                 "ringcnn: ServeServer::submit after shutdown");
+        }
+        // Admission control: pending_ (accepted minus finished) is the
+        // queue the bound protects — it includes in-flight requests,
+        // so the bound also caps response latency for admitted work.
+        if (opt_.max_queue > 0 && pending_ >= opt_.max_queue) {
+            if (opt_.admission == Admission::kBlock) {
+                admit_cv_.wait(lock, [this]() {
+                    return stop_ || pending_ < opt_.max_queue;
+                });
+                if (stop_) {
+                    throw ShutdownError(
+                        "ringcnn: ServeServer::submit after shutdown");
+                }
+            } else {
+                ++stats_.requests;
+                ++stats_.shed;
+                ++stats_.failed;
+                lock.unlock();
+                req.promise.set_exception(std::make_exception_ptr(
+                    OverloadError("ringcnn: serve queue at max_queue; "
+                                  "request shed")));
+                return fut;
+            }
         }
         Bucket& b = buckets_[shape];
         if (b.q.empty()) b.oldest = Clock::now();
@@ -277,22 +337,60 @@ ServeServer::stats() const
     return stats_;
 }
 
+double
+ServeServer::effective_linger_ms(const ServeOptions& opt, size_t queue_depth)
+{
+    if (!opt.adaptive_linger) return opt.linger_ms;
+    // Linear schedule: the full cap when the bucket is idle, zero once
+    // a batch is formed. A deeper queue never waits LONGER than a
+    // shallower one (monotonicity, pinned in test_serve).
+    const double frac = static_cast<double>(queue_depth) /
+                        static_cast<double>(std::max(1, opt.max_batch));
+    return std::max(0.0, opt.linger_ms * (1.0 - frac));
+}
+
+Clock::time_point
+ServeServer::linger_deadline(const Bucket& b) const
+{
+    return b.oldest +
+           std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double, std::milli>(
+                   effective_linger_ms(opt_, b.q.size())));
+}
+
+bool
+ServeServer::has_queued_requests() const
+{
+    for (const auto& [s, b] : buckets_) {
+        if (!b.q.empty()) return true;
+    }
+    return false;
+}
+
+void
+ServeServer::fail_expired(std::vector<Request>& late)
+{
+    if (late.empty()) return;
+    auto err = std::make_exception_ptr(DeadlineError(
+        "ringcnn: serve request deadline passed before dispatch"));
+    for (auto& r : late) r.promise.set_exception(err);
+}
+
 ServeServer::Bucket*
 ServeServer::pick_bucket(Clock::time_point now, Shape* shape)
 {
     // Dispatchable: not already owned by a worker, and either full or
-    // lingering past the deadline. Among several, serve the bucket
-    // whose HEAD request has waited longest (arrival fairness).
+    // lingering past the deadline (during shutdown the linger is moot:
+    // everything queued dispatches immediately). Among several, serve
+    // the bucket whose HEAD request has waited longest (arrival
+    // fairness).
     Bucket* pick = nullptr;
     const Shape* pick_shape = nullptr;
     for (auto& [s, b] : buckets_) {
         if (b.in_flight || b.q.empty()) continue;
         const bool full =
             b.q.size() >= static_cast<size_t>(opt_.max_batch);
-        const bool expired =
-            now >= b.oldest + std::chrono::duration_cast<Clock::duration>(
-                                  std::chrono::duration<double, std::milli>(
-                                      opt_.linger_ms));
+        const bool expired = stop_ || now >= linger_deadline(b);
         if (!full && !expired) continue;
         if (pick == nullptr || b.oldest < pick->oldest) {
             pick = &b;
@@ -311,22 +409,31 @@ ServeServer::worker_loop()
         Shape shape;
         Bucket* bucket = nullptr;
         for (;;) {
-            if (stop_) return;
+            // Exit only once admission is closed AND no accepted
+            // request is still queued — a request admitted by a submit
+            // racing stop() is always dispatched (or swept by kAbort)
+            // before the workers leave. Wake peers so the exit
+            // cascades through every parked worker.
+            if (stop_ && !has_queued_requests()) {
+                work_cv_.notify_all();
+                return;
+            }
             bucket = pick_bucket(Clock::now(), &shape);
             if (bucket != nullptr) break;
             // Sleep until the earliest linger deadline of a waiting
-            // bucket (or a submit/completion wakes us).
+            // bucket (or a submit/completion wakes us). During
+            // shutdown remaining queued work is owned by in-flight
+            // peers; wait for their completion signal.
             Clock::time_point deadline{};
             bool have_deadline = false;
-            for (auto& [s, b] : buckets_) {
-                if (b.in_flight || b.q.empty()) continue;
-                const auto d =
-                    b.oldest + std::chrono::duration_cast<Clock::duration>(
-                                   std::chrono::duration<double, std::milli>(
-                                       opt_.linger_ms));
-                if (!have_deadline || d < deadline) {
-                    deadline = d;
-                    have_deadline = true;
+            if (!stop_) {
+                for (auto& [s, b] : buckets_) {
+                    if (b.in_flight || b.q.empty()) continue;
+                    const auto d = linger_deadline(b);
+                    if (!have_deadline || d < deadline) {
+                        deadline = d;
+                        have_deadline = true;
+                    }
                 }
             }
             if (have_deadline) {
@@ -338,22 +445,57 @@ ServeServer::worker_loop()
 
         // Take up to max_batch requests, oldest first; the bucket stays
         // claimed (in_flight) until the batch finishes so no second
-        // worker races this shape's executor.
+        // worker races this shape's executor. Requests whose deadline
+        // already passed are dropped HERE, at batch formation — they
+        // never occupy a batch slot or waste a kernel pass.
         bucket->in_flight = true;
-        const int n = static_cast<int>(
-            std::min<size_t>(bucket->q.size(),
-                             static_cast<size_t>(opt_.max_batch)));
+        const Clock::time_point now = Clock::now();
         std::vector<Request> batch;
-        batch.reserve(static_cast<size_t>(n));
-        for (int i = 0; i < n; ++i) {
-            batch.push_back(std::move(bucket->q.front()));
+        std::vector<Request> late;
+        batch.reserve(static_cast<size_t>(opt_.max_batch));
+        while (batch.size() < static_cast<size_t>(opt_.max_batch) &&
+               !bucket->q.empty()) {
+            Request r = std::move(bucket->q.front());
             bucket->q.pop_front();
+            if (r.deadline < now) {
+                late.push_back(std::move(r));
+            } else {
+                batch.push_back(std::move(r));
+            }
         }
+        const int n = static_cast<int>(batch.size());
         if (!bucket->q.empty()) bucket->oldest = Clock::now();
+        stats_.expired += static_cast<uint64_t>(late.size());
+        if (n == 0) {
+            // Everything popped had expired: no batch to run. Resolve
+            // the dropped futures outside the lock and go around.
+            bucket->in_flight = false;
+            if (bucket->q.empty()) buckets_.erase(shape);
+            stats_.failed += static_cast<uint64_t>(late.size());
+            pending_ -= static_cast<uint64_t>(late.size());
+            if (pending_ == 0) idle_cv_.notify_all();
+            if (opt_.max_queue > 0) admit_cv_.notify_all();
+            lock.unlock();
+            fail_expired(late);
+            lock.lock();
+            continue;
+        }
+        stats_.batched += static_cast<uint64_t>(n);
         void* plan = backend_->claim(shape, stats_);
         ++stats_.batches;
         const bool solo = active_batches_ == 0;
         ++active_batches_;
+        // Lost-wakeup guard: if OTHER buckets are dispatchable right
+        // now, hand one to a parked peer before going off to execute —
+        // otherwise a parked worker can oversleep a full linger window
+        // (its next wakeup would be the next submit or this batch's
+        // completion).
+        {
+            Shape peer_shape;
+            if (pick_bucket(now, &peer_shape) != nullptr) {
+                work_cv_.notify_one();
+            }
+        }
         lock.unlock();
 
         // Oversubscription policy: when several batches execute
@@ -365,6 +507,8 @@ ServeServer::worker_loop()
         if (opt_.inline_kernels && !solo) {
             guard = std::make_unique<util::InlineGuard>();
         }
+
+        fail_expired(late);
 
         std::vector<const Tensor*> ptrs(static_cast<size_t>(n));
         for (int i = 0; i < n; ++i) {
@@ -413,8 +557,12 @@ ServeServer::worker_loop()
         } else {
             stats_.failed += static_cast<uint64_t>(n);
         }
-        pending_ -= static_cast<uint64_t>(n);
+        stats_.failed += static_cast<uint64_t>(late.size());
+        pending_ -=
+            static_cast<uint64_t>(n) + static_cast<uint64_t>(late.size());
+        late.clear();
         if (pending_ == 0) idle_cv_.notify_all();
+        if (opt_.max_queue > 0) admit_cv_.notify_all();
         // More work may have queued behind this shape or others.
         work_cv_.notify_one();
     }

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * PlanCache unit tests, on a stub executor — the serving layer's
+ * shape-keyed LRU of compiled plans has policy subtleties that
+ * deserve direct coverage, independent of a live server:
+ *
+ *  - the fail-then-reclaim path: release(ok=false) drops the exec but
+ *    keeps the slot; the NEXT claim must revive that dead slot instead
+ *    of (a) permanently running one plan short of max_plans or (b)
+ *    growing a brand-new entry past the bound (the regression this
+ *    suite pins, sharpest at max_plans = 1);
+ *  - plain hit / fresh / LRU-rebind outcomes and the stamp order that
+ *    picks eviction victims;
+ *  - transient overflow when every slot is busy, trimmed back later.
+ */
+#include <gtest/gtest.h>
+
+#include "serve/plan_cache.h"
+
+namespace ringcnn::serve {
+namespace {
+
+/** Minimal Exec satisfying the PlanCache contract. */
+struct StubExec
+{
+    explicit StubExec(Shape s) : shape(std::move(s)) {}
+    const Shape& in_shape() const { return shape; }
+    Shape shape;
+};
+
+using Cache = PlanCache<StubExec>;
+
+/** Claims `shape` and simulates the caller's prepare step. */
+Cache::Entry*
+claim_prepared(Cache& c, const Shape& shape, Cache::Outcome* oc)
+{
+    Cache::Entry* e = c.claim(shape, oc);
+    if (e->exec == nullptr) e->exec = std::make_unique<StubExec>(shape);
+    return e;
+}
+
+TEST(PlanCache, HitFreshAndLruRebindOutcomes)
+{
+    Cache cache(2);
+    Cache::Outcome oc;
+
+    Cache::Entry* a = claim_prepared(cache, {3, 8, 8}, &oc);
+    EXPECT_EQ(oc, Cache::Outcome::kFresh);
+    cache.release(a, true);
+
+    Cache::Entry* b = claim_prepared(cache, {3, 16, 16}, &oc);
+    EXPECT_EQ(oc, Cache::Outcome::kFresh);
+    cache.release(b, true);
+    EXPECT_EQ(cache.size(), 2u);
+
+    // Re-claiming a bound shape is a hit on the same entry.
+    Cache::Entry* a2 = cache.claim({3, 8, 8}, &oc);
+    EXPECT_EQ(oc, Cache::Outcome::kHit);
+    EXPECT_EQ(a2, a);
+    cache.release(a2, true);
+
+    // A third shape at the bound rebinds the stalest idle plan — that
+    // is {3,16,16}, since the hit above re-stamped {3,8,8}.
+    Cache::Entry* c = cache.claim({3, 24, 24}, &oc);
+    EXPECT_EQ(oc, Cache::Outcome::kRebind);
+    EXPECT_EQ(c, b);
+    EXPECT_EQ(c->shape, Shape({3, 24, 24}));
+    cache.release(c, true);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PlanCache, FailedReleaseSlotIsRevivedAtMaxPlansOne)
+{
+    // The regression: a slot dropped by release(ok=false) has
+    // exec == nullptr, which the rebind scan used to skip — at
+    // max_plans=1 every later claim then pushed a NEW overflow entry,
+    // so the cache held a permanently dead slot and ran past its
+    // bound. The dead slot must be reused for the fresh claim.
+    Cache cache(1);
+    Cache::Outcome oc;
+
+    Cache::Entry* a = claim_prepared(cache, {3, 8, 8}, &oc);
+    EXPECT_EQ(oc, Cache::Outcome::kFresh);
+    cache.release(a, false);  // the run failed: plan dropped
+    EXPECT_EQ(a->exec, nullptr);
+    EXPECT_EQ(cache.size(), 1u);
+
+    // Fresh claim (same or different shape) revives the dead slot in
+    // place: same Entry, kFresh (a compile must happen), size still 1.
+    Cache::Entry* b = cache.claim({3, 16, 16}, &oc);
+    EXPECT_EQ(oc, Cache::Outcome::kFresh);
+    EXPECT_EQ(b, a);
+    EXPECT_EQ(b->shape, Shape({3, 16, 16}));
+    EXPECT_EQ(cache.size(), 1u);
+    b->exec = std::make_unique<StubExec>(Shape{3, 16, 16});
+    cache.release(b, true);
+
+    // And the revived slot serves hits again.
+    Cache::Entry* b2 = cache.claim({3, 16, 16}, &oc);
+    EXPECT_EQ(oc, Cache::Outcome::kHit);
+    EXPECT_EQ(b2, a);
+    cache.release(b2, true);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCache, DeadSlotPreferredOverGrowthBelowBound)
+{
+    // Even below the bound, a dead slot is reused before the entry
+    // list grows: no zombie accumulation across failures.
+    Cache cache(4);
+    Cache::Outcome oc;
+
+    Cache::Entry* a = claim_prepared(cache, {3, 8, 8}, &oc);
+    cache.release(a, false);
+    EXPECT_EQ(cache.size(), 1u);
+
+    Cache::Entry* b = cache.claim({3, 16, 16}, &oc);
+    EXPECT_EQ(oc, Cache::Outcome::kFresh);
+    EXPECT_EQ(b, a);
+    EXPECT_EQ(cache.size(), 1u);
+    cache.release(b, true);
+}
+
+TEST(PlanCache, AllBusyOverflowsThenTrims)
+{
+    Cache cache(1);
+    Cache::Outcome oc;
+
+    Cache::Entry* a = claim_prepared(cache, {3, 8, 8}, &oc);
+    // A second shape while the only slot is busy: transient overflow.
+    Cache::Entry* b = claim_prepared(cache, {3, 16, 16}, &oc);
+    EXPECT_EQ(oc, Cache::Outcome::kFresh);
+    EXPECT_NE(b, a);
+    EXPECT_EQ(cache.size(), 2u);
+
+    // Trim with everything busy is a no-op...
+    cache.trim();
+    EXPECT_EQ(cache.size(), 2u);
+
+    // ...and back to the bound once a slot is idle.
+    cache.release(a, true);
+    cache.release(b, true);
+    cache.trim();
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ringcnn::serve
