@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "core/simd.h"
 #include "util/check.h"
+#include "util/fault.h"
 #include "util/thread_pool.h"
 
 namespace ringcnn {
@@ -111,6 +113,15 @@ RingConvEngine::set_weights(const RingConvWeights& w, std::vector<float> bias)
                 }
             }
         }
+    }
+
+    // Fault site: a bit flip landing in the derived float filter
+    // store, BEFORE the sparse tap lists compile from it — the
+    // corruption propagates into every kernel schedule exactly as a
+    // physical upset of the cached transform would.
+    uint64_t fault_token;
+    if (util::fault_check("fp32.weights", &fault_token)) {
+        util::fault_flip_bit(gt32_.data(), gt32_.size(), fault_token);
     }
 
     bias_.assign(static_cast<size_t>(co_t_) * n_, 0.0);
@@ -339,7 +350,8 @@ RingConvEngine::conv_band_f64(const float* xt, int h, int wd, int co,
 void
 RingConvEngine::conv_band_f32(const float* xt, int h, int wd, int co,
                               int y0, int y1, Tensor& out,
-                              RingConvScratch::Worker& scratch) const
+                              RingConvScratch::Worker& scratch,
+                              double* sums) const
 {
     const int pad = k_ / 2;
     const int bh = y1 - y0;
@@ -395,6 +407,21 @@ RingConvEngine::conv_band_f32(const float* xt, int h, int wd, int co,
                                tzrow[r], wd);
             }
         }
+        // ABFT capture: pre-epilogue interior sums (the reconstruction
+        // above is the conv result; the epilogue below is nonlinear).
+        // One SIMD row reduction per channel; the float rounding rides
+        // inside the checker's row-width tolerance term.
+        if (sums != nullptr) {
+            const int gy = y0 + y;
+            if (gy >= pad && gy < h - pad) {
+                for (int i = 0; i < n_; ++i) {
+                    const float* orow = out.data() +
+                        (static_cast<int64_t>(co * n_ + i) * h + gy) * wd;
+                    sums[i] += static_cast<double>(
+                        simd::sum_f32(orow + pad, wd - 2 * pad));
+                }
+            }
+        }
         if (epilogue_ == ConvEpilogue::kRelu) {
             for (int i = 0; i < n_; ++i) {
                 float* orow = out.data() +
@@ -446,7 +473,8 @@ void
 RingConvEngine::conv_band_f32_fused(const float* const* planes, int h,
                                     int wd, int co, int y0, int y1,
                                     Tensor& out,
-                                    RingConvScratch::Worker& scratch) const
+                                    RingConvScratch::Worker& scratch,
+                                    double* sums) const
 {
     const int pad = k_ / 2;
     const int bh = y1 - y0;
@@ -624,7 +652,10 @@ RingConvEngine::conv_band_f32_fused(const float* const* planes, int h,
     float cf[kMaxTuple];
     const bool no_output_pass =
         identity_tz_ && bias32_zero_ && epilogue_ == ConvEpilogue::kNone;
-    if (no_output_pass) return;
+    // With identity Tz, zero bias, and no epilogue the conv section
+    // above already wrote the final rows — but an ABFT capture still
+    // needs its read pass over them.
+    if (no_output_pass && sums == nullptr) return;
     for (int y = 0; y < bh; ++y) {
         if (identity_tz_) {
             if (!bias32_zero_) {
@@ -652,6 +683,21 @@ RingConvEngine::conv_band_f32_fused(const float* const* planes, int h,
                     ++cnt;
                 }
                 simd::axpy_rows_f32(orow, srcs, cf, cnt, wd);
+            }
+        }
+        // ABFT capture: the rows now hold the pre-epilogue conv result
+        // (on the identity-Tz path they held it coming in). One SIMD
+        // row reduction per channel; the float rounding rides inside
+        // the checker's row-width tolerance term.
+        if (sums != nullptr) {
+            const int gy = y0 + y;
+            if (gy >= pad && gy < h - pad) {
+                for (int i = 0; i < n_; ++i) {
+                    const float* orow = out.data() +
+                        (static_cast<int64_t>(co * n_ + i) * h + gy) * wd;
+                    sums[i] += static_cast<double>(
+                        simd::sum_f32(orow + pad, wd - 2 * pad));
+                }
             }
         }
         if (epilogue_ == ConvEpilogue::kRelu) {
@@ -700,7 +746,8 @@ struct RingConvEngine::Task
 
 void
 RingConvEngine::run_into(const Tensor* const* xs, Tensor* outs, int count,
-                         RingConvScratch* scratch) const
+                         RingConvScratch* scratch,
+                         std::vector<double>* interior_sums) const
 {
     for (int b = 0; b < count; ++b) validate_input(*xs[b]);
 
@@ -812,13 +859,32 @@ RingConvEngine::run_into(const Tensor* const* xs, Tensor* outs, int count,
             }
         }
     }
+    // ABFT capture: one private cell block of n doubles per task, so
+    // no band pass races another's accumulator. Reduced below in
+    // task-index order — deterministic under any thread count.
+    const bool capture = interior_sums != nullptr;
+    std::vector<double> cells;
+    if (capture && !strict) {
+        cells.assign(tasks.size() * static_cast<size_t>(n_), 0.0);
+    }
     util::parallel_for_worker(
         static_cast<int64_t>(tasks.size()),
         [&](int worker, int64_t i) {
+            // Fault site: a kernel task body throwing mid-batch (the
+            // one-SIMD-path-bug model); exercises the pool's exception
+            // propagation and the serve retry.
+            if (util::fault_check("fp32.kernel_throw")) {
+                throw std::runtime_error(
+                    "ringcnn: injected fault: fp32 conv kernel task");
+            }
             const Task& t = tasks[static_cast<size_t>(i)];
             RingConvScratch::Worker& ws =
                 sc.workers[static_cast<size_t>(worker)];
             const float* xt = sc.xt[static_cast<size_t>(t.img)].data();
+            double* cell =
+                capture && !strict
+                    ? cells.data() + static_cast<size_t>(i) * n_
+                    : nullptr;
             if (strict) {
                 conv_band_f64(xt, xs[t.img]->dim(1), xs[t.img]->dim(2),
                               t.co, t.y0, t.y1, outs[t.img], ws);
@@ -826,13 +892,49 @@ RingConvEngine::run_into(const Tensor* const* xs, Tensor* outs, int count,
                 conv_band_f32_fused(
                     sc.xplanes[static_cast<size_t>(t.img)].data(),
                     xs[t.img]->dim(1), xs[t.img]->dim(2), t.co, t.y0, t.y1,
-                    outs[t.img], ws);
+                    outs[t.img], ws, cell);
             } else {
                 conv_band_f32(xt, xs[t.img]->dim(1), xs[t.img]->dim(2),
-                              t.co, t.y0, t.y1, outs[t.img], ws);
+                              t.co, t.y0, t.y1, outs[t.img], ws, cell);
             }
         },
         threads);
+    if (interior_sums != nullptr) {
+        interior_sums->assign(
+            static_cast<size_t>(count) * co_t_ * n_, 0.0);
+        if (strict) {
+            // Strict engines have no epilogue (set_epilogue throws), so
+            // the finished output IS the pre-epilogue result: one
+            // serial interior pass per image.
+            const int pad = k_ / 2;
+            for (int b = 0; b < count; ++b) {
+                const int h = outs[b].dim(1), wd = outs[b].dim(2);
+                for (int c = 0; c < co_t_ * n_; ++c) {
+                    double s = 0.0;
+                    for (int y = pad; y < h - pad; ++y) {
+                        const float* row = outs[b].data() +
+                            (static_cast<int64_t>(c) * h + y) * wd;
+                        for (int xx = pad; xx < wd - pad; ++xx) {
+                            s += static_cast<double>(row[xx]);
+                        }
+                    }
+                    (*interior_sums)[(static_cast<size_t>(b) * co_t_ *
+                                      n_) +
+                                     c] = s;
+                }
+            }
+        } else {
+            for (size_t t = 0; t < tasks.size(); ++t) {
+                const Task& tk = tasks[t];
+                double* dst =
+                    interior_sums->data() +
+                    (static_cast<size_t>(tk.img) * co_t_ + tk.co) * n_;
+                for (int i = 0; i < n_; ++i) {
+                    dst[i] += cells[t * static_cast<size_t>(n_) + i];
+                }
+            }
+        }
+    }
 }
 
 Tensor
@@ -874,6 +976,13 @@ QuantConvKernel::QuantConvKernel(int co, int ci, int k,
         if (w[i] < -128 || w[i] > 127) fits_ = false;
         w8_[i] = static_cast<int8_t>(
             std::clamp(w[i], INT32_C(-128), INT32_C(127)));
+    }
+    // Fault site: a bit flip in the pre-quantized weight store, before
+    // the nonzero-tap lists compile from it (so the corruption reaches
+    // the sparse schedule too).
+    uint64_t fault_token;
+    if (util::fault_check("int8.weights", &fault_token)) {
+        util::fault_flip_bit(w8_.data(), w8_.size(), fault_token);
     }
     bias_.resize(bias.size());
     abs_sum_.assign(static_cast<size_t>(co), 0.0);

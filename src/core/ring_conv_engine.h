@@ -177,9 +177,19 @@ class RingConvEngine
      * reset() to the output shape, reusing its capacity. When `scratch`
      * is non-null its buffers are reused across calls; otherwise
      * transient scratch is allocated locally.
+     *
+     * When `interior_sums` is non-null it is resized to
+     * count * co_t * n and filled with the PRE-EPILOGUE sum of each
+     * real output channel over the interior region [pad, H-pad) x
+     * [pad, W-pad), per image — the observed side of the ABFT checksum
+     * identity (plan::abft_check_f32). Each parallel task accumulates
+     * its own band into a private double cell and the cells reduce in
+     * task-index order, so the captured sums are deterministic and the
+     * tensor outputs stay bit-identical to a capture-free run.
      */
     void run_into(const Tensor* const* xs, Tensor* outs, int count,
-                  RingConvScratch* scratch = nullptr) const;
+                  RingConvScratch* scratch = nullptr,
+                  std::vector<double>* interior_sums = nullptr) const;
 
     const Ring& ring() const { return *ring_; }
     int co_t() const { return co_t_; }
@@ -221,16 +231,20 @@ class RingConvEngine
     void conv_band_f64(const float* xt, int h, int w, int co, int y0,
                        int y1, Tensor& out,
                        RingConvScratch::Worker& scratch) const;
+    /** `sums` (optional): n doubles receiving the band's pre-epilogue
+     *  interior sums per output component (ABFT capture). */
     void conv_band_f32(const float* xt, int h, int w, int co, int y0,
                        int y1, Tensor& out,
-                       RingConvScratch::Worker& scratch) const;
+                       RingConvScratch::Worker& scratch,
+                       double* sums = nullptr) const;
     /** The tap_fused variant of conv_band_f32 (same values, fewer
      *  accumulator passes; see RingConvEngineOptions::tap_fused).
      *  `planes` maps (tuple, component) -> input plane (aliased or
      *  transformed; see RingConvScratch::xplanes). */
     void conv_band_f32_fused(const float* const* planes, int h, int w,
                              int co, int y0, int y1, Tensor& out,
-                             RingConvScratch::Worker& scratch) const;
+                             RingConvScratch::Worker& scratch,
+                             double* sums = nullptr) const;
 
     const Ring* ring_;
     int co_t_, ci_t_, k_, n_, m_;

@@ -58,6 +58,56 @@ sum_generic(const float* src, int64_t len)
     return acc;
 }
 
+// Blocked plane reduction (see simd.h): 8 float lanes per 256-element
+// block, block results accumulated in double. The AVX2 version runs
+// the same lanes on real vectors and the same reduce8 tree per block.
+void
+plane_sums_generic(const float* src, int64_t len, double* sum, double* asum)
+{
+    double ts = 0.0, ta = 0.0;
+    int64_t i = 0;
+    while (i < len) {
+        const int64_t blk = len - i < 256 ? len - i : 256;
+        float lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+        float alanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+        int64_t j = 0;
+        for (; j + 8 <= blk; j += 8) {
+            for (int l = 0; l < 8; ++l) {
+                const float v = src[i + j + l];
+                lanes[l] += v;
+                alanes[l] += std::fabs(v);
+            }
+        }
+        float s = reduce8(lanes);
+        float a = reduce8(alanes);
+        for (; j < blk; ++j) {
+            const float v = src[i + j];
+            s += v;
+            a += std::fabs(v);
+        }
+        ts += static_cast<double>(s);
+        ta += static_cast<double>(a);
+        i += blk;
+    }
+    *sum = ts;
+    *asum = ta;
+}
+
+// std::fabs clears the sign bit (also of -0.0 and NaN), matching the
+// AVX2 andnot mask lane for lane.
+float
+asum_generic(const float* src, int64_t len)
+{
+    float lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    int64_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+        for (int j = 0; j < 8; ++j) lanes[j] += std::fabs(src[i + j]);
+    }
+    float acc = reduce8(lanes);
+    for (; i < len; ++i) acc += std::fabs(src[i]);
+    return acc;
+}
+
 // The fused multi-source kernels perform, per element, exactly the
 // operation sequence of the equivalent axpy/scale call chain (ascending
 // term order, mul then add, no FMA), so every build and dispatch target
@@ -169,6 +219,57 @@ sum_avx2(const float* src, int64_t len)
     _mm256_storeu_ps(lanes, vacc);
     float acc = reduce8(lanes);
     for (; i < len; ++i) acc += src[i];
+    return acc;
+}
+
+__attribute__((target("avx2"))) void
+plane_sums_avx2(const float* src, int64_t len, double* sum, double* asum)
+{
+    const __m256 sign = _mm256_set1_ps(-0.0f);
+    double ts = 0.0, ta = 0.0;
+    int64_t i = 0;
+    while (i < len) {
+        const int64_t blk = len - i < 256 ? len - i : 256;
+        __m256 vs = _mm256_setzero_ps();
+        __m256 va = _mm256_setzero_ps();
+        int64_t j = 0;
+        for (; j + 8 <= blk; j += 8) {
+            const __m256 v = _mm256_loadu_ps(src + i + j);
+            vs = _mm256_add_ps(vs, v);
+            va = _mm256_add_ps(va, _mm256_andnot_ps(sign, v));
+        }
+        float lanes[8], alanes[8];
+        _mm256_storeu_ps(lanes, vs);
+        _mm256_storeu_ps(alanes, va);
+        float s = reduce8(lanes);
+        float a = reduce8(alanes);
+        for (; j < blk; ++j) {
+            const float v = src[i + j];
+            s += v;
+            a += std::fabs(v);
+        }
+        ts += static_cast<double>(s);
+        ta += static_cast<double>(a);
+        i += blk;
+    }
+    *sum = ts;
+    *asum = ta;
+}
+
+__attribute__((target("avx2"))) float
+asum_avx2(const float* src, int64_t len)
+{
+    const __m256 sign = _mm256_set1_ps(-0.0f);
+    __m256 vacc = _mm256_setzero_ps();
+    int64_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+        vacc = _mm256_add_ps(vacc,
+                             _mm256_andnot_ps(sign, _mm256_loadu_ps(src + i)));
+    }
+    float lanes[8];
+    _mm256_storeu_ps(lanes, vacc);
+    float acc = reduce8(lanes);
+    for (; i < len; ++i) acc += std::fabs(src[i]);
     return acc;
 }
 
@@ -353,6 +454,7 @@ using AxpyI32Fn = void (*)(int32_t*, const int32_t*, int32_t, int64_t);
 using ScaleI32Fn = void (*)(int32_t*, const int32_t*, int32_t, int64_t);
 using RowsFn = void (*)(float*, const float* const*, const float*, int,
                         int64_t);
+using PlaneSumsFn = void (*)(const float*, int64_t, double*, double*);
 
 struct Dispatch
 {
@@ -360,6 +462,8 @@ struct Dispatch
     ScaleFn scale = scale_generic;
     DotFn dot = dot_generic;
     SumFn sum = sum_generic;
+    SumFn asum = asum_generic;
+    PlaneSumsFn plane_sums = plane_sums_generic;
     AxpyI32Fn axpy_i = axpy_i32_generic;
     ScaleI32Fn scale_i = scale_i32_generic;
     RowsFn axpy_rows = axpy_rows_generic;
@@ -374,6 +478,8 @@ struct Dispatch
             scale = scale_avx2;
             dot = dot_avx2;
             sum = sum_avx2;
+            asum = asum_avx2;
+            plane_sums = plane_sums_avx2;
             axpy_i = axpy_i32_avx2;
             scale_i = scale_i32_avx2;
             axpy_rows = axpy_rows_avx2;
@@ -433,6 +539,14 @@ sum_resolver(const float* src, int64_t len)
     return f(src, len);
 }
 
+float
+asum_resolver(const float* src, int64_t len)
+{
+    const SumFn f = dispatch().asum;
+    detail::asum_f32_impl.store(f, std::memory_order_relaxed);
+    return f(src, len);
+}
+
 }  // namespace
 
 namespace detail {
@@ -440,7 +554,14 @@ std::atomic<AxpyFn> axpy_f32_impl{axpy_resolver};
 std::atomic<ScaleFn> scale_f32_impl{scale_resolver};
 std::atomic<DotFn> dot_f32_impl{dot_resolver};
 std::atomic<SumFn> sum_f32_impl{sum_resolver};
+std::atomic<SumFn> asum_f32_impl{asum_resolver};
 }  // namespace detail
+
+void
+plane_sums_f32(const float* src, int64_t len, double* sum, double* asum)
+{
+    dispatch().plane_sums(src, len, sum, asum);
+}
 
 void
 axpy_rows_f32(float* dst, const float* const* srcs, const float* coeffs,

@@ -45,6 +45,7 @@
 #define RINGCNN_CORE_SIMD_H
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 
 namespace ringcnn::simd {
@@ -69,6 +70,7 @@ extern std::atomic<AxpyFn> axpy_f32_impl;
 extern std::atomic<ScaleFn> scale_f32_impl;
 extern std::atomic<DotFn> dot_f32_impl;
 extern std::atomic<SumFn> sum_f32_impl;
+extern std::atomic<SumFn> asum_f32_impl;
 
 /** Rows shorter than this run inline (element-wise kernels only). */
 constexpr int64_t kInlineRow = 16;
@@ -131,6 +133,33 @@ inline float sum_f32(const float* src, int64_t len)
     }
     return detail::sum_f32_impl.load(std::memory_order_relaxed)(src, len);
 }
+
+/**
+ * Returns sum_i |src[i]| for i in [0, len) — the magnitude-bound
+ * reduction of the ABFT checksum's rounding tolerance. Same 8-lane
+ * reduction contract as dot_f32.
+ */
+inline float asum_f32(const float* src, int64_t len)
+{
+    if (len < 8) {
+        float acc = 0.0f;
+        for (int64_t i = 0; i < len; ++i) acc += std::fabs(src[i]);
+        return acc;
+    }
+    return detail::asum_f32_impl.load(std::memory_order_relaxed)(src, len);
+}
+
+/**
+ * One-pass plane reduction: *sum = sum_i src[i] and *asum =
+ * sum_i |src[i]| over [0, len), read once. Both accumulate in 8 float
+ * lanes flushed to a double accumulator every 256 elements, so the
+ * rounding error stays O(32 eps) RELATIVE regardless of len — the ABFT
+ * checksum's whole-plane reductions need that length-independence.
+ * Within each block the lane/tree contract of dot_f32 applies, and the
+ * two dispatch targets agree bit for bit.
+ */
+void plane_sums_f32(const float* src, int64_t len, double* sum,
+                    double* asum);
 
 /**
  * Fused multi-source accumulation: for each i in [0, len),

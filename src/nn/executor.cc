@@ -1,13 +1,16 @@
 #include "nn/executor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <new>
 
 #include "nn/conv_kernels.h"
 #include "plan/arena_planner.h"
 #include "plan/fusion_pass.h"
 #include "tensor/image_ops.h"
 #include "util/check.h"
+#include "util/fault.h"
 #include "util/thread_pool.h"
 
 namespace ringcnn::nn {
@@ -57,6 +60,14 @@ struct ModelExecutor::EngineRec
     uint64_t seen_version = 0;
     RingConvScratch scratch;
     std::vector<const Tensor*> in_ptrs;  ///< reused batch pointer array
+
+    /** ABFT state (verify_checksums only). The checksum is recomputed
+     *  on a weight-version bump, so it tracks refresh — the plan's
+     *  OpIR copy may go stale, this one is live. */
+    std::shared_ptr<const plan::ConvChecksum> checksum;
+    int op_index = 0;
+    uint64_t fingerprint = 0;  ///< FNV of the last-synced weights
+    std::vector<double> in_sums, in_abs, out_sums;  ///< reused scratch
 };
 
 ModelExecutor::~ModelExecutor() = default;
@@ -75,6 +86,8 @@ ModelExecutor::rebind(const Shape& in_shape)
 {
     RINGCNN_CHECK(in_shape.size() == 3,
                   "executor input must be a CHW shape");
+    // Fault site: plan compile/rebind hitting an allocation failure.
+    if (util::fault_check("plan.alloc")) throw std::bad_alloc();
     in_shape_ = in_shape;
     steps_.clear();
     engines_.clear();
@@ -137,6 +150,12 @@ ModelExecutor::lower_ringconv(const plan::OpIR& op)
     rec->engine->set_epilogue(ep, u, v);
     rec->layer = rc;
     rec->seen_version = rc->param_version();
+    rec->op_index =
+        static_cast<int>(&op - plan_.ops.data());
+    if (opt_.verify_checksums) {
+        rec->checksum = op.checksum;
+        rec->fingerprint = weights_fingerprint(rc->weights(), rc->bias());
+    }
     const size_t rec_idx = engines_.size();
     engines_.push_back(std::move(rec));
 
@@ -148,9 +167,39 @@ ModelExecutor::lower_ringconv(const plan::OpIR& op)
             r.in_ptrs[static_cast<size_t>(b)] =
                 &slots_[static_cast<size_t>(in)][static_cast<size_t>(b)];
         }
+        if (!opt_.verify_checksums || r.checksum == nullptr) {
+            r.engine->run_into(r.in_ptrs.data(),
+                               slots_[static_cast<size_t>(out)].data(),
+                               batch, &r.scratch);
+            return;
+        }
+        // ABFT: shifted-window input sums first (the input slot may be
+        // recycled), run with interior capture, then check each image's
+        // observed sums against the checksum prediction.
+        const plan::ConvChecksum& cs = *r.checksum;
+        const size_t taps = cs.num_input_sums();
+        r.in_sums.resize(taps * static_cast<size_t>(batch));
+        r.in_abs.resize(taps * static_cast<size_t>(batch));
+        for (int b = 0; b < batch; ++b) {
+            const Tensor& x = *r.in_ptrs[static_cast<size_t>(b)];
+            plan::abft_input_sums_f32(
+                cs, x.data(), x.dim(1), x.dim(2),
+                r.in_sums.data() + static_cast<size_t>(b) * taps,
+                r.in_abs.data() + static_cast<size_t>(b) * taps);
+        }
         r.engine->run_into(r.in_ptrs.data(),
                            slots_[static_cast<size_t>(out)].data(), batch,
-                           &r.scratch);
+                           &r.scratch, &r.out_sums);
+        for (int b = 0; b < batch; ++b) {
+            const Tensor& y =
+                slots_[static_cast<size_t>(out)][static_cast<size_t>(b)];
+            plan::abft_check_f32(
+                cs, r.in_sums.data() + static_cast<size_t>(b) * taps,
+                r.in_abs.data() + static_cast<size_t>(b) * taps,
+                r.out_sums.data() +
+                    static_cast<size_t>(b) * cs.co,
+                y.dim(1), y.dim(2), r.op_index, r.engine->n());
+        }
     });
 }
 
@@ -371,9 +420,49 @@ ModelExecutor::refresh()
     for (auto& rec : engines_) {
         const uint64_t now = rec->layer->param_version();
         if (now != rec->seen_version) {
+            if (opt_.verify_checksums) {
+                // A corrupted update must not reach the engines: scan
+                // the incoming weight set before deriving anything
+                // from it. Throwing here leaves the old weights live,
+                // so the failure repeats deterministically.
+                for (const float v : rec->layer->weights().w) {
+                    if (!std::isfinite(v)) {
+                        throw plan::IntegrityError(
+                            "ringcnn: corrupted weight update: non-"
+                            "finite weight in refreshed layer");
+                    }
+                }
+                for (const float v : rec->layer->bias()) {
+                    if (!std::isfinite(v)) {
+                        throw plan::IntegrityError(
+                            "ringcnn: corrupted weight update: non-"
+                            "finite bias in refreshed layer");
+                    }
+                }
+            }
             rec->engine->set_weights(rec->layer->weights(),
                                      rec->layer->bias());
             rec->seen_version = now;
+            if (opt_.verify_checksums) {
+                // The OpIR annotation is not re-linearized on refresh;
+                // the live checksum (and fingerprint) follow the new
+                // weights here.
+                rec->checksum = plan::make_ring_checksum(
+                    rec->layer->ring(), rec->layer->weights(),
+                    rec->layer->bias());
+                rec->fingerprint = weights_fingerprint(
+                    rec->layer->weights(), rec->layer->bias());
+            }
+        } else if (opt_.verify_checksums) {
+            // No version bump: the retained fingerprint must still
+            // match, or the weights were torn out from under us.
+            if (weights_fingerprint(rec->layer->weights(),
+                                    rec->layer->bias()) !=
+                rec->fingerprint) {
+                throw plan::IntegrityError(
+                    "ringcnn: torn weight update: layer weights "
+                    "changed without a version bump");
+            }
         }
     }
 }
@@ -416,6 +505,14 @@ ModelExecutor::exec(const Tensor* const* xs, int count)
         entry[static_cast<size_t>(b)].reset(in_shape_);
         std::memcpy(entry[static_cast<size_t>(b)].data(), xs[b]->data(),
                     static_cast<size_t>(xs[b]->numel()) * sizeof(float));
+    }
+    // Fault site: NaN/Inf poison landing on an activation AFTER serve-
+    // side input validation (an in-flight corruption, not a bad input).
+    uint64_t fault_token;
+    if (util::fault_check("fp32.activation", &fault_token)) {
+        Tensor& e0 = entry[0];
+        util::fault_poison(e0.data(),
+                           static_cast<size_t>(e0.numel()), fault_token);
     }
     for (auto& step : steps_) step(count);
 }

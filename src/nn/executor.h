@@ -72,6 +72,17 @@ struct ExecutorOptions
      *  RingConvEngineOptions::sparse_taps) — bit-identical to the dense
      *  schedule; off is the dense A/B baseline. */
     bool sparse_taps = true;
+    /**
+     * ABFT verification: after every ring-conv pass, compare the
+     * output's interior ring-sum against the prediction from the
+     * input's ring-sum and the plan's weight checksum (tolerance-
+     * bounded; see plan::ConvChecksum). Also hardens weight refresh:
+     * NaN/Inf in an updated weight set and out-of-band weight changes
+     * (no version bump) surface as plan::IntegrityError. Outputs are
+     * bit-identical with verification on; the cost is one extra read
+     * pass over each conv's input and output.
+     */
+    bool verify_checksums = false;
 };
 
 class ModelExecutor

@@ -1,8 +1,13 @@
 #include "plan/graph_ir.h"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <unordered_map>
 
+#include "core/ring.h"
+#include "core/ring_conv.h"
+#include "core/simd.h"
 #include "nn/layer.h"
 #include "quant/quant_model.h"
 #include "util/check.h"
@@ -54,6 +59,407 @@ ceil_div(int64_t a, int64_t b)
 }
 
 }  // namespace
+
+// ---- ABFT checksums --------------------------------------------------------
+
+std::shared_ptr<const ConvChecksum>
+make_ring_checksum(const Ring& ring, const RingConvWeights& wt,
+                   const std::vector<float>& bias)
+{
+    auto cs = std::make_shared<ConvChecksum>();
+    const int n = wt.n, k = wt.k;
+    cs->co = wt.co_t * n;
+    cs->ci = wt.ci_t * n;
+    cs->k = k;
+    cs->exact = false;
+    const size_t wsz =
+        static_cast<size_t>(cs->co) * cs->ci * k * k;
+    cs->w.assign(wsz, 0.0);
+    cs->wabs.assign(wsz, 0.0);
+    const Matd& tg = ring.fast.tg;
+    const Matd& tx = ring.fast.tx;
+    const Matd& tz = ring.fast.tz;
+    const int m = tg.rows();
+    std::vector<double> gt(static_cast<size_t>(m));
+    std::vector<double> gta(static_cast<size_t>(m));
+    for (int co = 0; co < wt.co_t; ++co) {
+        for (int ci = 0; ci < wt.ci_t; ++ci) {
+            for (int ky = 0; ky < k; ++ky) {
+                for (int kx = 0; kx < k; ++kx) {
+                    // g~ = Tg g in double, plus the term-magnitude sum
+                    // that bounds every float partial sum the engine's
+                    // own derivation of gt32_ can produce.
+                    for (int r = 0; r < m; ++r) {
+                        double s = 0.0, sa = 0.0;
+                        for (int c = 0; c < n; ++c) {
+                            const double t =
+                                tg.at(r, c) *
+                                static_cast<double>(
+                                    wt.at(co, ci, ky, kx, c));
+                            s += t;
+                            sa += std::abs(t);
+                        }
+                        gt[static_cast<size_t>(r)] = s;
+                        gta[static_cast<size_t>(r)] = sa;
+                    }
+                    // Real expansion W[i][j] = sum_r Tz(i,r) g~_r
+                    // Tx(r,j) (the isomorphic matrix), and the
+                    // conservative |Tz| |g~| |Tx| chain — transform-
+                    // domain operands can be large where W itself
+                    // cancels, and the float error scales with the
+                    // operands, not with W.
+                    for (int i = 0; i < n; ++i) {
+                        for (int j = 0; j < n; ++j) {
+                            double s = 0.0, sa = 0.0;
+                            for (int r = 0; r < m; ++r) {
+                                s += tz.at(i, r) *
+                                     gt[static_cast<size_t>(r)] *
+                                     tx.at(r, j);
+                                sa += std::abs(tz.at(i, r)) *
+                                      gta[static_cast<size_t>(r)] *
+                                      std::abs(tx.at(r, j));
+                            }
+                            const size_t idx =
+                                ((static_cast<size_t>(co * n + i) *
+                                      cs->ci +
+                                  (ci * n + j)) *
+                                     k +
+                                 ky) *
+                                    k +
+                                kx;
+                            cs->w[idx] = s;
+                            cs->wabs[idx] = sa;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Tap-summed magnitudes for the checker's amax fast path (valid
+    // because abft_input_sums_f32 fills every A slot of a channel with
+    // one shared plane bound).
+    cs->wabs_ci.assign(static_cast<size_t>(cs->co) * cs->ci, 0.0);
+    for (int co = 0; co < cs->co; ++co) {
+        for (int ci = 0; ci < cs->ci; ++ci) {
+            const double* war =
+                cs->wabs.data() +
+                (static_cast<size_t>(co) * cs->ci + ci) * k * k;
+            double s = 0.0;
+            for (int t = 0; t < k * k; ++t) s += war[t];
+            cs->wabs_ci[static_cast<size_t>(co) * cs->ci + ci] = s;
+        }
+    }
+    cs->bias.assign(static_cast<size_t>(cs->co), 0.0);
+    cs->babs.assign(static_cast<size_t>(cs->co), 0.0);
+    if (bias.size() == static_cast<size_t>(cs->co)) {
+        for (int c = 0; c < cs->co; ++c) {
+            cs->bias[static_cast<size_t>(c)] =
+                static_cast<double>(bias[static_cast<size_t>(c)]);
+            cs->babs[static_cast<size_t>(c)] = std::abs(
+                static_cast<double>(bias[static_cast<size_t>(c)]));
+        }
+    }
+    return cs;
+}
+
+std::shared_ptr<const ConvChecksum>
+make_qconv_checksum(const quant::QConvNode& conv)
+{
+    auto cs = std::make_shared<ConvChecksum>();
+    cs->co = conv.co;
+    cs->ci = conv.ci;
+    cs->k = conv.k;
+    cs->exact = true;
+    cs->iw.assign(conv.w.begin(), conv.w.end());
+    cs->ibias = conv.bias;
+    if (cs->ibias.size() != static_cast<size_t>(conv.co)) {
+        cs->ibias.assign(static_cast<size_t>(conv.co), 0);
+    }
+    return cs;
+}
+
+void
+abft_input_sums_f32(const ConvChecksum& cs, const float* x, int h, int w,
+                    double* S, double* A)
+{
+    const int k = cs.k, r = k / 2;
+    const int ih = h - 2 * r, iw = w - 2 * r;
+    const size_t slots = cs.num_input_sums();
+    std::fill(S, S + slots, 0.0);
+    if (A != nullptr) std::fill(A, A + slots, 0.0);
+    if (ih <= 0 || iw <= 0) return;
+    const int r2 = 2 * r;
+    if (h < 2 * r2 || w < 2 * r2) {
+        // Tiny plane: the top/bottom (left/right) edge bands overlap,
+        // so run the straightforward per-row walk — one SIMD full-row
+        // sum, kx windows by subtracting the <= 2r excluded head/tail
+        // elements. Cost is irrelevant at these sizes.
+        std::vector<double> win(static_cast<size_t>(k));
+        for (int c = 0; c < cs.ci; ++c) {
+            const float* plane = x + static_cast<size_t>(c) * h * w;
+            for (int y = 0; y < h; ++y) {
+                const float* row = plane + static_cast<size_t>(y) * w;
+                const double total =
+                    static_cast<double>(simd::sum_f32(row, w));
+                for (int kx = 0; kx < k; ++kx) {
+                    double s = total;
+                    for (int i = 0; i < kx; ++i) {
+                        s -= static_cast<double>(row[i]);
+                    }
+                    for (int i = w - (r2 - kx); i < w; ++i) {
+                        s -= static_cast<double>(row[i]);
+                    }
+                    win[kx] = s;
+                }
+                const int ky0 = std::max(0, y - ih + 1);
+                const int ky1 = std::min(k - 1, y);
+                for (int ky = ky0; ky <= ky1; ++ky) {
+                    double* Sr =
+                        S + (static_cast<size_t>(c) * k + ky) * k;
+                    for (int kx = 0; kx < k; ++kx) Sr[kx] += win[kx];
+                }
+            }
+            if (A != nullptr) {
+                const double abs_total =
+                    static_cast<double>(simd::asum_f32(
+                        plane, static_cast<int64_t>(h) * w));
+                double* Ac = A + static_cast<size_t>(c) * k * k;
+                for (int t = 0; t < k * k; ++t) Ac[t] = abs_total;
+            }
+        }
+        return;
+    }
+    // Rectangle decomposition. The (ky, kx) window covers rows
+    // [ky, ky+ih) x cols [kx, kx+iw); its complement is built from the
+    // first/last 2r rows and columns only:
+    //
+    //   S[ky][kx] = total - rowExcl(ky) - colExcl(kx) + cross(ky, kx)
+    //
+    // where rowExcl sums the excluded full rows (top rows [0, ky) plus
+    // the last 2r-ky rows), colExcl the excluded full-height columns,
+    // and cross adds back the row x column crossings subtracted twice.
+    // One fused SIMD plane pass (sum + |x| bound for A) plus
+    // O(r*(h+w)) scalar double edge sums per channel; the plane pass
+    // rounding rides inside abft_check_f32's tolerance.
+    std::vector<double> rowsum_t(static_cast<size_t>(r2));
+    std::vector<double> rowsum_b(static_cast<size_t>(r2));
+    std::vector<double> colsum_t(static_cast<size_t>(r2));
+    std::vector<double> colsum_b(static_cast<size_t>(r2));
+    // edge_t[i][kx]: candidate top row i's contribution to the
+    // excluded-column set of shift kx (head cols [0, kx) + tail cols
+    // [w-(2r-kx), w)); edge_b for bottom rows.
+    std::vector<double> edge_t(static_cast<size_t>(r2) * k);
+    std::vector<double> edge_b(static_cast<size_t>(r2) * k);
+    for (int c = 0; c < cs.ci; ++c) {
+        const float* plane = x + static_cast<size_t>(c) * h * w;
+        double total = 0.0, abs_total = 0.0;
+        simd::plane_sums_f32(plane, static_cast<int64_t>(h) * w, &total,
+                             &abs_total);
+        for (int i = 0; i < r2; ++i) {
+            const float* rt = plane + static_cast<size_t>(i) * w;
+            const float* rb =
+                plane + static_cast<size_t>(h - r2 + i) * w;
+            double st = 0.0, sb = 0.0;
+            for (int j = 0; j < w; ++j) {
+                st += static_cast<double>(rt[j]);
+                sb += static_cast<double>(rb[j]);
+            }
+            rowsum_t[i] = st;
+            rowsum_b[i] = sb;
+            for (int kx = 0; kx < k; ++kx) {
+                double et = 0.0, eb = 0.0;
+                for (int j = 0; j < kx; ++j) {
+                    et += static_cast<double>(rt[j]);
+                    eb += static_cast<double>(rb[j]);
+                }
+                for (int j = w - (r2 - kx); j < w; ++j) {
+                    et += static_cast<double>(rt[j]);
+                    eb += static_cast<double>(rb[j]);
+                }
+                edge_t[static_cast<size_t>(i) * k + kx] = et;
+                edge_b[static_cast<size_t>(i) * k + kx] = eb;
+            }
+        }
+        std::fill(colsum_t.begin(), colsum_t.end(), 0.0);
+        std::fill(colsum_b.begin(), colsum_b.end(), 0.0);
+        for (int y = 0; y < h; ++y) {
+            const float* row = plane + static_cast<size_t>(y) * w;
+            for (int i = 0; i < r2; ++i) {
+                colsum_t[i] += static_cast<double>(row[i]);
+                colsum_b[i] += static_cast<double>(row[w - r2 + i]);
+            }
+        }
+        double* Sc = S + static_cast<size_t>(c) * k * k;
+        for (int ky = 0; ky < k; ++ky) {
+            // Excluded rows: top candidates [0, ky), bottom candidates
+            // [ky, 2r) (bottom index i is row h-2r+i, and the last
+            // 2r-ky rows are excluded).
+            double row_excl = 0.0;
+            for (int i = 0; i < ky; ++i) row_excl += rowsum_t[i];
+            for (int i = ky; i < r2; ++i) row_excl += rowsum_b[i];
+            for (int kx = 0; kx < k; ++kx) {
+                double col_excl = 0.0;
+                for (int i = 0; i < kx; ++i) col_excl += colsum_t[i];
+                for (int i = kx; i < r2; ++i) col_excl += colsum_b[i];
+                double cross = 0.0;
+                for (int i = 0; i < ky; ++i) {
+                    cross += edge_t[static_cast<size_t>(i) * k + kx];
+                }
+                for (int i = ky; i < r2; ++i) {
+                    cross += edge_b[static_cast<size_t>(i) * k + kx];
+                }
+                Sc[ky * k + kx] = total - row_excl - col_excl + cross;
+            }
+        }
+        if (A != nullptr) {
+            // The tolerance only needs an upper bound on each shifted
+            // window's |x| sum; the whole-plane |x| sum bounds every
+            // window of this channel.
+            double* Ac = A + static_cast<size_t>(c) * k * k;
+            for (int t = 0; t < k * k; ++t) Ac[t] = abs_total;
+        }
+    }
+}
+
+void
+abft_input_sums_i32(const ConvChecksum& cs, const int32_t* x, int h, int w,
+                    int64_t* S)
+{
+    const int k = cs.k, r = k / 2;
+    const int ih = h - 2 * r, iw = w - 2 * r;
+    const size_t slots = cs.num_input_sums();
+    std::fill(S, S + slots, static_cast<int64_t>(0));
+    if (ih <= 0 || iw <= 0) return;
+    // Same full-row-sum + edge-correction walk as the fp32 variant
+    // (integer addition is associative, so this is exact); no prefix
+    // array, one read pass over the image.
+    std::vector<int64_t> win(static_cast<size_t>(k));
+    for (int c = 0; c < cs.ci; ++c) {
+        const int32_t* plane =
+            x + static_cast<size_t>(c) * h * w;
+        for (int y = 0; y < h; ++y) {
+            const int32_t* row = plane + static_cast<size_t>(y) * w;
+            int64_t total = 0;
+            for (int i = 0; i < w; ++i) total += row[i];
+            for (int kx = 0; kx < k; ++kx) {
+                int64_t s = total;
+                for (int i = 0; i < kx; ++i) s -= row[i];
+                for (int i = w - (2 * r - kx); i < w; ++i) s -= row[i];
+                win[static_cast<size_t>(kx)] = s;
+            }
+            const int ky0 = std::max(0, y - ih + 1);
+            const int ky1 = std::min(k - 1, y);
+            for (int ky = ky0; ky <= ky1; ++ky) {
+                int64_t* Sr =
+                    S + (static_cast<size_t>(c) * k + ky) * k;
+                for (int kx = 0; kx < k; ++kx) {
+                    Sr[kx] += win[static_cast<size_t>(kx)];
+                }
+            }
+        }
+    }
+}
+
+namespace
+{
+
+[[noreturn]] void
+throw_integrity(const ConvChecksum& cs, int op_index, int channel,
+                int tuple, double diff, double tol, bool exact)
+{
+    const int band = tuple > 0 ? channel / tuple : channel;
+    std::ostringstream os;
+    os << "ringcnn: ABFT checksum mismatch at op " << op_index
+       << " (ringconv): output channel " << channel << " (band " << band
+       << "/" << (tuple > 0 ? cs.co / tuple : cs.co) << ")";
+    if (exact) {
+        os << " accumulator sum off by " << diff;
+    } else {
+        os << " deviates by " << diff << " (tolerance " << tol << ")";
+    }
+    throw IntegrityError(os.str());
+}
+
+}  // namespace
+
+void
+abft_check_f32(const ConvChecksum& cs, const double* S, const double* A,
+               const double* out_sums, int h, int w, int op_index,
+               int tuple)
+{
+    const int k = cs.k, r = k / 2;
+    const double npix = static_cast<double>(std::max(0, h - 2 * r)) *
+                        static_cast<double>(std::max(0, w - 2 * r));
+    if (npix == 0.0) return;
+    const size_t taps = cs.num_input_sums();
+    // Rounding bound: per interior pixel the engine forms ~taps float
+    // fused products whose operand magnitudes the |Tz||g~||Tx| chain
+    // bounds; summed over the interior that is gamma_N * amax with
+    // N ~ taps. The +40 covers the transform passes plus the blocked
+    // plane reduction of the input sums (8 float lanes flushed to
+    // double every 256 elements: O(32 eps) RELATIVE error regardless
+    // of plane size); the w/4 term covers the 8-lane FLOAT row
+    // reductions of the engine's interior capture (~w/8 lane adds of
+    // rounding per row); x4 is safety for the float-rounded
+    // gt32/tz/tx coefficients the engine uses versus this double
+    // prediction.
+    const double gamma =
+        (static_cast<double>(taps) + 40.0 +
+         static_cast<double>(w) / 4.0) *
+        6.0e-8 * 4.0;
+    const int kk = k * k;
+    const double* wac = cs.wabs_ci.empty() ? nullptr : cs.wabs_ci.data();
+    for (int c = 0; c < cs.co; ++c) {
+        const double* wr = cs.w.data() + static_cast<size_t>(c) * taps;
+        double pred = cs.bias[static_cast<size_t>(c)] * npix;
+        double amax = cs.babs[static_cast<size_t>(c)] * npix;
+        for (size_t t = 0; t < taps; ++t) pred += wr[t] * S[t];
+        if (wac != nullptr) {
+            // A slots are per-channel constant (one shared plane
+            // bound), so the amax accumulation collapses to ci terms
+            // against the tap-summed magnitudes.
+            const double* wc = wac + static_cast<size_t>(c) * cs.ci;
+            for (int ci = 0; ci < cs.ci; ++ci) {
+                amax += wc[ci] * A[static_cast<size_t>(ci) * kk];
+            }
+        } else {
+            const double* war =
+                cs.wabs.data() + static_cast<size_t>(c) * taps;
+            for (size_t t = 0; t < taps; ++t) amax += war[t] * A[t];
+        }
+        const double tol = gamma * amax + 1e-30;
+        const double diff = pred - out_sums[c];
+        // Ordered comparison: a NaN anywhere (input poison, corrupted
+        // arithmetic) fails the <= and is reported as a mismatch.
+        if (!(std::abs(diff) <= tol)) {
+            throw_integrity(cs, op_index, c, tuple, diff, tol, false);
+        }
+    }
+}
+
+void
+abft_check_i64(const ConvChecksum& cs, const int64_t* S,
+               const int64_t* out_sums, int h, int w, int op_index,
+               int tuple)
+{
+    const int k = cs.k, r = k / 2;
+    const int64_t npix =
+        static_cast<int64_t>(std::max(0, h - 2 * r)) *
+        static_cast<int64_t>(std::max(0, w - 2 * r));
+    if (npix == 0) return;
+    const size_t taps = cs.num_input_sums();
+    for (int c = 0; c < cs.co; ++c) {
+        const int64_t* wr =
+            cs.iw.data() + static_cast<size_t>(c) * taps;
+        int64_t pred = cs.ibias[static_cast<size_t>(c)] * npix;
+        for (size_t t = 0; t < taps; ++t) pred += wr[t] * S[t];
+        if (pred != out_sums[c]) {
+            throw_integrity(cs, op_index, c, tuple,
+                            static_cast<double>(pred - out_sums[c]),
+                            0.0, true);
+        }
+    }
+}
 
 std::string
 GraphPlan::dump() const
@@ -196,6 +602,8 @@ struct F32Linearizer
             op.tuple = rc->ring().n;
             op.co = os[0];
             annotate_ring_sparsity(op, rc->weights());
+            op.checksum =
+                make_ring_checksum(rc->ring(), rc->weights(), rc->bias());
             shape = os;
             return op.out;
         }
@@ -390,6 +798,7 @@ struct I8Linearizer
             op.co = conv->co;
             op.tuple = conv->n;
             annotate_qconv_sparsity(op, *conv);
+            op.checksum = make_qconv_checksum(*conv);
             bits = 32;  // raw accumulators until a requant/dir narrows
             return op.out;
         }

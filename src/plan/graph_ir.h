@@ -29,11 +29,19 @@
 #ifndef RINGCNN_PLAN_GRAPH_IR_H
 #define RINGCNN_PLAN_GRAPH_IR_H
 
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "tensor/tensor.h"
 
+namespace ringcnn
+{
+struct Ring;
+struct RingConvWeights;
+}
 namespace ringcnn::nn
 {
 class Layer;
@@ -41,6 +49,7 @@ class Layer;
 namespace ringcnn::quant
 {
 struct QNode;
+struct QConvNode;
 }
 
 namespace ringcnn::plan
@@ -77,6 +86,113 @@ enum class Epilogue
 };
 
 const char* op_kind_name(OpKind k);
+
+/** A checksum-verification failure: the reduced output ring-sum of a
+ *  conv pass disagreed with the prediction from its input ring-sum and
+ *  the compiled weight checksum — silent corruption somewhere between
+ *  the weight store and the output buffer. The message names the op
+ *  index, the real output channel, and its ring band (channel / n). */
+class IntegrityError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Per-conv ABFT annotation (attached to kRingConv ops at linearize /
+ * rebind time): enough precomputed weight state to predict the
+ * interior-region output sums of a "same"-padded stride-1 conv from
+ * shifted-window input sums.
+ *
+ * For interior pixels [r, H-r) x [r, W-r) with r = k/2, the exact
+ * identity is, per real output channel c:
+ *
+ *   S_out[c] = sum_{ci,ky,kx} W[c][ci][ky][kx] * S_shift[ci][ky][kx]
+ *            + bias[c] * (H-2r)*(W-2r)
+ *
+ * where S_shift is the input channel summed over the k x k grid of
+ * (H-2r) x (W-2r) windows. fp32 plans carry the real-expanded weights
+ * in double (`w`, `bias`) plus a conservative magnitude chain (`wabs`,
+ * `babs`) that mirrors the engine's transform-domain operand sizes —
+ * the check is tolerance-bounded. int8 plans carry exact int64 copies
+ * (`iw`, `ibias`) and the check is bit-exact on the raw accumulators.
+ */
+struct ConvChecksum
+{
+    int co = 0;    ///< real output channels
+    int ci = 0;    ///< real input channels
+    int k = 0;     ///< kernel size (odd)
+    bool exact = false;  ///< int8 integer path: equality, no tolerance
+
+    /** fp32: real weight expansion [co][ci][k][k] in double, and the
+     *  magnitude bound |Tz| |g~| |Tx| of the engine's actual operand
+     *  chain (NOT |W| — transform-domain cancellation would under-
+     *  bound the rounding error on non-identity rings). */
+    std::vector<double> w, wabs;
+    /** fp32 tolerance fast path: wabs row-summed over the k*k taps,
+     *  [co][ci]. abft_input_sums_f32 fills every A slot of an input
+     *  channel with the same whole-plane |x| bound, so the checker can
+     *  collapse the amax accumulation from co*ci*k*k to co*ci terms
+     *  using these sums. Empty on int8 checksums. */
+    std::vector<double> wabs_ci;
+    /** fp32 bias per real output channel (zeros when the layer has
+     *  no bias) and its magnitude. */
+    std::vector<double> bias, babs;
+
+    /** int8: exact weights [co][ci][k][k] and bias per out channel. */
+    std::vector<int64_t> iw;
+    std::vector<int64_t> ibias;
+
+    /** Shifted-window slots per input image: ci * k * k. */
+    size_t num_input_sums() const
+    {
+        return static_cast<size_t>(ci) * k * k;
+    }
+};
+
+/** Builds the fp32 checksum for a ring conv: expands the weights to
+ *  the real [co][ci][k][k] tensor through the ring's fast-algorithm
+ *  transform chain in double precision (mirroring what the engine
+ *  computes in float), alongside the conservative magnitude chain.
+ *  `bias` is per real output channel and may be empty. */
+std::shared_ptr<const ConvChecksum> make_ring_checksum(
+    const Ring& ring, const RingConvWeights& w,
+    const std::vector<float>& bias);
+
+/** Builds the exact int8 checksum from a quantized conv node. */
+std::shared_ptr<const ConvChecksum> make_qconv_checksum(
+    const quant::QConvNode& conv);
+
+/** Computes the k*k shifted-window sums per input channel of one CHW
+ *  image: S[(ci*k+ky)*k+kx] = sum of channel ci over rows
+ *  [ky, ky+h-2r) x cols [kx, kx+w-2r). `A` (optional, may be null)
+ *  receives an UPPER BOUND on the matching sums of |x| (the whole-plane
+ *  |x| sum, shared by every shift of a channel — it only feeds the
+ *  rounding tolerance). Rectangle decomposition: every shifted window
+ *  is the whole plane minus <= 2r excluded edge rows and columns (plus
+ *  their crossings added back), so the cost per channel is ONE fused
+ *  SIMD plane pass plus O(r*(h+w)) scalar edge sums — independent of
+ *  k*k. Planes too small to keep the edge bands disjoint fall back to
+ *  a per-row walk. */
+void abft_input_sums_f32(const ConvChecksum& cs, const float* x, int h,
+                         int w, double* S, double* A);
+void abft_input_sums_i32(const ConvChecksum& cs, const int32_t* x, int h,
+                         int w, int64_t* S);
+
+/** Verifies one fp32 image: `out_sums[c]` is the engine's reduced
+ *  interior sum of real output channel c (pre-epilogue). Throws
+ *  IntegrityError on the first channel whose |predicted - observed|
+ *  exceeds the rounding-error bound (NaN/Inf anywhere also trips —
+ *  the comparison is ordered). */
+void abft_check_f32(const ConvChecksum& cs, const double* S, const double* A,
+                    const double* out_sums, int h, int w, int op_index,
+                    int tuple);
+
+/** Verifies one int8 image exactly against raw int32 accumulators
+ *  (reduced in int64). Any mismatch throws IntegrityError. */
+void abft_check_i64(const ConvChecksum& cs, const int64_t* S,
+                    const int64_t* out_sums, int h, int w, int op_index,
+                    int tuple);
 
 /** One op of the linear plan. Values are SSA ids: `out` is defined by
  *  this op, `in0`/`in1` were defined earlier (in1 == -1 for unary
@@ -121,6 +237,13 @@ struct OpIR
      *  by nz_taps / total_taps). */
     int64_t nz_taps = 0;
     int64_t total_taps = 0;
+
+    /** ABFT weight checksum (conv ops; see ConvChecksum). Computed by
+     *  the linearizers from the live weights; executors that verify
+     *  recompute it on a weight-version bump so it tracks refresh.
+     *  Null on non-conv ops and on conv kinds without a checksum
+     *  derivation (dense/depthwise). Excluded from dump(). */
+    std::shared_ptr<const ConvChecksum> checksum;
 
     /** Per-image activation shapes. Filled by the fp32 linearizer;
      *  int8 plans are shape-free until annotate_shapes(). */

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstring>
+#include <stdexcept>
 
 #include "plan/arena_planner.h"
 #include "plan/fusion_pass.h"
 #include "util/check.h"
+#include "util/fault.h"
 #include "util/thread_pool.h"
 
 namespace ringcnn::quant {
@@ -125,7 +127,24 @@ QuantExecutor::lower_conv(const plan::OpIR& op)
     kernels_.push_back(std::move(kernel));
     const int gn = dir != nullptr ? dir->n : 1;
 
-    steps_.push_back([this, dir, req, in, out, kidx, gn](int batch) {
+    // ABFT: the checksum predicts the raw pre-epilogue accumulators'
+    // interior sum EXACTLY (integer arithmetic), so the capture below
+    // reads `buf` before the requant/dir epilogue consumes it. The
+    // per-call buffers live behind a shared_ptr so the steady state
+    // stays allocation-free across runs.
+    struct VerifyBufs
+    {
+        std::vector<int64_t> in_sums;   ///< [batch][taps]
+        std::vector<int64_t> cells;     ///< [task][gn] partial sums
+        std::vector<int64_t> out_sums;  ///< [batch][co]
+    };
+    std::shared_ptr<const plan::ConvChecksum> cs;
+    if (opt_.verify_checksums) cs = op.checksum;
+    const int opidx = static_cast<int>(&op - plan_.ops.data());
+    auto vb = cs != nullptr ? std::make_shared<VerifyBufs>() : nullptr;
+
+    steps_.push_back([this, dir, req, in, out, kidx, gn, cs, opidx,
+                      vb](int batch) {
         const QuantConvKernel& K = *kernels_[kidx];
         auto& ins = slots_[static_cast<size_t>(in)];
         auto& outs = slots_[static_cast<size_t>(out)];
@@ -152,6 +171,20 @@ QuantExecutor::lower_conv(const plan::OpIR& op)
             }
         }
 
+        // Input ring-sums BEFORE the run: the input slot may alias the
+        // output slot when the plan recycled it.
+        const size_t taps = cs != nullptr ? cs->num_input_sums() : 0;
+        if (cs != nullptr) {
+            vb->in_sums.assign(static_cast<size_t>(batch) * taps, 0);
+            for (int b = 0; b < batch; ++b) {
+                IAct& x = ins[static_cast<size_t>(b)];
+                plan::abft_input_sums_i32(
+                    *cs, x.v.data(), x.shape[1], x.shape[2],
+                    vb->in_sums.data() + static_cast<size_t>(b) * taps);
+            }
+            vb->cells.assign(tasks_.size() * static_cast<size_t>(gn), 0);
+        }
+
         util::parallel_for_worker(
             static_cast<int64_t>(tasks_.size()),
             [&](int worker, int64_t ti) {
@@ -167,9 +200,39 @@ QuantExecutor::lower_conv(const plan::OpIR& op)
                 if (buf.size() < static_cast<size_t>(gn) * brow) {
                     buf.resize(static_cast<size_t>(gn) * brow);
                 }
+                if (util::fault_check("int8.kernel_throw")) {
+                    throw std::runtime_error(
+                        "ringcnn: injected fault: int8 conv kernel task");
+                }
                 for (int gi = 0; gi < gn; ++gi) {
                     K.conv_rows(x.v.data(), h, wd, t.group * gn + gi, t.y0,
                                 t.y1, buf.data() + gi * brow);
+                }
+
+                if (cs != nullptr) {
+                    // Interior sum of the raw accumulators, captured
+                    // before any epilogue consumes the band. Each task
+                    // owns its cell slice — no synchronization needed,
+                    // and int64 addition makes the later reduction
+                    // order-independent (bit-exact).
+                    const int pad = cs->k / 2;
+                    const int gy0 = std::max(t.y0, pad);
+                    const int gy1 = std::min(t.y1, h - pad);
+                    int64_t* cell =
+                        vb->cells.data() + static_cast<size_t>(ti) * gn;
+                    for (int gi = 0; gi < gn; ++gi) {
+                        const int32_t* band = buf.data() + gi * brow;
+                        int64_t s = 0;
+                        for (int gy = gy0; gy < gy1; ++gy) {
+                            const int32_t* row =
+                                band +
+                                static_cast<int64_t>(gy - t.y0) * wd;
+                            for (int xx = pad; xx < wd - pad; ++xx) {
+                                s += row[xx];
+                            }
+                        }
+                        cell[gi] = s;
+                    }
                 }
 
                 if (dir == nullptr && req == nullptr) {
@@ -294,6 +357,27 @@ QuantExecutor::lower_conv(const plan::OpIR& op)
                 }
             },
             threads_);
+
+        if (cs != nullptr) {
+            vb->out_sums.assign(static_cast<size_t>(batch) * co, 0);
+            for (size_t ti = 0; ti < tasks_.size(); ++ti) {
+                const ConvTask& t = tasks_[ti];
+                int64_t* dst = vb->out_sums.data() +
+                               static_cast<size_t>(t.img) * co +
+                               static_cast<size_t>(t.group) * gn;
+                for (int gi = 0; gi < gn; ++gi) {
+                    dst[gi] += vb->cells[ti * static_cast<size_t>(gn) + gi];
+                }
+            }
+            for (int b = 0; b < batch; ++b) {
+                IAct& x = ins[static_cast<size_t>(b)];
+                plan::abft_check_i64(
+                    *cs,
+                    vb->in_sums.data() + static_cast<size_t>(b) * taps,
+                    vb->out_sums.data() + static_cast<size_t>(b) * co,
+                    x.shape[1], x.shape[2], opidx, gn);
+            }
+        }
     });
 }
 

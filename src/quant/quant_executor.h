@@ -68,6 +68,17 @@ struct QuantExecOptions
      *  Integer addition is exact, so the bits are identical either
      *  way; off is the dense A/B baseline. */
     bool sparse_taps = true;
+    /**
+     * ABFT verification: after every fast-path conv, compare the raw
+     * int32 accumulators' interior sum against the EXACT int64
+     * prediction from the input's ring-sum and the plan's weight
+     * checksum (plan::ConvChecksum). A mismatch throws
+     * plan::IntegrityError. Scalar-oracle convs are skipped (the
+     * oracle is the reference, not an optimized rewrite). Outputs are
+     * bit-identical with verification on; the cost is one extra read
+     * pass over each conv's input and raw accumulator band.
+     */
+    bool verify_checksums = false;
 };
 
 class QuantExecutor

@@ -1,12 +1,15 @@
 #include "serve/serve_server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
+#include "plan/graph_ir.h"
 #include "quant/quant_executor.h"
 #include "serve/plan_cache.h"
 #include "util/check.h"
+#include "util/fault.h"
 #include "util/thread_pool.h"
 
 namespace ringcnn::serve {
@@ -34,6 +37,16 @@ struct ServeServer::Backend
     virtual void release(void* plan, bool ok) = 0;
     /** Trims transient cache overflow. Requires the lock. */
     virtual void trim() = 0;
+    /**
+     * Degrade-and-retry path: runs the batch on a FRESH executor
+     * compiled from the source model with checksum verification forced
+     * on, bypassing the claimed cache entry (the cached plan may be
+     * the corrupted party — release(ok=false) drops it). A fresh
+     * compile from the source weights makes a successful retry
+     * bit-identical to an unfaulted run. Called OUTSIDE the lock.
+     */
+    virtual void run_fallback(const Shape& shape, const Tensor* const* xs,
+                              Tensor* outs, int n) = 0;
 };
 
 namespace {
@@ -93,6 +106,15 @@ class Fp32Backend final : public ServeServer::Backend
 
     void trim() override { cache_.trim(); }
 
+    void run_fallback(const Shape& shape, const Tensor* const* xs,
+                      Tensor* outs, int n) override
+    {
+        nn::ExecutorOptions eopt = opt_.executor;
+        eopt.verify_checksums = true;
+        nn::ModelExecutor fresh(model_, shape, eopt);
+        fresh.run_into(xs, outs, n);
+    }
+
   private:
     using Cache = PlanCache<nn::ModelExecutor>;
     nn::Model& model_;
@@ -130,6 +152,8 @@ class Int8Backend final : public ServeServer::Backend
         : model_(model), cache_(opt.max_plans)
     {
         qopt_.threads = opt.executor.threads;
+        qopt_.sparse_taps = opt.executor.sparse_taps;
+        qopt_.verify_checksums = opt.executor.verify_checksums;
     }
 
     void* claim(const Shape& shape, ServeStats& stats) override
@@ -159,6 +183,15 @@ class Int8Backend final : public ServeServer::Backend
     }
 
     void trim() override { cache_.trim(); }
+
+    void run_fallback(const Shape& shape, const Tensor* const* xs,
+                      Tensor* outs, int n) override
+    {
+        quant::QuantExecOptions q = qopt_;
+        q.verify_checksums = true;
+        QuantPlanExec fresh(model_, shape, q);
+        fresh.exec_.forward_into(xs, outs, n);
+    }
 
   private:
     using Cache = PlanCache<QuantPlanExec>;
@@ -283,6 +316,31 @@ ServeServer::enqueue(Request req, const Shape& shape)
                                   "positive CHW tensor")));
         return fut;
     }
+    // Non-finite inputs are rejected BEFORE a batch can form around
+    // them: a NaN never reaches a kernel pass, never co-batches with
+    // healthy requests, and shows up typed instead of as downstream
+    // checksum noise. Scanned here on the submitter's thread.
+    if (opt_.validate_inputs) {
+        const Tensor& x = req.input();
+        const float* p = x.data();
+        const int64_t m = x.numel();
+        bool finite = true;
+        for (int64_t i = 0; i < m && finite; ++i) {
+            finite = std::isfinite(p[i]);
+        }
+        if (!finite) {
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++stats_.requests;
+                ++stats_.rejected_inputs;
+                ++stats_.failed;
+            }
+            req.promise.set_exception(std::make_exception_ptr(
+                InvalidInputError("ringcnn: serve request contains "
+                                  "non-finite values")));
+            return fut;
+        }
+    }
     {
         std::unique_lock<std::mutex> lock(mu_);
         if (stop_) {
@@ -335,6 +393,25 @@ ServeServer::stats() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return stats_;
+}
+
+ServeHealth
+ServeServer::health() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ServeHealth h;
+    h.admitting = !stop_;
+    h.pending = pending_;
+    h.rejected_inputs = stats_.rejected_inputs;
+    h.integrity_failures = stats_.integrity_failures;
+    h.retries = stats_.retries;
+    h.retry_successes = stats_.retry_successes;
+    // Degraded: a detected fault was NOT absorbed — a retry failed, or
+    // verification tripped with the retry path disabled. Overload,
+    // deadline drops, and recovered retries leave the server healthy.
+    h.degraded = stats_.retries > stats_.retry_successes ||
+                 (!opt_.retry_on_fault && stats_.integrity_failures > 0);
+    return h;
 }
 
 double
@@ -517,12 +594,51 @@ ServeServer::worker_loop()
         }
         std::vector<Tensor> outs(static_cast<size_t>(n));
         bool ok = false;
+        bool integrity = false;
+        bool retried = false;
         std::exception_ptr err;
+        {
+            // Injected worker stall (liveness soak): the batch is late
+            // but correct — drain()/deadlines must cope.
+            uint64_t stall_token;
+            if (util::fault_check("serve.stall", &stall_token)) {
+                util::fault_stall_ms(
+                    static_cast<int>(5 + stall_token % 20));
+            }
+        }
         try {
             backend_->run(plan, shape, ptrs.data(), outs.data(), n);
             ok = true;
+        } catch (const plan::IntegrityError&) {
+            integrity = true;
+            err = std::current_exception();
         } catch (...) {
             err = std::current_exception();
+        }
+        // The cached plan is only trustworthy if the FIRST run
+        // succeeded: a retry success must not resurrect a possibly
+        // corrupted cache entry (release(ok=false) drops it).
+        const bool plan_ok = ok;
+        if (!ok && opt_.retry_on_fault) {
+            // Degrade and retry ONCE on the fallback path: the claimed
+            // plan (cached derived weights, compiled tap tables) may be
+            // the corrupted party. A fresh compile from the source
+            // model, with verification forced on, either reproduces the
+            // failure (deterministic bug — surface it to the futures)
+            // or absorbs a transient fault with responses bit-identical
+            // to an unfaulted run. The suspect cached plan is dropped
+            // either way (release(plan_ok=false) below).
+            retried = true;
+            try {
+                backend_->run_fallback(shape, ptrs.data(), outs.data(), n);
+                ok = true;
+                err = nullptr;
+            } catch (const plan::IntegrityError&) {
+                integrity = true;
+                err = std::current_exception();
+            } catch (...) {
+                err = std::current_exception();
+            }
         }
         for (int i = 0; i < n; ++i) {
             if (ok) {
@@ -537,7 +653,12 @@ ServeServer::worker_loop()
 
         lock.lock();
         --active_batches_;
-        backend_->release(plan, ok);
+        backend_->release(plan, plan_ok);
+        if (integrity) ++stats_.integrity_failures;
+        if (retried) {
+            ++stats_.retries;
+            if (ok) ++stats_.retry_successes;
+        }
         bucket->in_flight = false;
         if (bucket->q.empty()) {
             buckets_.erase(shape);

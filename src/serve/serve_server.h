@@ -128,6 +128,15 @@ class DeadlineError : public std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
+/** The request's input failed validation at submit (non-finite
+ *  values) — it was rejected before a batch could form around it, so
+ *  no kernel pass ran and no co-batched request saw it. */
+class InvalidInputError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
 /** What submit does when the queue is at ServeOptions::max_queue. */
 enum class Admission
 {
@@ -176,8 +185,24 @@ struct ServeOptions
      *  pool fan-out, so a single hot shape still uses every core.
      *  Disable to always fan out on the pool. */
     bool inline_kernels = true;
+    /** Reject inputs containing NaN/Inf at submit: the future fails
+     *  fast with InvalidInputError (counted in
+     *  ServeStats::rejected_inputs) and no batch forms around the
+     *  poisoned tensor. The scan runs on the submitter's thread, one
+     *  read pass over the image. */
+    bool validate_inputs = true;
+    /** Degrade-and-retry: when a batch fails mid-run (a
+     *  plan::IntegrityError from ABFT verification, or any kernel
+     *  exception), re-run it ONCE on a freshly compiled fallback
+     *  executor with checksum verification forced on, bypassing the
+     *  possibly-corrupted cached plan. A deterministic bug fails twice
+     *  and surfaces; a transient fault is absorbed and the responses
+     *  are bit-identical to an unfaulted run (fresh compile from the
+     *  source weights). See ServeStats::retries / retry_successes. */
+    bool retry_on_fault = true;
     /** Plan-compile knobs forwarded to every cached ModelExecutor
-     *  (fp32 backend; the int8 backend maps `executor.threads`). */
+     *  (fp32 backend; the int8 backend maps `executor.threads`,
+     *  `executor.sparse_taps` and `executor.verify_checksums`). */
     nn::ExecutorOptions executor;
 };
 
@@ -196,6 +221,10 @@ struct ServeStats
     uint64_t plan_compiles = 0;  ///< fresh executor compiles
     uint64_t plan_rebinds = 0;   ///< LRU evictions recycled via rebind
     uint64_t max_queue_depth = 0;  ///< peak in-flight + queued requests
+    uint64_t rejected_inputs = 0;  ///< non-finite inputs refused at submit
+    uint64_t integrity_failures = 0;  ///< batches that saw IntegrityError
+    uint64_t retries = 0;          ///< failed batches re-run on fallback
+    uint64_t retry_successes = 0;  ///< retries that served the batch
 
     /** Mean images per dispatched batch (the batching win, measured).
      *  Counts only requests that actually joined a batch — fast-path
@@ -208,6 +237,22 @@ struct ServeStats
                    : static_cast<double>(batched) /
                          static_cast<double>(batches);
     }
+};
+
+/** Liveness/integrity snapshot for external monitors; see
+ *  ServeServer::health(). */
+struct ServeHealth
+{
+    bool admitting = false;  ///< accepting new requests (not stopping)
+    uint64_t pending = 0;    ///< accepted-but-unfinished requests
+    uint64_t rejected_inputs = 0;
+    uint64_t integrity_failures = 0;
+    uint64_t retries = 0;
+    uint64_t retry_successes = 0;
+    /** Degraded: a failed batch could not be recovered by the fallback
+     *  retry (persistent corruption or a deterministic bug) — some
+     *  futures were failed. A healthy overloaded server stays ok. */
+    bool degraded = false;
 };
 
 class ServeServer
@@ -269,6 +314,11 @@ class ServeServer
 
     /** Snapshot of the serving counters. */
     ServeStats stats() const;
+
+    /** Liveness/integrity snapshot (one lock, no allocation): whether
+     *  admission is open, what is in flight, and whether any fault was
+     *  detected, retried, or left unrecovered (degraded). */
+    ServeHealth health() const;
 
     /** Actual server worker thread count. */
     int worker_count() const { return static_cast<int>(threads_.size()); }

@@ -1,5 +1,6 @@
 #include "sim/accelerator.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "plan/arena_planner.h"
@@ -137,6 +138,19 @@ Accelerator::price_plan(plan::GraphPlan& plan, const Shape& in_shape) const
                 s.relu_tuple_ops += static_cast<uint64_t>(conv->co /
                                                           dir->n) *
                                     h * w;
+            }
+            // ABFT verification pass: one reduction over the conv's
+            // input plus its output interior, `lanes` adds per cycle
+            // on the datapath (the engines are untouched — checksum
+            // adders ride the activation buses).
+            if (cfg_.verify_checksums && op.checksum != nullptr) {
+                const int pad = conv->k / 2;
+                const int64_t interior =
+                    static_cast<int64_t>(std::max(0, h - 2 * pad)) *
+                    std::max(0, w - 2 * pad);
+                const int64_t red = in_numel + conv->co * interior;
+                s.datapath_ops += static_cast<uint64_t>(red);
+                s.cycles += ceil_div(red, cfg_.lanes);
             }
             break;
         }

@@ -42,6 +42,15 @@ struct SimConfig
     int tile_h = 2;         ///< tile height
     double freq_hz = 250e6;
     int pipeline_latency = 12;  ///< cycles to fill an engine pipeline
+    /**
+     * Price the ABFT verification pass (see plan::ConvChecksum): per
+     * conv with a checksum annotation, one datapath reduction over the
+     * conv's input and its output interior, `lanes` values per cycle.
+     * Models the checksum adders riding the activation buses — the
+     * engines themselves are untouched. Off by default (matches the
+     * paper's machine).
+     */
+    bool verify_checksums = false;
 };
 
 /** Activity counters accumulated by one run. */

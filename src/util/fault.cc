@@ -1,0 +1,143 @@
+#include "util/fault.h"
+
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ringcnn::util {
+
+namespace detail {
+
+std::atomic<bool> g_fault_armed{false};
+
+namespace {
+
+struct ArmedSite
+{
+    FaultSpec spec;
+    std::atomic<int> seen{0};     ///< passes observed (fired or skipped)
+    std::atomic<uint64_t> fired{0};
+};
+
+std::mutex g_mu;
+// Pointer-stable site records: concurrent site traffic touches only
+// the atomics of an already-registered record.
+std::vector<std::unique_ptr<ArmedSite>>&
+sites()
+{
+    static std::vector<std::unique_ptr<ArmedSite>> s;
+    return s;
+}
+
+/** splitmix64: the per-hit token generator (seed, hit) -> 64 bits. */
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool
+fault_check_slow(const char* site, uint64_t* token)
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    for (auto& s : sites()) {
+        if (s->spec.site != site) continue;
+        const int pass = s->seen.fetch_add(1);
+        if (pass < s->spec.skip) return false;
+        if (pass - s->spec.skip >= s->spec.fires) return false;
+        const uint64_t hit = s->fired.fetch_add(1);
+        if (token != nullptr) {
+            *token = splitmix64(s->spec.seed * 0x100000001b3ull + hit);
+        }
+        return true;
+    }
+    return false;
+}
+
+}  // namespace detail
+
+void
+fault_arm(const FaultSpec& spec)
+{
+    std::lock_guard<std::mutex> lock(detail::g_mu);
+    for (auto& s : detail::sites()) {
+        if (s->spec.site == spec.site) {
+            s->spec = spec;
+            s->seen.store(0);
+            s->fired.store(0);
+            detail::g_fault_armed.store(true, std::memory_order_relaxed);
+            return;
+        }
+    }
+    auto s = std::make_unique<detail::ArmedSite>();
+    s->spec = spec;
+    detail::sites().push_back(std::move(s));
+    detail::g_fault_armed.store(true, std::memory_order_relaxed);
+}
+
+void
+fault_clear()
+{
+    std::lock_guard<std::mutex> lock(detail::g_mu);
+    detail::sites().clear();
+    detail::g_fault_armed.store(false, std::memory_order_relaxed);
+}
+
+uint64_t
+fault_fired(const std::string& site)
+{
+    std::lock_guard<std::mutex> lock(detail::g_mu);
+    for (auto& s : detail::sites()) {
+        if (s->spec.site == site) return s->fired.load();
+    }
+    return 0;
+}
+
+void
+fault_flip_bit(float* data, size_t count, uint64_t token)
+{
+    if (count == 0) return;
+    const size_t idx = static_cast<size_t>(token % count);
+    const int bit = static_cast<int>((token >> 40) % 32);
+    uint32_t u;
+    std::memcpy(&u, &data[idx], sizeof(u));
+    u ^= 1u << bit;
+    std::memcpy(&data[idx], &u, sizeof(u));
+}
+
+void
+fault_flip_bit(int8_t* data, size_t count, uint64_t token)
+{
+    if (count == 0) return;
+    const size_t idx = static_cast<size_t>(token % count);
+    const int bit = static_cast<int>((token >> 40) % 8);
+    data[idx] = static_cast<int8_t>(
+        static_cast<uint8_t>(data[idx]) ^ (1u << bit));
+}
+
+void
+fault_poison(float* data, size_t count, uint64_t token)
+{
+    if (count == 0) return;
+    const size_t idx = static_cast<size_t>(token % count);
+    data[idx] = (token & 1) != 0
+                    ? std::numeric_limits<float>::quiet_NaN()
+                    : std::numeric_limits<float>::infinity();
+}
+
+void
+fault_stall_ms(int ms)
+{
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace ringcnn::util

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic fault injection for integrity tests and benches.
+ *
+ * Production code is sprinkled with named fault SITES (a string key at
+ * the point where a fault would physically land: a derived weight
+ * table, a kernel task body, a plan compile, a serve worker). Tests
+ * arm a seeded FaultSpec against a site; the next `fires` passes
+ * through that site trigger the fault — a single-bit corruption, a
+ * NaN/Inf poison, a forced exception, a failed allocation, or a timed
+ * stall — deterministically per (site, seed, hit index), so a failing
+ * soak iteration reproduces from its seed alone.
+ *
+ * Disabled cost: one relaxed atomic load per site pass (`armed()`),
+ * nothing else — no locks, no lookups, no allocation. Sites are
+ * checked at task granularity (per band pass / per compile), never per
+ * pixel, so even the armed path stays off the inner loops.
+ *
+ * Threading: arm/disarm are test-side setup APIs and must not race
+ * live site traffic of the SAME site; the armed-flag fast path and the
+ * per-site fire counters are atomic, so concurrent site traffic
+ * (e.g. pool workers inside one engine pass) is safe.
+ */
+#ifndef RINGCNN_UTIL_FAULT_H
+#define RINGCNN_UTIL_FAULT_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ringcnn::util {
+
+/** One armed fault: at `site`, after `skip` passes, fire `fires`
+ *  times. `seed` picks the corrupted element/bit deterministically. */
+struct FaultSpec
+{
+    std::string site;   ///< site key, e.g. "fp32.weights"
+    uint64_t seed = 1;  ///< selects element/bit/payload per hit
+    int fires = 1;      ///< how many passes trigger before disarming
+    int skip = 0;       ///< passes to let through before the first fire
+};
+
+/** Arms `spec` (replacing any armed fault at the same site). */
+void fault_arm(const FaultSpec& spec);
+
+/** Disarms every site and resets the fired counters. */
+void fault_clear();
+
+/** Total fires at `site` since the last fault_clear(). */
+uint64_t fault_fired(const std::string& site);
+
+namespace detail {
+extern std::atomic<bool> g_fault_armed;
+/** Slow path: true when an armed fault at `site` fires on this pass;
+ *  `*token` (optional) receives the deterministic per-hit seed. */
+bool fault_check_slow(const char* site, uint64_t* token);
+}  // namespace detail
+
+/**
+ * The site hook: true when an armed fault at `site` fires on this
+ * pass. Zero work when nothing is armed anywhere.
+ */
+inline bool
+fault_check(const char* site, uint64_t* token = nullptr)
+{
+    if (!detail::g_fault_armed.load(std::memory_order_relaxed)) {
+        return false;
+    }
+    return detail::fault_check_slow(site, token);
+}
+
+/** Flips one seeded bit of one seeded element of `data`. */
+void fault_flip_bit(float* data, size_t count, uint64_t token);
+void fault_flip_bit(int8_t* data, size_t count, uint64_t token);
+
+/** Overwrites one seeded element with NaN (token odd) or +Inf. */
+void fault_poison(float* data, size_t count, uint64_t token);
+
+/** Sleeps `ms` (a worker-stall fault payload). */
+void fault_stall_ms(int ms);
+
+}  // namespace ringcnn::util
+
+#endif  // RINGCNN_UTIL_FAULT_H

@@ -44,6 +44,12 @@ struct ThreadPool::Job
     int64_t chunk = 1;
     std::atomic<int64_t> next{0};
     std::atomic<int> next_worker{1};  ///< id 0 is the submitting thread
+    // First exception thrown by any participant (submitter or helper).
+    // The CAS winner stores it and parks the cursor at `count` so peers
+    // stop claiming chunks; for_each rethrows it after the job is fully
+    // retracted (every participant done, no one touching the Job).
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
 };
 
 ThreadPool&
@@ -92,7 +98,22 @@ ThreadPool::drain(Job& job, int worker)
         const int64_t i0 = job.next.fetch_add(job.chunk);
         if (i0 >= job.count) return;
         const int64_t i1 = std::min(i0 + job.chunk, job.count);
-        for (int64_t i = i0; i < i1; ++i) (*job.fn)(worker, i);
+        for (int64_t i = i0; i < i1; ++i) {
+            try {
+                (*job.fn)(worker, i);
+            } catch (...) {
+                bool expected = false;
+                if (job.failed.compare_exchange_strong(expected, true)) {
+                    job.error = std::current_exception();
+                }
+                // Park the cursor at count: claimed chunk starts were
+                // all < count, and the cursor never drops below count
+                // again, so no index runs twice and no peer claims new
+                // work for a failed job.
+                job.next.store(job.count);
+                return;
+            }
+        }
     }
 }
 
@@ -156,10 +177,12 @@ ThreadPool::for_each(int64_t count, int participants,
     }
     work_cv_.notify_all();
 
-    // Retracts the job and waits out claimed helpers; must run even
-    // when fn throws on the submitting thread, or a late-waking worker
-    // would drain the destroyed stack-allocated Job. (fn throwing on a
-    // helper still terminates, as with plain std::threads.)
+    // Retracts the job and waits out claimed helpers; must run before
+    // rethrowing a body exception, or a late-waking worker would drain
+    // the destroyed stack-allocated Job. drain() itself never throws:
+    // any participant's exception (submitter or helper) is stored
+    // first-wins in the Job and the cursor parks, so the loop winds
+    // down instead of terminating the helper thread.
     auto retract = [this]() {
         t_in_job = false;
         std::unique_lock<std::mutex> lock(mu_);
@@ -168,13 +191,13 @@ ThreadPool::for_each(int64_t count, int participants,
         done_cv_.wait(lock, [this]() { return active_ == 0; });
     };
     t_in_job = true;
-    try {
-        drain(job, 0);
-    } catch (...) {
-        retract();
-        throw;
-    }
+    drain(job, 0);
     retract();
+    // Propagate the first failure to the caller, whichever participant
+    // hit it. Indices after the winning chunk may not have run; the
+    // loop's effects are unspecified past the exception, exactly as a
+    // serial loop's would be.
+    if (job.failed.load()) std::rethrow_exception(job.error);
 }
 
 InlineGuard::InlineGuard() : prev_(t_in_job)

@@ -16,6 +16,12 @@
  * top-level calls from independent threads serialize on a submit lock;
  * the submitting thread always participates in its own job, so
  * progress is guaranteed even with zero pool workers.
+ *
+ * Exceptions: a body exception propagates to the submitting caller,
+ * first-wins, whichever participant (submitter or pool helper) threw
+ * it — peers stop claiming chunks, the job winds down, and the pool
+ * stays usable. Indices after the failing chunk may not have run, as
+ * with a serial loop.
  */
 #ifndef RINGCNN_UTIL_THREAD_POOL_H
 #define RINGCNN_UTIL_THREAD_POOL_H

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <random>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -163,6 +164,82 @@ TEST(ThreadPool, ResolveThreadsHonorsEnvAndExplicitRequests)
     EXPECT_EQ(util::resolve_threads(0), 7);
     EXPECT_EQ(util::resolve_threads(3), 3);
     EXPECT_GE(util::hardware_threads(), 1);
+}
+
+TEST(ThreadPool, HelperExceptionPropagatesToSubmitter)
+{
+    // A helper-thread throw must surface on the submitting thread as
+    // the thrown exception — not std::terminate, and not a hang. The
+    // first thrown exception wins; the loop still retires every index
+    // slot so the pool is reusable afterwards.
+    for (const int threads : {2, 7}) {
+        bool caught = false;
+        try {
+            util::parallel_for(
+                10007,
+                [&](int64_t i) {
+                    if (i == 4242) {
+                        throw std::runtime_error("injected task failure");
+                    }
+                },
+                threads);
+        } catch (const std::runtime_error& e) {
+            caught = true;
+            EXPECT_STREQ(e.what(), "injected task failure");
+        }
+        EXPECT_TRUE(caught) << "threads=" << threads;
+    }
+}
+
+TEST(ThreadPool, ExceptionOnEveryIndexStillPropagatesOnce)
+{
+    // Concurrent throws race for the error slot; exactly one must win
+    // and the rest park silently — no terminate, no leak, no deadlock.
+    bool caught = false;
+    try {
+        util::parallel_for(
+            1000, [](int64_t) { throw std::runtime_error("all fail"); }, 4);
+    } catch (const std::runtime_error&) {
+        caught = true;
+    }
+    EXPECT_TRUE(caught);
+}
+
+TEST(ThreadPool, PoolIsReusableAfterAnExceptionalLoop)
+{
+    try {
+        util::parallel_for(
+            100, [](int64_t) { throw std::runtime_error("boom"); }, 3);
+    } catch (const std::runtime_error&) {
+    }
+    // The pool must be fully retired and reusable: the next loop covers
+    // every index exactly once.
+    std::vector<std::atomic<int>> hits(512);
+    for (auto& h : hits) h.store(0);
+    util::parallel_for(
+        512, [&](int64_t i) { hits[static_cast<size_t>(i)].fetch_add(1); },
+        3);
+    for (size_t i = 0; i < hits.size(); ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, WorkerVariantPropagatesExceptions)
+{
+    bool caught = false;
+    try {
+        util::parallel_for_worker(
+            5000,
+            [](int worker, int64_t i) {
+                (void)worker;
+                if (i == 999) throw std::logic_error("worker-variant");
+            },
+            4);
+    } catch (const std::logic_error& e) {
+        caught = true;
+        EXPECT_STREQ(e.what(), "worker-variant");
+    }
+    EXPECT_TRUE(caught);
 }
 
 }  // namespace
