@@ -8,10 +8,13 @@
 #ifndef RINGCNN_BENCH_BENCH_UTIL_H
 #define RINGCNN_BENCH_BENCH_UTIL_H
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "data/tasks.h"
@@ -105,6 +108,52 @@ calib_images(const data::ImagingTask& task, int count, int patch,
         out.push_back(in);
     }
     return out;
+}
+
+/**
+ * Open-loop fixed-clock load generator: issues `count` requests at
+ * `rate_per_s` on a steady clock — request i at t0 + i/rate, via
+ * sleep_until so missed slots don't shift later ones — while a
+ * concurrent collector consumes responses strictly in issue order.
+ * This is the arrival model of a camera pipeline: frames arrive on a
+ * clock whether or not the server kept up (a closed loop self-limits
+ * and never stresses admission). Shared by the serve_overload and
+ * video rows of perf_model so both measure against the same clock.
+ *
+ * `submit(i)` runs on the generator thread (stash the future and the
+ * submit timestamp there); `collect(i)` runs on the collector thread,
+ * never before submit(i) returned (release/acquire on a produced
+ * counter), and should block on response i to stamp its latency when
+ * it actually lands. When the pipeline saturates — submit(i) itself
+ * blocks, e.g. on a bounded in-flight window — the clock degenerates
+ * and the run measures capacity, which is exactly the open-loop story.
+ */
+template <typename Submit, typename Collect>
+inline void
+open_loop_fixed_clock(int count, double rate_per_s, Submit&& submit,
+                      Collect&& collect)
+{
+    std::atomic<int> produced{0};
+    std::thread collector([&]() {
+        for (int i = 0; i < count; ++i) {
+            while (produced.load(std::memory_order_acquire) <= i) {
+                std::this_thread::yield();
+            }
+            collect(i);
+        }
+    });
+    const double interval_ms = 1000.0 / rate_per_s;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < count; ++i) {
+        std::this_thread::sleep_until(
+            t0 + std::chrono::duration_cast<
+                     std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double, std::milli>(
+                         i * interval_ms)));
+        submit(i);
+        produced.store(i + 1, std::memory_order_release);
+    }
+    collector.join();
 }
 
 /** Simple fixed-width row printer. */

@@ -12,9 +12,12 @@
  * `sparse` row timing ring-DOF-pruned backbones through the compiled
  * nonzero-tap tables at 0%/50%/75% sparsity, and an `integrity` row
  * measuring the ABFT checksum overhead plus the detection rate of a
- * seeded single-bit weight-flip campaign) so the perf trajectory of
- * the repo is recorded run over run. `--smoke` shrinks sizes/reps for
- * CI.
+ * seeded single-bit weight-flip campaign, and `video`/`megapixel` rows
+ * driving the halo-tiled streaming layer: frames/s at temporal-skip
+ * thresholds {off, 0, quant step, inf} on static-background video, and
+ * MP/s streaming a 1080p frame through a 128x128 tile plan at
+ * tile-bounded activation memory) so the perf trajectory of the repo
+ * is recorded run over run. `--smoke` shrinks sizes/reps for CI.
  *
  * Usage: perf_model [--smoke] [--out PATH]
  */
@@ -24,6 +27,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <random>
 #include <string>
@@ -31,6 +35,7 @@
 #include <vector>
 
 #include "baselines/pruning.h"
+#include "bench_util.h"
 #include "core/ring_conv_engine.h"
 #include "core/simd.h"
 #include "data/tasks.h"
@@ -44,6 +49,7 @@
 #include "quant/quant_model.h"
 #include "serve/serve_server.h"
 #include "sim/accelerator.h"
+#include "stream/video_pipeline.h"
 #include "tensor/image_ops.h"
 #include "util/fault.h"
 
@@ -519,10 +525,10 @@ main(int argc, char** argv)
             imgs.push_back(std::move(t));
         }
 
-        // One open-loop generator submits on a fixed clock; a
-        // concurrent collector waits the futures in order (one shape
-        // => FIFO completion) so each latency is stamped when the
-        // response actually lands, not after the arrival ramp ends.
+        // The shared open-loop fixed-clock generator (bench_util.h):
+        // the collector waits the futures in order (one shape => FIFO
+        // completion) so each latency is stamped when the response
+        // actually lands, not after the arrival ramp ends.
         struct OverloadRun
         {
             std::vector<double> lat_ms;  ///< admitted requests only
@@ -531,25 +537,25 @@ main(int argc, char** argv)
         };
         auto open_loop_overload = [&](serve::ServeServer& server) {
             OverloadRun run;
-            const double interval_ms = 1000.0 / ov_arrival_img_s;
             std::vector<std::future<Tensor>> futs(
                 static_cast<size_t>(ov_offered));
             std::vector<double> t_sub(static_cast<size_t>(ov_offered), 0.0);
-            std::atomic<int> produced{0};
-            std::thread collector([&]() {
-                for (int i = 0; i < ov_offered; ++i) {
-                    while (produced.load(std::memory_order_acquire) <= i) {
-                        std::this_thread::yield();
-                    }
+            bench::open_loop_fixed_clock(
+                ov_offered, ov_arrival_img_s,
+                [&](int i) {
+                    const size_t si = static_cast<size_t>(i);
+                    t_sub[si] = now_ms();
+                    futs[si] = server.submit_view(imgs[si % imgs.size()]);
+                },
+                [&](int i) {
                     const size_t si = static_cast<size_t>(i);
                     try {
                         const Tensor out = futs[si].get();
                         run.lat_ms.push_back(now_ms() - t_sub[si]);
-                        const Tensor& want =
-                            refs[si % imgs.size()];
+                        const Tensor& want = refs[si % imgs.size()];
                         if (out.shape() != want.shape()) {
                             run.bits_ok = false;
-                            continue;
+                            return;
                         }
                         for (int64_t k = 0; k < want.numel(); ++k) {
                             if (out[k] != want[k]) {
@@ -560,21 +566,7 @@ main(int argc, char** argv)
                     } catch (const serve::OverloadError&) {
                         ++run.shed;
                     }
-                }
-            });
-            const auto t0 = std::chrono::steady_clock::now();
-            for (int i = 0; i < ov_offered; ++i) {
-                std::this_thread::sleep_until(
-                    t0 + std::chrono::duration_cast<
-                             std::chrono::steady_clock::duration>(
-                             std::chrono::duration<double, std::milli>(
-                                 i * interval_ms)));
-                const size_t si = static_cast<size_t>(i);
-                t_sub[si] = now_ms();
-                futs[si] = server.submit_view(imgs[si % imgs.size()]);
-                produced.store(i + 1, std::memory_order_release);
-            }
-            collector.join();
+                });
             server.drain();
             return run;
         };
@@ -614,6 +606,227 @@ main(int argc, char** argv)
             ov_arrival_img_s, ov_capacity_img_s, ov_unbounded_p99, unb_p999,
             ov_shed_p50, ov_shed_p99, ov_shed_p999, ov_shed_rate,
             ov_p99_ratio, ov_bit_identical ? "yes" : "NO");
+    }
+
+    // ---- video: halo-tiled streaming + temporal-delta fast path ----
+    // The streaming acceptance row (the paper's Table VII framing vs
+    // Diffy: exploit temporal input similarity). Synthetic video with a
+    // static background: per frame one pixel deep inside 25% of the
+    // tiles' interiors moves — interior centers sit beyond the halo of
+    // every other tile's window, so exactly those tiles recompute and
+    // the rest are bit-static. Frames stream through VideoPipeline ->
+    // ServeServer on the shared open-loop clock at an arrival rate far
+    // above capacity, so every row measures capacity. skip_threshold:
+    // -1 (fast path off — the A/B baseline), 0 (bit-exact reuse), the
+    // int8 quantization step, and +inf (reuse everything); the
+    // baseline and threshold-0 rows are pinned bit-identical to
+    // per-frame WHOLE-frame inference (tiling equivalence + exact
+    // reuse). The simulator prices the threshold-0 run's
+    // computed/skipped split through price_tile_stream.
+    const int vid_tile = 64;
+    const int vid_frame_hw = smoke ? 192 : 256;
+    const int vid_frames = smoke ? 6 : 16;
+    int vid_tiles = 0;
+    double vid_fps_base = 0.0, vid_fps_thr0 = 0.0, vid_fps_quant = 0.0,
+           vid_fps_inf = 0.0;
+    double vid_skip_rate = 0.0, vid_quant_thr = 0.0;
+    bool vid_bit_identical = true;
+    unsigned long long vid_sim_macs_full = 0, vid_sim_macs = 0;
+    unsigned long long vid_sim_cycles_full = 0, vid_sim_cycles = 0;
+    {
+        const Shape tile_shape{tuple_channels * ri4.n, vid_tile, vid_tile};
+        nn::ModelExecutor tile_exec(model, tile_shape);
+        const plan::GraphPlan& tplan = tile_exec.plan();
+        stream::Tiler tiler(tplan);
+        const std::vector<stream::Tile> tls =
+            tiler.tiles(vid_frame_hw, vid_frame_hw);
+        vid_tiles = static_cast<int>(tls.size());
+        const size_t moving = tls.size() / 4;  // 25% of tiles move
+
+        std::mt19937 vrng(23);
+        Tensor vbase({tuple_channels * ri4.n, vid_frame_hw, vid_frame_hw});
+        vbase.rand_uniform(vrng, 0.0f, 1.0f);
+        std::vector<Tensor> frames;
+        for (int fi = 0; fi < vid_frames; ++fi) {
+            Tensor fr = vbase;
+            for (size_t m = 0; m < moving; ++m) {
+                const stream::Tile& t = tls[m];
+                const int cy = (t.iy0 + t.iy1) / 2;
+                const int cx = (t.ix0 + t.ix1) / 2;
+                // Toggle well past the int8 quant step, so the moving
+                // tiles recompute under every finite threshold.
+                for (int c = 0; c < fr.shape()[0]; ++c) {
+                    fr.at(c, cy, cx) = fi % 2 == 0 ? 0.1f : 0.9f;
+                }
+            }
+            frames.push_back(std::move(fr));
+        }
+        // Whole-frame per-frame inference: the bit-identity oracle.
+        std::vector<Tensor> vrefs;
+        {
+            nn::ModelExecutor frame_exec(model, frames[0].shape());
+            for (const Tensor& fr : frames) {
+                vrefs.push_back(frame_exec.run(fr));
+            }
+        }
+        vid_quant_thr = stream::quant_skip_threshold(qm);
+        const double vid_arrival_fps = 10000.0;  // >> capacity
+
+        auto run_video = [&](double thr, bool check_bits) {
+            serve::ServeOptions so;
+            so.linger_ms = 0.5;
+            serve::ServeServer server(model, so);
+            {
+                // Warm the server's tile plan outside the timed window.
+                Tensor warm;
+                tiler.extract(frames[0], tls[0], &warm);
+                server.submit(std::move(warm)).get();
+            }
+            stream::VideoOptions vo;
+            vo.skip_threshold = thr;
+            stream::VideoPipeline pipe(server, tplan, vo);
+            std::vector<std::future<Tensor>> futs(frames.size());
+            const double t0 = now_ms();
+            bench::open_loop_fixed_clock(
+                static_cast<int>(frames.size()), vid_arrival_fps,
+                [&](int i) {
+                    futs[static_cast<size_t>(i)] =
+                        pipe.push(frames[static_cast<size_t>(i)]);
+                },
+                [&](int i) {
+                    const Tensor out = futs[static_cast<size_t>(i)].get();
+                    if (!check_bits) return;
+                    const Tensor& want = vrefs[static_cast<size_t>(i)];
+                    if (out.shape() != want.shape() ||
+                        std::memcmp(out.data(), want.data(),
+                                    static_cast<size_t>(want.numel()) *
+                                        sizeof(float)) != 0) {
+                        vid_bit_identical = false;
+                    }
+                });
+            pipe.drain();
+            const double wall = now_ms() - t0;
+            const double fps =
+                wall > 0.0 ? 1000.0 * vid_frames / wall : 0.0;
+            return std::make_pair(fps, pipe.stats());
+        };
+
+        vid_fps_base = run_video(-1.0, true).first;
+        const auto [fps0, vs0] = run_video(0.0, true);
+        vid_fps_thr0 = fps0;
+        vid_skip_rate = vs0.skip_rate();
+        vid_fps_quant = run_video(vid_quant_thr, false).first;
+        vid_fps_inf =
+            run_video(std::numeric_limits<double>::infinity(), false)
+                .first;
+
+        sim::SimConfig vsc;
+        vsc.n = ri4.n;
+        const sim::Accelerator vacc(vsc);
+        const sim::SimStats sim_full = vacc.price_tile_stream(
+            qm, tile_shape, vs0.computed + vs0.skipped, 0);
+        const sim::SimStats sim_skip = vacc.price_tile_stream(
+            qm, tile_shape, vs0.computed, vs0.skipped);
+        vid_sim_macs_full = sim_full.mac_ops;
+        vid_sim_macs = sim_skip.mac_ops;
+        vid_sim_cycles_full = sim_full.cycles;
+        vid_sim_cycles = sim_skip.cycles;
+
+        std::printf(
+            "  video:         %dx%d, %d tiles of %d^2, %d frames  "
+            "off %.1f fps  thr0 %.1f fps (%.2fx, skip %.0f%%)  "
+            "quant %.1f fps  inf %.1f fps  bit-identical=%s\n",
+            vid_frame_hw, vid_frame_hw, vid_tiles, vid_tile, vid_frames,
+            vid_fps_base, vid_fps_thr0,
+            vid_fps_base > 0.0 ? vid_fps_thr0 / vid_fps_base : 0.0,
+            vid_skip_rate * 100.0, vid_fps_quant, vid_fps_inf,
+            vid_bit_identical ? "yes" : "NO");
+        std::printf(
+            "  video sim:     MACs %llu -> %llu (%.2fx)   cycles %llu "
+            "-> %llu (%.2fx)\n",
+            vid_sim_macs_full, vid_sim_macs,
+            vid_sim_macs > 0
+                ? static_cast<double>(vid_sim_macs_full) /
+                      static_cast<double>(vid_sim_macs)
+                : 0.0,
+            vid_sim_cycles_full, vid_sim_cycles,
+            vid_sim_cycles > 0
+                ? static_cast<double>(vid_sim_cycles_full) /
+                      static_cast<double>(vid_sim_cycles)
+                : 0.0);
+    }
+
+    // ---- megapixel: 1080p frames through a 128x128 tile plan ----
+    // The megapixel acceptance row: a full HD frame (smoke: 640x384)
+    // streams through the SAME 128x128 tile plan the server would use
+    // for any other request — no frame-sized compile anywhere on the
+    // serving path — and the assembled output is pinned bit-identical
+    // to whole-frame inference (shifted windows; PSNR reported for the
+    // record, clamped at 199 dB when exact). arena_bytes pins the
+    // memory story: the streaming path's activation arena is the TILE
+    // plan's, orders of magnitude under the frame plan's.
+    const int mp_tile = 128;
+    const int mp_w = smoke ? 640 : 1920;
+    const int mp_h = smoke ? 384 : 1080;
+    int mp_tiles = 0;
+    double mp_per_s = 0.0, mp_psnr_db = 0.0;
+    bool mp_bit_identical = true;
+    long long mp_tile_arena = 0, mp_frame_arena = 0;
+    {
+        // 1 tuple channel (n=4: four real channels, RGBA-like) keeps
+        // the whole-frame oracle executor affordable at 1080p.
+        nn::Model mp_model = bench_backbone(ri4, 1, layers, 13);
+        const Shape mp_tile_shape{ri4.n, mp_tile, mp_tile};
+        nn::ModelExecutor mp_tile_exec(mp_model, mp_tile_shape);
+        {
+            // The arena allocates on first run; warm it so arena_bytes
+            // reports the tile plan's true steady-state footprint.
+            Tensor warm(mp_tile_shape);
+            mp_tile_exec.run_view(warm);
+        }
+        Tensor frame({ri4.n, mp_h, mp_w});
+        std::mt19937 mrng(29);
+        frame.rand_uniform(mrng, 0.0f, 1.0f);
+
+        nn::ModelExecutor mp_frame_exec(mp_model, frame.shape());
+        const Tensor want = mp_frame_exec.run(frame);
+        mp_tile_arena = mp_tile_exec.arena_bytes();
+        mp_frame_arena = mp_frame_exec.arena_bytes();
+
+        serve::ServeOptions so;
+        so.linger_ms = 0.5;
+        serve::ServeServer server(mp_model, so);
+        stream::VideoPipeline pipe(server, mp_tile_exec.plan(), {});
+        mp_tiles = static_cast<int>(pipe.tiler().tiles(mp_h, mp_w).size());
+        const Tensor got = pipe.push(frame).get();  // warms the plan
+        mp_bit_identical =
+            got.shape() == want.shape() &&
+            std::memcmp(got.data(), want.data(),
+                        static_cast<size_t>(want.numel()) *
+                            sizeof(float)) == 0;
+        double peak = 0.0;
+        for (int64_t i = 0; i < want.numel(); ++i) {
+            peak = std::max(peak,
+                            std::abs(static_cast<double>(want[i])));
+        }
+        mp_psnr_db = std::min(199.0, psnr(want, got, peak));
+        const int mp_reps = smoke ? 2 : 3;
+        const double mp_ms =
+            time_ms(mp_reps, [&]() { pipe.push(frame).get(); });
+        mp_per_s = mp_ms > 0.0
+                       ? (static_cast<double>(mp_h) * mp_w / 1e6) *
+                             1000.0 / mp_ms
+                       : 0.0;
+        std::printf(
+            "  megapixel:     %dx%d via %d tiles of %d^2  %.2f MP/s  "
+            "PSNR %.0f dB  arena %lld B (frame plan %lld B, %.0fx)  "
+            "bit-identical=%s\n",
+            mp_w, mp_h, mp_tiles, mp_tile, mp_per_s, mp_psnr_db,
+            mp_tile_arena, mp_frame_arena,
+            mp_tile_arena > 0 ? static_cast<double>(mp_frame_arena) /
+                                    static_cast<double>(mp_tile_arena)
+                              : 0.0,
+            mp_bit_identical ? "yes" : "NO");
     }
 
     // ---- plan_compile: shared-pipeline compile + rebind latency ----
@@ -1009,6 +1222,43 @@ main(int argc, char** argv)
     std::fprintf(f, "    \"p99_vs_unbounded\": %.4f,\n", ov_p99_ratio);
     std::fprintf(f, "    \"bit_identical\": %s\n",
                  ov_bit_identical ? "true" : "false");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"video\": {\n");
+    std::fprintf(f,
+                 "    \"tile\": %d, \"frame_hw\": %d, \"frames\": %d, "
+                 "\"tiles_per_frame\": %d,\n",
+                 vid_tile, vid_frame_hw, vid_frames, vid_tiles);
+    std::fprintf(f, "    \"fps_skip_disabled\": %.3f,\n", vid_fps_base);
+    std::fprintf(f, "    \"fps_thr0\": %.3f,\n", vid_fps_thr0);
+    std::fprintf(f, "    \"fps_quant_step\": %.3f,\n", vid_fps_quant);
+    std::fprintf(f, "    \"fps_inf\": %.3f,\n", vid_fps_inf);
+    std::fprintf(f, "    \"quant_step\": %.6g,\n", vid_quant_thr);
+    std::fprintf(f, "    \"skip_rate_thr0\": %.4f,\n", vid_skip_rate);
+    std::fprintf(f, "    \"speedup_thr0\": %.3f,\n",
+                 vid_fps_base > 0.0 ? vid_fps_thr0 / vid_fps_base : 0.0);
+    std::fprintf(f, "    \"sim_mac_ops_full\": %llu,\n", vid_sim_macs_full);
+    std::fprintf(f, "    \"sim_mac_ops_thr0\": %llu,\n", vid_sim_macs);
+    std::fprintf(f, "    \"sim_cycles_full\": %llu,\n",
+                 vid_sim_cycles_full);
+    std::fprintf(f, "    \"sim_cycles_thr0\": %llu,\n", vid_sim_cycles);
+    std::fprintf(f, "    \"bit_identical\": %s\n",
+                 vid_bit_identical ? "true" : "false");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"megapixel\": {\n");
+    std::fprintf(f,
+                 "    \"frame_w\": %d, \"frame_h\": %d, \"tile\": %d, "
+                 "\"tiles\": %d,\n",
+                 mp_w, mp_h, mp_tile, mp_tiles);
+    std::fprintf(f, "    \"mp_per_s\": %.4f,\n", mp_per_s);
+    std::fprintf(f, "    \"psnr_db\": %.2f,\n", mp_psnr_db);
+    std::fprintf(f, "    \"tile_arena_bytes\": %lld,\n", mp_tile_arena);
+    std::fprintf(f, "    \"frame_arena_bytes\": %lld,\n", mp_frame_arena);
+    std::fprintf(f, "    \"arena_bounded\": %s,\n",
+                 mp_tile_arena > 0 && mp_tile_arena * 4 <= mp_frame_arena
+                     ? "true"
+                     : "false");
+    std::fprintf(f, "    \"bit_identical\": %s\n",
+                 mp_bit_identical ? "true" : "false");
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"plan_compile\": {\n");
     std::fprintf(f, "    \"fresh_ms\": %.4f,\n", plan_fresh_ms);

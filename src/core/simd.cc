@@ -156,6 +156,32 @@ scale_i32_generic(int32_t* dst, const int32_t* src, int32_t a, int64_t len)
     }
 }
 
+// Max over |a-b| is exact arithmetic (fabs and max introduce no
+// rounding), so the reduction order is free and the dispatch targets
+// agree bit for bit on NaN-free inputs with no lane contract.
+float
+max_abs_diff_f32_generic(const float* a, const float* b, int64_t len)
+{
+    float m = 0.0f;
+    for (int64_t i = 0; i < len; ++i) {
+        const float d = std::fabs(a[i] - b[i]);
+        if (d > m) m = d;
+    }
+    return m;
+}
+
+int
+max_abs_diff_i8_generic(const int8_t* a, const int8_t* b, int64_t len)
+{
+    int m = 0;
+    for (int64_t i = 0; i < len; ++i) {
+        int d = static_cast<int>(a[i]) - static_cast<int>(b[i]);
+        if (d < 0) d = -d;
+        if (d > m) m = d;
+    }
+    return m;
+}
+
 #ifdef RINGCNN_X86_DISPATCH
 
 // Explicit 8-wide AVX2 rows. Deliberately mul+add rather than FMA: the
@@ -438,6 +464,65 @@ scale_i32_avx2(int32_t* dst, const int32_t* src, int32_t a, int64_t len)
     scale_i32_generic(dst + i, src + i, a, len - i);
 }
 
+__attribute__((target("avx2"))) float
+max_abs_diff_f32_avx2(const float* a, const float* b, int64_t len)
+{
+    const __m256 sign = _mm256_set1_ps(-0.0f);
+    __m256 vmax = _mm256_setzero_ps();
+    int64_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+        const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                                       _mm256_loadu_ps(b + i));
+        vmax = _mm256_max_ps(vmax, _mm256_andnot_ps(sign, d));
+    }
+    float lanes[8];
+    _mm256_storeu_ps(lanes, vmax);
+    float m = 0.0f;
+    for (int j = 0; j < 8; ++j) {
+        if (lanes[j] > m) m = lanes[j];
+    }
+    for (; i < len; ++i) {
+        const float d = std::fabs(a[i] - b[i]);
+        if (d > m) m = d;
+    }
+    return m;
+}
+
+// Signed bytes have no vector abs-of-difference; XOR with 0x80 maps
+// int8 to uint8 preserving differences ((a+128)-(b+128) = a-b), where
+// max(subs_epu8(x,y), subs_epu8(y,x)) is the exact |x-y| — saturation
+// never fires on whichever direction is the true nonnegative one.
+__attribute__((target("avx2"))) int
+max_abs_diff_i8_avx2(const int8_t* a, const int8_t* b, int64_t len)
+{
+    const __m256i bias = _mm256_set1_epi8(static_cast<char>(0x80));
+    __m256i vmax = _mm256_setzero_si256();
+    int64_t i = 0;
+    for (; i + 32 <= len; i += 32) {
+        const __m256i x = _mm256_xor_si256(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+            bias);
+        const __m256i y = _mm256_xor_si256(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)),
+            bias);
+        const __m256i d = _mm256_max_epu8(_mm256_subs_epu8(x, y),
+                                          _mm256_subs_epu8(y, x));
+        vmax = _mm256_max_epu8(vmax, d);
+    }
+    uint8_t lanes[32];
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), vmax);
+    int m = 0;
+    for (int j = 0; j < 32; ++j) {
+        if (lanes[j] > m) m = lanes[j];
+    }
+    for (; i < len; ++i) {
+        int d = static_cast<int>(a[i]) - static_cast<int>(b[i]);
+        if (d < 0) d = -d;
+        if (d > m) m = d;
+    }
+    return m;
+}
+
 bool
 have_avx2()
 {
@@ -455,6 +540,8 @@ using ScaleI32Fn = void (*)(int32_t*, const int32_t*, int32_t, int64_t);
 using RowsFn = void (*)(float*, const float* const*, const float*, int,
                         int64_t);
 using PlaneSumsFn = void (*)(const float*, int64_t, double*, double*);
+using MaxAbsDiffFn = float (*)(const float*, const float*, int64_t);
+using MaxAbsDiffI8Fn = int (*)(const int8_t*, const int8_t*, int64_t);
 
 struct Dispatch
 {
@@ -468,6 +555,8 @@ struct Dispatch
     ScaleI32Fn scale_i = scale_i32_generic;
     RowsFn axpy_rows = axpy_rows_generic;
     RowsFn matvec_rows = matvec_rows_generic;
+    MaxAbsDiffFn max_abs_diff = max_abs_diff_f32_generic;
+    MaxAbsDiffI8Fn max_abs_diff_i8 = max_abs_diff_i8_generic;
     const char* isa = "generic";
 
     Dispatch()
@@ -484,6 +573,8 @@ struct Dispatch
             scale_i = scale_i32_avx2;
             axpy_rows = axpy_rows_avx2;
             matvec_rows = matvec_rows_avx2;
+            max_abs_diff = max_abs_diff_f32_avx2;
+            max_abs_diff_i8 = max_abs_diff_i8_avx2;
             isa = "avx2";
         }
 #endif
@@ -588,6 +679,18 @@ void
 scale_i32(int32_t* dst, const int32_t* src, int32_t a, int64_t len)
 {
     dispatch().scale_i(dst, src, a, len);
+}
+
+float
+max_abs_diff_f32(const float* a, const float* b, int64_t len)
+{
+    return dispatch().max_abs_diff(a, b, len);
+}
+
+int
+max_abs_diff_i8(const int8_t* a, const int8_t* b, int64_t len)
+{
+    return dispatch().max_abs_diff_i8(a, b, len);
 }
 
 const char*

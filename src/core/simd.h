@@ -201,6 +201,27 @@ void axpy_i32(int32_t* dst, const int32_t* src, int32_t a, int64_t len);
  */
 void scale_i32(int32_t* dst, const int32_t* src, int32_t a, int64_t len);
 
+/**
+ * Returns max_i |a[i] - b[i]| for i in [0, len) (0 when len <= 0) — the
+ * temporal-delta reduction of the streaming video fast path: a tile
+ * whose input differs from the cached reference by at most the skip
+ * threshold reuses its cached output.
+ *
+ * Unlike the summing reductions, max over |a-b| is exact (no rounding,
+ * order-independent), so every dispatch target returns identical bits
+ * with no lane contract needed — provided the inputs are free of NaN.
+ * NaN elements are not part of the contract (the AVX2 max and the
+ * scalar compare disagree on NaN propagation); tile pixels are finite.
+ */
+float max_abs_diff_f32(const float* a, const float* b, int64_t len);
+
+/**
+ * Returns max_i |a[i] - b[i]| for int8 rows (0 when len <= 0), exact in
+ * [0, 255] — the quantized-path twin of max_abs_diff_f32, measured in
+ * quantization steps so "delta <= 1 step" is a direct skip test.
+ */
+int max_abs_diff_i8(const int8_t* a, const int8_t* b, int64_t len);
+
 /** Name of the dispatched implementation: "avx2" or "generic". */
 const char* active_isa();
 

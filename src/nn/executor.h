@@ -120,6 +120,22 @@ class ModelExecutor
     /** The backend-neutral plan this executor lowered (introspection
      *  for tests/benches; valid until the next rebind). */
     const plan::GraphPlan& plan() const { return plan_; }
+    /** Bytes currently held by the activation arena (capacity, all
+     *  slots and batch lanes). The streaming layer's memory story rests
+     *  on this number tracking the TILE plan, not the frame: a 1080p
+     *  frame through 128x128 tile plans must never inflate it to
+     *  frame-sized activations (pinned in the megapixel bench). */
+    int64_t arena_bytes() const
+    {
+        int64_t bytes = 0;
+        for (const auto& lane : slots_) {
+            for (const auto& t : lane) {
+                bytes += static_cast<int64_t>(t.vec().capacity()) *
+                         static_cast<int64_t>(sizeof(float));
+            }
+        }
+        return bytes;
+    }
 
     /** Re-syncs cached engines with layer parameter versions. Called
      *  automatically by run(). */

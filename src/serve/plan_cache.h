@@ -53,6 +53,23 @@ class PlanCache
         uint64_t stamp = 0;  ///< LRU clock at last use
     };
 
+    /**
+     * Lifetime counters, maintained by the cache itself so every
+     * backend reports identically (the server used to reconstruct
+     * these from Outcome; tile streaming made cache thrash a
+     * first-class diagnosable symptom — a 128x128 tile plan evicted by
+     * a stray odd-size frame recompiles on every subsequent tile).
+     * hits + fresh + rebinds == total claims; evictions counts plans
+     * DROPPED (trim of transient overflow), while rebinds recycle.
+     */
+    struct Counters
+    {
+        uint64_t hits = 0;       ///< claim found an idle bound plan
+        uint64_t fresh = 0;      ///< claim reserved a slot to compile
+        uint64_t rebinds = 0;    ///< claim recycled an LRU victim
+        uint64_t evictions = 0;  ///< entries erased by trim()
+    };
+
     explicit PlanCache(int max_plans) : max_plans_(max_plans) {}
 
     /**
@@ -69,6 +86,7 @@ class PlanCache
                 e->exec->in_shape() == shape) {
                 e->busy = true;
                 e->stamp = ++clock_;
+                ++counters_.hits;
                 *outcome = Outcome::kHit;
                 return e.get();
             }
@@ -83,6 +101,7 @@ class PlanCache
             e->busy = true;
             e->stamp = ++clock_;
             e->shape = shape;
+            ++counters_.fresh;
             *outcome = Outcome::kFresh;
             return e.get();
         }
@@ -101,6 +120,7 @@ class PlanCache
                 victim->busy = true;
                 victim->stamp = ++clock_;
                 victim->shape = shape;
+                ++counters_.rebinds;
                 *outcome = Outcome::kRebind;
                 return victim;
             }
@@ -110,6 +130,7 @@ class PlanCache
         e->busy = true;
         e->stamp = ++clock_;
         e->shape = shape;
+        ++counters_.fresh;
         *outcome = Outcome::kFresh;
         return e;
     }
@@ -123,9 +144,11 @@ class PlanCache
     }
 
     /** Trims transient overflow (all-busy burst) back to the bound,
-     *  evicting stalest-idle first. */
-    void trim()
+     *  evicting stalest-idle first; returns how many plans were
+     *  dropped (the server folds it into ServeStats::plan_evictions). */
+    size_t trim()
     {
+        size_t evicted = 0;
         while (entries_.size() > static_cast<size_t>(max_plans_)) {
             size_t victim = entries_.size();
             for (size_t i = 0; i < entries_.size(); ++i) {
@@ -137,14 +160,21 @@ class PlanCache
             }
             if (victim == entries_.size()) break;  // everything busy
             entries_.erase(entries_.begin() + static_cast<int64_t>(victim));
+            ++evicted;
         }
+        counters_.evictions += evicted;
+        return evicted;
     }
 
     size_t size() const { return entries_.size(); }
 
+    /** Lifetime claim/eviction counters (see Counters). */
+    const Counters& counters() const { return counters_; }
+
   private:
     int max_plans_;
     uint64_t clock_ = 0;
+    Counters counters_;
     std::vector<std::unique_ptr<Entry>> entries_;
 };
 

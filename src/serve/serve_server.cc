@@ -35,8 +35,9 @@ struct ServeServer::Backend
     /** Releases a claimed plan; a failed prepare/run drops it so a
      *  broken compile is never served from cache. Requires the lock. */
     virtual void release(void* plan, bool ok) = 0;
-    /** Trims transient cache overflow. Requires the lock. */
-    virtual void trim() = 0;
+    /** Trims transient cache overflow; returns plans dropped (folded
+     *  into ServeStats::plan_evictions). Requires the lock. */
+    virtual uint64_t trim() = 0;
     /**
      * Degrade-and-retry path: runs the batch on a FRESH executor
      * compiled from the source model with checksum verification forced
@@ -104,7 +105,10 @@ class Fp32Backend final : public ServeServer::Backend
         cache_.release(static_cast<typename Cache::Entry*>(plan), ok);
     }
 
-    void trim() override { cache_.trim(); }
+    uint64_t trim() override
+    {
+        return static_cast<uint64_t>(cache_.trim());
+    }
 
     void run_fallback(const Shape& shape, const Tensor* const* xs,
                       Tensor* outs, int n) override
@@ -182,7 +186,10 @@ class Int8Backend final : public ServeServer::Backend
         cache_.release(static_cast<typename Cache::Entry*>(plan), ok);
     }
 
-    void trim() override { cache_.trim(); }
+    uint64_t trim() override
+    {
+        return static_cast<uint64_t>(cache_.trim());
+    }
 
     void run_fallback(const Shape& shape, const Tensor* const* xs,
                       Tensor* outs, int n) override
@@ -672,7 +679,7 @@ ServeServer::worker_loop()
             bucket->oldest = Clock::now();
         }
         // Trim transient plan overflow (all-busy burst) back to bound.
-        backend_->trim();
+        stats_.plan_evictions += backend_->trim();
         if (ok) {
             stats_.completed += static_cast<uint64_t>(n);
         } else {

@@ -220,6 +220,7 @@ struct ServeStats
     uint64_t plan_hits = 0;  ///< batch found its shape's plan cached
     uint64_t plan_compiles = 0;  ///< fresh executor compiles
     uint64_t plan_rebinds = 0;   ///< LRU evictions recycled via rebind
+    uint64_t plan_evictions = 0;  ///< cached plans dropped (trim)
     uint64_t max_queue_depth = 0;  ///< peak in-flight + queued requests
     uint64_t rejected_inputs = 0;  ///< non-finite inputs refused at submit
     uint64_t integrity_failures = 0;  ///< batches that saw IntegrityError

@@ -225,6 +225,50 @@ Accelerator::run(const quant::QuantizedModel& qm,
     return stats;
 }
 
+SimStats
+Accelerator::price_tile_stream(const quant::QuantizedModel& qm,
+                               const Shape& tile_shape,
+                               uint64_t computed_tiles,
+                               uint64_t skipped_tiles) const
+{
+    plan::GraphPlan p = compile_plan(qm);
+    const SimStats per_tile = price_plan(p, tile_shape);
+    // One skipped tile: move input (delta compare) + output (cached
+    // re-emit) over the activation path, compare on the datapath. The
+    // engines idle — no MACs, no weight traffic, no conv cycles.
+    const int64_t in_numel = static_cast<int64_t>(tile_shape[0]) *
+                             tile_shape[1] * tile_shape[2];
+    const int64_t out_numel = static_cast<int64_t>(p.out_shape[0]) *
+                              p.out_shape[1] * p.out_shape[2];
+    SimStats skip_tile;
+    skip_tile.bb_bits = static_cast<uint64_t>(in_numel + out_numel) * 8;
+    // Streaming rides the block-buffer port at its full width — `lanes`
+    // channels over a tile_w x tile_h pixel patch per cycle, the same
+    // interface an engine pass fills — so a skipped tile is strictly
+    // cheaper in cycles than the shallowest compute pass.
+    const int64_t port = static_cast<int64_t>(cfg_.lanes) * cfg_.tile_w *
+                         cfg_.tile_h;
+    skip_tile.cycles =
+        static_cast<uint64_t>(ceil_div(in_numel + out_numel, port));
+    skip_tile.datapath_ops = static_cast<uint64_t>(in_numel);
+
+    const auto scaled = [](const SimStats& s, uint64_t k) {
+        SimStats r;
+        r.cycles = s.cycles * k;
+        r.conv3_cycles = s.conv3_cycles * k;
+        r.conv1_cycles = s.conv1_cycles * k;
+        r.mac_ops = s.mac_ops * k;
+        r.relu_tuple_ops = s.relu_tuple_ops * k;
+        r.wmem_bits = s.wmem_bits * k;
+        r.bb_bits = s.bb_bits * k;
+        r.datapath_ops = s.datapath_ops * k;
+        return r;
+    };
+    SimStats total = scaled(per_tile, computed_tiles);
+    total += scaled(skip_tile, skipped_tiles);
+    return total;
+}
+
 PixelCosts
 Accelerator::pixel_costs(const quant::QuantizedModel& qm,
                          const Tensor& image) const

@@ -119,6 +119,25 @@ class Accelerator
                            const Tensor& image) const;
 
     /**
+     * Prices a halo-tiled video segment from the streaming layer's
+     * skip stats (the paper's Table VII framing against Diffy: exploit
+     * temporal input similarity). Every COMPUTED tile pays the full
+     * tile-shaped schedule. A SKIPPED tile never touches the engines:
+     * it pays only the activation movement of reading its input window
+     * for the delta compare and re-emitting the cached output (8
+     * bits/value on the block-buffer/DRAM path), the compare itself as
+     * datapath ops, and the cycles to stream those values at the full
+     * block-buffer port width (lanes * tile_w * tile_h values per
+     * cycle, the interface an engine pass fills) — no MACs, no weight
+     * fetches. Counts come straight from stream::VideoStats
+     * (computed / skipped).
+     */
+    SimStats price_tile_stream(const quant::QuantizedModel& qm,
+                               const Shape& tile_shape,
+                               uint64_t computed_tiles,
+                               uint64_t skipped_tiles) const;
+
+    /**
      * The backend-neutral plan this simulator prices for `qm` — the
      * same pipeline (and the same epilogue-fusion policy) the
      * quantized executor lowers, exposed so tests can assert the

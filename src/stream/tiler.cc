@@ -1,0 +1,283 @@
+#include "stream/tiler.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "nn/layer.h"
+#include "util/check.h"
+
+namespace ringcnn::stream {
+
+namespace {
+
+int64_t
+lcm64(int64_t a, int64_t b)
+{
+    return a / std::gcd(a, b) * b;
+}
+
+/** Kernel size of a conv op. Ring convs (both backends) carry it on
+ *  their ABFT checksum; the dense/depthwise kinds only exist in fp32
+ *  plans, where `node` is the originating layer. */
+int
+conv_kernel(const plan::OpIR& op)
+{
+    if (op.checksum != nullptr) return op.checksum->k;
+    if (op.kind == plan::OpKind::kDenseConv) {
+        const auto* c = static_cast<const nn::Conv2d*>(op.node);
+        return c->weights().shape()[3];
+    }
+    const auto* dw = static_cast<const nn::DepthwiseConv2d*>(op.node);
+    return dw->weights().shape()[3];
+}
+
+/** Receptive-field state of one SSA value: radius in input pixels and
+ *  stride (input pixels per pixel step at this value) as a reduced
+ *  rational num/den. */
+struct ValState
+{
+    int64_t radius = 0;
+    int64_t num = 1, den = 1;
+
+    void reduce()
+    {
+        const int64_t g = std::gcd(num, den);
+        num /= g;
+        den /= g;
+    }
+};
+
+}  // namespace
+
+TileTraits
+analyze_plan(const plan::GraphPlan& plan)
+{
+    TileTraits t;
+    std::vector<ValState> val(static_cast<size_t>(plan.num_values));
+    val[static_cast<size_t>(plan.entry_value)] = ValState{};
+    int64_t align = 1;
+    for (const plan::OpIR& op : plan.ops) {
+        if (op.fused) continue;  // absorbed epilogues are pointwise
+        ValState s = val[static_cast<size_t>(op.in0)];
+        switch (op.kind) {
+            case plan::OpKind::kRingConv:
+            case plan::OpKind::kDenseConv:
+            case plan::OpKind::kDepthwiseConv: {
+                const int64_t r = conv_kernel(op) / 2;
+                // ceil(r * num / den) input pixels per conv ring
+                s.radius += (r * s.num + s.den - 1) / s.den;
+                break;
+            }
+            case plan::OpKind::kResidualAdd:
+            case plan::OpKind::kBranchAdd: {
+                const ValState& o = val[static_cast<size_t>(op.in1)];
+                s.radius = std::max(s.radius, o.radius);
+                break;
+            }
+            case plan::OpKind::kPixelShuffle:
+                s.den *= op.arg;
+                s.reduce();
+                align = lcm64(align, s.num);
+                break;
+            case plan::OpKind::kPixelUnshuffle: {
+                // Window origins must land where the regrouping does:
+                // origin * den / num must be a multiple of arg, i.e.
+                // origin on the (arg * num / gcd(arg * num, den)) grid.
+                const int64_t an = static_cast<int64_t>(op.arg) * s.num;
+                align = lcm64(align, an / std::gcd(an, s.den));
+                s.num = an;
+                s.reduce();
+                align = lcm64(align, s.num);
+                break;
+            }
+            case plan::OpKind::kUpsample:
+                // Bilinear reads <= 1 neighbor pixel of its own input.
+                s.radius += (s.num + s.den - 1) / s.den;
+                s.den *= op.arg;
+                s.reduce();
+                align = lcm64(align, s.num);
+                break;
+            case plan::OpKind::kRelu:
+            case plan::OpKind::kDirRelu:
+            case plan::OpKind::kRequant:
+            case plan::OpKind::kChannelPad:
+            case plan::OpKind::kCropChannels:
+                break;  // pointwise
+            case plan::OpKind::kFallback:
+                t.reason = "plan contains a fallback op; receptive "
+                           "field unknown";
+                return t;
+        }
+        val[static_cast<size_t>(op.out)] = s;
+    }
+    ValState out = val[static_cast<size_t>(plan.out_value)];
+    align = lcm64(align, out.num);  // interior bounds map to output px
+    t.align = static_cast<int>(align);
+    // Round the halo up to the alignment grid so window origins
+    // (interior - halo) stay on it.
+    const int64_t h = (out.radius + align - 1) / align * align;
+    t.halo = static_cast<int>(h);
+    t.scale_num = static_cast<int>(out.den);
+    t.scale_den = static_cast<int>(out.num);
+    t.supported = true;
+    return t;
+}
+
+Tiler::Tiler(const plan::GraphPlan& tile_plan)
+{
+    traits_ = analyze_plan(tile_plan);
+    RINGCNN_CHECK(traits_.supported,
+                  "stream::Tiler: " + traits_.reason);
+    RINGCNN_CHECK(tile_plan.in_shape.size() == 3 &&
+                      tile_plan.out_shape.size() == 3,
+                  "stream::Tiler needs a shape-annotated CHW plan");
+    in_c_ = tile_plan.in_shape[0];
+    out_c_ = tile_plan.out_shape[0];
+    tile_h_ = tile_plan.in_shape[1];
+    tile_w_ = tile_plan.in_shape[2];
+    RINGCNN_CHECK(tile_h_ % traits_.align == 0 &&
+                      tile_w_ % traits_.align == 0,
+                  "stream::Tiler: tile dims must be multiples of the "
+                  "plan's alignment grid");
+    RINGCNN_CHECK(tile_h_ >= 2 * traits_.halo + traits_.align &&
+                      tile_w_ >= 2 * traits_.halo + traits_.align,
+                  "stream::Tiler: tile too small for the conv stack's "
+                  "halo (needs dim >= 2*halo + align)");
+}
+
+Shape
+Tiler::out_frame_shape(const Shape& in_frame) const
+{
+    RINGCNN_CHECK(in_frame.size() == 3 && in_frame[0] == in_c_,
+                  "stream::Tiler: frame must be CHW with the plan's "
+                  "input channels");
+    return {out_c_, in_frame[1] * traits_.scale_num / traits_.scale_den,
+            in_frame[2] * traits_.scale_num / traits_.scale_den};
+}
+
+std::vector<Tiler::AxisSeg>
+Tiler::axis_segments(int frame, int tile) const
+{
+    std::vector<AxisSeg> segs;
+    if (frame <= tile) {
+        // One window covers the axis. frame == tile is the exact plan
+        // shape; frame < tile zero-pads past the frame (PSNR-pinned
+        // within halo of the pad boundary, bit-identical beyond it).
+        segs.push_back(AxisSeg{0, 0, frame, frame < tile});
+        return segs;
+    }
+    const int h = traits_.halo;
+    int pos = 0;
+    while (pos < frame) {
+        // pos is on the alignment grid (starts at 0; every interior
+        // bound below is), so x stays on it too.
+        int x = std::max(0, pos - h);
+        x = std::min(x, frame - tile);
+        const int hi = x + tile >= frame ? frame : x + tile - h;
+        segs.push_back(AxisSeg{x, pos, hi, false});
+        pos = hi;
+    }
+    return segs;
+}
+
+std::vector<Tile>
+Tiler::tiles(int frame_h, int frame_w) const
+{
+    RINGCNN_CHECK(frame_h > 0 && frame_w > 0,
+                  "stream::Tiler: frame dims must be positive");
+    RINGCNN_CHECK(frame_h % traits_.align == 0 &&
+                      frame_w % traits_.align == 0,
+                  "stream::Tiler: frame dims must be multiples of the "
+                  "plan's alignment grid");
+    const std::vector<AxisSeg> ys = axis_segments(frame_h, tile_h_);
+    const std::vector<AxisSeg> xs = axis_segments(frame_w, tile_w_);
+    std::vector<Tile> out;
+    out.reserve(ys.size() * xs.size());
+    for (const AxisSeg& y : ys) {
+        for (const AxisSeg& x : xs) {
+            Tile tl;
+            tl.x0 = x.x;
+            tl.y0 = y.x;
+            tl.ix0 = x.lo;
+            tl.ix1 = x.hi;
+            tl.iy0 = y.lo;
+            tl.iy1 = y.hi;
+            tl.padded = x.padded || y.padded;
+            out.push_back(tl);
+        }
+    }
+    return out;
+}
+
+void
+Tiler::extract(const Tensor& frame, const Tile& t, Tensor* out) const
+{
+    const Shape& fs = frame.shape();
+    RINGCNN_CHECK(fs.size() == 3 && fs[0] == in_c_,
+                  "stream::Tiler::extract: frame/plan channel mismatch");
+    const int fh = fs[1], fw = fs[2];
+    out->reset({in_c_, tile_h_, tile_w_});
+    const float* src = frame.data();
+    float* dst = out->data();
+    const int copy_w = std::min(tile_w_, fw - t.x0);
+    for (int c = 0; c < in_c_; ++c) {
+        const float* splane =
+            src + static_cast<int64_t>(c) * fh * fw;
+        float* dplane = dst + static_cast<int64_t>(c) * tile_h_ * tile_w_;
+        for (int y = 0; y < tile_h_; ++y) {
+            float* drow = dplane + static_cast<int64_t>(y) * tile_w_;
+            const int fy = t.y0 + y;
+            if (fy >= fh) {  // padded region below the frame
+                std::memset(drow, 0,
+                            static_cast<size_t>(tile_w_) * sizeof(float));
+                continue;
+            }
+            const float* srow =
+                splane + static_cast<int64_t>(fy) * fw + t.x0;
+            std::memcpy(drow, srow,
+                        static_cast<size_t>(copy_w) * sizeof(float));
+            if (copy_w < tile_w_) {  // padded region right of the frame
+                std::memset(drow + copy_w, 0,
+                            static_cast<size_t>(tile_w_ - copy_w) *
+                                sizeof(float));
+            }
+        }
+    }
+}
+
+void
+Tiler::paste(const Tensor& tile_out, const Tile& t, Tensor* frame_out) const
+{
+    const Shape& os = frame_out->shape();
+    const Shape& ts = tile_out.shape();
+    RINGCNN_CHECK(ts.size() == 3 && os.size() == 3 && ts[0] == os[0],
+                  "stream::Tiler::paste: tile/frame channel mismatch");
+    const int up = traits_.scale_num, dn = traits_.scale_den;
+    // Scaled interior: frame coords and tile-local coords (alignment
+    // guarantees these divisions are exact).
+    const int fy0 = t.iy0 * up / dn, fy1 = t.iy1 * up / dn;
+    const int fx0 = t.ix0 * up / dn, fx1 = t.ix1 * up / dn;
+    const int ly0 = (t.iy0 - t.y0) * up / dn;
+    const int lx0 = (t.ix0 - t.x0) * up / dn;
+    const int c = ts[0];
+    const int th = ts[1], tw = ts[2];
+    const int oh = os[1], ow = os[2];
+    const float* src = tile_out.data();
+    float* dst = frame_out->data();
+    const size_t row_bytes =
+        static_cast<size_t>(fx1 - fx0) * sizeof(float);
+    for (int ch = 0; ch < c; ++ch) {
+        const float* splane = src + static_cast<int64_t>(ch) * th * tw;
+        float* dplane = dst + static_cast<int64_t>(ch) * oh * ow;
+        for (int y = fy0; y < fy1; ++y) {
+            const float* srow = splane +
+                                static_cast<int64_t>(ly0 + y - fy0) * tw +
+                                lx0;
+            float* drow = dplane + static_cast<int64_t>(y) * ow + fx0;
+            std::memcpy(drow, srow, row_bytes);
+        }
+    }
+}
+
+}  // namespace ringcnn::stream

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Halo tiler: streams arbitrary-size frames through a fixed-shape plan.
+ *
+ * Every executor plan in this repo is compiled for ONE input shape, and
+ * the serving layer buckets requests by shape — so a megapixel frame
+ * would either recompile per frame size or thrash the plan cache. The
+ * tiler instead decomposes a frame into fixed-shape tiles whose windows
+ * OVERLAP by the receptive-field halo of the compiled conv stack, runs
+ * each tile through the unmodified tile-shaped plan, and pastes back
+ * only the interior region each tile is authoritative for.
+ *
+ * Halo math. The analysis walks the backend-neutral plan IR
+ * (plan::GraphPlan) propagating, per SSA value, the pair
+ * (radius r, stride s): s is how many INPUT pixels one pixel step at
+ * that value spans (PixelUnshuffle multiplies it, PixelShuffle and
+ * bilinear upsample divide it), and r is the input-pixel radius of the
+ * value's receptive field. A k x k "same" stride-1 conv adds (k/2) * s;
+ * branch adds take the max; pointwise ops pass through. The halo h is
+ * the radius at the plan output, rounded up to the alignment A — the
+ * lcm of the offsets at which PixelUnshuffle regroups pixels (window
+ * origins must sit on that grid or the regrouping, and hence the bits,
+ * would differ from the whole image).
+ *
+ * Bit identity. Tile windows are SHIFTED, never padded, while the frame
+ * is at least tile-sized: a window is clamped into [0, L - T], so
+ * wherever it touches the frame edge the engines' own "same" zero
+ * padding coincides exactly with whole-image padding, and everywhere
+ * else the interior pixels sit >= h from the window edge, beyond the
+ * contamination range of the tile-local padding. Because every kernel
+ * in the stack computes each output pixel with a position-independent
+ * per-element operation sequence, EVERY interior pixel is bit-identical
+ * to whole-image inference — there is no tolerance band inside the
+ * frame. Only a frame SMALLER than the tile in some axis falls back to
+ * zero-padding the window (Tile::padded); there the pixels within h of
+ * the pad boundary genuinely differ (bias + ReLU make padded activations
+ * nonzero after the first conv) and are PSNR-pinned instead.
+ */
+#ifndef RINGCNN_STREAM_TILER_H
+#define RINGCNN_STREAM_TILER_H
+
+#include <string>
+#include <vector>
+
+#include "plan/graph_ir.h"
+#include "tensor/tensor.h"
+
+namespace ringcnn::stream {
+
+/** What the plan walk derived about the conv stack (see file header). */
+struct TileTraits
+{
+    bool supported = false;  ///< false: a kFallback op blocks analysis
+    std::string reason;      ///< why unsupported (empty otherwise)
+    int halo = 0;   ///< input-px receptive radius, rounded up to align
+    int align = 1;  ///< window origins / tile / frame dims grid
+    /** Spatial scale: out_size = in_size * scale_num / scale_den
+     *  (reduced). x4 super-resolution is 4/1; shuffle-balanced stacks
+     *  are 1/1. */
+    int scale_num = 1;
+    int scale_den = 1;
+};
+
+/** Derives TileTraits from a shape-annotated plan (fp32 linearize, or
+ *  int8 linearize + annotate_shapes). Never throws: an unsupported
+ *  stack comes back with supported=false and a reason. */
+TileTraits analyze_plan(const plan::GraphPlan& plan);
+
+/** One tile: where its window reads and which region it owns. All
+ *  coordinates are INPUT-frame pixels; the owner region of the OUTPUT
+ *  frame is the interior scaled by scale_num/scale_den. */
+struct Tile
+{
+    int x0 = 0, y0 = 0;  ///< window origin (window is tile_w x tile_h)
+    int ix0 = 0, ix1 = 0;  ///< interior columns [ix0, ix1) in the frame
+    int iy0 = 0, iy1 = 0;  ///< interior rows    [iy0, iy1) in the frame
+    bool padded = false;  ///< window reaches past the frame (frame < tile)
+};
+
+class Tiler
+{
+  public:
+    /**
+     * Builds the tiler for `tile_plan` — a plan compiled AT the tile
+     * shape (tile_plan.in_shape is the tile). Throws
+     * std::invalid_argument when the stack is unsupported (fallback
+     * ops), the tile dims are off the alignment grid, or the tile is
+     * too small to own any interior past its own halo
+     * (dim < 2 * halo + align).
+     */
+    explicit Tiler(const plan::GraphPlan& tile_plan);
+
+    const TileTraits& traits() const { return traits_; }
+    int tile_h() const { return tile_h_; }
+    int tile_w() const { return tile_w_; }
+    int in_channels() const { return in_c_; }
+    int out_channels() const { return out_c_; }
+
+    /** Output-frame shape for an input frame shape (CHW). */
+    Shape out_frame_shape(const Shape& in_frame) const;
+
+    /**
+     * Tile decomposition of an h x w frame: windows shifted into the
+     * frame (never padded) when the frame covers the tile, a single
+     * zero-padded window per small axis otherwise. Interiors partition
+     * the frame exactly. Throws std::invalid_argument when a frame dim
+     * is not a multiple of the alignment grid.
+     */
+    std::vector<Tile> tiles(int frame_h, int frame_w) const;
+
+    /** Copies tile `t`'s window out of `frame` into `out` (reshaped to
+     *  [C, tile_h, tile_w]); pixels past the frame read zero (only
+     *  reachable for padded tiles). */
+    void extract(const Tensor& frame, const Tile& t, Tensor* out) const;
+
+    /** Pastes the interior of `tile_out` (the tile-shaped plan OUTPUT
+     *  for tile `t`) into the output frame at the scaled interior. */
+    void paste(const Tensor& tile_out, const Tile& t,
+               Tensor* frame_out) const;
+
+  private:
+    /** Per-axis window/interior decomposition (see tiler.cc). */
+    struct AxisSeg
+    {
+        int x;       ///< window origin
+        int lo, hi;  ///< interior [lo, hi)
+        bool padded;
+    };
+    std::vector<AxisSeg> axis_segments(int frame, int tile) const;
+
+    TileTraits traits_;
+    int tile_h_ = 0, tile_w_ = 0;
+    int in_c_ = 0, out_c_ = 0;
+};
+
+}  // namespace ringcnn::stream
+
+#endif  // RINGCNN_STREAM_TILER_H

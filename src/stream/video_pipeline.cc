@@ -1,0 +1,181 @@
+#include "stream/video_pipeline.h"
+
+#include <utility>
+
+#include "core/simd.h"
+#include "quant/quant_model.h"
+#include "util/check.h"
+
+namespace ringcnn::stream {
+
+double
+quant_skip_threshold(const quant::QuantizedModel& qm)
+{
+    return qm.input_format().scale();
+}
+
+VideoPipeline::VideoPipeline(serve::ServeServer& server,
+                             const plan::GraphPlan& tile_plan,
+                             VideoOptions opt)
+    : server_(server), tiler_(tile_plan), opt_(opt)
+{
+    RINGCNN_CHECK(opt_.max_inflight_frames >= 1,
+                  "stream::VideoPipeline: max_inflight_frames must be "
+                  ">= 1");
+    collector_ = std::thread([this]() { collector_loop(); });
+}
+
+VideoPipeline::~VideoPipeline()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;  // collector drains remaining jobs, then exits
+    }
+    work_cv_.notify_all();
+    collector_.join();
+}
+
+std::future<Tensor>
+VideoPipeline::push(Tensor frame)
+{
+    // One push at a time: the lock is held across the whole
+    // decomposition, so "push order" is well defined even with
+    // concurrent callers, and the tile reuse cache sees a consistent
+    // reference per tile.
+    std::unique_lock<std::mutex> lock(mu_);
+    RINGCNN_CHECK(!stop_, "stream::VideoPipeline: push after shutdown");
+    const Shape shape = frame.shape();
+    if (frame_shape_.empty()) {
+        RINGCNN_CHECK(shape.size() == 3 &&
+                          shape[0] == tiler_.in_channels(),
+                      "stream::VideoPipeline: frame must be CHW with "
+                      "the plan's input channels");
+        tiles_ = tiler_.tiles(shape[1], shape[2]);
+        states_.resize(tiles_.size());
+        frame_shape_ = shape;
+    } else {
+        RINGCNN_CHECK(shape == frame_shape_,
+                      "stream::VideoPipeline: frame shape changed "
+                      "mid-stream");
+    }
+    space_cv_.wait(lock, [this]() {
+        return jobs_.size() <
+               static_cast<size_t>(opt_.max_inflight_frames);
+    });
+
+    FrameJob job;
+    job.in_shape = shape;
+    job.futures.resize(tiles_.size());
+    uint64_t frame_skipped = 0;
+    for (size_t i = 0; i < tiles_.size(); ++i) {
+        TileState& st = states_[i];
+        Tensor t;
+        tiler_.extract(frame, tiles_[i], &t);
+        const bool reusable =
+            opt_.skip_threshold >= 0.0 && st.ref_valid &&
+            simd::max_abs_diff_f32(t.data(), st.ref_in.data(),
+                                   t.numel()) <= opt_.skip_threshold;
+        if (reusable) {
+            ++frame_skipped;  // futures[i] stays invalid: cache path
+            continue;
+        }
+        st.ref_in = t;  // the input the next cached output belongs to
+        st.ref_valid = true;
+        job.futures[i] = server_.submit(std::move(t));
+    }
+    stats_.frames_pushed += 1;
+    stats_.tiles += tiles_.size();
+    stats_.skipped += frame_skipped;
+    stats_.computed += tiles_.size() - frame_skipped;
+    stats_.last_frame_tiles = tiles_.size();
+    stats_.last_frame_skipped = frame_skipped;
+    std::future<Tensor> fut = job.promise.get_future();
+    jobs_.push_back(std::move(job));
+    ++unresolved_;
+    lock.unlock();
+    work_cv_.notify_one();
+    return fut;
+}
+
+void
+VideoPipeline::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this]() { return unresolved_ == 0; });
+}
+
+VideoStats
+VideoPipeline::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+VideoPipeline::collector_loop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        work_cv_.wait(lock,
+                      [this]() { return stop_ || !jobs_.empty(); });
+        if (jobs_.empty()) return;  // stop_ set and fully drained
+        FrameJob job = std::move(jobs_.front());
+        jobs_.pop_front();
+        lock.unlock();
+        space_cv_.notify_one();
+
+        Tensor out_frame(tiler_.out_frame_shape(job.in_shape));
+        std::exception_ptr fail;
+        for (size_t i = 0; i < job.futures.size(); ++i) {
+            TileState& st = states_[i];
+            if (job.futures[i].valid()) {
+                // Computed tile: store it as the cached output for the
+                // reference input push() recorded for this tile.
+                try {
+                    Tensor r = job.futures[i].get();
+                    st.out = std::move(r);
+                    {
+                        std::lock_guard<std::mutex> g(mu_);
+                        st.out_valid = true;
+                        st.err = nullptr;
+                    }
+                    tiler_.paste(st.out, tiles_[i], &out_frame);
+                } catch (...) {
+                    // Poison the cache entry: later pushes recompute,
+                    // and in-flight frames that skipped against this
+                    // reference fail below instead of emitting a frame
+                    // assembled from a missing output.
+                    std::lock_guard<std::mutex> g(mu_);
+                    st.out_valid = false;
+                    st.ref_valid = false;
+                    st.err = std::current_exception();
+                    if (fail == nullptr) fail = st.err;
+                }
+            } else {
+                // Skipped tile: in-order assembly guarantees the job
+                // that computed its reference was assembled already.
+                if (st.out_valid) {
+                    tiler_.paste(st.out, tiles_[i], &out_frame);
+                } else if (fail == nullptr) {
+                    fail = st.err != nullptr
+                               ? st.err
+                               : std::make_exception_ptr(std::runtime_error(
+                                     "ringcnn: stream tile reuse cache "
+                                     "poisoned by an earlier failure"));
+                }
+            }
+        }
+        if (fail != nullptr) {
+            job.promise.set_exception(fail);
+        } else {
+            job.promise.set_value(std::move(out_frame));
+        }
+
+        lock.lock();
+        stats_.frames_emitted += 1;
+        --unresolved_;
+        if (unresolved_ == 0) idle_cv_.notify_all();
+    }
+}
+
+}  // namespace ringcnn::stream

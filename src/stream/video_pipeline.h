@@ -1,0 +1,170 @@
+/**
+ * @file
+ * VideoPipeline: streams video frames through ServeServer as halo
+ * tiles, with a Diffy-style temporal-delta fast path.
+ *
+ * Each pushed frame is decomposed by the Tiler into fixed-shape tiles —
+ * ONE bucket shape, so the server's batching machinery coalesces tiles
+ * across the frame AND across in-flight frames into full batches even
+ * when individual frames are small. A collector thread reassembles
+ * outputs and fulfills the frame futures strictly in push order;
+ * ServeOptions::max_inflight_frames bounds how many frames may be
+ * decomposed-but-unassembled at once, so peak memory is
+ * O(inflight * frame + plan arena), never O(stream).
+ *
+ * Temporal fast path (the comparison the paper makes against Diffy in
+ * Table VII): per tile, the pipeline keeps the REFERENCE input — the
+ * tile input that produced the currently cached output — and the cached
+ * output itself. A new frame's tile whose max-abs delta against the
+ * reference (simd::max_abs_diff_f32 over the full window, halo
+ * included) is <= skip_threshold reuses the cached output without
+ * touching the server. Comparing against the reference rather than the
+ * previous frame makes the drift bound exact: a reused output is always
+ * within threshold of a genuinely computed one, no matter how many
+ * frames were skipped in a row.
+ *
+ * Threshold semantics:
+ *   < 0  — fast path disabled; every tile computes (the A/B baseline);
+ *   == 0 — bit-exact reuse: a tile is skipped only when its input is
+ *          IDENTICAL to the reference, so emitted frames are
+ *          bit-identical to per-frame full inference;
+ *   > 0  — lossy reuse with the bound above. For an int8-served model
+ *          the natural threshold is the input quantization step
+ *          (quant_skip_threshold): inputs within one step quantize to
+ *          codes differing by at most one.
+ *
+ * Failure: a tile whose server future fails poisons its cache entry;
+ * the owning frame's future fails, frames that chose to skip that tile
+ * before the failure surfaced fail too, and later frames recompute it.
+ */
+#ifndef RINGCNN_STREAM_VIDEO_PIPELINE_H
+#define RINGCNN_STREAM_VIDEO_PIPELINE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/serve_server.h"
+#include "stream/tiler.h"
+#include "tensor/tensor.h"
+
+namespace ringcnn::quant {
+class QuantizedModel;
+}
+
+namespace ringcnn::stream {
+
+/** Tiling/skip knobs for VideoPipeline. */
+struct VideoOptions
+{
+    /** Temporal skip threshold (see file header). < 0 disables. */
+    double skip_threshold = -1.0;
+    /** Bound on pushed-but-unassembled frames; push blocks at it. */
+    int max_inflight_frames = 4;
+};
+
+/** Counters since construction; see VideoPipeline::stats(). */
+struct VideoStats
+{
+    uint64_t frames_pushed = 0;
+    uint64_t frames_emitted = 0;  ///< futures fulfilled (ok or failed)
+    uint64_t tiles = 0;           ///< tiles examined
+    uint64_t computed = 0;        ///< tiles submitted to the server
+    uint64_t skipped = 0;         ///< tiles served from the reuse cache
+    uint64_t last_frame_tiles = 0;
+    uint64_t last_frame_skipped = 0;
+
+    /** Fraction of tiles served without a kernel pass. */
+    double skip_rate() const
+    {
+        return tiles == 0 ? 0.0
+                          : static_cast<double>(skipped) /
+                                static_cast<double>(tiles);
+    }
+};
+
+/** The natural skip threshold for an int8-served model: one input
+ *  quantization step (QFormat::scale of the model's input format). */
+double quant_skip_threshold(const quant::QuantizedModel& qm);
+
+class VideoPipeline
+{
+  public:
+    /**
+     * Streams through `server`, which must serve the model whose
+     * tile-shaped plan `tile_plan` describes (same input shape as the
+     * tiles the pipeline submits) and must outlive the pipeline.
+     * Throws what Tiler's constructor throws.
+     */
+    VideoPipeline(serve::ServeServer& server,
+                  const plan::GraphPlan& tile_plan, VideoOptions opt = {});
+    /** Drains, then joins the collector. */
+    ~VideoPipeline();
+    VideoPipeline(const VideoPipeline&) = delete;
+    VideoPipeline& operator=(const VideoPipeline&) = delete;
+
+    /**
+     * Enqueues one frame (moved in; CHW, the plan's input channels)
+     * and returns the future of the assembled output frame. Futures
+     * resolve in push order. The first frame fixes the stream's frame
+     * shape; later frames must match (std::invalid_argument). Blocks
+     * while max_inflight_frames frames are unassembled.
+     */
+    std::future<Tensor> push(Tensor frame);
+
+    /** Blocks until every pushed frame's future has been resolved. */
+    void drain();
+
+    const Tiler& tiler() const { return tiler_; }
+
+    /** Snapshot of the streaming counters. */
+    VideoStats stats() const;
+
+  private:
+    /** Per-tile reuse cache (fixed geometry after the first frame). */
+    struct TileState
+    {
+        Tensor ref_in;  ///< input that produced the cached output
+        Tensor out;     ///< cached tile output
+        bool ref_valid = false;  ///< ref_in comparable (and not poisoned)
+        bool out_valid = false;  ///< out holds the output for ref_in
+        std::exception_ptr err;  ///< why the cache entry is poisoned
+    };
+    /** One pushed frame awaiting assembly, in push order. */
+    struct FrameJob
+    {
+        std::promise<Tensor> promise;
+        Shape in_shape;
+        /** Per tile index: the server future (computed) or an empty
+         *  future (skipped — assemble from the cache). */
+        std::vector<std::future<Tensor>> futures;
+    };
+
+    void collector_loop();
+
+    serve::ServeServer& server_;
+    Tiler tiler_;
+    VideoOptions opt_;
+
+    mutable std::mutex mu_;
+    std::condition_variable space_cv_;  ///< push parks here (inflight)
+    std::condition_variable work_cv_;   ///< collector parks here
+    std::condition_variable idle_cv_;   ///< drain parks here
+    std::deque<FrameJob> jobs_;
+    std::vector<Tile> tiles_;  ///< fixed geometry (first frame)
+    std::vector<TileState> states_;
+    Shape frame_shape_;  ///< fixed by the first push
+    bool stop_ = false;
+    uint64_t unresolved_ = 0;  ///< pushed minus emitted
+    VideoStats stats_;
+    std::thread collector_;
+};
+
+}  // namespace ringcnn::stream
+
+#endif  // RINGCNN_STREAM_VIDEO_PIPELINE_H

@@ -134,14 +134,44 @@ TEST(PlanCache, AllBusyOverflowsThenTrims)
     EXPECT_EQ(cache.size(), 2u);
 
     // Trim with everything busy is a no-op...
-    cache.trim();
+    EXPECT_EQ(cache.trim(), 0u);
     EXPECT_EQ(cache.size(), 2u);
 
     // ...and back to the bound once a slot is idle.
     cache.release(a, true);
     cache.release(b, true);
-    cache.trim();
+    EXPECT_EQ(cache.trim(), 1u);
     EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCache, CountersAccountForEveryClaimAndEviction)
+{
+    // The counters the server surfaces as ServeStats::plan_hits /
+    // plan_compiles / plan_rebinds / plan_evictions. Invariant: every
+    // claim lands in exactly one of hits/fresh/rebinds, and evictions
+    // counts DROPPED plans only — an LRU rebind recycles its victim
+    // and must NOT count as an eviction.
+    Cache cache(1);
+    Cache::Outcome oc;
+
+    Cache::Entry* a = claim_prepared(cache, {3, 8, 8}, &oc);  // fresh
+    cache.release(a, true);
+    cache.release(cache.claim({3, 8, 8}, &oc), true);    // hit
+    Cache::Entry* b = cache.claim({3, 16, 16}, &oc);     // rebind
+    EXPECT_EQ(oc, Cache::Outcome::kRebind);
+
+    // Transient overflow while b is busy, then trim drops it.
+    Cache::Entry* c = claim_prepared(cache, {3, 24, 24}, &oc);  // fresh
+    cache.release(b, true);
+    cache.release(c, true);
+    EXPECT_EQ(cache.trim(), 1u);
+
+    const Cache::Counters& n = cache.counters();
+    EXPECT_EQ(n.hits, 1u);
+    EXPECT_EQ(n.fresh, 2u);
+    EXPECT_EQ(n.rebinds, 1u);
+    EXPECT_EQ(n.evictions, 1u);
+    EXPECT_EQ(n.hits + n.fresh + n.rebinds, 4u);  // == claims issued
 }
 
 }  // namespace

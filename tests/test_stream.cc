@@ -1,0 +1,495 @@
+/**
+ * @file
+ * Streaming layer tests: the halo tiler's bit-identity contract, the
+ * SIMD temporal-delta reductions, the VideoPipeline reuse cache, and
+ * the simulator's skipped-tile pricing.
+ *
+ * The load-bearing claim is the tiler's: every interior pixel of a
+ * shifted (non-padded) tile window is BIT-identical to whole-image
+ * inference — fp32 through the compiled executor and int8 through the
+ * quantized engine — across every ring algebra and both kernel sizes.
+ * Only frames smaller than the tile fall back to zero-padded windows,
+ * where pixels within the halo of the pad boundary genuinely differ
+ * and are PSNR-pinned instead.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <random>
+
+#include "core/ring_conv.h"
+#include "core/simd.h"
+#include "nn/executor.h"
+#include "nn/layer.h"
+#include "nn/model.h"
+#include "quant/quant_executor.h"
+#include "quant/quant_model.h"
+#include "serve/serve_server.h"
+#include "sim/accelerator.h"
+#include "stream/tiler.h"
+#include "stream/video_pipeline.h"
+#include "tensor/image_ops.h"
+
+namespace ringcnn {
+namespace {
+
+/** `layers` ring convs (1 tuple channel in/out) with a pointwise ReLU
+ *  between them — the minimal stack with a nontrivial halo. */
+nn::Model
+conv_stack(const Ring& ring, int k, int layers, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    auto seq = std::make_unique<nn::Sequential>();
+    for (int l = 0; l < layers; ++l) {
+        seq->add(std::make_unique<nn::RingConv2d>(ring, 1, 1, k, rng));
+        if (l + 1 < layers) seq->add(std::make_unique<nn::ReLU>());
+    }
+    return nn::Model("stream-stack", std::move(seq));
+}
+
+/** The bench backbone shape: conv + directional ReLU on RI4, so the
+ *  streaming tests also cover fused directional epilogues. */
+nn::Model
+dir_stack(int tuple_channels, int layers, unsigned seed)
+{
+    const Ring& ring = get_ring("RI4");
+    std::mt19937 rng(seed);
+    const auto [u, v] = fh_transforms(ring.n);
+    auto seq = std::make_unique<nn::Sequential>();
+    for (int l = 0; l < layers; ++l) {
+        seq->add(std::make_unique<nn::RingConv2d>(ring, tuple_channels,
+                                                  tuple_channels, 3, rng));
+        seq->add(std::make_unique<nn::DirectionalReLU>(u, v));
+    }
+    return nn::Model("stream-dir-stack", std::move(seq));
+}
+
+Tensor
+random_frame(const Shape& shape, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    Tensor t(shape);
+    t.rand_uniform(rng, 0.0f, 1.0f);
+    return t;
+}
+
+bool
+same_bits(const Tensor& a, const Tensor& b)
+{
+    return a.shape() == b.shape() &&
+           std::memcmp(a.data(), b.data(),
+                       static_cast<size_t>(a.numel()) * sizeof(float)) ==
+               0;
+}
+
+/** Runs `frame` tile-by-tile through a tile-shaped executor and pastes
+ *  interiors, i.e. the Tiler contract without the serving layer. */
+Tensor
+run_tiled(const stream::Tiler& tiler, nn::ModelExecutor& tile_exec,
+          const Tensor& frame)
+{
+    Tensor out(tiler.out_frame_shape(frame.shape()));
+    Tensor t;
+    for (const stream::Tile& tl :
+         tiler.tiles(frame.shape()[1], frame.shape()[2])) {
+        tiler.extract(frame, tl, &t);
+        tiler.paste(tile_exec.run(t), tl, &out);
+    }
+    return out;
+}
+
+// ---- simd::max_abs_diff reductions ------------------------------------
+
+TEST(SimdMaxAbsDiff, F32MatchesScalarAcrossLengths)
+{
+    std::mt19937 rng(5);
+    std::uniform_real_distribution<float> dist(-3.0f, 3.0f);
+    for (const int64_t len : {0, 1, 3, 7, 8, 9, 31, 32, 33, 257, 4096}) {
+        std::vector<float> a(static_cast<size_t>(len));
+        std::vector<float> b(static_cast<size_t>(len));
+        for (auto& v : a) v = dist(rng);
+        for (auto& v : b) v = dist(rng);
+        float want = 0.0f;
+        for (int64_t i = 0; i < len; ++i) {
+            want = std::max(want,
+                            std::abs(a[static_cast<size_t>(i)] -
+                                     b[static_cast<size_t>(i)]));
+        }
+        // max of exact per-lane |a-b| is order-independent: the
+        // dispatched kernel must agree bit for bit with the scalar
+        // walk, whatever ISA it picked.
+        EXPECT_EQ(simd::max_abs_diff_f32(a.data(), b.data(), len), want)
+            << "len=" << len;
+    }
+    // Equal inputs reduce to exactly zero.
+    std::vector<float> c(100, 1.25f);
+    EXPECT_EQ(simd::max_abs_diff_f32(c.data(), c.data(), 100), 0.0f);
+}
+
+TEST(SimdMaxAbsDiff, I8MatchesScalarAndCoversFullRange)
+{
+    std::mt19937 rng(6);
+    std::uniform_int_distribution<int> dist(-128, 127);
+    for (const int64_t len : {0, 1, 15, 31, 32, 33, 63, 64, 65, 1023}) {
+        std::vector<int8_t> a(static_cast<size_t>(len));
+        std::vector<int8_t> b(static_cast<size_t>(len));
+        for (auto& v : a) v = static_cast<int8_t>(dist(rng));
+        for (auto& v : b) v = static_cast<int8_t>(dist(rng));
+        int want = 0;
+        for (int64_t i = 0; i < len; ++i) {
+            want = std::max(
+                want, std::abs(static_cast<int>(a[static_cast<size_t>(i)]) -
+                               static_cast<int>(b[static_cast<size_t>(i)])));
+        }
+        EXPECT_EQ(simd::max_abs_diff_i8(a.data(), b.data(), len), want)
+            << "len=" << len;
+    }
+    // The extreme pair must come back as exactly 255 (the unsigned
+    // trick in the AVX2 kernel must not saturate at 127).
+    std::vector<int8_t> lo(40, -128);
+    std::vector<int8_t> hi(40, 127);
+    EXPECT_EQ(simd::max_abs_diff_i8(lo.data(), hi.data(), 40), 255);
+}
+
+// ---- halo analysis ----------------------------------------------------
+
+TEST(TilerTraits, ConvStackHaloAndAlignment)
+{
+    const Ring& ri4 = get_ring("RI4");
+    // Three 3x3 convs: radius 3. 1x1 convs: radius 0. Plain conv
+    // stacks have no shuffles, so the grid is trivial and the spatial
+    // scale is 1:1.
+    {
+        nn::Model m = conv_stack(ri4, 3, 3, 7);
+        nn::ModelExecutor e(m, {ri4.n, 16, 16});
+        const stream::TileTraits t = stream::analyze_plan(e.plan());
+        ASSERT_TRUE(t.supported);
+        EXPECT_EQ(t.halo, 3);
+        EXPECT_EQ(t.align, 1);
+        EXPECT_EQ(t.scale_num, 1);
+        EXPECT_EQ(t.scale_den, 1);
+    }
+    {
+        nn::Model m = conv_stack(ri4, 1, 2, 7);
+        nn::ModelExecutor e(m, {ri4.n, 16, 16});
+        const stream::TileTraits t = stream::analyze_plan(e.plan());
+        ASSERT_TRUE(t.supported);
+        EXPECT_EQ(t.halo, 0);
+        EXPECT_EQ(t.align, 1);
+    }
+}
+
+// ---- tiled vs whole-image equivalence, every ring ---------------------
+
+class StreamAllRings : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(StreamAllRings, TiledMatchesWholeImageBitExactly)
+{
+    const Ring& ring = get_ring(GetParam());
+    const int tile = 16;
+    for (const int k : {1, 3}) {
+        nn::Model model = conv_stack(ring, k, 2, 11);
+        nn::ModelExecutor tile_exec(model, {ring.n, tile, tile});
+        stream::Tiler tiler(tile_exec.plan());
+        EXPECT_EQ(tiler.traits().halo, k == 1 ? 0 : 2);
+
+        // Even and odd frame sizes, both larger than the tile, so
+        // every window is shifted (never padded) and EVERY pixel —
+        // interior by construction — must match whole-image inference
+        // bit for bit.
+        for (const auto& [fh, fw] : {std::pair{24, 20}, {23, 17}}) {
+            const Tensor frame =
+                random_frame({ring.n, fh, fw}, 100 + k);
+            nn::ModelExecutor frame_exec(model, frame.shape());
+            const Tensor want = frame_exec.run(frame);
+            const Tensor got = run_tiled(tiler, tile_exec, frame);
+            EXPECT_TRUE(same_bits(want, got))
+                << ring.name << " k=" << k << " " << fh << "x" << fw
+                << " max|d|=" << max_abs_diff(want, got);
+        }
+    }
+}
+
+TEST_P(StreamAllRings, TiledInt8MatchesWholeImageCodes)
+{
+    const Ring& ring = get_ring(GetParam());
+    const int tile = 16, fh = 23, fw = 20;
+    nn::Model model = conv_stack(ring, 3, 2, 13);
+    const Tensor frame = random_frame({ring.n, fh, fw}, 17);
+
+    // One quantized model (one calibration); quantization is
+    // elementwise with a global input format, so extracting a tile and
+    // quantizing commutes with quantizing the frame — zero padding
+    // quantizes to code 0 either way.
+    quant::QuantizedModel qm(model, {frame});
+    quant::QuantExecutor qex(qm);
+    const quant::QAct want = qex.run(qm.quantize_input(frame));
+
+    nn::ModelExecutor tile_exec(model, {ring.n, tile, tile});
+    stream::Tiler tiler(tile_exec.plan());
+    Tensor t;
+    for (const stream::Tile& tl : tiler.tiles(fh, fw)) {
+        tiler.extract(frame, tl, &t);
+        const quant::QAct got = qex.run(qm.quantize_input(t));
+        ASSERT_EQ(got.frac, want.frac);
+        for (int c = 0; c < want.channels(); ++c) {
+            for (int y = tl.iy0; y < tl.iy1; ++y) {
+                for (int x = tl.ix0; x < tl.ix1; ++x) {
+                    ASSERT_EQ(got.at(c, y - tl.y0, x - tl.x0),
+                              want.at(c, y, x))
+                        << ring.name << " c=" << c << " y=" << y
+                        << " x=" << x;
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRings, StreamAllRings,
+                         ::testing::ValuesIn(all_ring_names()),
+                         [](const auto& info) {
+                             std::string n = info.param;
+                             for (char& c : n) {
+                                 if (c == '-') c = '_';
+                             }
+                             return n;
+                         });
+
+// ---- the padded fallback (frame smaller than the tile) ----------------
+
+TEST(Tiler, SmallFramePadsWithPinnedEdgeQuality)
+{
+    const Ring& ri4 = get_ring("RI4");
+    nn::Model model = conv_stack(ri4, 3, 2, 19);
+    const int tile = 16, fh = 12, fw = 10;
+    nn::ModelExecutor tile_exec(model, {ri4.n, tile, tile});
+    stream::Tiler tiler(tile_exec.plan());
+    const int h = tiler.traits().halo;
+
+    const std::vector<stream::Tile> tls = tiler.tiles(fh, fw);
+    ASSERT_EQ(tls.size(), 1u);
+    EXPECT_TRUE(tls[0].padded);
+
+    const Tensor frame = random_frame({ri4.n, fh, fw}, 23);
+    nn::ModelExecutor frame_exec(model, frame.shape());
+    const Tensor want = frame_exec.run(frame);
+    const Tensor got = run_tiled(tiler, tile_exec, frame);
+    ASSERT_EQ(got.shape(), want.shape());
+
+    // The frame sits flush with the window's top-left, so padding
+    // semantics only diverge within the halo of the BOTTOM/RIGHT frame
+    // edges (layer >= 2 taps there read activations bled past the
+    // frame instead of whole-image zero padding). Everything farther
+    // in is bit-identical; the whole frame is PSNR-pinned.
+    for (int c = 0; c < want.shape()[0]; ++c) {
+        for (int y = 0; y < fh - h; ++y) {
+            for (int x = 0; x < fw - h; ++x) {
+                ASSERT_EQ(got.at(c, y, x), want.at(c, y, x))
+                    << "c=" << c << " y=" << y << " x=" << x;
+            }
+        }
+    }
+    double peak = 0.0;
+    for (int64_t i = 0; i < want.numel(); ++i) {
+        peak = std::max(peak, std::abs(static_cast<double>(want[i])));
+    }
+    EXPECT_GE(psnr(want, got, peak), 15.0);
+}
+
+// ---- shuffle stacks: alignment and scaled interiors -------------------
+
+TEST(Tiler, RejectsTilesOffTheAlignmentGrid)
+{
+    // PixelUnshuffle(2) regroups 2x2 pixel blocks: window origins (and
+    // hence tile/frame dims) must sit on the even grid.
+    const Ring& ri4 = get_ring("RI4");
+    std::mt19937 rng(29);
+    auto seq = std::make_unique<nn::Sequential>();
+    seq->add(std::make_unique<nn::PixelUnshuffle>(2));
+    seq->add(std::make_unique<nn::RingConv2d>(ri4, 1, 1, 3, rng));
+    seq->add(std::make_unique<nn::PixelShuffle>(2));
+    nn::Model model("shuffle-stack", std::move(seq));
+
+    nn::ModelExecutor even(model, {ri4.n / 4, 16, 16});
+    const stream::TileTraits t = stream::analyze_plan(even.plan());
+    ASSERT_TRUE(t.supported);
+    EXPECT_EQ(t.align, 2);
+    EXPECT_EQ(t.scale_num, 1);
+    EXPECT_EQ(t.scale_den, 1);
+    EXPECT_EQ(t.halo % 2, 0);  // rounded up onto the grid
+
+    stream::Tiler tiler(even.plan());
+    EXPECT_THROW(tiler.tiles(30, 15), std::invalid_argument);
+}
+
+TEST(Tiler, ShuffleStackTiledMatchesWholeImage)
+{
+    const Ring& ri4 = get_ring("RI4");
+    std::mt19937 rng(31);
+    auto seq = std::make_unique<nn::Sequential>();
+    seq->add(std::make_unique<nn::PixelUnshuffle>(2));
+    seq->add(std::make_unique<nn::RingConv2d>(ri4, 1, 1, 3, rng));
+    seq->add(std::make_unique<nn::PixelShuffle>(2));
+    nn::Model model("shuffle-stack", std::move(seq));
+
+    const Shape tile_shape{ri4.n / 4, 16, 16};
+    nn::ModelExecutor tile_exec(model, tile_shape);
+    stream::Tiler tiler(tile_exec.plan());
+    const Tensor frame = random_frame({ri4.n / 4, 26, 22}, 37);
+    nn::ModelExecutor frame_exec(model, frame.shape());
+    EXPECT_TRUE(
+        same_bits(frame_exec.run(frame), run_tiled(tiler, tile_exec, frame)));
+}
+
+// ---- VideoPipeline ----------------------------------------------------
+
+TEST(VideoPipeline, ThresholdZeroReusesBitExactly)
+{
+    nn::Model model = dir_stack(2, 2, 41);
+    const Shape tile_shape{8, 16, 16};
+    nn::ModelExecutor tile_exec(model, tile_shape);
+    const int fhw = 64;
+
+    const Tensor f0 = random_frame({8, fhw, fhw}, 43);
+    Tensor f1 = f0;
+    // Flip one pixel covered by exactly ONE window. Windows are 16
+    // wide at stride 12 (halo 2), so the center tile's window
+    // [24, 40) x [24, 40) owns [28, 36) x [28, 36) exclusively —
+    // (32, 32) sits inside it, and exactly one tile recomputes.
+    for (int c = 0; c < 8; ++c) f1.at(c, fhw / 2, fhw / 2) += 1.0f;
+
+    nn::ModelExecutor frame_exec(model, f0.shape());
+    const Tensor want0 = frame_exec.run(f0);
+    const Tensor want1 = frame_exec.run(f1);
+
+    serve::ServeServer server(model);
+    stream::VideoOptions vo;
+    vo.skip_threshold = 0.0;
+    stream::VideoPipeline pipe(server, tile_exec.plan(), vo);
+    const size_t n_tiles = pipe.tiler().tiles(fhw, fhw).size();
+
+    auto fut_a = pipe.push(f0);
+    auto fut_b = pipe.push(f0);  // identical: every tile reuses
+    auto fut_c = pipe.push(f1);  // one tile recomputes
+    EXPECT_TRUE(same_bits(fut_a.get(), want0));
+    EXPECT_TRUE(same_bits(fut_b.get(), want0));
+    EXPECT_TRUE(same_bits(fut_c.get(), want1));
+
+    const stream::VideoStats s = pipe.stats();
+    EXPECT_EQ(s.frames_pushed, 3u);
+    EXPECT_EQ(s.tiles, 3 * n_tiles);
+    EXPECT_EQ(s.computed, n_tiles + 1);
+    EXPECT_EQ(s.skipped, 2 * n_tiles - 1);
+    EXPECT_EQ(s.last_frame_skipped, n_tiles - 1);
+}
+
+TEST(VideoPipeline, DisabledThresholdComputesEveryTile)
+{
+    nn::Model model = dir_stack(1, 2, 47);
+    nn::ModelExecutor tile_exec(model, {4, 16, 16});
+    serve::ServeServer server(model);
+    stream::VideoPipeline pipe(server, tile_exec.plan());  // skip off
+
+    const Tensor f = random_frame({4, 32, 32}, 53);
+    pipe.push(f).get();
+    pipe.push(f).get();  // identical frame still computes fully
+    const stream::VideoStats s = pipe.stats();
+    EXPECT_EQ(s.skipped, 0u);
+    EXPECT_EQ(s.computed, s.tiles);
+}
+
+TEST(VideoPipeline, EmitsInPushOrderAndDrains)
+{
+    nn::Model model = dir_stack(1, 2, 59);
+    nn::ModelExecutor tile_exec(model, {4, 16, 16});
+    nn::ModelExecutor frame_exec(model, {4, 32, 32});
+    serve::ServeServer server(model);
+    stream::VideoOptions vo;
+    vo.skip_threshold = 0.0;
+    vo.max_inflight_frames = 2;  // push must block, not fail, at 2
+    stream::VideoPipeline pipe(server, tile_exec.plan(), vo);
+
+    std::vector<Tensor> frames;
+    std::vector<std::future<Tensor>> futs;
+    for (int i = 0; i < 6; ++i) {
+        frames.push_back(random_frame({4, 32, 32}, 60 + i));
+        futs.push_back(pipe.push(frames.back()));
+    }
+    for (int i = 0; i < 6; ++i) {
+        EXPECT_TRUE(same_bits(futs[static_cast<size_t>(i)].get(),
+                              frame_exec.run(frames[static_cast<size_t>(i)])))
+            << "frame " << i;
+    }
+    pipe.drain();
+    const stream::VideoStats s = pipe.stats();
+    EXPECT_EQ(s.frames_pushed, 6u);
+    EXPECT_EQ(s.frames_emitted, 6u);
+}
+
+TEST(VideoPipeline, RejectsMidStreamShapeChange)
+{
+    nn::Model model = dir_stack(1, 2, 61);
+    nn::ModelExecutor tile_exec(model, {4, 16, 16});
+    serve::ServeServer server(model);
+    stream::VideoPipeline pipe(server, tile_exec.plan());
+    pipe.push(random_frame({4, 32, 32}, 67)).get();
+    EXPECT_THROW(pipe.push(random_frame({4, 32, 48}, 71)),
+                 std::invalid_argument);
+}
+
+TEST(VideoPipeline, QuantSkipThresholdIsOneInputStep)
+{
+    nn::Model model = dir_stack(1, 2, 73);
+    const Tensor calib = random_frame({4, 16, 16}, 79);
+    quant::QuantizedModel qm(model, {calib});
+    const double step = stream::quant_skip_threshold(qm);
+    EXPECT_GT(step, 0.0);
+    EXPECT_DOUBLE_EQ(step, qm.input_format().scale());
+}
+
+// ---- simulator pricing of skipped tiles -------------------------------
+
+TEST(SimTileStream, SkippedTilesMoveBitsButFireNoMacs)
+{
+    nn::Model model = dir_stack(2, 2, 83);
+    const Shape tile_shape{8, 16, 16};
+    const Tensor calib = random_frame(tile_shape, 89);
+    quant::QuantizedModel qm(model, {calib});
+
+    sim::SimConfig sc;
+    sc.n = get_ring("RI4").n;
+    const sim::Accelerator acc(sc);
+
+    const sim::SimStats one = acc.run(qm, calib);
+    const sim::SimStats comp = acc.price_tile_stream(qm, tile_shape, 7, 0);
+    const sim::SimStats skip = acc.price_tile_stream(qm, tile_shape, 0, 7);
+    const sim::SimStats mix = acc.price_tile_stream(qm, tile_shape, 3, 4);
+
+    // Computed tiles price exactly like the per-image schedule.
+    EXPECT_EQ(comp.mac_ops, 7 * one.mac_ops);
+    EXPECT_EQ(comp.cycles, 7 * one.cycles);
+    EXPECT_EQ(comp.wmem_bits, 7 * one.wmem_bits);
+
+    // Skipped tiles: DRAM/block-buffer traffic and compare datapath
+    // only — no MACs, no weight fetches, no conv cycles — and strictly
+    // cheaper in cycles than computing.
+    EXPECT_EQ(skip.mac_ops, 0u);
+    EXPECT_EQ(skip.wmem_bits, 0u);
+    EXPECT_EQ(skip.conv3_cycles, 0u);
+    EXPECT_GT(skip.bb_bits, 0u);
+    EXPECT_GT(skip.cycles, 0u);
+    EXPECT_LT(skip.cycles, comp.cycles);
+
+    // The mix decomposes exactly (both totals scale per-tile costs).
+    EXPECT_EQ(mix.mac_ops, 3 * one.mac_ops);
+    EXPECT_EQ(mix.cycles, 3 * one.cycles + 4 * (skip.cycles / 7));
+    EXPECT_EQ(mix.bb_bits, 3 * one.bb_bits + 4 * (skip.bb_bits / 7));
+}
+
+}  // namespace
+}  // namespace ringcnn
